@@ -1,0 +1,79 @@
+//! Criterion benchmarks of the experiment kernels behind the paper's
+//! figures: refinement-policy ablation (Figure 3), the quality metric
+//! evaluation used throughout Figure 4, and the per-table-row runtime
+//! pipeline of Figure 5 on one instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hyperpraw_bench::{ExperimentConfig, Strategy, Testbed};
+use hyperpraw_core::metrics::{partitioning_communication_cost, QualityReport};
+use hyperpraw_core::{HyperPraw, HyperPrawConfig, RefinementPolicy};
+use hyperpraw_hypergraph::generators::suite::PaperInstance;
+use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
+
+fn bench_refinement_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_refinement_policies");
+    group.sample_size(10);
+    let hg = mesh_hypergraph(&MeshConfig::new(2_000, 12));
+    let testbed = Testbed::archer(24, 0, 1);
+    for (name, policy) in [
+        ("none", RefinementPolicy::None),
+        ("factor_1.0", RefinementPolicy::Factor(1.0)),
+        ("factor_0.95", RefinementPolicy::Factor(0.95)),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                HyperPraw::aware(
+                    HyperPrawConfig::default().with_refinement(policy),
+                    testbed.cost.clone(),
+                )
+                .partition(&hg)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_quality_metrics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_quality_metrics");
+    let hg = mesh_hypergraph(&MeshConfig::new(4_000, 12));
+    let testbed = Testbed::archer(48, 0, 1);
+    let part = Strategy::HyperPrawAware.partition(&hg, &testbed, 48, 1);
+    group.bench_function("quality_report", |b| {
+        b.iter(|| QualityReport::compute(&hg, &part, &testbed.cost))
+    });
+    group.bench_function("comm_cost_only", |b| {
+        b.iter(|| partitioning_communication_cost(&hg, &part, &testbed.cost))
+    });
+    group.finish();
+}
+
+fn bench_fig5_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_pipeline_one_instance");
+    group.sample_size(10);
+    let cfg = ExperimentConfig {
+        scale: 0.005,
+        procs: 48,
+        ..ExperimentConfig::default()
+    };
+    let hg = cfg.instance(PaperInstance::AbacusShellHd);
+    let testbed = Testbed::archer(cfg.procs, 0, cfg.seed);
+    let bench = testbed.benchmark(&cfg);
+    for strategy in Strategy::all() {
+        group.bench_function(BenchmarkId::from_parameter(strategy.name()), |b| {
+            b.iter(|| {
+                let part = strategy.partition(&hg, &testbed, cfg.procs, cfg.seed);
+                bench.run(&hg, &part)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_refinement_policies,
+    bench_quality_metrics,
+    bench_fig5_pipeline
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benchmarks of the Zoltan-like multilevel partitioner's stages:
+//! coarsening, FM refinement and recursive bisection.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
+use hyperpraw_multilevel::coarsen::coarsen_once;
+use hyperpraw_multilevel::initial::random_bisection;
+use hyperpraw_multilevel::refine::fm_refine;
+use hyperpraw_multilevel::{recursive_bisection, MultilevelConfig};
+
+fn bench_coarsening(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multilevel_coarsen");
+    for &n in &[2_000usize, 10_000] {
+        let hg = mesh_hypergraph(&MeshConfig::new(n, 8));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &hg, |b, hg| {
+            b.iter(|| coarsen_once(hg, 1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fm_refine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multilevel_fm_refine");
+    group.sample_size(10);
+    for &n in &[2_000usize, 8_000] {
+        let hg = mesh_hypergraph(&MeshConfig::new(n, 8));
+        let total = hg.total_vertex_weight();
+        let initial = random_bisection(&hg, 0.5, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &hg, |b, hg| {
+            b.iter(|| fm_refine(hg, initial.clone(), [total * 0.55, total * 0.55], 2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_recursive_bisection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multilevel_recursive_bisection");
+    group.sample_size(10);
+    let hg = mesh_hypergraph(&MeshConfig::new(4_000, 8));
+    for &k in &[8u32, 32] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| recursive_bisection(&hg, k, &MultilevelConfig::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coarsening, bench_fm_refine, bench_recursive_bisection);
+criterion_main!(benches);

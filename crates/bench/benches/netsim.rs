@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the network-simulation substrate: event-driven
+//! round processing, ring profiling and the aggregate synthetic benchmark.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hyperpraw_core::baselines;
+use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
+use hyperpraw_netsim::{
+    BenchmarkConfig, EventDrivenSim, LinkModel, Message, RingProfiler, SyntheticBenchmark,
+};
+use hyperpraw_topology::MachineModel;
+
+fn bench_event_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_event_round");
+    let machine = MachineModel::archer_like(96);
+    let link = LinkModel::from_machine(&machine, 0.05, 1);
+    for &msgs in &[1_000usize, 10_000] {
+        let messages: Vec<Message> = (0..msgs)
+            .map(|i| Message::new(i % 96, (i * 7 + 3) % 96, 1024))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(msgs), &messages, |b, msgs| {
+            b.iter(|| EventDrivenSim::new(link.clone()).simulate_round(msgs))
+        });
+    }
+    group.finish();
+}
+
+fn bench_ring_profiler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_ring_profiler");
+    group.sample_size(10);
+    for &p in &[48usize, 144] {
+        let machine = MachineModel::archer_like(p);
+        let link = LinkModel::from_machine(&machine, 0.05, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &link, |b, link| {
+            b.iter(|| RingProfiler::default().profile(link))
+        });
+    }
+    group.finish();
+}
+
+fn bench_synthetic_benchmark(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netsim_synthetic_benchmark");
+    group.sample_size(10);
+    let p = 96usize;
+    let machine = MachineModel::archer_like(p);
+    let link = LinkModel::from_machine(&machine, 0.05, 1);
+    for &n in &[2_000usize, 8_000] {
+        let hg = mesh_hypergraph(&MeshConfig::new(n, 12));
+        let part = baselines::round_robin(&hg, p as u32);
+        let bench = SyntheticBenchmark::new(link.clone(), BenchmarkConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &hg, |b, hg| {
+            b.iter(|| bench.run(hg, &part))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_rounds,
+    bench_ring_profiler,
+    bench_synthetic_benchmark
+);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end comparison of the partitioners on the same instance: the
+//! Zoltan-like multilevel baseline, HyperPRAW (sequential) and the parallel
+//! restreaming extension — the data behind the "partitioning cost" column of
+//! the evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hyperpraw_bench::Testbed;
+use hyperpraw_core::{HyperPraw, HyperPrawConfig, ParallelConfig, ParallelHyperPraw};
+use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
+use hyperpraw_multilevel::{MultilevelConfig, MultilevelPartitioner};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioners_end_to_end");
+    group.sample_size(10);
+    let hg = mesh_hypergraph(&MeshConfig::new(3_000, 10));
+    let p = 24usize;
+    let testbed = Testbed::archer(p, 0, 1);
+
+    group.bench_function(BenchmarkId::new("zoltan_like", p), |b| {
+        b.iter(|| {
+            MultilevelPartitioner::new(MultilevelConfig::default()).partition(&hg, p as u32)
+        })
+    });
+    group.bench_function(BenchmarkId::new("hyperpraw_basic", p), |b| {
+        b.iter(|| HyperPraw::basic(HyperPrawConfig::default(), p as u32).partition(&hg))
+    });
+    group.bench_function(BenchmarkId::new("hyperpraw_aware", p), |b| {
+        b.iter(|| {
+            HyperPraw::aware(HyperPrawConfig::default(), testbed.cost.clone()).partition(&hg)
+        })
+    });
+    for threads in [2usize, 4] {
+        group.bench_function(BenchmarkId::new("hyperpraw_parallel", threads), |b| {
+            b.iter(|| {
+                ParallelHyperPraw::new(
+                    HyperPrawConfig::default(),
+                    ParallelConfig::with_threads(threads),
+                    testbed.cost.clone(),
+                )
+                .partition(&hg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

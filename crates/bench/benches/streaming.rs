@@ -1,0 +1,62 @@
+//! Criterion micro-benchmarks of the HyperPRAW streaming core: a full
+//! restreaming partition and the per-stream cost, across hypergraph families
+//! and partition counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hyperpraw_bench::Testbed;
+use hyperpraw_core::{HyperPraw, HyperPrawConfig};
+use hyperpraw_hypergraph::generators::{
+    mesh_hypergraph, random_hypergraph, MeshConfig, RandomConfig,
+};
+
+fn bench_full_partition(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hyperpraw_partition");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000] {
+        let hg = mesh_hypergraph(&MeshConfig::new(n, 8));
+        for &p in &[16usize, 48] {
+            let testbed = Testbed::archer(p, 0, 1);
+            group.bench_with_input(
+                BenchmarkId::new("aware", format!("mesh{n}_p{p}")),
+                &p,
+                |b, _| {
+                    b.iter(|| {
+                        HyperPraw::aware(HyperPrawConfig::default(), testbed.cost.clone())
+                            .partition(&hg)
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new("basic", format!("mesh{n}_p{p}")),
+                &p,
+                |b, &p| {
+                    b.iter(|| {
+                        HyperPraw::basic(HyperPrawConfig::default(), p as u32).partition(&hg)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_hypergraph_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hyperpraw_families");
+    group.sample_size(10);
+    let p = 24usize;
+    let testbed = Testbed::archer(p, 0, 1);
+    let mesh = mesh_hypergraph(&MeshConfig::new(2_000, 12));
+    let sparse = random_hypergraph(&RandomConfig::with_avg_cardinality(2_000, 2_000, 12.0, 3));
+    for (name, hg) in [("mesh", &mesh), ("random", &sparse)] {
+        group.bench_function(BenchmarkId::new("aware", name), |b| {
+            b.iter(|| {
+                HyperPraw::aware(HyperPrawConfig::default(), testbed.cost.clone()).partition(hg)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_partition, bench_hypergraph_families);
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! Ablation study of HyperPRAW's design parameters (the paper's §7
+//! discussion): the refinement factor, the tempering factor and the stream
+//! order.
+//!
+//! ```text
+//! cargo run --release -p hyperpraw-bench --bin ablation
+//! ```
+//!
+//! Writes `ablation_refinement.csv`, `ablation_tempering.csv` and
+//! `ablation_stream_order.csv`.
+
+use hyperpraw_bench::{ascii_table, run_hyperpraw, ExperimentConfig, Testbed};
+use hyperpraw_core::{HyperPrawConfig, RefinementPolicy, StreamOrder};
+use hyperpraw_hypergraph::generators::suite::PaperInstance;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!(
+        "== Ablations (p = {}, scale {:.3}) ==\n",
+        cfg.procs, cfg.scale
+    );
+    let testbed = Testbed::archer(cfg.procs, 0, cfg.seed);
+    let instances = PaperInstance::fig3_instances();
+
+    // 1. Refinement factor sweep (the paper found 0.95 experimentally).
+    println!("--- refinement factor sweep ---");
+    let factors = [0.85, 0.90, 0.95, 1.00, 1.05];
+    let mut rows = Vec::new();
+    let mut csv = String::from("instance,refinement_factor,iterations,comm_cost,imbalance\n");
+    for inst in instances {
+        let hg = cfg.instance(inst);
+        for f in factors {
+            let config = HyperPrawConfig::default()
+                .with_refinement(RefinementPolicy::Factor(f))
+                .with_seed(cfg.seed);
+            let result = run_hyperpraw(&hg, testbed.cost.clone(), config);
+            rows.push(vec![
+                inst.paper_name().to_string(),
+                format!("{f:.2}"),
+                result.iterations.to_string(),
+                format!("{:.0}", result.comm_cost),
+                format!("{:.3}", result.imbalance),
+            ]);
+            csv.push_str(&format!(
+                "{},{:.2},{},{:.4},{:.4}\n",
+                inst.paper_name(),
+                f,
+                result.iterations,
+                result.comm_cost,
+                result.imbalance
+            ));
+        }
+    }
+    println!(
+        "{}",
+        ascii_table(
+            &["instance", "factor", "iterations", "comm cost", "imbalance"],
+            &rows
+        )
+    );
+    cfg.write_csv("ablation_refinement.csv", &csv);
+
+    // 2. Tempering factor sweep (paper uses 1.7 while imbalanced).
+    println!("--- tempering factor sweep ---");
+    let tempering = [1.3, 1.5, 1.7, 2.0, 2.5];
+    let mut rows = Vec::new();
+    let mut csv = String::from("instance,tempering_factor,iterations,comm_cost,imbalance\n");
+    for inst in instances {
+        let hg = cfg.instance(inst);
+        for t in tempering {
+            let config = HyperPrawConfig {
+                tempering_factor: t,
+                ..HyperPrawConfig::default().with_seed(cfg.seed)
+            };
+            let result = run_hyperpraw(&hg, testbed.cost.clone(), config);
+            rows.push(vec![
+                inst.paper_name().to_string(),
+                format!("{t:.1}"),
+                result.iterations.to_string(),
+                format!("{:.0}", result.comm_cost),
+                format!("{:.3}", result.imbalance),
+            ]);
+            csv.push_str(&format!(
+                "{},{:.1},{},{:.4},{:.4}\n",
+                inst.paper_name(),
+                t,
+                result.iterations,
+                result.comm_cost,
+                result.imbalance
+            ));
+        }
+    }
+    println!(
+        "{}",
+        ascii_table(
+            &["instance", "t_alpha", "iterations", "comm cost", "imbalance"],
+            &rows
+        )
+    );
+    cfg.write_csv("ablation_tempering.csv", &csv);
+
+    // 3. Stream order ablation.
+    println!("--- stream order ---");
+    let orders = [
+        ("natural", StreamOrder::Natural),
+        ("random", StreamOrder::Random),
+        ("degree-desc", StreamOrder::DegreeDescending),
+    ];
+    let mut rows = Vec::new();
+    let mut csv = String::from("instance,stream_order,iterations,comm_cost,imbalance\n");
+    for inst in instances {
+        let hg = cfg.instance(inst);
+        for (name, order) in orders {
+            let config = HyperPrawConfig::default()
+                .with_stream_order(order)
+                .with_seed(cfg.seed);
+            let result = run_hyperpraw(&hg, testbed.cost.clone(), config);
+            rows.push(vec![
+                inst.paper_name().to_string(),
+                name.to_string(),
+                result.iterations.to_string(),
+                format!("{:.0}", result.comm_cost),
+                format!("{:.3}", result.imbalance),
+            ]);
+            csv.push_str(&format!(
+                "{},{},{},{:.4},{:.4}\n",
+                inst.paper_name(),
+                name,
+                result.iterations,
+                result.comm_cost,
+                result.imbalance
+            ));
+        }
+    }
+    println!(
+        "{}",
+        ascii_table(
+            &["instance", "order", "iterations", "comm cost", "imbalance"],
+            &rows
+        )
+    );
+    cfg.write_csv("ablation_stream_order.csv", &csv);
+}

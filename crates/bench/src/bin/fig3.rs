@@ -1,0 +1,65 @@
+//! Regenerates Figure 3: the effect of the refinement phase on the
+//! partitioning communication cost across restreaming iterations.
+//!
+//! ```text
+//! cargo run --release -p hyperpraw-bench --bin fig3
+//! ```
+//!
+//! For the four hypergraphs plotted in the paper (2cubes_sphere,
+//! sat14_itox_vc1130_dual, sparsine, ABACUS_shell_hd) the restreaming
+//! partition history is recorded under three stopping policies: no
+//! refinement, refinement 1.0 and refinement 0.95. Writes one CSV per
+//! instance (`fig3_<instance>.csv`) and prints the convergence curves.
+
+use hyperpraw_bench::{ascii_series, run_hyperpraw, ExperimentConfig, Testbed};
+use hyperpraw_core::{HyperPrawConfig, RefinementPolicy};
+use hyperpraw_hypergraph::generators::suite::PaperInstance;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!(
+        "== Figure 3: refinement-phase partition history (p = {}, scale {:.3}) ==\n",
+        cfg.procs, cfg.scale
+    );
+    let testbed = Testbed::archer(cfg.procs, 0, cfg.seed);
+
+    let policies: [(&str, RefinementPolicy); 3] = [
+        ("no-refinement", RefinementPolicy::None),
+        ("refinement-1.0", RefinementPolicy::Factor(1.0)),
+        ("refinement-0.95", RefinementPolicy::Factor(0.95)),
+    ];
+
+    for inst in PaperInstance::fig3_instances() {
+        let hg = cfg.instance(inst);
+        println!("--- {} ({}) ---", inst.paper_name(), hg);
+        let mut csv = String::from("policy,iteration,phase,alpha,imbalance,comm_cost,moved\n");
+        for (name, policy) in policies {
+            let config = HyperPrawConfig::default()
+                .with_refinement(policy)
+                .with_seed(cfg.seed);
+            let result = run_hyperpraw(&hg, testbed.cost.clone(), config);
+            let series = result.history.comm_cost_series();
+            let final_cost = result.comm_cost;
+            println!(
+                "{name:<16} iterations {:>3}  final comm cost {:>12.1}  {}",
+                result.iterations,
+                final_cost,
+                ascii_series(&series, 48)
+            );
+            for r in result.history.records() {
+                csv.push_str(&format!(
+                    "{},{},{:?},{:.4},{:.4},{:.4},{}\n",
+                    name, r.iteration, r.phase, r.alpha, r.imbalance, r.comm_cost, r.moved_vertices
+                ));
+            }
+        }
+        let path = cfg.write_csv(&format!("fig3_{}.csv", inst.paper_name()), &csv);
+        println!("wrote {}\n", path.display());
+    }
+
+    println!(
+        "Expected shape (paper §6.1): both refinement policies keep lowering the partitioning\n\
+         communication cost after the imbalance tolerance is reached, with refinement 0.95\n\
+         reaching the lowest values; no-refinement stops early at a higher cost."
+    );
+}

@@ -1,0 +1,118 @@
+//! Regenerates Figure 5: runtime of the synthetic communication-bound
+//! benchmark under the three partitioning strategies, with the speedup of
+//! HyperPRAW-aware over the Zoltan-like baseline annotated per instance.
+//!
+//! ```text
+//! cargo run --release -p hyperpraw-bench --bin fig5
+//! ```
+//!
+//! As in the paper, every instance is run on several simulated job
+//! allocations (different scheduler placements → different bandwidth
+//! matrices) with repeated benchmark iterations; the reported time is the
+//! mean. Writes `fig5_runtime.csv` and `fig5_speedups.csv`.
+
+use std::collections::BTreeMap;
+
+use hyperpraw_bench::{ascii_table, geometric_mean, runtime_experiment, speedup, ExperimentConfig};
+use hyperpraw_hypergraph::generators::suite::PaperInstance;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    let placements = 3;
+    let repetitions = 2;
+    println!(
+        "== Figure 5: synthetic benchmark runtime (p = {}, scale {:.3}, {} placements x {} reps) ==\n",
+        cfg.procs, cfg.scale, placements, repetitions
+    );
+
+    let rows = runtime_experiment(&cfg, &PaperInstance::all(), placements, repetitions);
+
+    // Raw CSV.
+    let mut csv = String::from(
+        "instance,strategy,run,total_time_us,superstep_us,remote_messages,remote_bytes\n",
+    );
+    for row in &rows {
+        csv.push_str(&format!(
+            "{},{},{},{:.3},{:.3},{},{}\n",
+            row.instance,
+            row.strategy,
+            row.run,
+            row.result.total_time_us,
+            row.result.superstep_us,
+            row.result.remote_messages,
+            row.result.remote_bytes
+        ));
+    }
+    let path = cfg.write_csv("fig5_runtime.csv", &csv);
+
+    // Mean per (instance, strategy).
+    let mut means: BTreeMap<(String, &'static str), (f64, usize)> = BTreeMap::new();
+    for row in &rows {
+        let entry = means
+            .entry((row.instance.clone(), row.strategy))
+            .or_insert((0.0, 0));
+        entry.0 += row.result.total_time_us;
+        entry.1 += 1;
+    }
+    let mean =
+        |inst: &str, strat: &str| -> f64 {
+            means
+                .iter()
+                .find(|((i, s), _)| i == inst && *s == strat)
+                .map(|(_, (sum, n))| sum / *n as f64)
+                .unwrap_or(f64::NAN)
+        };
+
+    let mut table_rows = Vec::new();
+    let mut speedups_aware = Vec::new();
+    let mut speedups_basic = Vec::new();
+    let mut speedup_csv =
+        String::from("instance,zoltan_us,basic_us,aware_us,speedup_basic,speedup_aware\n");
+    for inst in PaperInstance::all() {
+        let name = inst.paper_name();
+        let z = mean(name, "zoltan-like");
+        let b = mean(name, "hyperpraw-basic");
+        let a = mean(name, "hyperpraw-aware");
+        let sb = speedup(z, b);
+        let sa = speedup(z, a);
+        speedups_basic.push(sb);
+        speedups_aware.push(sa);
+        table_rows.push(vec![
+            name.to_string(),
+            format!("{:.2}", z / 1e3),
+            format!("{:.2}", b / 1e3),
+            format!("{:.2}", a / 1e3),
+            format!("{:.2}x", sb),
+            format!("{:.2}x", sa),
+        ]);
+        speedup_csv.push_str(&format!(
+            "{},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+            name, z, b, a, sb, sa
+        ));
+    }
+    println!(
+        "{}",
+        ascii_table(
+            &[
+                "instance",
+                "zoltan (ms)",
+                "basic (ms)",
+                "aware (ms)",
+                "speedup basic",
+                "speedup aware",
+            ],
+            &table_rows
+        )
+    );
+    println!(
+        "geometric-mean speedup over the Zoltan-like baseline: basic {:.2}x, aware {:.2}x",
+        geometric_mean(&speedups_basic),
+        geometric_mean(&speedups_aware)
+    );
+    println!(
+        "max speedup of HyperPRAW-aware: {:.2}x (the paper reports 1.3x–14x on 576 ARCHER cores)",
+        speedups_aware.iter().cloned().fold(0.0f64, f64::max)
+    );
+    let path2 = cfg.write_csv("fig5_speedups.csv", &speedup_csv);
+    println!("\nwrote {}\nwrote {}", path.display(), path2.display());
+}

@@ -1,0 +1,46 @@
+//! Runs every experiment binary in sequence with a shared configuration.
+//!
+//! ```text
+//! cargo run --release -p hyperpraw-bench --bin run_all
+//! ```
+//!
+//! This is the one-command reproduction entry point referenced by
+//! EXPERIMENTS.md. Set `HYPERPRAW_SCALE` / `HYPERPRAW_PROCS` to trade
+//! fidelity against runtime.
+
+use std::process::Command;
+
+fn main() {
+    let bins = ["table1", "fig1", "fig3", "fig4", "fig5", "fig6", "ablation"];
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()));
+    for bin in bins {
+        println!("\n================================================================");
+        println!("== running {bin}");
+        println!("================================================================\n");
+        // Prefer the sibling binary (already built); fall back to cargo run.
+        let status = match exe_dir
+            .as_ref()
+            .map(|d| d.join(bin))
+            .filter(|p| p.exists())
+        {
+            Some(path) => Command::new(path).status(),
+            None => Command::new("cargo")
+                .args(["run", "--release", "-p", "hyperpraw-bench", "--bin", bin])
+                .status(),
+        };
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{bin} exited with {s}");
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {bin}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("\nall experiments completed; CSV artefacts are under target/experiments/");
+}

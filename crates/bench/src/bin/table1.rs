@@ -1,0 +1,75 @@
+//! Regenerates Table 1: the statistics of the ten benchmark hypergraphs.
+//!
+//! ```text
+//! cargo run --release -p hyperpraw-bench --bin table1
+//! ```
+//!
+//! Prints the statistics of the synthetic stand-ins generated at the
+//! configured scale next to the paper's full-size targets, and writes
+//! `table1.csv`.
+
+use hyperpraw_bench::{ascii_table, ExperimentConfig};
+use hyperpraw_hypergraph::generators::suite::PaperInstance;
+use hyperpraw_hypergraph::HypergraphStats;
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!(
+        "== Table 1: hypergraph statistics (scale {:.3}) ==\n",
+        cfg.scale
+    );
+
+    let mut rows = Vec::new();
+    let mut csv = String::from(
+        "instance,scale,vertices,hyperedges,pins,avg_cardinality,edge_vertex_ratio,\
+         paper_vertices,paper_hyperedges,paper_pins,paper_avg_cardinality,paper_ratio\n",
+    );
+    for inst in PaperInstance::all() {
+        let profile = inst.profile();
+        let hg = cfg.instance(inst);
+        let stats = HypergraphStats::compute(&hg);
+        rows.push(vec![
+            inst.paper_name().to_string(),
+            stats.vertices.to_string(),
+            stats.hyperedges.to_string(),
+            stats.pins.to_string(),
+            format!("{:.2}", stats.avg_cardinality),
+            format!("{:.2}", stats.edge_vertex_ratio),
+            format!("{:.2}", profile.avg_cardinality),
+            format!("{:.2}", profile.edge_vertex_ratio),
+        ]);
+        csv.push_str(&format!(
+            "{},{:.4},{},{},{},{:.2},{:.2},{},{},{},{:.2},{:.2}\n",
+            inst.paper_name(),
+            cfg.scale,
+            stats.vertices,
+            stats.hyperedges,
+            stats.pins,
+            stats.avg_cardinality,
+            stats.edge_vertex_ratio,
+            profile.vertices,
+            profile.hyperedges,
+            profile.pins,
+            profile.avg_cardinality,
+            profile.edge_vertex_ratio
+        ));
+    }
+    println!(
+        "{}",
+        ascii_table(
+            &[
+                "instance",
+                "|V|",
+                "|E|",
+                "pins",
+                "avg |e|",
+                "|E|/|V|",
+                "paper avg |e|",
+                "paper |E|/|V|",
+            ],
+            &rows
+        )
+    );
+    let path = cfg.write_csv("table1.csv", &csv);
+    println!("wrote {}", path.display());
+}

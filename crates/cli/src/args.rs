@@ -1,0 +1,469 @@
+//! Hand-rolled command-line argument parsing for the `hyperpraw` tool.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Partitioning algorithm selectable from the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Algorithm {
+    /// HyperPRAW with a profiled (architecture-aware) cost matrix.
+    Aware,
+    /// HyperPRAW with a uniform cost matrix.
+    Basic,
+    /// Multilevel recursive bisection (Zoltan-like baseline).
+    Multilevel,
+    /// Round-robin assignment (naive baseline).
+    RoundRobin,
+}
+
+impl Algorithm {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "aware" | "hyperpraw-aware" => Ok(Self::Aware),
+            "basic" | "hyperpraw-basic" => Ok(Self::Basic),
+            "multilevel" | "zoltan" => Ok(Self::Multilevel),
+            "round-robin" | "rr" => Ok(Self::RoundRobin),
+            other => Err(ParseError::InvalidValue {
+                option: "--algorithm".into(),
+                value: other.into(),
+                expected: "aware | basic | multilevel | round-robin".into(),
+            }),
+        }
+    }
+
+    /// Name as printed in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Aware => "hyperpraw-aware",
+            Self::Basic => "hyperpraw-basic",
+            Self::Multilevel => "multilevel",
+            Self::RoundRobin => "round-robin",
+        }
+    }
+}
+
+/// Machine model preset selectable from the command line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MachinePreset {
+    /// ARCHER-like Cray hierarchy (the paper's testbed).
+    Archer,
+    /// Dual-socket commodity cluster.
+    Cluster,
+    /// Cloud-like oversubscribed tiers.
+    Cloud,
+    /// Homogeneous (flat) network.
+    Flat,
+}
+
+impl MachinePreset {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "archer" => Ok(Self::Archer),
+            "cluster" => Ok(Self::Cluster),
+            "cloud" => Ok(Self::Cloud),
+            "flat" => Ok(Self::Flat),
+            other => Err(ParseError::InvalidValue {
+                option: "--machine".into(),
+                value: other.into(),
+                expected: "archer | cluster | cloud | flat".into(),
+            }),
+        }
+    }
+}
+
+/// A parsed invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cli {
+    /// The subcommand to execute.
+    pub command: Command,
+}
+
+/// Subcommands of the tool.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Print the statistics of a hypergraph file (Table 1 style).
+    Stats {
+        /// Input file (`.hgr`, `.mtx` or edge list).
+        input: PathBuf,
+    },
+    /// Partition a hypergraph file.
+    Partition {
+        /// Input file (`.hgr`, `.mtx` or edge list).
+        input: PathBuf,
+        /// Number of partitions (compute units).
+        parts: u32,
+        /// Algorithm to use.
+        algorithm: Algorithm,
+        /// Machine preset used to derive the cost matrix (aware) and the
+        /// benchmark link model.
+        machine: MachinePreset,
+        /// Imbalance tolerance.
+        imbalance: f64,
+        /// RNG seed.
+        seed: u64,
+        /// Where to write the assignment (one partition id per line); stdout
+        /// summary only when absent.
+        output: Option<PathBuf>,
+    },
+    /// Profile a machine preset and write its bandwidth matrix as CSV.
+    Profile {
+        /// Machine preset.
+        machine: MachinePreset,
+        /// Number of compute units.
+        procs: usize,
+        /// Output CSV path (stdout when absent).
+        output: Option<PathBuf>,
+    },
+    /// Run the synthetic benchmark for an existing assignment.
+    Benchmark {
+        /// Input hypergraph file.
+        input: PathBuf,
+        /// Assignment file (one partition id per line).
+        assignment: PathBuf,
+        /// Machine preset.
+        machine: MachinePreset,
+        /// Message payload in bytes.
+        message_bytes: u64,
+        /// Number of supersteps.
+        supersteps: usize,
+    },
+}
+
+/// Errors produced while parsing the command line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// `--help` / `-h` was requested.
+    HelpRequested,
+    /// No subcommand was given.
+    MissingCommand,
+    /// The subcommand is not recognised.
+    UnknownCommand(String),
+    /// A required positional argument is missing.
+    MissingArgument(String),
+    /// An option was given without a value.
+    MissingValue(String),
+    /// An option value could not be parsed.
+    InvalidValue {
+        /// The option name.
+        option: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: String,
+    },
+    /// An unknown option was encountered.
+    UnknownOption(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::HelpRequested => write!(f, "help requested"),
+            Self::MissingCommand => write!(f, "missing subcommand"),
+            Self::UnknownCommand(c) => write!(f, "unknown subcommand '{c}'"),
+            Self::MissingArgument(a) => write!(f, "missing required argument <{a}>"),
+            Self::MissingValue(o) => write!(f, "option {o} requires a value"),
+            Self::InvalidValue {
+                option,
+                value,
+                expected,
+            } => write!(f, "invalid value '{value}' for {option} (expected {expected})"),
+            Self::UnknownOption(o) => write!(f, "unknown option '{o}'"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage string printed by `--help` and on parse errors.
+pub fn usage() -> String {
+    "hyperpraw — architecture-aware hypergraph partitioning (ICPP 2019 reproduction)\n\
+     \n\
+     USAGE:\n\
+       hyperpraw stats     <input>\n\
+       hyperpraw partition <input> --parts N [--algorithm aware|basic|multilevel|round-robin]\n\
+                           [--machine archer|cluster|cloud|flat] [--imbalance 1.1]\n\
+                           [--seed N] [--output assignment.txt]\n\
+       hyperpraw profile   --machine archer|cluster|cloud|flat --procs N [--output bw.csv]\n\
+       hyperpraw benchmark <input> <assignment> [--machine archer|...] [--bytes 1024] [--supersteps 1]\n\
+     \n\
+     Input formats: hMetis .hgr, MatrixMarket .mtx (row-net model), anything else is read\n\
+     as a whitespace edge list (one hyperedge per line, 0-based vertex ids)."
+        .to_string()
+}
+
+/// Numeric option parsing helper.
+fn parse_number<T: std::str::FromStr>(option: &str, value: &str) -> Result<T, ParseError> {
+    value.parse().map_err(|_| ParseError::InvalidValue {
+        option: option.into(),
+        value: value.into(),
+        expected: "a number".into(),
+    })
+}
+
+impl Cli {
+    /// Parses an argument vector (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ParseError> {
+        let args: Vec<String> = argv.into_iter().collect();
+        if args.iter().any(|a| a == "--help" || a == "-h") {
+            return Err(ParseError::HelpRequested);
+        }
+        let mut it = args.into_iter();
+        let command = it.next().ok_or(ParseError::MissingCommand)?;
+        let rest: Vec<String> = it.collect();
+        match command.as_str() {
+            "stats" => {
+                let input = positional(&rest, 0, "input")?;
+                Ok(Self {
+                    command: Command::Stats {
+                        input: PathBuf::from(input),
+                    },
+                })
+            }
+            "partition" => {
+                let input = positional(&rest, 0, "input")?;
+                let mut parts: Option<u32> = None;
+                let mut algorithm = Algorithm::Aware;
+                let mut machine = MachinePreset::Archer;
+                let mut imbalance = 1.1f64;
+                let mut seed = 2019u64;
+                let mut output = None;
+                let mut i = 1;
+                while i < rest.len() {
+                    let opt = rest[i].as_str();
+                    match opt {
+                        "--parts" | "-p" => {
+                            parts = Some(parse_number(opt, value(&rest, &mut i)?)?);
+                        }
+                        "--algorithm" | "-a" => {
+                            algorithm = Algorithm::parse(value(&rest, &mut i)?)?;
+                        }
+                        "--machine" | "-m" => {
+                            machine = MachinePreset::parse(value(&rest, &mut i)?)?;
+                        }
+                        "--imbalance" => {
+                            imbalance = parse_number(opt, value(&rest, &mut i)?)?;
+                        }
+                        "--seed" => {
+                            seed = parse_number(opt, value(&rest, &mut i)?)?;
+                        }
+                        "--output" | "-o" => {
+                            output = Some(PathBuf::from(value(&rest, &mut i)?));
+                        }
+                        other => return Err(ParseError::UnknownOption(other.into())),
+                    }
+                    i += 1;
+                }
+                Ok(Self {
+                    command: Command::Partition {
+                        input: PathBuf::from(input),
+                        parts: parts.ok_or_else(|| ParseError::MissingValue("--parts".into()))?,
+                        algorithm,
+                        machine,
+                        imbalance,
+                        seed,
+                        output,
+                    },
+                })
+            }
+            "profile" => {
+                let mut machine = MachinePreset::Archer;
+                let mut procs: Option<usize> = None;
+                let mut output = None;
+                let mut i = 0;
+                while i < rest.len() {
+                    let opt = rest[i].as_str();
+                    match opt {
+                        "--machine" | "-m" => {
+                            machine = MachinePreset::parse(value(&rest, &mut i)?)?;
+                        }
+                        "--procs" | "-n" => {
+                            procs = Some(parse_number(opt, value(&rest, &mut i)?)?);
+                        }
+                        "--output" | "-o" => {
+                            output = Some(PathBuf::from(value(&rest, &mut i)?));
+                        }
+                        other => return Err(ParseError::UnknownOption(other.into())),
+                    }
+                    i += 1;
+                }
+                Ok(Self {
+                    command: Command::Profile {
+                        machine,
+                        procs: procs.ok_or_else(|| ParseError::MissingValue("--procs".into()))?,
+                        output,
+                    },
+                })
+            }
+            "benchmark" => {
+                let input = positional(&rest, 0, "input")?;
+                let assignment = positional(&rest, 1, "assignment")?;
+                let mut machine = MachinePreset::Archer;
+                let mut message_bytes = 1024u64;
+                let mut supersteps = 1usize;
+                let mut i = 2;
+                while i < rest.len() {
+                    let opt = rest[i].as_str();
+                    match opt {
+                        "--machine" | "-m" => {
+                            machine = MachinePreset::parse(value(&rest, &mut i)?)?;
+                        }
+                        "--bytes" => {
+                            message_bytes = parse_number(opt, value(&rest, &mut i)?)?;
+                        }
+                        "--supersteps" => {
+                            supersteps = parse_number(opt, value(&rest, &mut i)?)?;
+                        }
+                        other => return Err(ParseError::UnknownOption(other.into())),
+                    }
+                    i += 1;
+                }
+                Ok(Self {
+                    command: Command::Benchmark {
+                        input: PathBuf::from(input),
+                        assignment: PathBuf::from(assignment),
+                        machine,
+                        message_bytes,
+                        supersteps,
+                    },
+                })
+            }
+            other => Err(ParseError::UnknownCommand(other.into())),
+        }
+    }
+}
+
+fn positional<'a>(rest: &'a [String], index: usize, name: &str) -> Result<&'a str, ParseError> {
+    rest.get(index)
+        .map(|s| s.as_str())
+        .filter(|s| !s.starts_with('-'))
+        .ok_or_else(|| ParseError::MissingArgument(name.into()))
+}
+
+fn value<'a>(rest: &'a [String], i: &mut usize) -> Result<&'a str, ParseError> {
+    let opt = rest[*i].clone();
+    *i += 1;
+    rest.get(*i)
+        .map(|s| s.as_str())
+        .ok_or(ParseError::MissingValue(opt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(|x| x.to_string())
+    }
+
+    #[test]
+    fn parses_stats() {
+        let cli = Cli::parse(argv("stats graph.hgr")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Stats {
+                input: PathBuf::from("graph.hgr")
+            }
+        );
+    }
+
+    #[test]
+    fn parses_partition_with_defaults_and_overrides() {
+        let cli = Cli::parse(argv(
+            "partition app.hgr --parts 96 -a multilevel -m cloud --imbalance 1.05 --seed 7 -o out.txt",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::Partition {
+                input,
+                parts,
+                algorithm,
+                machine,
+                imbalance,
+                seed,
+                output,
+            } => {
+                assert_eq!(input, PathBuf::from("app.hgr"));
+                assert_eq!(parts, 96);
+                assert_eq!(algorithm, Algorithm::Multilevel);
+                assert_eq!(machine, MachinePreset::Cloud);
+                assert!((imbalance - 1.05).abs() < 1e-12);
+                assert_eq!(seed, 7);
+                assert_eq!(output, Some(PathBuf::from("out.txt")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partition_requires_parts() {
+        let err = Cli::parse(argv("partition app.hgr")).unwrap_err();
+        assert!(matches!(err, ParseError::MissingValue(_)));
+    }
+
+    #[test]
+    fn parses_profile_and_benchmark() {
+        let cli = Cli::parse(argv("profile --machine flat --procs 32")).unwrap();
+        assert!(matches!(
+            cli.command,
+            Command::Profile {
+                machine: MachinePreset::Flat,
+                procs: 32,
+                output: None
+            }
+        ));
+        let cli = Cli::parse(argv("benchmark a.hgr parts.txt --bytes 64 --supersteps 5")).unwrap();
+        match cli.command {
+            Command::Benchmark {
+                message_bytes,
+                supersteps,
+                ..
+            } => {
+                assert_eq!(message_bytes, 64);
+                assert_eq!(supersteps, 5);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_commands_options_and_values() {
+        assert!(matches!(
+            Cli::parse(argv("frobnicate x")).unwrap_err(),
+            ParseError::UnknownCommand(_)
+        ));
+        assert!(matches!(
+            Cli::parse(argv("partition a.hgr --parts 4 --bogus 1")).unwrap_err(),
+            ParseError::UnknownOption(_)
+        ));
+        assert!(matches!(
+            Cli::parse(argv("partition a.hgr --parts four")).unwrap_err(),
+            ParseError::InvalidValue { .. }
+        ));
+        assert!(matches!(
+            Cli::parse(argv("partition a.hgr --parts 4 -a quantum")).unwrap_err(),
+            ParseError::InvalidValue { .. }
+        ));
+        assert_eq!(
+            Cli::parse(std::iter::empty()).unwrap_err(),
+            ParseError::MissingCommand
+        );
+    }
+
+    #[test]
+    fn help_flag_short_circuits() {
+        assert_eq!(
+            Cli::parse(argv("partition --help")).unwrap_err(),
+            ParseError::HelpRequested
+        );
+        assert!(usage().contains("USAGE"));
+    }
+
+    #[test]
+    fn algorithm_aliases_are_accepted() {
+        assert_eq!(Algorithm::parse("zoltan").unwrap(), Algorithm::Multilevel);
+        assert_eq!(Algorithm::parse("rr").unwrap(), Algorithm::RoundRobin);
+        assert_eq!(Algorithm::parse("hyperpraw-aware").unwrap(), Algorithm::Aware);
+        assert_eq!(Algorithm::Aware.name(), "hyperpraw-aware");
+    }
+}

@@ -1,0 +1,403 @@
+//! Implementations of the `hyperpraw` subcommands.
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use hyperpraw_core::metrics::QualityReport;
+use hyperpraw_core::{baselines, CostMatrix, HyperPraw, HyperPrawConfig};
+use hyperpraw_hypergraph::io::{edgelist, hmetis, matrix_market, IoError};
+use hyperpraw_hypergraph::{Hypergraph, HypergraphStats, Partition};
+use hyperpraw_multilevel::{MultilevelConfig, MultilevelPartitioner};
+use hyperpraw_netsim::{BenchmarkConfig, LinkModel, RingProfiler, SyntheticBenchmark};
+use hyperpraw_topology::MachineModel;
+
+use crate::args::{Algorithm, Cli, Command, MachinePreset};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CommandError {
+    /// Problem reading or parsing an input file.
+    Io(String),
+    /// Problem with the provided inputs (sizes, ids, ...).
+    Invalid(String),
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(m) | Self::Invalid(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl From<IoError> for CommandError {
+    fn from(e: IoError) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for CommandError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e.to_string())
+    }
+}
+
+/// Loads a hypergraph, dispatching on the file extension: `.hgr` (hMetis),
+/// `.mtx` (MatrixMarket row-net model), anything else as an edge list.
+pub fn load_hypergraph(path: &Path) -> Result<Hypergraph, CommandError> {
+    let ext = path
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    let hg = match ext.as_str() {
+        "hgr" => hmetis::read_hgr_file(path)?,
+        "mtx" => matrix_market::read_mtx_file(path, matrix_market::SparseMatrixModel::RowNet)?,
+        _ => edgelist::read_edgelist_file(path)?,
+    };
+    Ok(hg)
+}
+
+/// Builds the machine preset at the requested size.
+pub fn build_machine(preset: MachinePreset, procs: usize) -> MachineModel {
+    match preset {
+        MachinePreset::Archer => MachineModel::archer_like(procs),
+        MachinePreset::Cluster => MachineModel::dual_socket_cluster(procs, 12),
+        MachinePreset::Cloud => MachineModel::cloud_like(procs, 8),
+        MachinePreset::Flat => MachineModel::flat(procs, 1_000.0, 1.5),
+    }
+}
+
+/// Profiles a machine preset: link model plus measured bandwidth/cost.
+fn profile(preset: MachinePreset, procs: usize, seed: u64) -> (LinkModel, CostMatrix) {
+    let machine = build_machine(preset, procs);
+    let link = LinkModel::from_machine(&machine, 0.05, seed);
+    let bandwidth = RingProfiler {
+        seed,
+        ..RingProfiler::default()
+    }
+    .profile(&link);
+    (link, CostMatrix::from_bandwidth(&bandwidth))
+}
+
+/// Reads an assignment file: one partition id per line, `#` comments.
+pub fn read_assignment(path: &Path, num_vertices: usize) -> Result<Partition, CommandError> {
+    let text = fs::read_to_string(path)?;
+    let mut assignment = Vec::with_capacity(num_vertices);
+    for (i, line) in text.lines().enumerate() {
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let part: u32 = t.parse().map_err(|_| {
+            CommandError::Invalid(format!("assignment line {}: '{t}' is not a partition id", i + 1))
+        })?;
+        assignment.push(part);
+    }
+    if assignment.len() != num_vertices {
+        return Err(CommandError::Invalid(format!(
+            "assignment has {} entries but the hypergraph has {num_vertices} vertices",
+            assignment.len()
+        )));
+    }
+    let parts = assignment.iter().copied().max().unwrap_or(0) + 1;
+    Partition::from_assignment(assignment, parts)
+        .map_err(|e| CommandError::Invalid(e.to_string()))
+}
+
+/// Writes an assignment file (one partition id per line).
+pub fn write_assignment(path: &Path, partition: &Partition) -> Result<(), CommandError> {
+    let mut out = String::with_capacity(partition.num_vertices() * 3);
+    out.push_str(&format!(
+        "# hyperpraw assignment: {} vertices, {} parts\n",
+        partition.num_vertices(),
+        partition.num_parts()
+    ));
+    for &p in partition.assignment() {
+        out.push_str(&p.to_string());
+        out.push('\n');
+    }
+    fs::write(path, out)?;
+    Ok(())
+}
+
+/// Executes a parsed invocation.
+pub fn execute(cli: &Cli) -> Result<(), CommandError> {
+    match &cli.command {
+        Command::Stats { input } => {
+            let hg = load_hypergraph(input)?;
+            let stats = HypergraphStats::compute(&hg);
+            println!("{}", HypergraphStats::csv_header());
+            println!("{}", stats.csv_row());
+            println!("\n{stats}");
+            Ok(())
+        }
+        Command::Partition {
+            input,
+            parts,
+            algorithm,
+            machine,
+            imbalance,
+            seed,
+            output,
+        } => {
+            let hg = load_hypergraph(input)?;
+            if *parts < 2 {
+                return Err(CommandError::Invalid(
+                    "--parts must be at least 2".into(),
+                ));
+            }
+            if (*parts as usize) > hg.num_vertices() {
+                return Err(CommandError::Invalid(format!(
+                    "cannot split {} vertices into {parts} parts",
+                    hg.num_vertices()
+                )));
+            }
+            let (_, cost) = profile(*machine, *parts as usize, *seed);
+            let config = HyperPrawConfig::default()
+                .with_imbalance_tolerance(*imbalance)
+                .with_seed(*seed);
+            let partition = match algorithm {
+                Algorithm::Aware => HyperPraw::aware(config, cost.clone()).partition(&hg).partition,
+                Algorithm::Basic => HyperPraw::basic(config, *parts).partition(&hg).partition,
+                Algorithm::Multilevel => MultilevelPartitioner::new(
+                    MultilevelConfig::default()
+                        .with_imbalance_tolerance(*imbalance)
+                        .with_seed(*seed),
+                )
+                .partition(&hg, *parts),
+                Algorithm::RoundRobin => baselines::round_robin(&hg, *parts),
+            };
+            let quality = QualityReport::compute(&hg, &partition, &cost);
+            println!("algorithm        : {}", algorithm.name());
+            println!("hypergraph       : {hg}");
+            println!("partitions       : {}", partition.num_parts());
+            println!("hyperedge cut    : {}", quality.hyperedge_cut);
+            println!("SOED             : {}", quality.soed);
+            println!("comm cost        : {:.1}", quality.comm_cost);
+            println!("imbalance        : {:.4}", quality.imbalance);
+            if let Some(path) = output {
+                write_assignment(path, &partition)?;
+                println!("assignment       : {}", path.display());
+            }
+            Ok(())
+        }
+        Command::Profile {
+            machine,
+            procs,
+            output,
+        } => {
+            if *procs < 2 {
+                return Err(CommandError::Invalid(
+                    "profiling needs at least two compute units".into(),
+                ));
+            }
+            let (link, cost) = profile(*machine, *procs, 2019);
+            let csv = link.bandwidth().to_csv();
+            match output {
+                Some(path) => {
+                    fs::write(path, &csv)?;
+                    println!("wrote {}", path.display());
+                }
+                None => print!("{csv}"),
+            }
+            println!(
+                "# {} units, bandwidth {:.0}..{:.0} MB/s, cost {:.2}..{:.2}",
+                procs,
+                link.bandwidth().min_off_diagonal(),
+                link.bandwidth().max_off_diagonal(),
+                cost.min_off_diagonal(),
+                cost.max_off_diagonal()
+            );
+            Ok(())
+        }
+        Command::Benchmark {
+            input,
+            assignment,
+            machine,
+            message_bytes,
+            supersteps,
+        } => {
+            let hg = load_hypergraph(input)?;
+            let partition = read_assignment(assignment, hg.num_vertices())?;
+            let procs = partition.num_parts() as usize;
+            if procs < 2 {
+                return Err(CommandError::Invalid(
+                    "the assignment uses a single partition; nothing to benchmark".into(),
+                ));
+            }
+            let (link, cost) = profile(*machine, procs, 2019);
+            let bench = SyntheticBenchmark::new(
+                link,
+                BenchmarkConfig {
+                    message_bytes: *message_bytes,
+                    supersteps: *supersteps,
+                    ..BenchmarkConfig::default()
+                },
+            );
+            let result = bench.run(&hg, &partition);
+            let quality = QualityReport::compute(&hg, &partition, &cost);
+            println!("hypergraph       : {hg}");
+            println!("partitions       : {procs}");
+            println!("remote messages  : {}", result.remote_messages);
+            println!("remote bytes     : {}", result.remote_bytes);
+            println!("comm cost        : {:.1}", quality.comm_cost);
+            println!("simulated time   : {:.3} ms", result.total_time_us / 1e3);
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpraw_hypergraph::HypergraphBuilder;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("hyperpraw_cli_{}_{name}", std::process::id()))
+    }
+
+    fn sample_hgr() -> std::path::PathBuf {
+        let path = temp_path("sample.hgr");
+        let mut b = HypergraphBuilder::new(8);
+        b.add_hyperedge([0u32, 1, 2]);
+        b.add_hyperedge([2u32, 3, 4]);
+        b.add_hyperedge([4u32, 5, 6, 7]);
+        b.add_hyperedge([0u32, 7]);
+        hmetis::write_hgr_file(&b.build(), &path).unwrap();
+        path
+    }
+
+    #[test]
+    fn load_dispatches_on_extension() {
+        let path = sample_hgr();
+        let hg = load_hypergraph(&path).unwrap();
+        assert_eq!(hg.num_vertices(), 8);
+        assert_eq!(hg.num_hyperedges(), 4);
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn assignment_round_trips() {
+        let part = Partition::round_robin(10, 3);
+        let path = temp_path("assignment.txt");
+        write_assignment(&path, &part).unwrap();
+        let back = read_assignment(&path, 10).unwrap();
+        assert_eq!(back.assignment(), part.assignment());
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn assignment_length_mismatch_is_reported() {
+        let part = Partition::round_robin(5, 2);
+        let path = temp_path("short.txt");
+        write_assignment(&path, &part).unwrap();
+        let err = read_assignment(&path, 10).unwrap_err();
+        assert!(err.to_string().contains("10 vertices"));
+        fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn partition_command_writes_an_assignment_file() {
+        let input = sample_hgr();
+        let output = temp_path("out_assignment.txt");
+        let cli = Cli {
+            command: Command::Partition {
+                input: input.clone(),
+                parts: 2,
+                algorithm: Algorithm::Basic,
+                machine: MachinePreset::Flat,
+                imbalance: 1.2,
+                seed: 1,
+                output: Some(output.clone()),
+            },
+        };
+        execute(&cli).unwrap();
+        let hg = load_hypergraph(&input).unwrap();
+        let part = read_assignment(&output, hg.num_vertices()).unwrap();
+        assert!(part.num_parts() <= 2);
+        fs::remove_file(input).ok();
+        fs::remove_file(output).ok();
+    }
+
+    #[test]
+    fn stats_and_profile_commands_run() {
+        let input = sample_hgr();
+        execute(&Cli {
+            command: Command::Stats {
+                input: input.clone(),
+            },
+        })
+        .unwrap();
+        let out = temp_path("bw.csv");
+        execute(&Cli {
+            command: Command::Profile {
+                machine: MachinePreset::Archer,
+                procs: 12,
+                output: Some(out.clone()),
+            },
+        })
+        .unwrap();
+        assert!(fs::read_to_string(&out).unwrap().lines().count() == 12);
+        fs::remove_file(input).ok();
+        fs::remove_file(out).ok();
+    }
+
+    #[test]
+    fn benchmark_command_uses_an_existing_assignment() {
+        let input = sample_hgr();
+        let hg = load_hypergraph(&input).unwrap();
+        let assignment = temp_path("bench_assignment.txt");
+        write_assignment(&assignment, &Partition::round_robin(hg.num_vertices(), 4)).unwrap();
+        execute(&Cli {
+            command: Command::Benchmark {
+                input: input.clone(),
+                assignment: assignment.clone(),
+                machine: MachinePreset::Cluster,
+                message_bytes: 128,
+                supersteps: 2,
+            },
+        })
+        .unwrap();
+        fs::remove_file(input).ok();
+        fs::remove_file(assignment).ok();
+    }
+
+    #[test]
+    fn invalid_inputs_produce_errors_not_panics() {
+        let missing = execute(&Cli {
+            command: Command::Stats {
+                input: temp_path("does_not_exist.hgr"),
+            },
+        });
+        assert!(missing.is_err());
+        let too_many_parts = {
+            let input = sample_hgr();
+            let r = execute(&Cli {
+                command: Command::Partition {
+                    input: input.clone(),
+                    parts: 1000,
+                    algorithm: Algorithm::RoundRobin,
+                    machine: MachinePreset::Flat,
+                    imbalance: 1.1,
+                    seed: 0,
+                    output: None,
+                },
+            });
+            fs::remove_file(input).ok();
+            r
+        };
+        assert!(too_many_parts.is_err());
+        let bad_profile = execute(&Cli {
+            command: Command::Profile {
+                machine: MachinePreset::Flat,
+                procs: 1,
+                output: None,
+            },
+        });
+        assert!(bad_profile.is_err());
+    }
+}

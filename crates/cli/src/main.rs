@@ -1,0 +1,6 @@
+//! The `hyperpraw` command-line tool. See `hyperpraw --help`.
+
+fn main() {
+    let code = hyperpraw_cli::run(std::env::args().skip(1));
+    std::process::exit(code);
+}

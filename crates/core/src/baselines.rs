@@ -1,0 +1,106 @@
+//! Simple architecture-oblivious partitioning baselines.
+//!
+//! These are the "naive parallelism" strategies the paper's introduction
+//! contrasts against (Figure 1B shows the traffic of such a placement), used
+//! by the experiment harness and the tests as lower bounds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hyperpraw_hypergraph::{Hypergraph, Partition};
+
+/// Round-robin assignment `v → v mod p` — the default data decomposition of
+/// many parallel applications and HyperPRAW's own starting point.
+pub fn round_robin(hg: &Hypergraph, p: u32) -> Partition {
+    Partition::round_robin(hg.num_vertices(), p)
+}
+
+/// Uniformly random assignment.
+pub fn random(hg: &Hypergraph, p: u32, seed: u64) -> Partition {
+    assert!(p > 0, "need at least one partition");
+    let mut rng = StdRng::seed_from_u64(seed);
+    Partition::from_fn(hg.num_vertices(), p, |_| rng.gen_range(0..p))
+}
+
+/// Deterministic hash-based assignment (splitmix64 of the vertex id), the
+/// strategy used by hash-partitioned distributed data stores.
+pub fn hashed(hg: &Hypergraph, p: u32) -> Partition {
+    assert!(p > 0, "need at least one partition");
+    Partition::from_fn(hg.num_vertices(), p, |v| {
+        let mut z = (v as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        ((z ^ (z >> 31)) % p as u64) as u32
+    })
+}
+
+/// Contiguous block assignment: the first `|V|/p` vertices to partition 0,
+/// the next block to partition 1, and so on. For file orders with locality
+/// (meshes) this is a surprisingly strong cut baseline, but it ignores the
+/// architecture entirely.
+pub fn blocks(hg: &Hypergraph, p: u32) -> Partition {
+    assert!(p > 0, "need at least one partition");
+    let n = hg.num_vertices();
+    let block = n.div_ceil(p as usize).max(1);
+    Partition::from_fn(n, p, |v| ((v as usize / block) as u32).min(p - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
+    use hyperpraw_hypergraph::metrics;
+
+    fn hg() -> Hypergraph {
+        mesh_hypergraph(&MeshConfig::new(600, 8))
+    }
+
+    #[test]
+    fn all_baselines_produce_full_valid_partitions() {
+        let hg = hg();
+        for part in [
+            round_robin(&hg, 6),
+            random(&hg, 6, 1),
+            hashed(&hg, 6),
+            blocks(&hg, 6),
+        ] {
+            assert_eq!(part.num_parts(), 6);
+            assert_eq!(part.num_vertices(), 600);
+            assert_eq!(part.used_parts(), 6);
+        }
+    }
+
+    #[test]
+    fn round_robin_and_blocks_are_perfectly_balanced() {
+        let hg = hg();
+        assert!((round_robin(&hg, 6).imbalance(&hg).unwrap() - 1.0).abs() < 1e-9);
+        assert!(blocks(&hg, 6).imbalance(&hg).unwrap() <= 1.01);
+    }
+
+    #[test]
+    fn random_is_seed_deterministic() {
+        let hg = hg();
+        assert_eq!(random(&hg, 4, 7), random(&hg, 4, 7));
+        assert_ne!(random(&hg, 4, 7), random(&hg, 4, 8));
+    }
+
+    #[test]
+    fn hashed_spreads_vertices_roughly_evenly() {
+        let hg = hg();
+        let part = hashed(&hg, 6);
+        let sizes = part.part_sizes();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max - min < 60, "hash sizes too uneven: {sizes:?}");
+    }
+
+    #[test]
+    fn blocks_beat_round_robin_on_mesh_cut() {
+        // Mesh vertex ids are laid out with spatial locality, so contiguous
+        // blocks cut far fewer hyperedges than round robin.
+        let hg = hg();
+        let b = metrics::hyperedge_cut(&hg, &blocks(&hg, 6));
+        let r = metrics::hyperedge_cut(&hg, &round_robin(&hg, 6));
+        assert!(b < r);
+    }
+}

@@ -1,0 +1,160 @@
+//! Per-iteration records of a restreaming run (the data behind Figure 3).
+
+/// Which phase of the restreaming process an iteration belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamPhase {
+    /// Imbalance still above tolerance: `α` is being tempered upwards.
+    Tempering,
+    /// Within tolerance: the refinement phase is running.
+    Refinement,
+}
+
+/// Measurements taken after one complete stream over all vertices.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IterationRecord {
+    /// 1-based stream number.
+    pub iteration: usize,
+    /// Phase the stream was executed in.
+    pub phase: StreamPhase,
+    /// Value of `α` used during the stream.
+    pub alpha: f64,
+    /// Total imbalance `max_k W(k) / avg_k W(k)` after the stream.
+    pub imbalance: f64,
+    /// Partitioning communication cost `PC(P)` after the stream.
+    pub comm_cost: f64,
+    /// Number of vertices that changed partition during the stream.
+    pub moved_vertices: usize,
+}
+
+/// The full history of a restreaming run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PartitionHistory {
+    records: Vec<IterationRecord>,
+}
+
+impl PartitionHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: IterationRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in iteration order.
+    pub fn records(&self) -> &[IterationRecord] {
+        &self.records
+    }
+
+    /// Number of streams recorded.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no streams were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The final (latest) record, if any.
+    pub fn last(&self) -> Option<&IterationRecord> {
+        self.records.last()
+    }
+
+    /// Iteration at which the imbalance first dropped within `tolerance`,
+    /// if it ever did.
+    pub fn first_feasible_iteration(&self, tolerance: f64) -> Option<usize> {
+        self.records
+            .iter()
+            .find(|r| r.imbalance <= tolerance)
+            .map(|r| r.iteration)
+    }
+
+    /// The lowest communication cost seen over the whole run.
+    pub fn best_comm_cost(&self) -> Option<f64> {
+        self.records
+            .iter()
+            .map(|r| r.comm_cost)
+            .min_by(|a, b| a.total_cmp(b))
+    }
+
+    /// The series `(iteration, comm_cost)` — the curve plotted in Figure 3.
+    pub fn comm_cost_series(&self) -> Vec<(usize, f64)> {
+        self.records
+            .iter()
+            .map(|r| (r.iteration, r.comm_cost))
+            .collect()
+    }
+
+    /// CSV header matching [`PartitionHistory::to_csv`].
+    pub fn csv_header() -> &'static str {
+        "iteration,phase,alpha,imbalance,comm_cost,moved_vertices"
+    }
+
+    /// Serialises the history as CSV rows (without header).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            let phase = match r.phase {
+                StreamPhase::Tempering => "tempering",
+                StreamPhase::Refinement => "refinement",
+            };
+            out.push_str(&format!(
+                "{},{},{:.6},{:.6},{:.6},{}\n",
+                r.iteration, phase, r.alpha, r.imbalance, r.comm_cost, r.moved_vertices
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(iter: usize, imb: f64, cost: f64, phase: StreamPhase) -> IterationRecord {
+        IterationRecord {
+            iteration: iter,
+            phase,
+            alpha: 1.0,
+            imbalance: imb,
+            comm_cost: cost,
+            moved_vertices: 10,
+        }
+    }
+
+    #[test]
+    fn push_and_query() {
+        let mut h = PartitionHistory::new();
+        assert!(h.is_empty());
+        h.push(record(1, 2.0, 100.0, StreamPhase::Tempering));
+        h.push(record(2, 1.05, 80.0, StreamPhase::Refinement));
+        h.push(record(3, 1.08, 85.0, StreamPhase::Refinement));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.last().unwrap().iteration, 3);
+        assert_eq!(h.first_feasible_iteration(1.1), Some(2));
+        assert_eq!(h.first_feasible_iteration(1.01), None);
+        assert_eq!(h.best_comm_cost(), Some(80.0));
+    }
+
+    #[test]
+    fn comm_cost_series_matches_records() {
+        let mut h = PartitionHistory::new();
+        h.push(record(1, 2.0, 100.0, StreamPhase::Tempering));
+        h.push(record(2, 1.5, 90.0, StreamPhase::Tempering));
+        assert_eq!(h.comm_cost_series(), vec![(1, 100.0), (2, 90.0)]);
+    }
+
+    #[test]
+    fn csv_rows_match_header_field_count() {
+        let mut h = PartitionHistory::new();
+        h.push(record(1, 2.0, 100.0, StreamPhase::Tempering));
+        let header_fields = PartitionHistory::csv_header().split(',').count();
+        for line in h.to_csv().lines() {
+            assert_eq!(line.split(',').count(), header_fields);
+        }
+        assert!(h.to_csv().contains("tempering"));
+    }
+}

@@ -1,0 +1,365 @@
+//! The HyperPRAW restreaming driver (Algorithm 1).
+
+use hyperpraw_hypergraph::{Hypergraph, Partition};
+use hyperpraw_topology::CostMatrix;
+
+use crate::history::{IterationRecord, PartitionHistory, StreamPhase};
+use crate::metrics::partitioning_communication_cost;
+use crate::state::StreamingState;
+use crate::stream::{stream_order, stream_pass};
+use crate::{HyperPrawConfig, RefinementPolicy};
+
+/// Why the restreaming loop stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The imbalance tolerance was reached and the configuration requested
+    /// no refinement (the GraSP-style stopping rule).
+    ToleranceReached,
+    /// The refinement phase stopped because the partitioning communication
+    /// cost ceased to improve; the previous (better) partition is returned.
+    CommCostConverged,
+    /// The iteration limit `N` was exhausted.
+    MaxIterations,
+}
+
+/// The output of a HyperPRAW run.
+#[derive(Clone, Debug)]
+pub struct PartitionResult {
+    /// The selected vertex-to-partition assignment.
+    pub partition: Partition,
+    /// Per-stream history (empty unless `track_history` is enabled).
+    pub history: PartitionHistory,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+    /// Number of streams executed.
+    pub iterations: usize,
+    /// The `α` value in effect when the run stopped.
+    pub final_alpha: f64,
+    /// Partitioning communication cost of the returned partition.
+    pub comm_cost: f64,
+    /// Imbalance of the returned partition.
+    pub imbalance: f64,
+}
+
+/// The HyperPRAW restreaming partitioner.
+///
+/// The number of partitions equals the size of the communication-cost
+/// matrix: one partition per compute unit of the target machine.
+/// HyperPRAW-aware is obtained by passing a profiled cost matrix
+/// ([`CostMatrix::from_bandwidth`]); HyperPRAW-basic by passing
+/// [`CostMatrix::uniform`].
+#[derive(Clone, Debug)]
+pub struct HyperPraw {
+    config: HyperPrawConfig,
+    cost: CostMatrix,
+}
+
+impl HyperPraw {
+    /// Creates a partitioner with the given configuration and cost matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn new(config: HyperPrawConfig, cost: CostMatrix) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid HyperPRAW configuration: {e}"));
+        Self { config, cost }
+    }
+
+    /// The architecture-aware variant: uses a profiled cost matrix.
+    pub fn aware(config: HyperPrawConfig, cost: CostMatrix) -> Self {
+        Self::new(config, cost)
+    }
+
+    /// The architecture-oblivious variant: a uniform cost matrix over `p`
+    /// compute units.
+    pub fn basic(config: HyperPrawConfig, p: u32) -> Self {
+        Self::new(config, CostMatrix::uniform(p as usize))
+    }
+
+    /// Number of partitions (compute units).
+    pub fn num_partitions(&self) -> u32 {
+        self.cost.num_units() as u32
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &HyperPrawConfig {
+        &self.config
+    }
+
+    /// The communication-cost matrix in use.
+    pub fn cost_matrix(&self) -> &CostMatrix {
+        &self.cost
+    }
+
+    /// Runs the restreaming algorithm on a hypergraph.
+    pub fn partition(&self, hg: &Hypergraph) -> PartitionResult {
+        let p = self.num_partitions();
+        assert!(p > 0, "cost matrix must cover at least one compute unit");
+        let config = &self.config;
+
+        // Initialise: round-robin assignment, FENNEL α.
+        let mut state = StreamingState::round_robin(hg, p);
+        let mut alpha = config.starting_alpha(p, hg.num_vertices(), hg.num_hyperedges());
+        let order = stream_order(hg, config.stream_order, config.seed);
+
+        let mut history = PartitionHistory::new();
+        // Best feasible (within-tolerance) partition seen so far and its cost.
+        let mut previous_feasible: Option<(Partition, f64)> = None;
+        let mut stop_reason = StopReason::MaxIterations;
+        let mut iterations = 0usize;
+
+        for n in 1..=config.max_iterations {
+            iterations = n;
+            let outcome = stream_pass(hg, &mut state, &self.cost, alpha, &order);
+            let imbalance = state.imbalance();
+            let comm_cost =
+                partitioning_communication_cost(hg, state.partition(), &self.cost);
+            let feasible = imbalance <= config.imbalance_tolerance + 1e-12;
+            let phase = if feasible {
+                StreamPhase::Refinement
+            } else {
+                StreamPhase::Tempering
+            };
+            if config.track_history {
+                history.push(IterationRecord {
+                    iteration: n,
+                    phase,
+                    alpha,
+                    imbalance,
+                    comm_cost,
+                    moved_vertices: outcome.moved,
+                });
+            }
+
+            if !feasible {
+                // Still outside tolerance: temper α upwards and re-stream.
+                alpha *= config.tempering_factor;
+                continue;
+            }
+
+            match config.refinement {
+                RefinementPolicy::None => {
+                    // GraSP-style: stop as soon as the tolerance is met.
+                    stop_reason = StopReason::ToleranceReached;
+                    previous_feasible = Some((state.partition().clone(), comm_cost));
+                    break;
+                }
+                RefinementPolicy::Factor(factor) => {
+                    // Refinement phase: keep streaming while the partitioning
+                    // communication cost improves; roll back to the previous
+                    // feasible partition when it gets worse (Algorithm 1's
+                    // `Cost of Pⁿ > Cost of Pⁿ⁻¹` test). A stream that moved
+                    // no vertex is a fixed point: further streams would
+                    // repeat it verbatim, so stop there too.
+                    if let Some((_, previous_cost)) = &previous_feasible {
+                        if comm_cost > *previous_cost {
+                            stop_reason = StopReason::CommCostConverged;
+                            break;
+                        }
+                    }
+                    previous_feasible = Some((state.partition().clone(), comm_cost));
+                    if outcome.moved == 0 {
+                        stop_reason = StopReason::CommCostConverged;
+                        break;
+                    }
+                    alpha *= factor;
+                }
+            }
+        }
+
+        // Select the partition to return: the best feasible snapshot if one
+        // exists, otherwise whatever the final stream produced.
+        let (partition, comm_cost) = match previous_feasible {
+            Some((partition, cost)) => (partition, cost),
+            None => {
+                let cost =
+                    partitioning_communication_cost(hg, state.partition(), &self.cost);
+                (state.into_partition(), cost)
+            }
+        };
+        let imbalance = partition.imbalance(hg).unwrap_or(f64::NAN);
+
+        PartitionResult {
+            partition,
+            history,
+            stop_reason,
+            iterations,
+            final_alpha: alpha,
+            comm_cost,
+            imbalance,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::QualityReport;
+    use hyperpraw_hypergraph::generators::{
+        mesh_hypergraph, random_hypergraph, MeshConfig, RandomConfig,
+    };
+    use hyperpraw_hypergraph::metrics;
+    use hyperpraw_topology::{BandwidthMatrix, MachineModel};
+
+    fn archer_cost(p: usize) -> CostMatrix {
+        let machine = MachineModel::archer_like(p);
+        CostMatrix::from_bandwidth(&BandwidthMatrix::from_machine(&machine, 0.05, 1))
+    }
+
+    #[test]
+    fn partitions_respect_the_imbalance_tolerance() {
+        let hg = mesh_hypergraph(&MeshConfig::new(800, 8));
+        let praw = HyperPraw::basic(HyperPrawConfig::default(), 8);
+        let result = praw.partition(&hg);
+        assert_eq!(result.partition.num_parts(), 8);
+        assert!(
+            result.imbalance <= 1.1 + 1e-9,
+            "imbalance {} exceeds tolerance",
+            result.imbalance
+        );
+        assert!(result.iterations >= 1);
+    }
+
+    #[test]
+    fn basic_beats_round_robin_on_cut_metrics() {
+        let hg = mesh_hypergraph(&MeshConfig::new(1000, 8));
+        let praw = HyperPraw::basic(HyperPrawConfig::default(), 8);
+        let result = praw.partition(&hg);
+        let rr = Partition::round_robin(hg.num_vertices(), 8);
+        let praw_cut = metrics::soed(&hg, &result.partition);
+        let rr_cut = metrics::soed(&hg, &rr);
+        assert!(
+            praw_cut < rr_cut,
+            "HyperPRAW SOED {praw_cut} should beat round robin {rr_cut}"
+        );
+    }
+
+    #[test]
+    fn aware_achieves_lower_comm_cost_than_basic_on_archer() {
+        let hg = mesh_hypergraph(&MeshConfig::new(1200, 10));
+        let p = 24usize;
+        let cost = archer_cost(p);
+        let aware = HyperPraw::aware(HyperPrawConfig::default(), cost.clone()).partition(&hg);
+        let basic = HyperPraw::basic(HyperPrawConfig::default(), p as u32).partition(&hg);
+        // Evaluate both with the *real* (architecture) cost matrix, as the
+        // paper does for Figure 4C.
+        let aware_pc = partitioning_communication_cost(&hg, &aware.partition, &cost);
+        let basic_pc = partitioning_communication_cost(&hg, &basic.partition, &cost);
+        assert!(
+            aware_pc < basic_pc,
+            "aware comm cost {aware_pc} should beat basic {basic_pc}"
+        );
+    }
+
+    #[test]
+    fn refinement_keeps_streaming_after_tolerance_and_improves_cost() {
+        let hg = mesh_hypergraph(&MeshConfig::new(600, 8));
+        let p = 8u32;
+        let no_ref = HyperPraw::basic(
+            HyperPrawConfig::default().with_refinement(RefinementPolicy::None),
+            p,
+        )
+        .partition(&hg);
+        let refined = HyperPraw::basic(
+            HyperPrawConfig::default().with_refinement(RefinementPolicy::Factor(0.95)),
+            p,
+        )
+        .partition(&hg);
+        assert_eq!(no_ref.stop_reason, StopReason::ToleranceReached);
+        assert!(refined.iterations >= no_ref.iterations);
+        assert!(
+            refined.comm_cost <= no_ref.comm_cost + 1e-9,
+            "refined comm cost {} should not exceed unrefined {}",
+            refined.comm_cost,
+            no_ref.comm_cost
+        );
+    }
+
+    #[test]
+    fn history_tracks_phases_and_costs() {
+        let hg = mesh_hypergraph(&MeshConfig::new(400, 8));
+        let praw = HyperPraw::basic(HyperPrawConfig::default(), 8);
+        let result = praw.partition(&hg);
+        assert_eq!(result.history.len(), result.iterations);
+        // The run must eventually enter the refinement phase.
+        assert!(result
+            .history
+            .records()
+            .iter()
+            .any(|r| r.phase == StreamPhase::Refinement));
+        // Alpha grows during tempering.
+        let temp: Vec<_> = result
+            .history
+            .records()
+            .iter()
+            .filter(|r| r.phase == StreamPhase::Tempering)
+            .collect();
+        for w in temp.windows(2) {
+            assert!(w[1].alpha >= w[0].alpha);
+        }
+        // The returned comm cost matches the best feasible record.
+        let best_feasible = result
+            .history
+            .records()
+            .iter()
+            .filter(|r| r.imbalance <= 1.1 + 1e-9)
+            .map(|r| r.comm_cost)
+            .fold(f64::INFINITY, f64::min);
+        assert!(result.comm_cost <= best_feasible + 1e-9);
+    }
+
+    #[test]
+    fn disabling_history_keeps_it_empty() {
+        let hg = mesh_hypergraph(&MeshConfig::new(200, 6));
+        let config = HyperPrawConfig {
+            track_history: false,
+            ..HyperPrawConfig::default()
+        };
+        let result = HyperPraw::basic(config, 4).partition(&hg);
+        assert!(result.history.is_empty());
+        assert!(result.iterations >= 1);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed_and_order() {
+        let hg = random_hypergraph(&RandomConfig::with_avg_cardinality(300, 200, 6.0, 2));
+        let praw = HyperPraw::basic(HyperPrawConfig::default().with_seed(3), 6);
+        let a = praw.partition(&hg);
+        let b = praw.partition(&hg);
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn max_iterations_is_honoured() {
+        let hg = mesh_hypergraph(&MeshConfig::new(300, 8));
+        let config = HyperPrawConfig::default()
+            .with_max_iterations(3)
+            .with_imbalance_tolerance(1.0000001); // effectively unreachable
+        let result = HyperPraw::basic(config, 7).partition(&hg);
+        assert_eq!(result.iterations, 3);
+        assert_eq!(result.stop_reason, StopReason::MaxIterations);
+    }
+
+    #[test]
+    fn quality_report_of_result_is_finite() {
+        let hg = mesh_hypergraph(&MeshConfig::new(500, 8));
+        let p = 16usize;
+        let cost = archer_cost(p);
+        let result = HyperPraw::aware(HyperPrawConfig::default(), cost.clone()).partition(&hg);
+        let report = QualityReport::compute(&hg, &result.partition, &cost);
+        assert!(report.comm_cost.is_finite());
+        assert!(report.imbalance.is_finite());
+        assert!(report.soed >= 2 * report.hyperedge_cut || report.hyperedge_cut == 0);
+    }
+
+    #[test]
+    fn single_partition_is_trivial() {
+        let hg = mesh_hypergraph(&MeshConfig::new(100, 6));
+        let result = HyperPraw::basic(HyperPrawConfig::default(), 1).partition(&hg);
+        assert!(result.partition.assignment().iter().all(|&x| x == 0));
+        assert_eq!(result.comm_cost, 0.0);
+    }
+}

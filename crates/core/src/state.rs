@@ -1,0 +1,192 @@
+//! Mutable state carried across streams.
+
+use hyperpraw_hypergraph::traversal::NeighborScratch;
+use hyperpraw_hypergraph::{Hypergraph, Partition, VertexId};
+
+/// The streaming partitioner's working state: the current assignment, the
+/// per-partition workloads `W(k)` and expected workloads `E(k)`, plus the
+/// scratch buffers used to compute neighbour-partition counts without
+/// allocating per vertex.
+#[derive(Clone, Debug)]
+pub(crate) struct StreamingState {
+    partition: Partition,
+    loads: Vec<f64>,
+    expected: Vec<f64>,
+    scratch: NeighborScratch,
+}
+
+impl StreamingState {
+    /// Initialises the state from an existing assignment.
+    pub fn new(hg: &Hypergraph, partition: Partition) -> Self {
+        let p = partition.num_parts() as usize;
+        let loads = partition
+            .part_loads(hg)
+            .expect("partition must cover the hypergraph");
+        // The paper assumes homogeneous compute units: every partition is
+        // expected to carry an equal share of the total vertex weight. A
+        // heterogeneous machine would simply scale these entries.
+        let expected = vec![(hg.total_vertex_weight() / p as f64).max(f64::MIN_POSITIVE); p];
+        Self {
+            partition,
+            loads,
+            expected,
+            scratch: NeighborScratch::new(hg.num_vertices()),
+        }
+    }
+
+    /// Round-robin initial state (Algorithm 1's initialisation).
+    pub fn round_robin(hg: &Hypergraph, p: u32) -> Self {
+        Self::new(hg, Partition::round_robin(hg.num_vertices(), p))
+    }
+
+    /// Current assignment.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Consumes the state, returning the assignment.
+    pub fn into_partition(self) -> Partition {
+        self.partition
+    }
+
+    /// Current workload of each partition (`W(k)`).
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Expected workload of each partition (`E(k)`).
+    pub fn expected(&self) -> &[f64] {
+        &self.expected
+    }
+
+    /// Total imbalance `max_k W(k) / avg_k W(k)` from the tracked loads.
+    pub fn imbalance(&self) -> f64 {
+        let total: f64 = self.loads.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let avg = total / self.loads.len() as f64;
+        self.loads.iter().cloned().fold(f64::MIN, f64::max) / avg
+    }
+
+    /// Temporarily detaches vertex `v` from its partition (removing its
+    /// weight from `W`), computes its neighbour-partition counts into
+    /// `counts`, and returns the partition the vertex came from. Call
+    /// [`StreamingState::assign`] afterwards to place the vertex (possibly
+    /// back where it was).
+    pub fn detach_and_count(
+        &mut self,
+        hg: &Hypergraph,
+        v: VertexId,
+        counts: &mut Vec<u32>,
+    ) -> u32 {
+        let current = self.partition.part_of(v);
+        self.loads[current as usize] -= hg.vertex_weight(v);
+        self.scratch
+            .neighbor_partition_counts(hg, &self.partition, v, counts);
+        current
+    }
+
+    /// Assigns vertex `v` to `part`, updating the workload accounting.
+    /// Must be preceded by [`StreamingState::detach_and_count`] for the same
+    /// vertex.
+    pub fn assign(&mut self, hg: &Hypergraph, v: VertexId, part: u32) {
+        self.loads[part as usize] += hg.vertex_weight(v);
+        self.partition.set(v, part);
+    }
+
+    /// Recomputes the loads from the assignment (used by the parallel
+    /// driver after applying a batch of moves, and by tests to cross-check
+    /// the incremental accounting).
+    pub fn recompute_loads(&mut self, hg: &Hypergraph) {
+        self.loads = self
+            .partition
+            .part_loads(hg)
+            .expect("partition must cover the hypergraph");
+    }
+
+    /// Replaces the assignment wholesale (parallel driver synchronisation).
+    pub fn replace_partition(&mut self, hg: &Hypergraph, partition: Partition) {
+        assert_eq!(partition.num_parts(), self.partition.num_parts());
+        self.partition = partition;
+        self.recompute_loads(hg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpraw_hypergraph::HypergraphBuilder;
+
+    fn hg6() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(6);
+        b.add_hyperedge([0u32, 1, 2]);
+        b.add_hyperedge([2u32, 3, 4]);
+        b.add_hyperedge([4u32, 5]);
+        b.build()
+    }
+
+    #[test]
+    fn round_robin_state_has_balanced_loads() {
+        let hg = hg6();
+        let state = StreamingState::round_robin(&hg, 3);
+        assert_eq!(state.loads(), &[2.0, 2.0, 2.0]);
+        assert_eq!(state.expected(), &[2.0, 2.0, 2.0]);
+        assert!((state.imbalance() - 1.0).abs() < 1e-12);
+        assert_eq!(state.partition().num_parts(), 3);
+    }
+
+    #[test]
+    fn detach_and_assign_keep_loads_consistent() {
+        let hg = hg6();
+        let mut state = StreamingState::round_robin(&hg, 3);
+        let mut counts = Vec::new();
+        let current = state.detach_and_count(&hg, 0, &mut counts);
+        assert_eq!(current, 0);
+        assert_eq!(state.loads()[0], 1.0); // weight removed
+        state.assign(&hg, 0, 2);
+        assert_eq!(state.loads()[0], 1.0);
+        assert_eq!(state.loads()[2], 3.0);
+        assert_eq!(state.partition().part_of(0), 2);
+
+        // Incremental accounting matches a full recomputation.
+        let mut copy = state.clone();
+        copy.recompute_loads(&hg);
+        assert_eq!(copy.loads(), state.loads());
+    }
+
+    #[test]
+    fn detach_counts_exclude_the_vertex_itself() {
+        let hg = hg6();
+        let mut state = StreamingState::round_robin(&hg, 3);
+        // Vertex 2's neighbours are {0,1,3,4} in parts {0,1,0,1}.
+        let mut counts = Vec::new();
+        state.detach_and_count(&hg, 2, &mut counts);
+        assert_eq!(counts, &[2, 2, 0]);
+        state.assign(&hg, 2, 2);
+    }
+
+    #[test]
+    fn imbalance_tracks_extreme_assignments() {
+        let hg = hg6();
+        let mut state = StreamingState::round_robin(&hg, 3);
+        // Move everything to partition 0.
+        let mut counts = Vec::new();
+        for v in 0..6u32 {
+            state.detach_and_count(&hg, v, &mut counts);
+            state.assign(&hg, v, 0);
+        }
+        assert!((state.imbalance() - 3.0).abs() < 1e-12);
+        let part = state.into_partition();
+        assert_eq!(part.part_sizes(), vec![6, 0, 0]);
+    }
+
+    #[test]
+    fn replace_partition_recomputes_loads() {
+        let hg = hg6();
+        let mut state = StreamingState::round_robin(&hg, 2);
+        let new = Partition::from_assignment(vec![0, 0, 0, 0, 1, 1], 2).unwrap();
+        state.replace_partition(&hg, new);
+        assert_eq!(state.loads(), &[4.0, 2.0]);
+    }
+}

@@ -1,0 +1,157 @@
+//! A single greedy stream over all vertices.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use hyperpraw_hypergraph::{Hypergraph, VertexId};
+use hyperpraw_topology::CostMatrix;
+
+use crate::state::StreamingState;
+use crate::value::best_partition;
+use crate::StreamOrder;
+
+/// Summary of one stream pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct StreamOutcome {
+    /// Number of vertices whose assignment changed during the pass.
+    pub moved: usize,
+}
+
+/// Builds the vertex visit order for a stream.
+pub(crate) fn stream_order(hg: &Hypergraph, order: StreamOrder, seed: u64) -> Vec<VertexId> {
+    let mut vertices: Vec<VertexId> = hg.vertices().collect();
+    match order {
+        StreamOrder::Natural => {}
+        StreamOrder::Random => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            vertices.shuffle(&mut rng);
+        }
+        StreamOrder::DegreeDescending => {
+            vertices.sort_by_key(|&v| std::cmp::Reverse(hg.degree(v)));
+        }
+    }
+    vertices
+}
+
+/// Runs one greedy stream: every vertex (in `order`) is detached from its
+/// current partition and re-assigned to the partition maximising the value
+/// function, with the workload accounting updated after every assignment
+/// (Algorithm 1's inner loop).
+pub(crate) fn stream_pass(
+    hg: &Hypergraph,
+    state: &mut StreamingState,
+    cost: &CostMatrix,
+    alpha: f64,
+    order: &[VertexId],
+) -> StreamOutcome {
+    let mut moved = 0usize;
+    let mut counts: Vec<u32> = Vec::new();
+    for &v in order {
+        let current = state.detach_and_count(hg, v, &mut counts);
+        let target = best_partition(&counts, cost, alpha, state.loads(), state.expected());
+        state.assign(hg, v, target);
+        if target != current {
+            moved += 1;
+        }
+    }
+    StreamOutcome { moved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
+    use hyperpraw_hypergraph::{metrics, HypergraphBuilder};
+
+    #[test]
+    fn stream_orders_cover_every_vertex_exactly_once() {
+        let hg = mesh_hypergraph(&MeshConfig::new(200, 6));
+        for order in [
+            StreamOrder::Natural,
+            StreamOrder::Random,
+            StreamOrder::DegreeDescending,
+        ] {
+            let o = stream_order(&hg, order, 3);
+            assert_eq!(o.len(), 200);
+            let mut sorted = o.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 200);
+        }
+    }
+
+    #[test]
+    fn degree_descending_puts_hubs_first() {
+        let mut b = HypergraphBuilder::new(5);
+        b.add_hyperedge([0u32, 1]);
+        b.add_hyperedge([0u32, 2]);
+        b.add_hyperedge([0u32, 3]);
+        b.add_hyperedge([3u32, 4]);
+        let hg = b.build();
+        let o = stream_order(&hg, StreamOrder::DegreeDescending, 0);
+        assert_eq!(o[0], 0); // degree 3
+        assert_eq!(o[1], 3); // degree 2
+    }
+
+    #[test]
+    fn random_order_is_deterministic_per_seed() {
+        let hg = mesh_hypergraph(&MeshConfig::new(100, 6));
+        assert_eq!(
+            stream_order(&hg, StreamOrder::Random, 5),
+            stream_order(&hg, StreamOrder::Random, 5)
+        );
+        assert_ne!(
+            stream_order(&hg, StreamOrder::Random, 5),
+            stream_order(&hg, StreamOrder::Random, 6)
+        );
+    }
+
+    #[test]
+    fn a_single_stream_reduces_the_cut_of_a_round_robin_start() {
+        let hg = mesh_hypergraph(&MeshConfig::new(500, 8));
+        let p = 4u32;
+        let cost = CostMatrix::uniform(p as usize);
+        let mut state = StreamingState::round_robin(&hg, p);
+        let before = metrics::hyperedge_cut(&hg, state.partition());
+        let order = stream_order(&hg, StreamOrder::Natural, 0);
+        let alpha = crate::HyperPrawConfig::fennel_alpha(p, hg.num_vertices(), hg.num_hyperedges());
+        let outcome = stream_pass(&hg, &mut state, &cost, alpha, &order);
+        let after = metrics::hyperedge_cut(&hg, state.partition());
+        assert!(outcome.moved > 0, "the stream should move vertices");
+        assert!(
+            after < before,
+            "cut should improve: before {before}, after {after}"
+        );
+    }
+
+    #[test]
+    fn zero_alpha_with_one_dominant_partition_collapses_vertices_towards_it() {
+        // With no balance pressure the greedy stream chases neighbours.
+        let mut b = HypergraphBuilder::new(6);
+        b.add_hyperedge([0u32, 1, 2, 3, 4, 5]);
+        let hg = b.build();
+        let cost = CostMatrix::uniform(2);
+        let mut state = StreamingState::round_robin(&hg, 2);
+        let order = stream_order(&hg, StreamOrder::Natural, 0);
+        stream_pass(&hg, &mut state, &cost, 0.0, &order);
+        // All pins share one hyperedge: they end up together.
+        let part = state.partition();
+        let first = part.part_of(0);
+        assert!(hg.vertices().all(|v| part.part_of(v) == first));
+    }
+
+    #[test]
+    fn loads_remain_consistent_after_a_stream() {
+        let hg = mesh_hypergraph(&MeshConfig::new(300, 8));
+        let cost = CostMatrix::uniform(6);
+        let mut state = StreamingState::round_robin(&hg, 6);
+        let order = stream_order(&hg, StreamOrder::Random, 1);
+        stream_pass(&hg, &mut state, &cost, 5.0, &order);
+        let mut check = state.clone();
+        check.recompute_loads(&hg);
+        for (a, b) in state.loads().iter().zip(check.loads()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! The vertex assignment value function (equations 1–4 of the paper).
+
+use hyperpraw_topology::CostMatrix;
+
+/// Evaluates the value `V_i(v)` of assigning a vertex to partition
+/// `candidate` (equation 1):
+///
+/// ```text
+/// V_i(v) = −N_i(v) · T_i(v) − α · W(i) / E(i)
+/// ```
+///
+/// * `counts[j]` is `X_j(v)`, the number of (distinct) neighbours of the
+///   vertex currently assigned to partition `j`,
+/// * `N_i(v)` is the fraction of partitions other than `i` holding at least
+///   one neighbour (equations 2–3; the paper writes `X_j(v) > 1`, which we
+///   read as "has neighbours", i.e. `X_j(v) ≥ 1` — the strict reading would
+///   ignore partitions holding exactly one neighbour, contradicting the
+///   metric's intent),
+/// * `T_i(v)` is the neighbour count in every partition weighted by the
+///   communication cost `C(i, j)` (equation 4; `C(i,i) = 0` so local
+///   neighbours are free),
+/// * `W(i)` and `E(i)` are the current and expected workloads, and `α`
+///   weighs the balance term.
+#[inline]
+pub(crate) fn value_of(
+    counts: &[u32],
+    candidate: u32,
+    cost: &CostMatrix,
+    alpha: f64,
+    load: f64,
+    expected: f64,
+) -> f64 {
+    let p = counts.len() as f64;
+    let row = cost.row(candidate as usize);
+    let mut t = 0.0f64;
+    let mut neighbour_parts = 0u32;
+    for (j, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            neighbour_parts += 1;
+            t += c as f64 * row[j];
+        }
+    }
+    // Partitions other than the candidate holding neighbours.
+    if counts[candidate as usize] > 0 {
+        neighbour_parts -= 1;
+    }
+    let n = neighbour_parts as f64 / p;
+    -n * t - alpha * load / expected
+}
+
+/// Finds the partition with the highest assignment value for a vertex.
+///
+/// Ties are broken towards the lighter partition, and then towards the lower
+/// partition id, so the stream is fully deterministic.
+pub(crate) fn best_partition(
+    counts: &[u32],
+    cost: &CostMatrix,
+    alpha: f64,
+    loads: &[f64],
+    expected: &[f64],
+) -> u32 {
+    debug_assert_eq!(counts.len(), loads.len());
+    debug_assert_eq!(counts.len(), cost.num_units());
+    let mut best = 0u32;
+    let mut best_value = f64::NEG_INFINITY;
+    for i in 0..counts.len() {
+        let v = value_of(counts, i as u32, cost, alpha, loads[i], expected[i]);
+        let better = v > best_value + 1e-12
+            || ((v - best_value).abs() <= 1e-12 && loads[i] < loads[best as usize] - 1e-12);
+        if better {
+            best = i as u32;
+            best_value = v;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_prefers_the_partition_with_its_neighbours() {
+        let cost = CostMatrix::uniform(3);
+        // All 4 neighbours in partition 1; loads equal.
+        let counts = vec![0u32, 4, 0];
+        let loads = vec![10.0, 10.0, 10.0];
+        let expected = vec![10.0, 10.0, 10.0];
+        let best = best_partition(&counts, &cost, 0.1, &loads, &expected);
+        assert_eq!(best, 1);
+        // Its value must beat the alternatives.
+        let v1 = value_of(&counts, 1, &cost, 0.1, 10.0, 10.0);
+        let v0 = value_of(&counts, 0, &cost, 0.1, 10.0, 10.0);
+        assert!(v1 > v0);
+    }
+
+    #[test]
+    fn large_alpha_pushes_towards_the_lightest_partition() {
+        let cost = CostMatrix::uniform(3);
+        let counts = vec![0u32, 4, 0];
+        let loads = vec![20.0, 30.0, 5.0];
+        let expected = vec![10.0, 10.0, 10.0];
+        // With a huge alpha the balance term dominates: partition 2 wins even
+        // though the neighbours are in partition 1.
+        let best = best_partition(&counts, &cost, 1e6, &loads, &expected);
+        assert_eq!(best, 2);
+        // With alpha = 0 the communication term alone decides.
+        let best = best_partition(&counts, &cost, 0.0, &loads, &expected);
+        assert_eq!(best, 1);
+    }
+
+    #[test]
+    fn architecture_awareness_prefers_cheap_links() {
+        // Three units: 0 and 1 are close (cost 1), unit 2 is far from both
+        // (cost 2). Neighbours live in units 0 and 1.
+        let cost = CostMatrix::from_raw(
+            3,
+            vec![
+                0.0, 1.0, 2.0, //
+                1.0, 0.0, 2.0, //
+                2.0, 2.0, 0.0,
+            ],
+        );
+        let counts = vec![3u32, 3, 0];
+        let loads = vec![10.0, 10.0, 0.0];
+        let expected = vec![10.0, 10.0, 10.0];
+        // Candidate 0 or 1: remote neighbours reachable over cost-1 links.
+        // Candidate 2: everything remote over cost-2 links. Even though unit
+        // 2 is empty (better balance), a small alpha keeps the vertex near
+        // its neighbours.
+        let best = best_partition(&counts, &cost, 0.01, &loads, &expected);
+        assert!(best == 0 || best == 1);
+        let v0 = value_of(&counts, 0, &cost, 0.01, 10.0, 10.0);
+        let v2 = value_of(&counts, 2, &cost, 0.01, 0.0, 10.0);
+        assert!(v0 > v2);
+    }
+
+    #[test]
+    fn own_partition_neighbours_are_excluded_from_n_and_cost() {
+        let cost = CostMatrix::uniform(2);
+        // 5 neighbours in partition 0, 1 in partition 1.
+        let counts = vec![5u32, 1];
+        // Hosted on 0: only the single remote neighbour contributes, and only
+        // one remote partition counts.
+        let v_home = value_of(&counts, 0, &cost, 0.0, 0.0, 1.0);
+        assert!((v_home - (-(1.0 / 2.0) * 1.0)).abs() < 1e-12);
+        // Hosted on 1: five remote neighbours over one remote partition.
+        let v_away = value_of(&counts, 1, &cost, 0.0, 0.0, 1.0);
+        assert!((v_away - (-(1.0 / 2.0) * 5.0)).abs() < 1e-12);
+        assert!(v_home > v_away);
+    }
+
+    #[test]
+    fn ties_break_towards_the_lighter_partition() {
+        let cost = CostMatrix::uniform(3);
+        let counts = vec![0u32, 0, 0]; // isolated vertex: communication is moot
+        let loads = vec![5.0, 3.0, 5.0];
+        let expected = vec![4.0, 4.0, 4.0];
+        let best = best_partition(&counts, &cost, 1.0, &loads, &expected);
+        assert_eq!(best, 1);
+        // Full tie (identical loads) goes to the lowest id.
+        let best = best_partition(&counts, &cost, 1.0, &[2.0, 2.0, 2.0], &expected);
+        assert_eq!(best, 0);
+    }
+
+    #[test]
+    fn value_is_monotone_in_load() {
+        let cost = CostMatrix::uniform(2);
+        let counts = vec![1u32, 1];
+        let light = value_of(&counts, 0, &cost, 2.0, 1.0, 10.0);
+        let heavy = value_of(&counts, 0, &cost, 2.0, 9.0, 10.0);
+        assert!(light > heavy);
+    }
+}

@@ -1,0 +1,29 @@
+//! Synthetic hypergraph generators.
+//!
+//! The paper evaluates HyperPRAW on ten hypergraphs drawn from a public
+//! benchmark collection (SuiteSparse matrices, SAT-competition instances and
+//! a web crawl). Those files are not redistributed here; instead this module
+//! provides generators for the same *structural families* —
+//!
+//! * [`mesh`] — finite-element–style meshes / symmetric sparse matrices
+//!   (`2cubes_sphere`, `ABACUS_shell_hd`, `ship_001`, `pdb1HYS`),
+//! * [`random`] — unstructured random sparse matrices (`sparsine`),
+//! * [`powerlaw`] — power-law web graphs (`webbase-1M`),
+//! * [`sat`] — SAT instances in primal and dual hypergraph models
+//!   (the four `sat14_*` instances),
+//!
+//! and [`suite`], which instantiates each of the ten paper instances with the
+//! vertex/hyperedge/cardinality profile of Table 1 (optionally scaled down).
+//! Real `.hgr`/`.mtx` files can be used instead via [`crate::io`].
+
+pub mod mesh;
+pub mod powerlaw;
+pub mod random;
+pub mod sat;
+pub mod suite;
+
+pub use mesh::{mesh_hypergraph, MeshConfig};
+pub use powerlaw::{powerlaw_hypergraph, PowerLawConfig};
+pub use random::{random_hypergraph, CardinalityDist, RandomConfig};
+pub use sat::{sat_hypergraph, SatConfig, SatModel};
+pub use suite::{PaperInstance, SuiteConfig};

@@ -1,0 +1,181 @@
+//! Unstructured random hypergraphs (the `sparsine` family).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Hypergraph, HypergraphBuilder, VertexId};
+
+/// Distribution of hyperedge cardinalities.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum CardinalityDist {
+    /// Every hyperedge has exactly this many pins.
+    Fixed(usize),
+    /// Cardinality drawn uniformly from `min..=max`.
+    Uniform {
+        /// Minimum cardinality (inclusive).
+        min: usize,
+        /// Maximum cardinality (inclusive).
+        max: usize,
+    },
+}
+
+impl CardinalityDist {
+    fn sample(&self, rng: &mut impl Rng) -> usize {
+        match *self {
+            CardinalityDist::Fixed(k) => k,
+            CardinalityDist::Uniform { min, max } => {
+                debug_assert!(min <= max);
+                rng.gen_range(min..=max)
+            }
+        }
+    }
+
+    /// Expected cardinality of the distribution.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            CardinalityDist::Fixed(k) => k as f64,
+            CardinalityDist::Uniform { min, max } => (min + max) as f64 / 2.0,
+        }
+    }
+}
+
+/// Configuration for [`random_hypergraph`].
+#[derive(Clone, Debug)]
+pub struct RandomConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of hyperedges.
+    pub num_hyperedges: usize,
+    /// Cardinality distribution of the hyperedges.
+    pub cardinality: CardinalityDist,
+    /// RNG seed (generation is deterministic for a given config).
+    pub seed: u64,
+    /// Instance name recorded on the hypergraph.
+    pub name: String,
+}
+
+impl RandomConfig {
+    /// A convenient config with uniform cardinality `avg/2 .. 3*avg/2`.
+    pub fn with_avg_cardinality(
+        num_vertices: usize,
+        num_hyperedges: usize,
+        avg_cardinality: f64,
+        seed: u64,
+    ) -> Self {
+        let avg = avg_cardinality.max(2.0);
+        let min = ((avg / 2.0).floor() as usize).max(2);
+        let max = ((avg * 1.5).ceil() as usize).max(min);
+        Self {
+            num_vertices,
+            num_hyperedges,
+            cardinality: CardinalityDist::Uniform { min, max },
+            seed,
+            name: "random".to_string(),
+        }
+    }
+}
+
+/// Generates a hypergraph whose hyperedges contain uniformly random distinct
+/// pins. This models unstructured sparse matrices such as `sparsine`
+/// (50 000 × 50 000, ~31 nonzeros per row, no locality structure).
+pub fn random_hypergraph(cfg: &RandomConfig) -> Hypergraph {
+    assert!(cfg.num_vertices > 0, "need at least one vertex");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut builder = HypergraphBuilder::with_capacity(cfg.num_vertices, cfg.num_hyperedges);
+    builder.name(cfg.name.clone());
+    let mut pins: Vec<VertexId> = Vec::new();
+    for _ in 0..cfg.num_hyperedges {
+        let k = cfg.cardinality.sample(&mut rng).min(cfg.num_vertices).max(1);
+        pins.clear();
+        // Rejection-free enough for k << n; fall back to retry loop otherwise.
+        while pins.len() < k {
+            let v = rng.gen_range(0..cfg.num_vertices) as VertexId;
+            if !pins.contains(&v) {
+                pins.push(v);
+            }
+        }
+        builder.add_hyperedge(pins.iter().copied());
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_counts() {
+        let cfg = RandomConfig {
+            num_vertices: 200,
+            num_hyperedges: 50,
+            cardinality: CardinalityDist::Fixed(5),
+            seed: 1,
+            name: "rnd".into(),
+        };
+        let hg = random_hypergraph(&cfg);
+        assert_eq!(hg.num_vertices(), 200);
+        assert_eq!(hg.num_hyperedges(), 50);
+        assert_eq!(hg.num_pins(), 250);
+        assert_eq!(hg.name(), "rnd");
+        hg.validate().unwrap();
+    }
+
+    #[test]
+    fn pins_are_distinct_within_each_edge() {
+        let cfg = RandomConfig {
+            num_vertices: 20,
+            num_hyperedges: 100,
+            cardinality: CardinalityDist::Uniform { min: 2, max: 10 },
+            seed: 7,
+            name: String::new(),
+        };
+        let hg = random_hypergraph(&cfg);
+        for e in hg.hyperedges() {
+            let pins = hg.pins(e);
+            for w in pins.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let cfg = RandomConfig::with_avg_cardinality(500, 300, 8.0, 42);
+        let a = random_hypergraph(&cfg);
+        let b = random_hypergraph(&cfg);
+        assert_eq!(a, b);
+        let mut cfg2 = cfg.clone();
+        cfg2.seed = 43;
+        let c = random_hypergraph(&cfg2);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cardinality_is_capped_by_vertex_count() {
+        let cfg = RandomConfig {
+            num_vertices: 4,
+            num_hyperedges: 3,
+            cardinality: CardinalityDist::Fixed(100),
+            seed: 3,
+            name: String::new(),
+        };
+        let hg = random_hypergraph(&cfg);
+        for e in hg.hyperedges() {
+            assert_eq!(hg.cardinality(e), 4);
+        }
+    }
+
+    #[test]
+    fn avg_cardinality_tracks_target() {
+        let cfg = RandomConfig::with_avg_cardinality(2000, 400, 16.0, 11);
+        let hg = random_hypergraph(&cfg);
+        let avg = hg.avg_cardinality();
+        assert!((avg - 16.0).abs() < 3.0, "avg cardinality {avg} too far from 16");
+    }
+
+    #[test]
+    fn dist_mean_matches_definition() {
+        assert_eq!(CardinalityDist::Fixed(7).mean(), 7.0);
+        assert_eq!(CardinalityDist::Uniform { min: 2, max: 6 }.mean(), 4.0);
+    }
+}

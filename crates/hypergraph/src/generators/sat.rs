@@ -1,0 +1,211 @@
+//! SAT-instance hypergraphs in primal and dual models (the `sat14_*`
+//! families).
+//!
+//! A CNF formula maps to a hypergraph in two standard ways:
+//!
+//! * **primal**: vertices are variables; every clause is a hyperedge over the
+//!   variables it mentions (so `|V| = #vars`, `|E| = #clauses`, cardinality =
+//!   clause length). Instances such as `sat14_10pipe_q0_k primal` have a huge
+//!   number of short hyperedges.
+//! * **dual**: vertices are clauses; every variable is a hyperedge over the
+//!   clauses it occurs in (so `|V| = #clauses`, `|E| = #vars`, cardinality =
+//!   variable occurrence count). Instances such as `sat14_itox_vc1130 dual`
+//!   have comparatively few, larger hyperedges.
+//!
+//! The generator produces a random CNF with a power-law variable occurrence
+//! profile (as in real SAT-competition instances, where a few variables occur
+//! in thousands of clauses) and then applies either model.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Hypergraph, HypergraphBuilder, VertexId};
+
+/// Which hypergraph model to apply to the generated CNF.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SatModel {
+    /// Vertices = variables, hyperedges = clauses.
+    Primal,
+    /// Vertices = clauses, hyperedges = variables.
+    Dual,
+}
+
+/// Configuration for [`sat_hypergraph`].
+#[derive(Clone, Debug)]
+pub struct SatConfig {
+    /// Number of boolean variables in the CNF.
+    pub num_variables: usize,
+    /// Number of clauses in the CNF.
+    pub num_clauses: usize,
+    /// Average clause length (literals per clause).
+    pub avg_clause_len: f64,
+    /// Skew of variable popularity: 0.0 = uniform, 1.0 = strongly power-law.
+    pub popularity_skew: f64,
+    /// Hypergraph model to apply.
+    pub model: SatModel,
+    /// RNG seed.
+    pub seed: u64,
+    /// Instance name recorded on the hypergraph.
+    pub name: String,
+}
+
+impl SatConfig {
+    /// A primal-model configuration with default skew.
+    pub fn primal(num_variables: usize, num_clauses: usize, avg_clause_len: f64) -> Self {
+        Self {
+            num_variables,
+            num_clauses,
+            avg_clause_len,
+            popularity_skew: 0.7,
+            model: SatModel::Primal,
+            seed: 0,
+            name: "sat-primal".to_string(),
+        }
+    }
+
+    /// A dual-model configuration with default skew.
+    pub fn dual(num_variables: usize, num_clauses: usize, avg_clause_len: f64) -> Self {
+        Self {
+            model: SatModel::Dual,
+            name: "sat-dual".to_string(),
+            ..Self::primal(num_variables, num_clauses, avg_clause_len)
+        }
+    }
+}
+
+/// Generates the hypergraph of a random CNF under the configured model.
+pub fn sat_hypergraph(cfg: &SatConfig) -> Hypergraph {
+    assert!(cfg.num_variables > 1, "need at least two variables");
+    assert!(cfg.num_clauses > 0, "need at least one clause");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let nv = cfg.num_variables;
+    let nc = cfg.num_clauses;
+
+    // Sample a variable with power-law popularity: skewing the uniform draw
+    // towards low variable ids (the "important" variables).
+    let skew = cfg.popularity_skew.clamp(0.0, 1.0);
+    let sample_var = |rng: &mut StdRng| -> usize {
+        let u: f64 = rng.gen_range(0.0f64..1.0);
+        // Interpolate between uniform (u) and quadratically skewed (u^3).
+        let s = (1.0 - skew) * u + skew * u * u * u;
+        ((s * nv as f64) as usize).min(nv - 1)
+    };
+
+    // Build clauses: each clause is a set of distinct variables.
+    let min_len = 2usize;
+    let max_len = ((cfg.avg_clause_len * 2.0).ceil() as usize).max(min_len + 1);
+    let avg = cfg.avg_clause_len.max(min_len as f64);
+    let mut clauses: Vec<Vec<u32>> = Vec::with_capacity(nc);
+    for _ in 0..nc {
+        // Draw clause length around the average with a simple geometric-ish
+        // spread, clamped to [min_len, max_len].
+        let spread: f64 = rng.gen_range(0.5..1.5);
+        let len = ((avg * spread).round() as usize).clamp(min_len, max_len.min(nv));
+        let mut clause: Vec<u32> = Vec::with_capacity(len);
+        while clause.len() < len {
+            let v = sample_var(&mut rng) as u32;
+            if !clause.contains(&v) {
+                clause.push(v);
+            }
+        }
+        clauses.push(clause);
+    }
+
+    match cfg.model {
+        SatModel::Primal => {
+            let mut builder = HypergraphBuilder::with_capacity(nv, nc);
+            builder.name(cfg.name.clone());
+            for clause in &clauses {
+                builder.add_hyperedge(clause.iter().map(|&v| v as VertexId));
+            }
+            builder.ensure_vertices(nv);
+            builder.build()
+        }
+        SatModel::Dual => {
+            // Invert: hyperedge per variable listing the clauses containing it.
+            let mut occurrences: Vec<Vec<VertexId>> = vec![Vec::new(); nv];
+            for (c, clause) in clauses.iter().enumerate() {
+                for &v in clause {
+                    occurrences[v as usize].push(c as VertexId);
+                }
+            }
+            let mut builder = HypergraphBuilder::with_capacity(nc, nv);
+            builder.name(cfg.name.clone());
+            builder.drop_small_edges(false);
+            for occ in occurrences.iter().filter(|o| !o.is_empty()) {
+                builder.add_hyperedge(occ.iter().copied());
+            }
+            builder.ensure_vertices(nc);
+            builder.build()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primal_model_sizes() {
+        let cfg = SatConfig::primal(300, 1200, 3.0);
+        let hg = sat_hypergraph(&cfg);
+        assert_eq!(hg.num_vertices(), 300);
+        assert_eq!(hg.num_hyperedges(), 1200);
+        let avg = hg.avg_cardinality();
+        assert!((avg - 3.0).abs() < 0.8, "avg clause len {avg}");
+        hg.validate().unwrap();
+    }
+
+    #[test]
+    fn dual_model_sizes() {
+        let cfg = SatConfig::dual(300, 1200, 3.0);
+        let hg = sat_hypergraph(&cfg);
+        assert_eq!(hg.num_vertices(), 1200);
+        // Some variables may never be used; allow a small shortfall.
+        assert!(hg.num_hyperedges() <= 300);
+        assert!(hg.num_hyperedges() > 250);
+        hg.validate().unwrap();
+    }
+
+    #[test]
+    fn dual_cardinality_reflects_variable_occurrences() {
+        let cfg = SatConfig::dual(100, 2000, 3.0);
+        let hg = sat_hypergraph(&cfg);
+        // Average occurrences per variable ≈ clauses * len / vars = 60.
+        let avg = hg.avg_cardinality();
+        assert!(avg > 30.0, "dual cardinality should be large, got {avg}");
+    }
+
+    #[test]
+    fn popularity_skew_creates_hub_variables() {
+        let uniform = sat_hypergraph(&SatConfig {
+            popularity_skew: 0.0,
+            ..SatConfig::primal(500, 3000, 3.0)
+        });
+        let skewed = sat_hypergraph(&SatConfig {
+            popularity_skew: 1.0,
+            seed: 1,
+            ..SatConfig::primal(500, 3000, 3.0)
+        });
+        assert!(
+            skewed.max_degree() > uniform.max_degree(),
+            "skewed max degree {} should exceed uniform {}",
+            skewed.max_degree(),
+            uniform.max_degree()
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = SatConfig::primal(200, 800, 3.0);
+        assert_eq!(sat_hypergraph(&cfg), sat_hypergraph(&cfg));
+    }
+
+    #[test]
+    fn primal_and_dual_have_equal_pin_counts_modulo_unused_vars() {
+        let primal = sat_hypergraph(&SatConfig::primal(200, 800, 3.0));
+        let dual = sat_hypergraph(&SatConfig::dual(200, 800, 3.0));
+        // Every (clause, variable) pin appears in both models.
+        assert_eq!(primal.num_pins(), dual.num_pins());
+    }
+}

@@ -1,0 +1,416 @@
+//! The ten benchmark hypergraphs of the paper's Table 1, reproduced as
+//! synthetic instances with matching size, cardinality and structure family.
+//!
+//! The original files come from the Zenodo benchmark set of Schlag (2017)
+//! (SuiteSparse matrices + SAT 2014 competition instances + a web crawl) and
+//! are not redistributed here. Each [`PaperInstance`] knows its family and
+//! its Table 1 statistics, and [`PaperInstance::generate`] builds a synthetic
+//! stand-in of the same shape; an optional scale factor shrinks the instance
+//! proportionally (cardinalities are preserved) so the full experiment matrix
+//! runs in minutes on a laptop instead of on 576 ARCHER cores.
+//!
+//! If the real files are available, load them with [`crate::io::hmetis`] or
+//! [`crate::io::matrix_market`] instead — every consumer in this workspace
+//! only sees a [`Hypergraph`].
+
+use crate::generators::{
+    mesh::{mesh_hypergraph, MeshConfig},
+    powerlaw::{powerlaw_hypergraph, PowerLawConfig},
+    random::{random_hypergraph, RandomConfig},
+    sat::{sat_hypergraph, SatConfig, SatModel},
+};
+use crate::{Hypergraph, HypergraphStats};
+
+/// Structural family of a benchmark instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstanceFamily {
+    /// FEM / structural mesh matrix (row-net model).
+    Mesh,
+    /// FEM-like matrix with long-range couplings (protein contact map).
+    MeshLongRange,
+    /// Unstructured random sparse matrix.
+    RandomSparse,
+    /// Power-law web graph.
+    WebGraph,
+    /// SAT instance, primal model (vertices = variables).
+    SatPrimal,
+    /// SAT instance, dual model (vertices = clauses).
+    SatDual,
+}
+
+/// The paper's Table 1 target shape of one instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct InstanceProfile {
+    /// Vertices in the original instance.
+    pub vertices: usize,
+    /// Hyperedges in the original instance.
+    pub hyperedges: usize,
+    /// Total pins (NNZ) in the original instance.
+    pub pins: usize,
+    /// Average hyperedge cardinality.
+    pub avg_cardinality: f64,
+    /// Hyperedge / vertex ratio.
+    pub edge_vertex_ratio: f64,
+}
+
+/// The ten hypergraphs used throughout the paper's evaluation (Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PaperInstance {
+    /// `sat14_itox_vc1130 dual` — SAT dual model.
+    Sat14ItoxVc1130Dual,
+    /// `2cubes_sphere` — FEM mesh (electromagnetics).
+    TwoCubesSphere,
+    /// `ABACUS_shell_hd` — structural shell model.
+    AbacusShellHd,
+    /// `sparsine` — unstructured sparse matrix.
+    Sparsine,
+    /// `pdb1HYS` — protein contact matrix (dense rows, long-range).
+    Pdb1Hys,
+    /// `sat14_10pipe_q0_k primal` — SAT primal model, many short clauses.
+    Sat14TenPipeQ0KPrimal,
+    /// `sat14_E02F22` — SAT primal model, longer clauses.
+    Sat14E02F22,
+    /// `webbase-1M` — web crawl, power-law.
+    Webbase1M,
+    /// `ship_001` — structural FEM, very dense rows.
+    Ship001,
+    /// `sat14_atco_enc1_opt1_05_21 dual` — SAT dual model, large hyperedges.
+    Sat14AtcoEnc1Opt10521Dual,
+}
+
+impl PaperInstance {
+    /// All ten instances, in the order of the paper's Table 1.
+    pub fn all() -> [PaperInstance; 10] {
+        use PaperInstance::*;
+        [
+            Sat14ItoxVc1130Dual,
+            TwoCubesSphere,
+            AbacusShellHd,
+            Sparsine,
+            Pdb1Hys,
+            Sat14TenPipeQ0KPrimal,
+            Sat14E02F22,
+            Webbase1M,
+            Ship001,
+            Sat14AtcoEnc1Opt10521Dual,
+        ]
+    }
+
+    /// The four instances whose refinement history is plotted in Figure 3.
+    pub fn fig3_instances() -> [PaperInstance; 4] {
+        use PaperInstance::*;
+        [TwoCubesSphere, Sat14ItoxVc1130Dual, Sparsine, AbacusShellHd]
+    }
+
+    /// The dataset name exactly as printed in the paper.
+    pub fn paper_name(&self) -> &'static str {
+        use PaperInstance::*;
+        match self {
+            Sat14ItoxVc1130Dual => "sat14_itox_vc1130_dual",
+            TwoCubesSphere => "2cubes_sphere",
+            AbacusShellHd => "ABACUS_shell_hd",
+            Sparsine => "sparsine",
+            Pdb1Hys => "pdb1HYS",
+            Sat14TenPipeQ0KPrimal => "sat14_10pipe_q0_k_primal",
+            Sat14E02F22 => "sat14_E02F22",
+            Webbase1M => "webbase-1M",
+            Ship001 => "ship_001",
+            Sat14AtcoEnc1Opt10521Dual => "sat14_atco_enc1_opt1_05_21_dual",
+        }
+    }
+
+    /// Structural family used for synthesis.
+    pub fn family(&self) -> InstanceFamily {
+        use PaperInstance::*;
+        match self {
+            Sat14ItoxVc1130Dual | Sat14AtcoEnc1Opt10521Dual => InstanceFamily::SatDual,
+            Sat14TenPipeQ0KPrimal | Sat14E02F22 => InstanceFamily::SatPrimal,
+            TwoCubesSphere | AbacusShellHd | Ship001 => InstanceFamily::Mesh,
+            Pdb1Hys => InstanceFamily::MeshLongRange,
+            Sparsine => InstanceFamily::RandomSparse,
+            Webbase1M => InstanceFamily::WebGraph,
+        }
+    }
+
+    /// The paper's Table 1 statistics for this instance (the synthesis
+    /// target at `scale = 1.0`).
+    pub fn profile(&self) -> InstanceProfile {
+        use PaperInstance::*;
+        let (vertices, hyperedges, pins, avg_cardinality, edge_vertex_ratio) = match self {
+            Sat14ItoxVc1130Dual => (441_729, 152_256, 1_143_974, 7.51, 0.34),
+            TwoCubesSphere => (101_492, 101_492, 1_647_264, 16.23, 1.00),
+            AbacusShellHd => (23_412, 23_412, 218_484, 9.33, 1.00),
+            Sparsine => (50_000, 50_000, 1_548_988, 30.98, 1.00),
+            Pdb1Hys => (36_417, 36_417, 4_344_765, 119.31, 1.00),
+            Sat14TenPipeQ0KPrimal => (77_639, 2_082_017, 6_164_595, 2.96, 26.82),
+            Sat14E02F22 => (27_148, 1_301_188, 11_462_079, 8.81, 47.93),
+            Webbase1M => (1_000_005, 1_000_005, 3_105_536, 3.11, 1.00),
+            Ship001 => (34_920, 34_920, 4_644_230, 133.0, 1.00),
+            Sat14AtcoEnc1Opt10521Dual => (561_784, 59_517, 2_167_217, 36.41, 0.11),
+        };
+        InstanceProfile {
+            vertices,
+            hyperedges,
+            pins,
+            avg_cardinality,
+            edge_vertex_ratio,
+        }
+    }
+
+    /// Generates the synthetic stand-in for this instance.
+    pub fn generate(&self, cfg: &SuiteConfig) -> Hypergraph {
+        let profile = self.profile();
+        let scale = cfg.scale.clamp(1e-4, 1.0);
+        let sv = ((profile.vertices as f64 * scale).round() as usize).max(cfg.min_vertices);
+        let se = ((profile.hyperedges as f64 * scale).round() as usize).max(16);
+        let seed = cfg.seed ^ (*self as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut hg = match self.family() {
+            InstanceFamily::Mesh => mesh_hypergraph(&MeshConfig {
+                num_vertices: sv,
+                target_cardinality: profile.avg_cardinality.round() as usize,
+                jitter: 0.0,
+                seed,
+                name: self.paper_name().to_string(),
+            }),
+            InstanceFamily::MeshLongRange => mesh_hypergraph(&MeshConfig {
+                num_vertices: sv,
+                target_cardinality: profile.avg_cardinality.round() as usize,
+                jitter: 0.15,
+                seed,
+                name: self.paper_name().to_string(),
+            }),
+            InstanceFamily::RandomSparse => random_hypergraph(
+                &RandomConfig {
+                    name: self.paper_name().to_string(),
+                    ..RandomConfig::with_avg_cardinality(sv, se, profile.avg_cardinality, seed)
+                },
+            ),
+            InstanceFamily::WebGraph => powerlaw_hypergraph(&PowerLawConfig {
+                num_vertices: sv,
+                num_hyperedges: se,
+                avg_cardinality: profile.avg_cardinality,
+                exponent: 2.1,
+                locality: 0.8,
+                seed,
+                name: self.paper_name().to_string(),
+            }),
+            InstanceFamily::SatPrimal => {
+                let avg_clause_len = profile.pins as f64 / profile.hyperedges as f64;
+                sat_hypergraph(&SatConfig {
+                    num_variables: sv,
+                    num_clauses: se,
+                    avg_clause_len,
+                    popularity_skew: 0.7,
+                    model: SatModel::Primal,
+                    seed,
+                    name: self.paper_name().to_string(),
+                })
+            }
+            InstanceFamily::SatDual => {
+                // Dual: vertices are clauses, hyperedges are variables.
+                let avg_clause_len = profile.pins as f64 / profile.vertices as f64;
+                sat_hypergraph(&SatConfig {
+                    num_variables: se,
+                    num_clauses: sv,
+                    avg_clause_len,
+                    popularity_skew: 0.7,
+                    model: SatModel::Dual,
+                    seed,
+                    name: self.paper_name().to_string(),
+                })
+            }
+        };
+        hg.set_name(self.paper_name());
+        hg
+    }
+
+    /// Convenience: generate and return the statistics alongside.
+    pub fn generate_with_stats(&self, cfg: &SuiteConfig) -> (Hypergraph, HypergraphStats) {
+        let hg = self.generate(cfg);
+        let stats = HypergraphStats::compute(&hg);
+        (hg, stats)
+    }
+}
+
+impl std::fmt::Display for PaperInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Parameters controlling suite generation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SuiteConfig {
+    /// Linear scale applied to vertex and hyperedge counts (1.0 = paper
+    /// size). Cardinalities are preserved.
+    pub scale: f64,
+    /// RNG seed; each instance derives its own stream from this.
+    pub seed: u64,
+    /// Lower bound on the scaled vertex count (so extreme scales still yield
+    /// workable instances).
+    pub min_vertices: usize,
+}
+
+impl Default for SuiteConfig {
+    fn default() -> Self {
+        Self {
+            scale: 1.0,
+            seed: 2019,
+            min_vertices: 256,
+        }
+    }
+}
+
+impl SuiteConfig {
+    /// Full-size instances (paper scale).
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// A scaled-down configuration suitable for CI / laptop experiments.
+    pub fn scaled(scale: f64) -> Self {
+        Self {
+            scale,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TEST_SCALE: f64 = 0.01;
+
+    #[test]
+    fn all_lists_ten_distinct_instances() {
+        let all = PaperInstance::all();
+        assert_eq!(all.len(), 10);
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_instances_are_a_subset_of_all() {
+        let all = PaperInstance::all();
+        for inst in PaperInstance::fig3_instances() {
+            assert!(all.contains(&inst));
+        }
+    }
+
+    #[test]
+    fn every_instance_generates_a_valid_hypergraph() {
+        let cfg = SuiteConfig::scaled(TEST_SCALE);
+        for inst in PaperInstance::all() {
+            let hg = inst.generate(&cfg);
+            hg.validate()
+                .unwrap_or_else(|e| panic!("{inst}: invalid hypergraph: {e}"));
+            assert_eq!(hg.name(), inst.paper_name());
+            assert!(hg.num_vertices() >= cfg.min_vertices, "{inst} too small");
+            assert!(hg.num_hyperedges() > 0, "{inst} has no hyperedges");
+        }
+    }
+
+    #[test]
+    fn scaled_sizes_track_the_paper_profile() {
+        let cfg = SuiteConfig::scaled(0.02);
+        for inst in [
+            PaperInstance::TwoCubesSphere,
+            PaperInstance::Sparsine,
+            PaperInstance::Webbase1M,
+        ] {
+            let profile = inst.profile();
+            let hg = inst.generate(&cfg);
+            let expected_v = (profile.vertices as f64 * 0.02).round();
+            let ratio = hg.num_vertices() as f64 / expected_v;
+            assert!(
+                (0.8..1.2).contains(&ratio),
+                "{inst}: vertices {} vs expected {expected_v}",
+                hg.num_vertices()
+            );
+        }
+    }
+
+    #[test]
+    fn cardinality_profile_is_preserved_under_scaling() {
+        let cfg = SuiteConfig::scaled(0.02);
+        for inst in [
+            PaperInstance::TwoCubesSphere,
+            PaperInstance::Pdb1Hys,
+            PaperInstance::Sparsine,
+        ] {
+            let hg = inst.generate(&cfg);
+            let target = inst.profile().avg_cardinality;
+            let got = hg.avg_cardinality();
+            assert!(
+                (got - target).abs() / target < 0.35,
+                "{inst}: avg cardinality {got} vs target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn dual_instances_have_more_vertices_than_hyperedges() {
+        let cfg = SuiteConfig::scaled(TEST_SCALE);
+        for inst in [
+            PaperInstance::Sat14ItoxVc1130Dual,
+            PaperInstance::Sat14AtcoEnc1Opt10521Dual,
+        ] {
+            let hg = inst.generate(&cfg);
+            assert!(
+                hg.num_vertices() > hg.num_hyperedges(),
+                "{inst}: dual model should have |V| > |E|"
+            );
+        }
+    }
+
+    #[test]
+    fn primal_instances_have_more_hyperedges_than_vertices() {
+        let cfg = SuiteConfig::scaled(TEST_SCALE);
+        for inst in [
+            PaperInstance::Sat14TenPipeQ0KPrimal,
+            PaperInstance::Sat14E02F22,
+        ] {
+            let hg = inst.generate(&cfg);
+            assert!(
+                hg.num_hyperedges() > hg.num_vertices(),
+                "{inst}: primal model should have |E| > |V|"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SuiteConfig::scaled(TEST_SCALE);
+        let a = PaperInstance::Sparsine.generate(&cfg);
+        let b = PaperInstance::Sparsine.generate(&cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_give_different_instances() {
+        let a = PaperInstance::Sparsine.generate(&SuiteConfig::scaled(TEST_SCALE).with_seed(1));
+        let b = PaperInstance::Sparsine.generate(&SuiteConfig::scaled(TEST_SCALE).with_seed(2));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn paper_names_are_unique() {
+        let mut names: Vec<_> = PaperInstance::all()
+            .iter()
+            .map(|i| i.paper_name())
+            .collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+}

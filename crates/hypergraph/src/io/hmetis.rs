@@ -1,0 +1,284 @@
+//! hMetis `.hgr` format reader/writer.
+//!
+//! Format (as used by hMetis, PaToH converters and KaHyPar, and by the
+//! benchmark set the paper draws from):
+//!
+//! ```text
+//! % comment lines start with '%'
+//! <num_hyperedges> <num_vertices> [fmt]
+//! [edge_weight] v1 v2 v3 ...      (one line per hyperedge, 1-based ids)
+//! ...
+//! [vertex_weight]                 (one line per vertex, if fmt has weights)
+//! ```
+//!
+//! `fmt` is omitted or one of `1` (hyperedge weights), `10` (vertex weights)
+//! or `11` (both).
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::io::{IoError, IoResult};
+use crate::{Hypergraph, HypergraphBuilder, VertexId};
+
+/// Reads a hypergraph in hMetis format from a buffered reader.
+pub fn read_hgr<R: BufRead>(reader: R) -> IoResult<Hypergraph> {
+    let mut lines = reader.lines().enumerate();
+
+    // Find the header (skipping comments and blank lines).
+    let (header_line_no, header) = loop {
+        match lines.next() {
+            Some((i, line)) => {
+                let line = line?;
+                let trimmed = line.trim();
+                if trimmed.is_empty() || trimmed.starts_with('%') {
+                    continue;
+                }
+                break (i + 1, trimmed.to_string());
+            }
+            None => return Err(IoError::parse(1, "empty file: missing header")),
+        }
+    };
+
+    let mut parts = header.split_whitespace();
+    let num_edges: usize = parts
+        .next()
+        .ok_or_else(|| IoError::parse(header_line_no, "missing hyperedge count"))?
+        .parse()
+        .map_err(|_| IoError::parse(header_line_no, "invalid hyperedge count"))?;
+    let num_vertices: usize = parts
+        .next()
+        .ok_or_else(|| IoError::parse(header_line_no, "missing vertex count"))?
+        .parse()
+        .map_err(|_| IoError::parse(header_line_no, "invalid vertex count"))?;
+    let fmt: u32 = match parts.next() {
+        Some(tok) => tok
+            .parse()
+            .map_err(|_| IoError::parse(header_line_no, "invalid fmt field"))?,
+        None => 0,
+    };
+    let has_edge_weights = fmt == 1 || fmt == 11;
+    let has_vertex_weights = fmt == 10 || fmt == 11;
+
+    let mut builder = HypergraphBuilder::with_capacity(num_vertices, num_edges);
+    let mut edges_read = 0usize;
+    let mut vertex_weights_read = 0usize;
+
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        if edges_read < num_edges {
+            let mut tokens = trimmed.split_whitespace();
+            let weight = if has_edge_weights {
+                let w: f64 = tokens
+                    .next()
+                    .ok_or_else(|| IoError::parse(line_no, "missing hyperedge weight"))?
+                    .parse()
+                    .map_err(|_| IoError::parse(line_no, "invalid hyperedge weight"))?;
+                w
+            } else {
+                1.0
+            };
+            let mut pins: Vec<VertexId> = Vec::new();
+            for tok in tokens {
+                let v: usize = tok
+                    .parse()
+                    .map_err(|_| IoError::parse(line_no, format!("invalid vertex id '{tok}'")))?;
+                if v == 0 || v > num_vertices {
+                    return Err(IoError::parse(
+                        line_no,
+                        format!("vertex id {v} out of range 1..={num_vertices}"),
+                    ));
+                }
+                pins.push((v - 1) as VertexId);
+            }
+            if pins.is_empty() {
+                return Err(IoError::parse(line_no, "hyperedge with no pins"));
+            }
+            builder.add_weighted_hyperedge(pins, weight);
+            edges_read += 1;
+        } else if has_vertex_weights && vertex_weights_read < num_vertices {
+            let w: f64 = trimmed
+                .parse()
+                .map_err(|_| IoError::parse(line_no, "invalid vertex weight"))?;
+            builder.set_vertex_weight(vertex_weights_read as VertexId, w);
+            vertex_weights_read += 1;
+        } else {
+            return Err(IoError::parse(line_no, "unexpected extra data"));
+        }
+    }
+
+    if edges_read != num_edges {
+        return Err(IoError::parse(
+            header_line_no,
+            format!("expected {num_edges} hyperedges, found {edges_read}"),
+        ));
+    }
+    if has_vertex_weights && vertex_weights_read != num_vertices {
+        return Err(IoError::parse(
+            header_line_no,
+            format!("expected {num_vertices} vertex weights, found {vertex_weights_read}"),
+        ));
+    }
+    builder.ensure_vertices(num_vertices);
+    Ok(builder.build())
+}
+
+/// Reads a hypergraph in hMetis format from a file path. The file stem is
+/// used as the hypergraph name.
+pub fn read_hgr_file(path: impl AsRef<Path>) -> IoResult<Hypergraph> {
+    let path = path.as_ref();
+    let file = File::open(path)?;
+    let mut hg = read_hgr(BufReader::new(file))?;
+    if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+        hg.set_name(stem);
+    }
+    Ok(hg)
+}
+
+/// Writes a hypergraph in hMetis format. Hyperedge weights are emitted only
+/// when at least one differs from 1.0; likewise for vertex weights.
+pub fn write_hgr<W: Write>(hg: &Hypergraph, mut writer: W) -> IoResult<()> {
+    let has_edge_weights = hg.hyperedges().any(|e| hg.edge_weight(e) != 1.0);
+    let has_vertex_weights = hg.vertices().any(|v| hg.vertex_weight(v) != 1.0);
+    let fmt = match (has_edge_weights, has_vertex_weights) {
+        (false, false) => None,
+        (true, false) => Some(1),
+        (false, true) => Some(10),
+        (true, true) => Some(11),
+    };
+    writeln!(writer, "% {}", hg.name())?;
+    match fmt {
+        Some(f) => writeln!(
+            writer,
+            "{} {} {}",
+            hg.num_hyperedges(),
+            hg.num_vertices(),
+            f
+        )?,
+        None => writeln!(writer, "{} {}", hg.num_hyperedges(), hg.num_vertices())?,
+    }
+    for e in hg.hyperedges() {
+        let mut line = String::new();
+        if has_edge_weights {
+            line.push_str(&format!("{} ", hg.edge_weight(e)));
+        }
+        let pins: Vec<String> = hg.pins(e).iter().map(|&v| (v + 1).to_string()).collect();
+        line.push_str(&pins.join(" "));
+        writeln!(writer, "{line}")?;
+    }
+    if has_vertex_weights {
+        for v in hg.vertices() {
+            writeln!(writer, "{}", hg.vertex_weight(v))?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a hypergraph in hMetis format to a file path.
+pub fn write_hgr_file(hg: &Hypergraph, path: impl AsRef<Path>) -> IoResult<()> {
+    let file = File::create(path)?;
+    write_hgr(hg, BufWriter::new(file))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn reads_unweighted_file() {
+        let text = "% a comment\n3 5\n1 2 3\n3 4\n1 4 5\n";
+        let hg = read_hgr(Cursor::new(text)).unwrap();
+        assert_eq!(hg.num_vertices(), 5);
+        assert_eq!(hg.num_hyperedges(), 3);
+        assert_eq!(hg.pins(0), &[0, 1, 2]);
+        assert_eq!(hg.pins(2), &[0, 3, 4]);
+        hg.validate().unwrap();
+    }
+
+    #[test]
+    fn reads_edge_weights() {
+        let text = "2 3 1\n2.5 1 2\n1.0 2 3\n";
+        let hg = read_hgr(Cursor::new(text)).unwrap();
+        assert_eq!(hg.edge_weight(0), 2.5);
+        assert_eq!(hg.edge_weight(1), 1.0);
+    }
+
+    #[test]
+    fn reads_vertex_weights() {
+        let text = "1 3 10\n1 2 3\n5\n1\n2\n";
+        let hg = read_hgr(Cursor::new(text)).unwrap();
+        assert_eq!(hg.vertex_weight(0), 5.0);
+        assert_eq!(hg.vertex_weight(2), 2.0);
+    }
+
+    #[test]
+    fn reads_both_weights() {
+        let text = "1 2 11\n4 1 2\n3\n7\n";
+        let hg = read_hgr(Cursor::new(text)).unwrap();
+        assert_eq!(hg.edge_weight(0), 4.0);
+        assert_eq!(hg.vertex_weight(1), 7.0);
+    }
+
+    #[test]
+    fn rejects_out_of_range_vertex() {
+        let text = "1 3\n1 4\n";
+        let err = read_hgr(Cursor::new(text)).unwrap_err();
+        assert!(format!("{err}").contains("out of range"));
+    }
+
+    #[test]
+    fn rejects_missing_edges() {
+        let text = "3 3\n1 2\n";
+        let err = read_hgr(Cursor::new(text)).unwrap_err();
+        assert!(format!("{err}").contains("expected 3 hyperedges"));
+    }
+
+    #[test]
+    fn rejects_empty_file() {
+        let err = read_hgr(Cursor::new("")).unwrap_err();
+        assert!(format!("{err}").contains("empty file"));
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut b = crate::HypergraphBuilder::new(6);
+        b.name("roundtrip");
+        b.add_hyperedge([0u32, 1, 2]);
+        b.add_weighted_hyperedge([3u32, 4, 5], 2.0);
+        b.set_vertex_weight(5, 3.0);
+        let hg = b.build();
+
+        let mut buf = Vec::new();
+        write_hgr(&hg, &mut buf).unwrap();
+        let read_back = read_hgr(Cursor::new(buf)).unwrap();
+        assert_eq!(read_back.num_vertices(), hg.num_vertices());
+        assert_eq!(read_back.num_hyperedges(), hg.num_hyperedges());
+        for e in hg.hyperedges() {
+            assert_eq!(read_back.pins(e), hg.pins(e));
+            assert_eq!(read_back.edge_weight(e), hg.edge_weight(e));
+        }
+        for v in hg.vertices() {
+            assert_eq!(read_back.vertex_weight(v), hg.vertex_weight(v));
+        }
+    }
+
+    #[test]
+    fn file_round_trip_uses_stem_as_name() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("hyperpraw_hgr_test_{}.hgr", std::process::id()));
+        let mut b = crate::HypergraphBuilder::new(3);
+        b.add_hyperedge([0u32, 1, 2]);
+        let hg = b.build();
+        write_hgr_file(&hg, &path).unwrap();
+        let read_back = read_hgr_file(&path).unwrap();
+        assert!(read_back.name().starts_with("hyperpraw_hgr_test_"));
+        assert_eq!(read_back.num_hyperedges(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,88 @@
+//! Reading and writing hypergraphs in common on-disk formats.
+//!
+//! * [`hmetis`] — the hMetis / PaToH / KaHyPar `.hgr` text format used by the
+//!   paper's benchmark collection,
+//! * [`matrix_market`] — MatrixMarket `.mtx` coordinate files (SuiteSparse
+//!   matrices), converted with the row-net or column-net model,
+//! * [`edgelist`] — a trivial one-hyperedge-per-line format used by the
+//!   examples.
+//!
+//! All readers are generic over [`std::io::BufRead`] so tests can use
+//! in-memory cursors, with `*_file` convenience wrappers for paths.
+
+use std::fmt;
+use std::io;
+
+pub mod edgelist;
+pub mod hmetis;
+pub mod matrix_market;
+
+/// Errors arising while reading a hypergraph file.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The file contents could not be parsed.
+    Parse {
+        /// 1-based line number where the problem was found.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl IoError {
+    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
+        Self::Parse {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "I/O error: {e}"),
+            Self::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            Self::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Result alias for hypergraph IO.
+pub type IoResult<T> = Result<T, IoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_display_mentions_line() {
+        let e = IoError::parse(7, "bad token");
+        let s = format!("{e}");
+        assert!(s.contains("line 7"));
+        assert!(s.contains("bad token"));
+    }
+
+    #[test]
+    fn io_error_wraps_source() {
+        let e: IoError = io::Error::new(io::ErrorKind::NotFound, "missing").into();
+        assert!(format!("{e}").contains("missing"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

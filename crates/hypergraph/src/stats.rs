@@ -1,0 +1,139 @@
+//! Summary statistics of a hypergraph instance (the paper's Table 1).
+
+use std::fmt;
+
+use crate::Hypergraph;
+
+/// The descriptive statistics reported for each benchmark hypergraph in the
+/// paper's Table 1, plus a few extras useful for sanity-checking generated
+/// instances.
+#[derive(Clone, Debug, PartialEq)]
+pub struct HypergraphStats {
+    /// Instance name.
+    pub name: String,
+    /// Number of vertices `|V|`.
+    pub vertices: usize,
+    /// Number of hyperedges `|E|`.
+    pub hyperedges: usize,
+    /// Total number of pins ("Total NNZ" in Table 1).
+    pub pins: usize,
+    /// Average hyperedge cardinality ("Avg cardinality").
+    pub avg_cardinality: f64,
+    /// Maximum hyperedge cardinality.
+    pub max_cardinality: usize,
+    /// Ratio `|E| / |V|` ("hyperedge/vertex").
+    pub edge_vertex_ratio: f64,
+    /// Average vertex degree.
+    pub avg_degree: f64,
+    /// Maximum vertex degree.
+    pub max_degree: usize,
+}
+
+impl HypergraphStats {
+    /// Computes the statistics for a hypergraph.
+    pub fn compute(hg: &Hypergraph) -> Self {
+        Self {
+            name: hg.name().to_string(),
+            vertices: hg.num_vertices(),
+            hyperedges: hg.num_hyperedges(),
+            pins: hg.num_pins(),
+            avg_cardinality: hg.avg_cardinality(),
+            max_cardinality: hg.max_cardinality(),
+            edge_vertex_ratio: if hg.num_vertices() == 0 {
+                0.0
+            } else {
+                hg.num_hyperedges() as f64 / hg.num_vertices() as f64
+            },
+            avg_degree: hg.avg_degree(),
+            max_degree: hg.max_degree(),
+        }
+    }
+
+    /// Header row matching [`HypergraphStats::csv_row`].
+    pub fn csv_header() -> &'static str {
+        "name,vertices,hyperedges,pins,avg_cardinality,max_cardinality,edge_vertex_ratio,avg_degree,max_degree"
+    }
+
+    /// Comma-separated row, for the Table 1 harness output.
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{:.2},{},{:.2},{:.2},{}",
+            self.name,
+            self.vertices,
+            self.hyperedges,
+            self.pins,
+            self.avg_cardinality,
+            self.max_cardinality,
+            self.edge_vertex_ratio,
+            self.avg_degree,
+            self.max_degree
+        )
+    }
+}
+
+impl fmt::Display for HypergraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<32} |V|={:>9} |E|={:>9} pins={:>10} avg|e|={:>8.2} |E|/|V|={:>6.2}",
+            self.name,
+            self.vertices,
+            self.hyperedges,
+            self.pins,
+            self.avg_cardinality,
+            self.edge_vertex_ratio
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HypergraphBuilder;
+
+    fn sample() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(5);
+        b.name("stats-sample");
+        b.add_hyperedge([0u32, 1, 2, 3]);
+        b.add_hyperedge([3u32, 4]);
+        b.build()
+    }
+
+    #[test]
+    fn stats_match_manual_computation() {
+        let s = HypergraphStats::compute(&sample());
+        assert_eq!(s.name, "stats-sample");
+        assert_eq!(s.vertices, 5);
+        assert_eq!(s.hyperedges, 2);
+        assert_eq!(s.pins, 6);
+        assert!((s.avg_cardinality - 3.0).abs() < 1e-12);
+        assert_eq!(s.max_cardinality, 4);
+        assert!((s.edge_vertex_ratio - 0.4).abs() < 1e-12);
+        assert!((s.avg_degree - 1.2).abs() < 1e-12);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn csv_row_has_same_field_count_as_header() {
+        let s = HypergraphStats::compute(&sample());
+        let header_fields = HypergraphStats::csv_header().split(',').count();
+        let row_fields = s.csv_row().split(',').count();
+        assert_eq!(header_fields, row_fields);
+    }
+
+    #[test]
+    fn display_contains_name_and_sizes() {
+        let s = HypergraphStats::compute(&sample());
+        let out = format!("{s}");
+        assert!(out.contains("stats-sample"));
+        assert!(out.contains("|V|="));
+    }
+
+    #[test]
+    fn empty_hypergraph_has_zero_ratio() {
+        let hg = HypergraphBuilder::new(0).build();
+        let s = HypergraphStats::compute(&hg);
+        assert_eq!(s.edge_vertex_ratio, 0.0);
+        assert_eq!(s.avg_cardinality, 0.0);
+    }
+}

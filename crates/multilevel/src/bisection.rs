@@ -1,0 +1,116 @@
+//! The multilevel bisection driver: coarsen → initial partition → project
+//! and refine back up the hierarchy.
+
+use hyperpraw_hypergraph::Hypergraph;
+
+use crate::coarsen::{coarsen_hierarchy, project_assignment};
+use crate::initial::{best_initial_bisection, Bisection};
+use crate::refine::fm_refine;
+use crate::MultilevelConfig;
+
+/// Bisects a hypergraph with the multilevel scheme, targeting `fraction` of
+/// the total vertex weight on side 0 and the configured imbalance tolerance.
+pub fn multilevel_bisection(
+    hg: &Hypergraph,
+    config: &MultilevelConfig,
+    fraction: f64,
+) -> Bisection {
+    let total = hg.total_vertex_weight();
+    let max_weights = [
+        config.max_part_weight(total, fraction),
+        config.max_part_weight(total, 1.0 - fraction),
+    ];
+
+    // 1. Coarsen.
+    let hierarchy = coarsen_hierarchy(hg, config);
+    let coarsest: &Hypergraph = hierarchy
+        .last()
+        .map(|l| &l.hypergraph)
+        .unwrap_or(hg);
+
+    // 2. Initial partition of the coarsest hypergraph.
+    let initial = best_initial_bisection(coarsest, config, fraction);
+    let mut bisection = fm_refine(coarsest, initial, max_weights, config.fm_passes);
+
+    // 3. Uncoarsen: project through each level and refine.
+    for level_index in (0..hierarchy.len()).rev() {
+        let level = &hierarchy[level_index];
+        let finer: &Hypergraph = if level_index == 0 {
+            hg
+        } else {
+            &hierarchy[level_index - 1].hypergraph
+        };
+        let projected = project_assignment(&level.fine_to_coarse, &bisection.assignment);
+        let projected = Bisection::evaluate(finer, projected);
+        bisection = fm_refine(finer, projected, max_weights, config.fm_passes);
+    }
+
+    bisection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpraw_hypergraph::generators::{mesh_hypergraph, random_hypergraph, MeshConfig, RandomConfig};
+    use hyperpraw_hypergraph::{metrics, Partition};
+
+    #[test]
+    fn bisection_of_a_mesh_is_balanced_and_low_cut() {
+        let hg = mesh_hypergraph(&MeshConfig::new(2000, 8));
+        let config = MultilevelConfig::default();
+        let bis = multilevel_bisection(&hg, &config, 0.5);
+        let total = hg.total_vertex_weight();
+        assert!(bis.part_weights[0] <= config.max_part_weight(total, 0.5) + 1e-9);
+        assert!(bis.part_weights[1] <= config.max_part_weight(total, 0.5) + 1e-9);
+        // A mesh of 2000 vertices with ~8-pin local stencils has a small
+        // surface-to-volume ratio: the cut should be far below the edge count.
+        assert!(
+            (bis.cut as f64) < 0.25 * hg.num_hyperedges() as f64,
+            "cut {} too large for a mesh",
+            bis.cut
+        );
+    }
+
+    #[test]
+    fn multilevel_beats_flat_random_bisection() {
+        let hg = mesh_hypergraph(&MeshConfig::new(3000, 10));
+        let config = MultilevelConfig::default();
+        let ml = multilevel_bisection(&hg, &config, 0.5);
+        let random = crate::initial::random_bisection(&hg, 0.5, 1);
+        assert!(
+            ml.cut < 0.5 * random.cut,
+            "multilevel cut {} should be well below random {}",
+            ml.cut,
+            random.cut
+        );
+    }
+
+    #[test]
+    fn bisection_matches_partition_metrics() {
+        let hg = random_hypergraph(&RandomConfig::with_avg_cardinality(600, 400, 6.0, 3));
+        let bis = multilevel_bisection(&hg, &MultilevelConfig::default(), 0.5);
+        let part = Partition::from_assignment(bis.assignment.clone(), 2).unwrap();
+        let cut = metrics::weighted_hyperedge_cut(&hg, &part);
+        assert!((cut - bis.cut).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let hg = mesh_hypergraph(&MeshConfig::new(800, 8));
+        let config = MultilevelConfig::default().with_seed(5);
+        let a = multilevel_bisection(&hg, &config, 0.5);
+        let b = multilevel_bisection(&hg, &config, 0.5);
+        assert_eq!(a.assignment, b.assignment);
+    }
+
+    #[test]
+    fn small_hypergraphs_skip_coarsening_gracefully() {
+        let hg = mesh_hypergraph(&MeshConfig::new(50, 6));
+        let config = MultilevelConfig {
+            coarsen_until: 200,
+            ..MultilevelConfig::default()
+        };
+        let bis = multilevel_bisection(&hg, &config, 0.5);
+        assert_eq!(bis.assignment.len(), 50);
+    }
+}

@@ -1,0 +1,308 @@
+//! Coarsening by heavy-connectivity vertex matching.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+use hyperpraw_hypergraph::{Hypergraph, HypergraphBuilder, VertexId};
+
+use crate::MultilevelConfig;
+
+/// One coarsening step: the contracted hypergraph plus the projection map.
+#[derive(Clone, Debug)]
+pub struct CoarseLevel {
+    /// The contracted hypergraph.
+    pub hypergraph: Hypergraph,
+    /// For every vertex of the *finer* hypergraph, the coarse vertex it was
+    /// contracted into.
+    pub fine_to_coarse: Vec<VertexId>,
+}
+
+/// Performs one round of heavy-connectivity matching and contraction.
+///
+/// Two vertices are good contraction candidates when they share many
+/// hyperedges, weighted towards small hyperedges (`w(e) / (|e| − 1)`), the
+/// same heuristic used by PaToH/Zoltan ("heavy connectivity" / inner-product
+/// matching). Vertices are visited in random order; each unmatched vertex is
+/// paired with its best unmatched neighbour.
+pub fn coarsen_once(hg: &Hypergraph, seed: u64) -> CoarseLevel {
+    let n = hg.num_vertices();
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+
+    // Scratch accumulation of connectivity scores keyed by neighbour.
+    let mut score_epoch = vec![0u32; n];
+    let mut score_val = vec![0.0f64; n];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut epoch = 0u32;
+
+    for &v in &order {
+        if mate[v as usize] != UNMATCHED {
+            continue;
+        }
+        epoch += 1;
+        touched.clear();
+        for &e in hg.incident_edges(v) {
+            let card = hg.cardinality(e);
+            if card < 2 {
+                continue;
+            }
+            let w = hg.edge_weight(e) / (card as f64 - 1.0);
+            for &u in hg.pins(e) {
+                if u == v || mate[u as usize] != UNMATCHED {
+                    continue;
+                }
+                if score_epoch[u as usize] != epoch {
+                    score_epoch[u as usize] = epoch;
+                    score_val[u as usize] = 0.0;
+                    touched.push(u);
+                }
+                score_val[u as usize] += w;
+            }
+        }
+        // Pick the best-scoring unmatched neighbour (ties broken by id for
+        // determinism).
+        let mut best: Option<(f64, u32)> = None;
+        for &u in &touched {
+            let s = score_val[u as usize];
+            match best {
+                None => best = Some((s, u)),
+                Some((bs, bu)) => {
+                    if s > bs + 1e-12 || ((s - bs).abs() <= 1e-12 && u < bu) {
+                        best = Some((s, u));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((_, u)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => {
+                mate[v as usize] = v; // stays alone
+            }
+        }
+    }
+
+    // Assign coarse ids: one per matched pair / singleton, in vertex order.
+    let mut fine_to_coarse = vec![UNMATCHED; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if fine_to_coarse[v as usize] != UNMATCHED {
+            continue;
+        }
+        let m = mate[v as usize];
+        fine_to_coarse[v as usize] = next;
+        if m != v && m != UNMATCHED {
+            fine_to_coarse[m as usize] = next;
+        }
+        next += 1;
+    }
+    let coarse_n = next as usize;
+
+    // Aggregate vertex weights.
+    let mut coarse_weights = vec![0.0f64; coarse_n];
+    for v in 0..n {
+        coarse_weights[fine_to_coarse[v] as usize] += hg.vertex_weight(v as VertexId);
+    }
+
+    // Project hyperedges, dropping those that collapse to a single coarse
+    // vertex and merging identical nets (summing their weights).
+    let mut nets: HashMap<Vec<VertexId>, f64> = HashMap::new();
+    let mut pins: Vec<VertexId> = Vec::new();
+    for e in hg.hyperedges() {
+        pins.clear();
+        pins.extend(hg.pins(e).iter().map(|&v| fine_to_coarse[v as usize]));
+        pins.sort_unstable();
+        pins.dedup();
+        if pins.len() < 2 {
+            continue;
+        }
+        *nets.entry(pins.clone()).or_insert(0.0) += hg.edge_weight(e);
+    }
+    // Deterministic order for the builder.
+    let mut net_list: Vec<(Vec<VertexId>, f64)> = nets.into_iter().collect();
+    net_list.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+    let mut builder = HypergraphBuilder::with_capacity(coarse_n, net_list.len());
+    builder.name(format!("{}-coarse", hg.name()));
+    for (net, w) in net_list {
+        builder.add_weighted_hyperedge(net, w);
+    }
+    builder.ensure_vertices(coarse_n);
+    for (cv, &w) in coarse_weights.iter().enumerate() {
+        builder.set_vertex_weight(cv as VertexId, w);
+    }
+    CoarseLevel {
+        hypergraph: builder.build(),
+        fine_to_coarse,
+    }
+}
+
+/// Builds the full coarsening hierarchy. `levels[0]` contracts the input
+/// hypergraph; `levels[i]` contracts `levels[i-1].hypergraph`. Coarsening
+/// stops when the hypergraph is small enough, stops shrinking, or the level
+/// limit is reached.
+pub fn coarsen_hierarchy(hg: &Hypergraph, config: &MultilevelConfig) -> Vec<CoarseLevel> {
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    let mut current = hg.clone();
+    for level in 0..config.max_levels {
+        if current.num_vertices() <= config.coarsen_until {
+            break;
+        }
+        let next = coarsen_once(&current, config.seed.wrapping_add(level as u64));
+        let shrink = next.hypergraph.num_vertices() as f64 / current.num_vertices() as f64;
+        let done = shrink > 0.95;
+        current = next.hypergraph.clone();
+        levels.push(next);
+        if done {
+            break;
+        }
+    }
+    levels
+}
+
+/// Projects a coarse-level assignment back to the finer level.
+pub fn project_assignment(fine_to_coarse: &[VertexId], coarse_assignment: &[u32]) -> Vec<u32> {
+    fine_to_coarse
+        .iter()
+        .map(|&cv| coarse_assignment[cv as usize])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
+
+    fn mesh(n: usize) -> Hypergraph {
+        mesh_hypergraph(&MeshConfig::new(n, 8))
+    }
+
+    #[test]
+    fn one_round_roughly_halves_the_vertex_count() {
+        let hg = mesh(1000);
+        let level = coarsen_once(&hg, 1);
+        let cn = level.hypergraph.num_vertices();
+        assert!(cn < 700, "expected significant contraction, got {cn}");
+        assert!(cn >= 500, "cannot contract below half, got {cn}");
+        level.hypergraph.validate().unwrap();
+    }
+
+    #[test]
+    fn total_vertex_weight_is_conserved() {
+        let hg = mesh(500);
+        let level = coarsen_once(&hg, 3);
+        assert!(
+            (level.hypergraph.total_vertex_weight() - hg.total_vertex_weight()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn fine_to_coarse_is_a_valid_surjection() {
+        let hg = mesh(300);
+        let level = coarsen_once(&hg, 5);
+        let cn = level.hypergraph.num_vertices() as u32;
+        assert_eq!(level.fine_to_coarse.len(), hg.num_vertices());
+        let mut seen = vec![false; cn as usize];
+        for &cv in &level.fine_to_coarse {
+            assert!(cv < cn);
+            seen[cv as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every coarse vertex must be used");
+        // At most two fine vertices map to each coarse vertex.
+        let mut counts = vec![0usize; cn as usize];
+        for &cv in &level.fine_to_coarse {
+            counts[cv as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c <= 2));
+    }
+
+    #[test]
+    fn collapsed_hyperedges_are_dropped() {
+        // A triangle that will fully collapse when both pairs merge.
+        let mut b = HypergraphBuilder::new(2);
+        b.add_hyperedge([0u32, 1]);
+        b.add_hyperedge([0u32, 1]);
+        let hg = b.build();
+        let level = coarsen_once(&hg, 0);
+        // Vertices 0 and 1 are each other's only neighbour, so they merge and
+        // both hyperedges vanish.
+        assert_eq!(level.hypergraph.num_vertices(), 1);
+        assert_eq!(level.hypergraph.num_hyperedges(), 0);
+    }
+
+    #[test]
+    fn identical_nets_are_merged_with_summed_weight() {
+        // Two distinct hyperedges that become identical after contraction.
+        let mut b = HypergraphBuilder::new(4);
+        b.add_hyperedge([0u32, 2]);
+        b.add_hyperedge([1u32, 3]);
+        b.add_hyperedge([0u32, 1]); // encourages 0-1 matching
+        b.add_hyperedge([2u32, 3]); // encourages 2-3 matching
+        let hg = b.build();
+        let level = coarsen_once(&hg, 7);
+        if level.hypergraph.num_vertices() == 2 {
+            // {0,1} and {2,3} merged: the two cross edges {0,2} and {1,3}
+            // become one identical coarse net carrying their summed weight,
+            // while the intra-pair edges collapse and are dropped.
+            assert_eq!(level.hypergraph.num_hyperedges(), 1);
+            assert_eq!(level.hypergraph.edge_weight(0), 2.0);
+        }
+    }
+
+    #[test]
+    fn hierarchy_shrinks_until_threshold() {
+        let hg = mesh(2000);
+        let config = MultilevelConfig {
+            coarsen_until: 100,
+            ..MultilevelConfig::default()
+        };
+        let levels = coarsen_hierarchy(&hg, &config);
+        assert!(!levels.is_empty());
+        let coarsest = &levels.last().unwrap().hypergraph;
+        assert!(
+            coarsest.num_vertices() <= 200,
+            "coarsest still has {} vertices",
+            coarsest.num_vertices()
+        );
+        // Strictly decreasing sizes.
+        let mut prev = hg.num_vertices();
+        for l in &levels {
+            assert!(l.hypergraph.num_vertices() < prev);
+            prev = l.hypergraph.num_vertices();
+        }
+    }
+
+    #[test]
+    fn projection_round_trips_through_a_level() {
+        let hg = mesh(400);
+        let level = coarsen_once(&hg, 11);
+        let coarse_n = level.hypergraph.num_vertices();
+        let coarse_assignment: Vec<u32> = (0..coarse_n as u32).map(|v| v % 3).collect();
+        let fine = project_assignment(&level.fine_to_coarse, &coarse_assignment);
+        assert_eq!(fine.len(), hg.num_vertices());
+        for (v, &part) in fine.iter().enumerate() {
+            assert_eq!(
+                part,
+                coarse_assignment[level.fine_to_coarse[v] as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn coarsening_is_deterministic_per_seed() {
+        let hg = mesh(600);
+        let a = coarsen_once(&hg, 9);
+        let b = coarsen_once(&hg, 9);
+        assert_eq!(a.hypergraph, b.hypergraph);
+        assert_eq!(a.fine_to_coarse, b.fine_to_coarse);
+    }
+
+    use hyperpraw_hypergraph::HypergraphBuilder;
+}

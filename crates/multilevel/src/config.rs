@@ -1,0 +1,98 @@
+//! Configuration of the multilevel partitioner.
+
+/// Tuning parameters of the multilevel recursive-bisection partitioner.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MultilevelConfig {
+    /// Allowed total imbalance, expressed like the paper's tolerance:
+    /// `max_k W(k) / avg_k W(k) <= imbalance_tolerance` (e.g. 1.1 = 10%).
+    pub imbalance_tolerance: f64,
+    /// Stop coarsening when the hypergraph has at most this many vertices.
+    pub coarsen_until: usize,
+    /// Upper bound on the number of coarsening levels (safety valve for
+    /// hypergraphs that stop contracting).
+    pub max_levels: usize,
+    /// Number of randomised initial-partitioning trials; the best feasible
+    /// bisection is kept.
+    pub initial_trials: usize,
+    /// Number of FM refinement passes per level.
+    pub fm_passes: usize,
+    /// RNG seed (the partitioner is deterministic for a given seed).
+    pub seed: u64,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        Self {
+            imbalance_tolerance: 1.1,
+            coarsen_until: 200,
+            max_levels: 25,
+            initial_trials: 8,
+            fm_passes: 4,
+            seed: 0,
+        }
+    }
+}
+
+impl MultilevelConfig {
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the imbalance tolerance.
+    pub fn with_imbalance_tolerance(mut self, tol: f64) -> Self {
+        assert!(tol >= 1.0, "imbalance tolerance must be >= 1.0");
+        self.imbalance_tolerance = tol;
+        self
+    }
+
+    /// The maximum part weight allowed for a bisection of total weight
+    /// `total` into parts with target fractions `fraction` and
+    /// `1 - fraction`.
+    ///
+    /// The paper's imbalance definition (`max/avg <= tol`) translates, for a
+    /// two-way split with target fraction `f`, to
+    /// `W(part) <= tol * f * total`.
+    pub fn max_part_weight(&self, total: f64, fraction: f64) -> f64 {
+        self.imbalance_tolerance * fraction * total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MultilevelConfig::default();
+        assert!(c.imbalance_tolerance > 1.0);
+        assert!(c.coarsen_until > 0);
+        assert!(c.initial_trials > 0);
+        assert!(c.fm_passes > 0);
+    }
+
+    #[test]
+    fn builder_methods_override_fields() {
+        let c = MultilevelConfig::default()
+            .with_seed(42)
+            .with_imbalance_tolerance(1.05);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.imbalance_tolerance, 1.05);
+    }
+
+    #[test]
+    fn max_part_weight_scales_with_fraction() {
+        let c = MultilevelConfig::default().with_imbalance_tolerance(1.1);
+        let even = c.max_part_weight(100.0, 0.5);
+        assert!((even - 55.0).abs() < 1e-12);
+        let third = c.max_part_weight(90.0, 1.0 / 3.0);
+        assert!((third - 33.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1.0")]
+    fn tolerance_below_one_is_rejected() {
+        MultilevelConfig::default().with_imbalance_tolerance(0.9);
+    }
+}

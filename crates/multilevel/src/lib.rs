@@ -1,0 +1,39 @@
+//! A multilevel recursive-bisection hypergraph partitioner — the baseline
+//! the paper compares HyperPRAW against (Zoltan's PHG partitioner).
+//!
+//! Zoltan itself is a large C library; this crate implements the same
+//! algorithmic recipe from scratch so the comparison can run anywhere:
+//!
+//! 1. **Coarsening** ([`coarsen`]) — repeated heavy-connectivity vertex
+//!    matching contracts the hypergraph until it is small,
+//! 2. **Initial partitioning** ([`initial`]) — greedy hypergraph growing
+//!    bisects the coarsest hypergraph (best of several randomised trials),
+//! 3. **Refinement** ([`refine`]) — FM-style boundary refinement with
+//!    rollback improves the bisection as it is projected back up the
+//!    hierarchy ([`bisection`]),
+//! 4. **Recursive bisection** ([`recursive`]) — repeated bisection produces
+//!    a k-way partition with a per-branch balance budget.
+//!
+//! Like Zoltan (and unlike HyperPRAW-aware) the partitioner is
+//! *architecture-agnostic*: it minimises cut-based objectives
+//! (connectivity−1) under a balance constraint and never looks at the
+//! machine's cost matrix.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod bisection;
+pub mod coarsen;
+pub mod config;
+pub mod initial;
+pub mod recursive;
+pub mod refine;
+
+pub use bisection::multilevel_bisection;
+pub use config::MultilevelConfig;
+pub use recursive::{recursive_bisection, MultilevelPartitioner};
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::{multilevel_bisection, recursive_bisection, MultilevelConfig, MultilevelPartitioner};
+}

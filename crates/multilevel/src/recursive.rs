@@ -1,0 +1,226 @@
+//! Recursive bisection to k parts.
+
+use hyperpraw_hypergraph::{Hypergraph, HypergraphBuilder, Partition, VertexId};
+
+use crate::bisection::multilevel_bisection;
+use crate::MultilevelConfig;
+
+/// Extracts the sub-hypergraph induced by a vertex subset. Hyperedges are
+/// restricted to the subset; restrictions with fewer than two pins are
+/// dropped (they can never be cut). Returns the sub-hypergraph together with
+/// the map from its local vertex ids back to the original ids.
+fn induced_subhypergraph(hg: &Hypergraph, vertices: &[VertexId]) -> (Hypergraph, Vec<VertexId>) {
+    let mut local_of = vec![u32::MAX; hg.num_vertices()];
+    for (local, &v) in vertices.iter().enumerate() {
+        local_of[v as usize] = local as u32;
+    }
+    let mut builder = HypergraphBuilder::new(vertices.len());
+    builder.name(format!("{}-sub", hg.name()));
+    let mut pins: Vec<VertexId> = Vec::new();
+    for e in hg.hyperedges() {
+        pins.clear();
+        for &v in hg.pins(e) {
+            let l = local_of[v as usize];
+            if l != u32::MAX {
+                pins.push(l);
+            }
+        }
+        if pins.len() >= 2 {
+            builder.add_weighted_hyperedge(pins.iter().copied(), hg.edge_weight(e));
+        }
+    }
+    builder.ensure_vertices(vertices.len());
+    for (local, &v) in vertices.iter().enumerate() {
+        builder.set_vertex_weight(local as u32, hg.vertex_weight(v));
+    }
+    (builder.build(), vertices.to_vec())
+}
+
+/// Recursively partitions `vertices` of `hg` into parts
+/// `first_part..first_part + k`, writing the result into `assignment`.
+fn recurse(
+    hg: &Hypergraph,
+    vertices: Vec<VertexId>,
+    k: u32,
+    first_part: u32,
+    config: &MultilevelConfig,
+    depth: u64,
+    assignment: &mut [u32],
+) {
+    if k <= 1 || vertices.len() <= 1 {
+        for &v in &vertices {
+            assignment[v as usize] = first_part;
+        }
+        return;
+    }
+    let k0 = k / 2;
+    let k1 = k - k0;
+    let fraction = k0 as f64 / k as f64;
+
+    let (sub, local_to_global) = induced_subhypergraph(hg, &vertices);
+    // Split the overall imbalance budget across the remaining bisection
+    // levels so the per-level deviations do not compound past the tolerance.
+    let remaining_levels = (k as f64).log2().ceil().max(1.0);
+    let level_tolerance = config.imbalance_tolerance.powf(1.0 / remaining_levels);
+    let sub_config = MultilevelConfig {
+        imbalance_tolerance: level_tolerance,
+        seed: config
+            .seed
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(depth)
+            .wrapping_add(first_part as u64),
+        ..*config
+    };
+    let bisection = multilevel_bisection(&sub, &sub_config, fraction);
+
+    let mut left: Vec<VertexId> = Vec::new();
+    let mut right: Vec<VertexId> = Vec::new();
+    for (local, &side) in bisection.assignment.iter().enumerate() {
+        let global = local_to_global[local];
+        if side == 0 {
+            left.push(global);
+        } else {
+            right.push(global);
+        }
+    }
+    recurse(hg, left, k0, first_part, config, depth + 1, assignment);
+    recurse(hg, right, k1, first_part + k0, config, depth + 1, assignment);
+}
+
+/// Partitions a hypergraph into `k` parts by multilevel recursive bisection —
+/// the same scheme as Zoltan's PHG used as the paper's baseline.
+pub fn recursive_bisection(hg: &Hypergraph, k: u32, config: &MultilevelConfig) -> Partition {
+    assert!(k >= 1, "k must be at least 1");
+    let mut assignment = vec![0u32; hg.num_vertices()];
+    let vertices: Vec<VertexId> = hg.vertices().collect();
+    recurse(hg, vertices, k, 0, config, 0, &mut assignment);
+    Partition::from_assignment(assignment, k).expect("recursive bisection produced a valid partition")
+}
+
+/// A convenience wrapper bundling the configuration, exposing the same
+/// `partition(hg, k)` shape as the streaming partitioners in
+/// `hyperpraw-core`.
+#[derive(Clone, Debug, Default)]
+pub struct MultilevelPartitioner {
+    config: MultilevelConfig,
+}
+
+impl MultilevelPartitioner {
+    /// Creates a partitioner with the given configuration.
+    pub fn new(config: MultilevelConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MultilevelConfig {
+        &self.config
+    }
+
+    /// Partitions `hg` into `k` parts.
+    pub fn partition(&self, hg: &Hypergraph, k: u32) -> Partition {
+        recursive_bisection(hg, k, &self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpraw_hypergraph::generators::{
+        mesh_hypergraph, random_hypergraph, MeshConfig, RandomConfig,
+    };
+    use hyperpraw_hypergraph::metrics;
+
+    #[test]
+    fn partitions_have_k_parts_and_cover_all_vertices() {
+        let hg = mesh_hypergraph(&MeshConfig::new(600, 8));
+        for k in [1u32, 2, 3, 5, 8] {
+            let part = recursive_bisection(&hg, k, &MultilevelConfig::default());
+            assert_eq!(part.num_parts(), k);
+            assert_eq!(part.num_vertices(), 600);
+            if k > 1 {
+                assert_eq!(part.used_parts(), k as usize, "k={k} left empty parts");
+            }
+        }
+    }
+
+    #[test]
+    fn imbalance_respects_the_tolerance_for_power_of_two_k() {
+        let hg = mesh_hypergraph(&MeshConfig::new(1024, 8));
+        let config = MultilevelConfig::default().with_imbalance_tolerance(1.10);
+        let part = recursive_bisection(&hg, 8, &config);
+        let imbalance = part.imbalance(&hg).unwrap();
+        // Each bisection level can use the full tolerance, so allow slack.
+        assert!(
+            imbalance <= 1.25,
+            "imbalance {imbalance} too large for tolerance 1.10"
+        );
+    }
+
+    #[test]
+    fn non_power_of_two_parts_are_reasonably_balanced() {
+        let hg = mesh_hypergraph(&MeshConfig::new(900, 8));
+        let part = recursive_bisection(&hg, 6, &MultilevelConfig::default());
+        let sizes = part.part_sizes();
+        assert!(*sizes.iter().min().unwrap() > 0, "sizes {sizes:?} has empty part");
+        // The paper's imbalance metric (max/avg) must stay near the tolerance.
+        let imbalance = part.imbalance(&hg).unwrap();
+        assert!(imbalance <= 1.3, "imbalance {imbalance} too large, sizes {sizes:?}");
+    }
+
+    #[test]
+    fn mesh_cut_is_much_lower_than_round_robin() {
+        let hg = mesh_hypergraph(&MeshConfig::new(1500, 10));
+        let ml = recursive_bisection(&hg, 8, &MultilevelConfig::default());
+        let rr = Partition::round_robin(hg.num_vertices(), 8);
+        let ml_cut = metrics::hyperedge_cut(&hg, &ml);
+        let rr_cut = metrics::hyperedge_cut(&hg, &rr);
+        assert!(
+            (ml_cut as f64) < 0.5 * rr_cut as f64,
+            "multilevel cut {ml_cut} should be far below round robin {rr_cut}"
+        );
+    }
+
+    #[test]
+    fn works_on_unstructured_hypergraphs_too() {
+        let hg = random_hypergraph(&RandomConfig::with_avg_cardinality(400, 300, 6.0, 1));
+        let part = recursive_bisection(&hg, 4, &MultilevelConfig::default());
+        assert_eq!(part.num_parts(), 4);
+        assert!(part.imbalance(&hg).unwrap() <= 1.4);
+    }
+
+    #[test]
+    fn single_part_assigns_everything_to_zero() {
+        let hg = mesh_hypergraph(&MeshConfig::new(100, 6));
+        let part = recursive_bisection(&hg, 1, &MultilevelConfig::default());
+        assert!(part.assignment().iter().all(|&p| p == 0));
+        assert_eq!(metrics::hyperedge_cut(&hg, &part), 0);
+    }
+
+    #[test]
+    fn partitioner_wrapper_matches_free_function() {
+        let hg = mesh_hypergraph(&MeshConfig::new(300, 8));
+        let config = MultilevelConfig::default().with_seed(9);
+        let a = recursive_bisection(&hg, 4, &config);
+        let b = MultilevelPartitioner::new(config).partition(&hg, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn induced_subhypergraph_preserves_weights_and_drops_external_pins() {
+        let mut b = hyperpraw_hypergraph::HypergraphBuilder::new(6);
+        b.add_weighted_hyperedge([0u32, 1, 2], 2.0);
+        b.add_weighted_hyperedge([3u32, 4, 5], 3.0);
+        b.add_weighted_hyperedge([2u32, 3], 1.0);
+        b.set_vertex_weight(1, 4.0);
+        let hg = b.build();
+        let (sub, map) = super::induced_subhypergraph(&hg, &[0, 1, 2, 3]);
+        assert_eq!(sub.num_vertices(), 4);
+        // Edge {3,4,5} restricted to {3} has one pin -> dropped.
+        assert_eq!(sub.num_hyperedges(), 2);
+        assert_eq!(map, vec![0, 1, 2, 3]);
+        assert_eq!(sub.vertex_weight(1), 4.0);
+        let weights: Vec<f64> = sub.hyperedges().map(|e| sub.edge_weight(e)).collect();
+        assert!(weights.contains(&2.0));
+        assert!(weights.contains(&1.0));
+    }
+}

@@ -1,0 +1,238 @@
+//! Fiduccia–Mattheyses (FM) boundary refinement for bisections.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hyperpraw_hypergraph::{Hypergraph, VertexId};
+
+use crate::initial::Bisection;
+
+/// Total-ordering wrapper so f64 gains can live in a BinaryHeap.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Gain(f64);
+
+impl Eq for Gain {}
+
+impl PartialOrd for Gain {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Gain {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The FM gain of moving `v` to the other side, given per-edge pin counts.
+fn gain_of(
+    hg: &Hypergraph,
+    v: VertexId,
+    side: u32,
+    counts: &[[f64; 2]],
+) -> f64 {
+    let mut gain = 0.0;
+    let s = side as usize;
+    let o = 1 - s;
+    for &e in hg.incident_edges(v) {
+        let w = hg.edge_weight(e);
+        let c = counts[e as usize];
+        // Edge becomes uncut when v is the last pin on its side.
+        if c[s] == 1.0 && c[o] > 0.0 {
+            gain += w;
+        }
+        // Edge becomes cut when it was entirely on v's side.
+        if c[o] == 0.0 && c[s] > 1.0 {
+            gain -= w;
+        }
+    }
+    gain
+}
+
+/// One FM pass: vertices are tentatively moved in order of decreasing gain
+/// (each vertex at most once, balance permitting, negative gains allowed for
+/// hill climbing); the pass is then rolled back to the best prefix. Returns
+/// the cut improvement achieved by the pass.
+fn fm_pass(
+    hg: &Hypergraph,
+    assignment: &mut [u32],
+    part_weights: &mut [f64; 2],
+    max_weights: [f64; 2],
+) -> f64 {
+    let n = hg.num_vertices();
+    // Pin counts per side for every hyperedge.
+    let mut counts = vec![[0.0f64; 2]; hg.num_hyperedges()];
+    for e in hg.hyperedges() {
+        for &v in hg.pins(e) {
+            counts[e as usize][assignment[v as usize] as usize] += 1.0;
+        }
+    }
+
+    let mut locked = vec![false; n];
+    let mut heap: BinaryHeap<(Gain, Reverse<u32>)> = BinaryHeap::new();
+    let mut cached_gain = vec![0.0f64; n];
+    for v in 0..n as u32 {
+        let g = gain_of(hg, v, assignment[v as usize], &counts);
+        cached_gain[v as usize] = g;
+        heap.push((Gain(g), Reverse(v)));
+    }
+
+    let mut moves: Vec<VertexId> = Vec::new();
+    let mut cumulative = 0.0f64;
+    let mut best_cumulative = 0.0f64;
+    let mut best_len = 0usize;
+
+    while let Some((Gain(g), Reverse(v))) = heap.pop() {
+        let vi = v as usize;
+        if locked[vi] || (g - cached_gain[vi]).abs() > 1e-12 {
+            continue; // stale entry
+        }
+        let from = assignment[vi];
+        let to = 1 - from;
+        let w = hg.vertex_weight(v);
+        if part_weights[to as usize] + w > max_weights[to as usize] + 1e-9 {
+            // Cannot move without violating balance; lock it for this pass.
+            locked[vi] = true;
+            continue;
+        }
+        // Apply the move.
+        locked[vi] = true;
+        assignment[vi] = to;
+        part_weights[from as usize] -= w;
+        part_weights[to as usize] += w;
+        cumulative += g;
+        moves.push(v);
+        if cumulative > best_cumulative + 1e-12 {
+            best_cumulative = cumulative;
+            best_len = moves.len();
+        }
+        // Update edge counts and neighbour gains.
+        for &e in hg.incident_edges(v) {
+            counts[e as usize][from as usize] -= 1.0;
+            counts[e as usize][to as usize] += 1.0;
+            for &u in hg.pins(e) {
+                let ui = u as usize;
+                if !locked[ui] {
+                    let g = gain_of(hg, u, assignment[ui], &counts);
+                    if (g - cached_gain[ui]).abs() > 1e-12 {
+                        cached_gain[ui] = g;
+                        heap.push((Gain(g), Reverse(u)));
+                    }
+                }
+            }
+        }
+    }
+
+    // Roll back the moves after the best prefix.
+    for &v in moves[best_len..].iter() {
+        let vi = v as usize;
+        let from = assignment[vi];
+        let to = 1 - from;
+        let w = hg.vertex_weight(v);
+        assignment[vi] = to;
+        part_weights[from as usize] -= w;
+        part_weights[to as usize] += w;
+    }
+    best_cumulative
+}
+
+/// Refines a bisection in place with up to `passes` FM passes, stopping early
+/// when a pass yields no improvement. Returns the refined bisection.
+pub fn fm_refine(
+    hg: &Hypergraph,
+    mut bisection: Bisection,
+    max_weights: [f64; 2],
+    passes: usize,
+) -> Bisection {
+    let mut part_weights = bisection.part_weights;
+    for _ in 0..passes.max(1) {
+        let improvement = fm_pass(hg, &mut bisection.assignment, &mut part_weights, max_weights);
+        if improvement <= 1e-12 {
+            break;
+        }
+    }
+    Bisection::evaluate(hg, bisection.assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::initial::{greedy_growing_bisection, random_bisection};
+    use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
+    use hyperpraw_hypergraph::HypergraphBuilder;
+
+    #[test]
+    fn refinement_fixes_an_obviously_bad_split() {
+        // Two cliques joined by a single bridge edge; a split that cuts both
+        // cliques should be repaired to cut only the bridge.
+        let mut b = HypergraphBuilder::new(8);
+        b.add_hyperedge([0u32, 1, 2, 3]);
+        b.add_hyperedge([4u32, 5, 6, 7]);
+        b.add_hyperedge([3u32, 4]);
+        let hg = b.build();
+        // Bad split: interleaved.
+        let bad = Bisection::evaluate(&hg, vec![0, 1, 0, 1, 0, 1, 0, 1]);
+        assert_eq!(bad.cut, 3.0);
+        let refined = fm_refine(&hg, bad, [5.0, 5.0], 4);
+        assert!(refined.cut <= 1.0, "refined cut {} should be <= 1", refined.cut);
+        // Balance respected.
+        assert!(refined.part_weights[0] <= 5.0 + 1e-9);
+        assert!(refined.part_weights[1] <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn refinement_never_worsens_the_cut() {
+        let hg = mesh_hypergraph(&MeshConfig::new(400, 8));
+        let total = hg.total_vertex_weight();
+        let max = [total * 0.55, total * 0.55];
+        for seed in 0..5 {
+            let initial = random_bisection(&hg, 0.5, seed);
+            let refined = fm_refine(&hg, initial.clone(), max, 3);
+            assert!(
+                refined.cut <= initial.cut + 1e-9,
+                "seed {seed}: cut went from {} to {}",
+                initial.cut,
+                refined.cut
+            );
+        }
+    }
+
+    #[test]
+    fn refinement_respects_balance_limits() {
+        let hg = mesh_hypergraph(&MeshConfig::new(300, 8));
+        let total = hg.total_vertex_weight();
+        let max = [total * 0.55, total * 0.55];
+        let initial = greedy_growing_bisection(&hg, 0.5, 2);
+        let refined = fm_refine(&hg, initial, max, 4);
+        assert!(refined.part_weights[0] <= max[0] + 1e-9);
+        assert!(refined.part_weights[1] <= max[1] + 1e-9);
+    }
+
+    #[test]
+    fn refinement_substantially_improves_random_splits_on_meshes() {
+        let hg = mesh_hypergraph(&MeshConfig::new(1000, 8));
+        let total = hg.total_vertex_weight();
+        let max = [total * 0.55, total * 0.55];
+        let initial = random_bisection(&hg, 0.5, 7);
+        let refined = fm_refine(&hg, initial.clone(), max, 6);
+        assert!(
+            refined.cut < 0.7 * initial.cut,
+            "expected >30% improvement: {} -> {}",
+            initial.cut,
+            refined.cut
+        );
+    }
+
+    #[test]
+    fn already_perfect_bisection_is_left_alone() {
+        let mut b = HypergraphBuilder::new(4);
+        b.add_hyperedge([0u32, 1]);
+        b.add_hyperedge([2u32, 3]);
+        let hg = b.build();
+        let perfect = Bisection::evaluate(&hg, vec![0, 0, 1, 1]);
+        let refined = fm_refine(&hg, perfect.clone(), [2.0, 2.0], 3);
+        assert_eq!(refined.cut, 0.0);
+        assert_eq!(refined.part_weights, perfect.part_weights);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the multilevel partitioner.
+
+use proptest::prelude::*;
+
+use hyperpraw_hypergraph::generators::{random_hypergraph, CardinalityDist, RandomConfig};
+use hyperpraw_hypergraph::{metrics, Hypergraph};
+use hyperpraw_multilevel::coarsen::{coarsen_once, project_assignment};
+use hyperpraw_multilevel::{recursive_bisection, MultilevelConfig};
+
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (20usize..120, 10usize..80, 2usize..5, 0u64..1000).prop_map(|(n, e, card, seed)| {
+        random_hypergraph(&RandomConfig {
+            num_vertices: n,
+            num_hyperedges: e,
+            cardinality: CardinalityDist::Uniform {
+                min: 2,
+                max: card + 2,
+            },
+            seed,
+            name: "prop".into(),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn coarsening_conserves_weight_and_never_grows(hg in arb_hypergraph(), seed in 0u64..100) {
+        let level = coarsen_once(&hg, seed);
+        prop_assert!(level.hypergraph.num_vertices() <= hg.num_vertices());
+        prop_assert!(level.hypergraph.num_hyperedges() <= hg.num_hyperedges());
+        prop_assert!(
+            (level.hypergraph.total_vertex_weight() - hg.total_vertex_weight()).abs() < 1e-6
+        );
+        prop_assert!(level.hypergraph.validate().is_ok());
+    }
+
+    #[test]
+    fn projected_assignments_agree_with_coarse_cut(hg in arb_hypergraph(), seed in 0u64..100) {
+        // A cut measured on the coarse hypergraph can only under-estimate the
+        // fine cut (contracted vertices stay together).
+        let level = coarsen_once(&hg, seed);
+        let coarse_n = level.hypergraph.num_vertices();
+        let coarse_assignment: Vec<u32> = (0..coarse_n as u32).map(|v| v % 2).collect();
+        let coarse_part = hyperpraw_hypergraph::Partition::from_assignment(
+            coarse_assignment.clone(), 2).unwrap();
+        let fine_assignment = project_assignment(&level.fine_to_coarse, &coarse_assignment);
+        let fine_part = hyperpraw_hypergraph::Partition::from_assignment(fine_assignment, 2).unwrap();
+        let coarse_cut = metrics::weighted_hyperedge_cut(&level.hypergraph, &coarse_part);
+        let fine_cut = metrics::weighted_hyperedge_cut(&hg, &fine_part);
+        // Identical nets were merged with summed weights, so weighted cuts match.
+        prop_assert!(fine_cut >= coarse_cut - 1e-9);
+    }
+
+    #[test]
+    fn recursive_bisection_produces_valid_partitions(
+        hg in arb_hypergraph(),
+        k in 2u32..6,
+        seed in 0u64..50,
+    ) {
+        let config = MultilevelConfig { coarsen_until: 30, initial_trials: 4, fm_passes: 2, seed,
+            ..MultilevelConfig::default() };
+        let part = recursive_bisection(&hg, k, &config);
+        prop_assert_eq!(part.num_parts(), k);
+        prop_assert_eq!(part.num_vertices(), hg.num_vertices());
+        // All parts non-empty whenever there are enough vertices.
+        if hg.num_vertices() >= 4 * k as usize {
+            prop_assert_eq!(part.used_parts(), k as usize);
+        }
+        // Cut is bounded by the number of hyperedges.
+        let cut = metrics::hyperedge_cut(&hg, &part);
+        prop_assert!(cut <= hg.num_hyperedges() as u64);
+    }
+
+    #[test]
+    fn partitioning_is_deterministic(
+        hg in arb_hypergraph(),
+        k in 2u32..5,
+        seed in 0u64..20,
+    ) {
+        let config = MultilevelConfig { coarsen_until: 30, seed, ..MultilevelConfig::default() };
+        let a = recursive_bisection(&hg, k, &config);
+        let b = recursive_bisection(&hg, k, &config);
+        prop_assert_eq!(a.assignment(), b.assignment());
+    }
+}

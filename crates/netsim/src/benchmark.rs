@@ -1,0 +1,441 @@
+//! The paper's synthetic null-compute benchmark (§5.3), simulated.
+//!
+//! The benchmark is a purely communication-bound program driven by the input
+//! hypergraph and a vertex-to-partition assignment: *for each hyperedge, a
+//! message is sent to and from each pair of member vertices that live in
+//! different partitions*; this is repeated every superstep with a global
+//! synchronisation in between. There is no computation, so the run time is
+//! entirely determined by how the partitioning maps traffic onto the
+//! machine's links — exactly the quantity HyperPRAW-aware optimises.
+//!
+//! Instead of materialising every individual message (the full-size
+//! instances would generate hundreds of millions), the benchmark aggregates
+//! traffic into a [`TrafficMatrix`] and computes the makespan with the same
+//! endpoint-serialisation assumptions as [`crate::EventDrivenSim`]:
+//!
+//! * a unit's send port transmits its outgoing bytes sequentially at the
+//!   per-destination link rate (plus one latency per message),
+//! * its receive port does the same for incoming bytes,
+//! * a superstep ends when the slowest unit has finished both, plus a
+//!   barrier.
+//!
+//! The equivalence of the two models on small instances is asserted by the
+//! integration tests.
+
+use hyperpraw_hypergraph::{Hypergraph, Partition};
+
+use crate::{collective, LinkModel, TrafficMatrix};
+
+/// Configuration of the synthetic benchmark.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BenchmarkConfig {
+    /// Payload of each point-to-point message, in bytes.
+    pub message_bytes: u64,
+    /// Number of supersteps (the paper runs two iterations per job; each
+    /// iteration sweeps all hyperedges once).
+    pub supersteps: usize,
+    /// Whether the send and receive ports of a unit operate concurrently
+    /// (full duplex) or share the NIC (half duplex).
+    pub full_duplex: bool,
+    /// Include a barrier between supersteps.
+    pub barrier: bool,
+}
+
+impl Default for BenchmarkConfig {
+    fn default() -> Self {
+        Self {
+            message_bytes: 1024,
+            supersteps: 1,
+            full_duplex: true,
+            barrier: true,
+        }
+    }
+}
+
+/// The outcome of a benchmark run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchmarkResult {
+    /// Total simulated wall-clock time, in microseconds.
+    pub total_time_us: f64,
+    /// Time of a single superstep (excluding the barrier), µs.
+    pub superstep_us: f64,
+    /// Barrier time per superstep, µs.
+    pub barrier_us: f64,
+    /// Peer-to-peer traffic of one superstep.
+    pub traffic: TrafficMatrix,
+    /// Number of remote point-to-point messages per superstep.
+    pub remote_messages: u64,
+    /// Remote bytes per superstep.
+    pub remote_bytes: u64,
+    /// Per-unit communication time (the slowest defines the superstep), µs.
+    pub per_unit_time_us: Vec<f64>,
+}
+
+impl BenchmarkResult {
+    /// Total time in seconds (convenience for reporting).
+    pub fn total_time_s(&self) -> f64 {
+        self.total_time_us / 1e6
+    }
+
+    /// Index and time of the busiest compute unit.
+    pub fn bottleneck_unit(&self) -> (usize, f64) {
+        self.per_unit_time_us
+            .iter()
+            .cloned()
+            .enumerate()
+            .fold((0, 0.0), |acc, (i, t)| if t > acc.1 { (i, t) } else { acc })
+    }
+}
+
+/// The synthetic benchmark runner.
+#[derive(Clone, Debug)]
+pub struct SyntheticBenchmark {
+    link: LinkModel,
+    config: BenchmarkConfig,
+}
+
+impl SyntheticBenchmark {
+    /// Creates a benchmark over the given link model.
+    pub fn new(link: LinkModel, config: BenchmarkConfig) -> Self {
+        Self { link, config }
+    }
+
+    /// The link model in use.
+    pub fn link(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &BenchmarkConfig {
+        &self.config
+    }
+
+    /// Builds the per-superstep traffic matrix induced by a partitioning:
+    /// for every hyperedge and every ordered pair of its pins assigned to
+    /// different units, one message of `message_bytes` bytes.
+    pub fn traffic_for(&self, hg: &Hypergraph, partition: &Partition) -> TrafficMatrix {
+        let p = self.link.num_units();
+        assert_eq!(
+            partition.num_parts() as usize,
+            p,
+            "partition count must equal the number of compute units"
+        );
+        assert_eq!(
+            partition.num_vertices(),
+            hg.num_vertices(),
+            "partition must cover the hypergraph"
+        );
+        let mut traffic = TrafficMatrix::new(p);
+        let mut parts_in_edge: Vec<u32> = Vec::new();
+        for e in hg.hyperedges() {
+            let pins = hg.pins(e);
+            if pins.len() < 2 {
+                continue;
+            }
+            parts_in_edge.clear();
+            parts_in_edge.extend(pins.iter().map(|&v| partition.part_of(v)));
+            // Count pins per partition within this hyperedge, then emit
+            // aggregate counts for each ordered partition pair: every pin
+            // exchanges a message with every pin in a different partition.
+            // (Equivalent to iterating all ordered pin pairs, but O(k + q²)
+            // with q = distinct partitions instead of O(k²).)
+            let mut distinct: Vec<(u32, u64)> = Vec::new();
+            for &part in &parts_in_edge {
+                match distinct.iter_mut().find(|(q, _)| *q == part) {
+                    Some((_, c)) => *c += 1,
+                    None => distinct.push((part, 1)),
+                }
+            }
+            if distinct.len() < 2 {
+                continue;
+            }
+            for &(pa, ca) in &distinct {
+                for &(pb, cb) in &distinct {
+                    if pa == pb {
+                        continue;
+                    }
+                    traffic.record_many(
+                        pa as usize,
+                        pb as usize,
+                        self.config.message_bytes,
+                        ca * cb,
+                    );
+                }
+            }
+        }
+        traffic
+    }
+
+    /// Computes the communication time of each unit for one superstep given
+    /// the traffic matrix.
+    fn per_unit_times(&self, traffic: &TrafficMatrix) -> Vec<f64> {
+        let p = self.link.num_units();
+        let mut times = vec![0.0f64; p];
+        for unit in 0..p {
+            let mut send = 0.0f64;
+            let mut recv = 0.0f64;
+            for other in 0..p {
+                if other == unit {
+                    continue;
+                }
+                let out_bytes = traffic.bytes(unit, other);
+                if out_bytes > 0 {
+                    send += out_bytes as f64 / self.link.rate_bytes_per_us(unit, other)
+                        + traffic.messages(unit, other) as f64 * self.link.latency_us(unit, other);
+                }
+                let in_bytes = traffic.bytes(other, unit);
+                if in_bytes > 0 {
+                    recv += in_bytes as f64 / self.link.rate_bytes_per_us(other, unit)
+                        + traffic.messages(other, unit) as f64 * self.link.latency_us(other, unit);
+                }
+            }
+            times[unit] = if self.config.full_duplex {
+                send.max(recv)
+            } else {
+                send + recv
+            };
+        }
+        times
+    }
+
+    /// Runs the benchmark for a hypergraph under a partitioning and returns
+    /// the simulated timings.
+    pub fn run(&self, hg: &Hypergraph, partition: &Partition) -> BenchmarkResult {
+        let traffic = self.traffic_for(hg, partition);
+        let per_unit = self.per_unit_times(&traffic);
+        let superstep = per_unit.iter().cloned().fold(0.0, f64::max);
+        let barrier = if self.config.barrier {
+            collective::barrier_us(&self.link)
+        } else {
+            0.0
+        };
+        let total = (superstep + barrier) * self.config.supersteps.max(1) as f64;
+        let remote_messages = {
+            let p = traffic.num_units();
+            let mut m = 0u64;
+            for i in 0..p {
+                for j in 0..p {
+                    if i != j {
+                        m += traffic.messages(i, j);
+                    }
+                }
+            }
+            m
+        };
+        let remote_bytes = traffic.remote_bytes();
+        BenchmarkResult {
+            total_time_us: total,
+            superstep_us: superstep,
+            barrier_us: barrier,
+            traffic,
+            remote_messages,
+            remote_bytes,
+            per_unit_time_us: per_unit,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpraw_hypergraph::HypergraphBuilder;
+    use hyperpraw_topology::MachineModel;
+
+    /// 4 vertices, 2 hyperedges: {0,1}, {2,3}.
+    fn pairs_hg() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(4);
+        b.add_hyperedge([0u32, 1]);
+        b.add_hyperedge([2u32, 3]);
+        b.build()
+    }
+
+    #[test]
+    fn internal_hyperedges_generate_no_traffic() {
+        let hg = pairs_hg();
+        let bench = SyntheticBenchmark::new(
+            LinkModel::uniform(2, 100.0, 1.0),
+            BenchmarkConfig::default(),
+        );
+        // {0,1} on unit 0 and {2,3} on unit 1: nothing crosses.
+        let part = Partition::from_assignment(vec![0, 0, 1, 1], 2).unwrap();
+        let result = bench.run(&hg, &part);
+        assert_eq!(result.remote_messages, 0);
+        assert_eq!(result.superstep_us, 0.0);
+        // Only the barrier remains.
+        assert!(result.total_time_us > 0.0);
+        assert_eq!(result.total_time_us, result.barrier_us);
+    }
+
+    #[test]
+    fn cut_hyperedges_generate_bidirectional_traffic() {
+        let hg = pairs_hg();
+        let bench = SyntheticBenchmark::new(
+            LinkModel::uniform(2, 100.0, 1.0),
+            BenchmarkConfig {
+                message_bytes: 100,
+                ..BenchmarkConfig::default()
+            },
+        );
+        // Split both hyperedges across the two units.
+        let part = Partition::from_assignment(vec![0, 1, 0, 1], 2).unwrap();
+        let result = bench.run(&hg, &part);
+        // Each cut pair sends one message each way: 2 edges * 2 directions.
+        assert_eq!(result.remote_messages, 4);
+        assert_eq!(result.remote_bytes, 400);
+        assert_eq!(result.traffic.bytes(0, 1), 200);
+        assert_eq!(result.traffic.bytes(1, 0), 200);
+        assert!(result.superstep_us > 0.0);
+    }
+
+    #[test]
+    fn traffic_scales_with_hyperedge_spread() {
+        // One hyperedge of 4 pins.
+        let mut b = HypergraphBuilder::new(4);
+        b.add_hyperedge([0u32, 1, 2, 3]);
+        let hg = b.build();
+        let bench = SyntheticBenchmark::new(
+            LinkModel::uniform(4, 100.0, 1.0),
+            BenchmarkConfig::default(),
+        );
+        // Two partitions of two pins: each pin talks to 2 remote pins -> 4*2 = 8.
+        let two_way = Partition::from_assignment(vec![0, 0, 1, 1], 4).unwrap();
+        // Fully scattered: each pin talks to 3 remote pins -> 12.
+        let scattered = Partition::from_assignment(vec![0, 1, 2, 3], 4).unwrap();
+        let r2 = bench.run(&hg, &two_way);
+        let r4 = bench.run(&hg, &scattered);
+        assert_eq!(r2.remote_messages, 8);
+        assert_eq!(r4.remote_messages, 12);
+        assert!(r4.remote_bytes > r2.remote_bytes);
+    }
+
+    #[test]
+    fn aggregated_pair_counts_match_pairwise_enumeration() {
+        // Random-ish small case, checked against a brute-force pair loop.
+        let mut b = HypergraphBuilder::new(9);
+        b.add_hyperedge([0u32, 1, 2, 3, 4]);
+        b.add_hyperedge([4u32, 5, 6]);
+        b.add_hyperedge([6u32, 7, 8, 0]);
+        let hg = b.build();
+        let part = Partition::from_assignment(vec![0, 1, 2, 0, 1, 2, 0, 1, 2], 3).unwrap();
+        let bench = SyntheticBenchmark::new(
+            LinkModel::uniform(3, 100.0, 1.0),
+            BenchmarkConfig {
+                message_bytes: 1,
+                ..BenchmarkConfig::default()
+            },
+        );
+        let traffic = bench.traffic_for(&hg, &part);
+
+        let mut expected = vec![0u64; 9];
+        for e in hg.hyperedges() {
+            let pins = hg.pins(e);
+            for &a in pins {
+                for &b in pins {
+                    if a == b {
+                        continue;
+                    }
+                    let (pa, pb) = (part.part_of(a) as usize, part.part_of(b) as usize);
+                    if pa != pb {
+                        expected[pa * 3 + pb] += 1;
+                    }
+                }
+            }
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(traffic.bytes(i, j), expected[i * 3 + j], "pair ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn slow_links_make_the_same_traffic_slower() {
+        let hg = pairs_hg();
+        let model = MachineModel::archer_like(48);
+        let link = LinkModel::from_machine(&model, 0.0, 1);
+        let bench = SyntheticBenchmark::new(link, BenchmarkConfig {
+            message_bytes: 1 << 16,
+            barrier: false,
+            ..BenchmarkConfig::default()
+        });
+        // Same cut structure, but placed on fast (same-socket) vs slow
+        // (different-blade) unit pairs.
+        let fast = Partition::from_fn(4, 48, |v| if v % 2 == 0 { 0 } else { 1 });
+        let slow = Partition::from_fn(4, 48, |v| if v % 2 == 0 { 0 } else { 40 });
+        let rf = bench.run(&hg, &fast);
+        let rs = bench.run(&hg, &slow);
+        assert_eq!(rf.remote_messages, rs.remote_messages);
+        assert!(
+            rs.superstep_us > 2.0 * rf.superstep_us,
+            "slow {} vs fast {}",
+            rs.superstep_us,
+            rf.superstep_us
+        );
+    }
+
+    #[test]
+    fn supersteps_multiply_total_time() {
+        let hg = pairs_hg();
+        let link = LinkModel::uniform(2, 100.0, 1.0);
+        let part = Partition::from_assignment(vec![0, 1, 0, 1], 2).unwrap();
+        let one = SyntheticBenchmark::new(link.clone(), BenchmarkConfig {
+            supersteps: 1,
+            ..BenchmarkConfig::default()
+        })
+        .run(&hg, &part);
+        let five = SyntheticBenchmark::new(link, BenchmarkConfig {
+            supersteps: 5,
+            ..BenchmarkConfig::default()
+        })
+        .run(&hg, &part);
+        assert!((five.total_time_us - 5.0 * one.total_time_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn half_duplex_is_never_faster_than_full_duplex() {
+        let hg = pairs_hg();
+        let part = Partition::from_assignment(vec![0, 1, 1, 0], 2).unwrap();
+        let link = LinkModel::uniform(2, 50.0, 2.0);
+        let full = SyntheticBenchmark::new(link.clone(), BenchmarkConfig {
+            full_duplex: true,
+            ..BenchmarkConfig::default()
+        })
+        .run(&hg, &part);
+        let half = SyntheticBenchmark::new(link, BenchmarkConfig {
+            full_duplex: false,
+            ..BenchmarkConfig::default()
+        })
+        .run(&hg, &part);
+        assert!(half.superstep_us >= full.superstep_us);
+    }
+
+    #[test]
+    fn bottleneck_unit_is_reported() {
+        let mut b = HypergraphBuilder::new(6);
+        b.add_hyperedge([0u32, 1, 2, 3, 4, 5]);
+        let hg = b.build();
+        let bench = SyntheticBenchmark::new(
+            LinkModel::uniform(3, 100.0, 1.0),
+            BenchmarkConfig::default(),
+        );
+        // Unit 0 hosts 4 of the 6 pins -> it exchanges the most data.
+        let part = Partition::from_assignment(vec![0, 0, 0, 0, 1, 2], 3).unwrap();
+        let result = bench.run(&hg, &part);
+        let (unit, t) = result.bottleneck_unit();
+        assert_eq!(unit, 0);
+        assert!(t > 0.0);
+        assert!((result.total_time_s() - result.total_time_us / 1e6).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal the number of compute units")]
+    fn mismatched_partition_count_is_rejected() {
+        let hg = pairs_hg();
+        let bench = SyntheticBenchmark::new(
+            LinkModel::uniform(4, 100.0, 1.0),
+            BenchmarkConfig::default(),
+        );
+        let part = Partition::from_assignment(vec![0, 1, 0, 1], 2).unwrap();
+        bench.run(&hg, &part);
+    }
+}

@@ -1,0 +1,111 @@
+//! Cost models for collective operations.
+//!
+//! The synthetic benchmark synchronises all processes between supersteps
+//! (the paper's benchmark loops over hyperedges and exchanges messages every
+//! time step). These closed-form models follow the classic log-tree
+//! formulations used by MPI cost analyses.
+
+use crate::LinkModel;
+
+/// Worst-case (slowest-link) one-way latency in the network, µs.
+fn max_latency(link: &LinkModel) -> f64 {
+    let n = link.num_units();
+    let mut max = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                max = max.max(link.latency_us(i, j));
+            }
+        }
+    }
+    max
+}
+
+/// Worst-case byte transfer rate (bytes/µs) over the slowest link.
+fn min_rate(link: &LinkModel) -> f64 {
+    let n = link.num_units();
+    let mut min = f64::INFINITY;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                min = min.min(link.rate_bytes_per_us(i, j));
+            }
+        }
+    }
+    if min.is_finite() {
+        min
+    } else {
+        1.0
+    }
+}
+
+/// Time for a dissemination barrier across all units: `⌈log2 p⌉` rounds of
+/// one worst-case latency each.
+pub fn barrier_us(link: &LinkModel) -> f64 {
+    let p = link.num_units();
+    if p <= 1 {
+        return 0.0;
+    }
+    (p as f64).log2().ceil() * max_latency(link)
+}
+
+/// Time for a recursive-doubling allreduce of `bytes` bytes.
+pub fn allreduce_us(link: &LinkModel, bytes: u64) -> f64 {
+    let p = link.num_units();
+    if p <= 1 {
+        return 0.0;
+    }
+    let rounds = (p as f64).log2().ceil();
+    rounds * (max_latency(link) + bytes as f64 / min_rate(link))
+}
+
+/// Time for a binomial-tree broadcast of `bytes` bytes from one root.
+pub fn broadcast_us(link: &LinkModel, bytes: u64) -> f64 {
+    // Same asymptotic shape as allreduce for this cost model.
+    allreduce_us(link, bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpraw_topology::MachineModel;
+
+    #[test]
+    fn single_process_collectives_are_free() {
+        let link = LinkModel::uniform(1, 100.0, 1.0);
+        assert_eq!(barrier_us(&link), 0.0);
+        assert_eq!(allreduce_us(&link, 1024), 0.0);
+    }
+
+    #[test]
+    fn barrier_scales_logarithmically() {
+        let l8 = LinkModel::uniform(8, 100.0, 2.0);
+        let l64 = LinkModel::uniform(64, 100.0, 2.0);
+        assert!((barrier_us(&l8) - 6.0).abs() < 1e-9); // 3 rounds * 2us
+        assert!((barrier_us(&l64) - 12.0).abs() < 1e-9); // 6 rounds * 2us
+    }
+
+    #[test]
+    fn allreduce_includes_bandwidth_term() {
+        let link = LinkModel::uniform(4, 100.0, 1.0);
+        let small = allreduce_us(&link, 100);
+        let large = allreduce_us(&link, 10_000);
+        assert!(large > small);
+        // 2 rounds * (1 + 100/100) = 4.
+        assert!((small - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heterogeneous_networks_pay_the_slowest_link() {
+        let model = MachineModel::archer_like(48);
+        let hetero = LinkModel::from_machine(&model, 0.0, 1);
+        let homo = LinkModel::uniform(48, 8_000.0, 0.4);
+        assert!(barrier_us(&hetero) > barrier_us(&homo));
+    }
+
+    #[test]
+    fn broadcast_matches_allreduce_model() {
+        let link = LinkModel::uniform(16, 200.0, 1.5);
+        assert_eq!(broadcast_us(&link, 512), allreduce_us(&link, 512));
+    }
+}

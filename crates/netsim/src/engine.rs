@@ -1,0 +1,260 @@
+//! Event-driven simulation of a round of point-to-point messages.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{LinkModel, Message, TrafficMatrix};
+
+/// Total-ordering wrapper for event timestamps (microseconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Stamp(f64);
+
+impl Eq for Stamp {}
+
+impl PartialOrd for Stamp {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Stamp {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// The outcome of simulating one communication round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RoundOutcome {
+    /// Time at which the last message was fully delivered (µs).
+    pub makespan_us: f64,
+    /// Per-unit time spent with the send side busy (µs).
+    pub send_busy_us: Vec<f64>,
+    /// Per-unit time spent with the receive side busy (µs).
+    pub recv_busy_us: Vec<f64>,
+    /// Number of remote messages delivered.
+    pub delivered: u64,
+}
+
+impl RoundOutcome {
+    /// The busiest unit's total (send + receive) busy time.
+    pub fn max_busy_us(&self) -> f64 {
+        self.send_busy_us
+            .iter()
+            .zip(&self.recv_busy_us)
+            .map(|(s, r)| s + r)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// An event-driven point-to-point network simulator.
+///
+/// Each unit has one send port and one receive port; a message occupies the
+/// sender's port and then the receiver's port for `bytes / bandwidth`
+/// microseconds (endpoint serialisation), and is delivered one wire latency
+/// after the transfer finishes. Messages posted by the same sender are
+/// processed in the order given, mirroring an MPI rank posting sends in a
+/// loop, but different senders progress concurrently.
+///
+/// This level of detail is enough to reproduce the behaviour the paper's
+/// benchmark measures: the run time is dominated by the units whose traffic
+/// crosses slow links and by endpoint congestion on heavily-communicating
+/// units.
+#[derive(Clone, Debug)]
+pub struct EventDrivenSim {
+    link: LinkModel,
+    trace: TrafficMatrix,
+}
+
+impl EventDrivenSim {
+    /// Creates a simulator over the given link model.
+    pub fn new(link: LinkModel) -> Self {
+        let n = link.num_units();
+        Self {
+            link,
+            trace: TrafficMatrix::new(n),
+        }
+    }
+
+    /// The link model in use.
+    pub fn link(&self) -> &LinkModel {
+        &self.link
+    }
+
+    /// Cumulative traffic recorded over all simulated rounds.
+    pub fn trace(&self) -> &TrafficMatrix {
+        &self.trace
+    }
+
+    /// Resets the cumulative traffic trace.
+    pub fn reset_trace(&mut self) {
+        self.trace = TrafficMatrix::new(self.link.num_units());
+    }
+
+    /// Simulates one communication round in which every message in
+    /// `messages` is posted at time zero. Local messages (src == dst) are
+    /// recorded in the trace but cost nothing.
+    pub fn simulate_round(&mut self, messages: &[Message]) -> RoundOutcome {
+        let n = self.link.num_units();
+        // Group messages by sender preserving posting order.
+        let mut per_sender: Vec<Vec<&Message>> = vec![Vec::new(); n];
+        let mut delivered = 0u64;
+        for m in messages {
+            assert!(m.src < n && m.dst < n, "message endpoint out of range");
+            self.trace.record(m.src, m.dst, m.bytes);
+            if m.is_local() {
+                continue;
+            }
+            per_sender[m.src].push(m);
+            delivered += 1;
+        }
+
+        let mut send_free = vec![0.0f64; n];
+        let mut recv_free = vec![0.0f64; n];
+        let mut send_busy = vec![0.0f64; n];
+        let mut recv_busy = vec![0.0f64; n];
+        let mut next_idx = vec![0usize; n];
+        let mut makespan = 0.0f64;
+
+        // Priority queue of (earliest possible start, sender).
+        let mut queue: BinaryHeap<Reverse<(Stamp, usize)>> = BinaryHeap::new();
+        for s in 0..n {
+            if !per_sender[s].is_empty() {
+                queue.push(Reverse((Stamp(0.0), s)));
+            }
+        }
+
+        while let Some(Reverse((Stamp(ready), s))) = queue.pop() {
+            let idx = next_idx[s];
+            if idx >= per_sender[s].len() {
+                continue;
+            }
+            let m = per_sender[s][idx];
+            // The transfer can start when both endpoints are free.
+            let start = ready.max(send_free[s]).max(recv_free[m.dst]);
+            if start > ready + 1e-12 {
+                // Another endpoint is still busy; retry when it frees up.
+                queue.push(Reverse((Stamp(start), s)));
+                continue;
+            }
+            let occupancy = self.link.occupancy_us(m.src, m.dst, m.bytes);
+            let end = start + occupancy;
+            let arrival = end + self.link.latency_us(m.src, m.dst);
+            send_free[s] = end;
+            recv_free[m.dst] = end;
+            send_busy[s] += occupancy;
+            recv_busy[m.dst] += occupancy;
+            makespan = makespan.max(arrival);
+            next_idx[s] += 1;
+            if next_idx[s] < per_sender[s].len() {
+                queue.push(Reverse((Stamp(end), s)));
+            }
+        }
+
+        RoundOutcome {
+            makespan_us: makespan,
+            send_busy_us: send_busy,
+            recv_busy_us: recv_busy,
+            delivered,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_sim(n: usize) -> EventDrivenSim {
+        // 100 bytes/us, 1us latency.
+        EventDrivenSim::new(LinkModel::uniform(n, 100.0, 1.0))
+    }
+
+    #[test]
+    fn single_message_takes_latency_plus_transfer() {
+        let mut sim = uniform_sim(2);
+        let out = sim.simulate_round(&[Message::new(0, 1, 1000)]);
+        assert!((out.makespan_us - 11.0).abs() < 1e-9);
+        assert_eq!(out.delivered, 1);
+        assert!((out.send_busy_us[0] - 10.0).abs() < 1e-9);
+        assert!((out.recv_busy_us[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sends_from_one_rank_are_serialised() {
+        let mut sim = uniform_sim(3);
+        let out = sim.simulate_round(&[
+            Message::new(0, 1, 1000),
+            Message::new(0, 2, 1000),
+        ]);
+        // Second send cannot start before the first finishes: 10 + 10 + 1.
+        assert!((out.makespan_us - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn receives_at_one_rank_are_serialised() {
+        let mut sim = uniform_sim(3);
+        let out = sim.simulate_round(&[
+            Message::new(1, 0, 1000),
+            Message::new(2, 0, 1000),
+        ]);
+        // Both senders are free, but the receiver can only take one at a time.
+        assert!((out.makespan_us - 21.0).abs() < 1e-9);
+        assert!((out.recv_busy_us[0] - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_pairs_proceed_in_parallel() {
+        let mut sim = uniform_sim(4);
+        let out = sim.simulate_round(&[
+            Message::new(0, 1, 1000),
+            Message::new(2, 3, 1000),
+        ]);
+        assert!((out.makespan_us - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_messages_cost_nothing_but_are_traced() {
+        let mut sim = uniform_sim(2);
+        let out = sim.simulate_round(&[Message::new(0, 0, 123_456)]);
+        assert_eq!(out.makespan_us, 0.0);
+        assert_eq!(out.delivered, 0);
+        assert_eq!(sim.trace().bytes(0, 0), 123_456);
+    }
+
+    #[test]
+    fn slow_links_dominate_the_makespan() {
+        let model = hyperpraw_topology::MachineModel::archer_like(48);
+        let link = LinkModel::from_machine(&model, 0.0, 1);
+        let mut sim = EventDrivenSim::new(link);
+        let near = sim.simulate_round(&[Message::new(0, 1, 1 << 20)]).makespan_us;
+        let far = sim.simulate_round(&[Message::new(0, 40, 1 << 20)]).makespan_us;
+        assert!(far > 2.0 * near, "inter-blade {far} vs intra-socket {near}");
+    }
+
+    #[test]
+    fn empty_round_has_zero_makespan() {
+        let mut sim = uniform_sim(4);
+        let out = sim.simulate_round(&[]);
+        assert_eq!(out.makespan_us, 0.0);
+        assert_eq!(out.delivered, 0);
+        assert_eq!(out.max_busy_us(), 0.0);
+    }
+
+    #[test]
+    fn trace_accumulates_across_rounds_until_reset() {
+        let mut sim = uniform_sim(2);
+        sim.simulate_round(&[Message::new(0, 1, 10)]);
+        sim.simulate_round(&[Message::new(0, 1, 10)]);
+        assert_eq!(sim.trace().bytes(0, 1), 20);
+        sim.reset_trace();
+        assert_eq!(sim.trace().total_bytes(), 0);
+    }
+
+    #[test]
+    fn makespan_is_at_least_the_busiest_endpoint() {
+        let mut sim = uniform_sim(5);
+        let msgs: Vec<Message> = (1..5).map(|d| Message::new(0, d, 500)).collect();
+        let out = sim.simulate_round(&msgs);
+        assert!(out.makespan_us >= out.max_busy_us() - 1e-9);
+    }
+}

@@ -1,0 +1,50 @@
+//! A discrete-event message-passing network simulator — the substrate that
+//! replaces MPI-on-ARCHER in this reproduction.
+//!
+//! The paper evaluates partitionings by running a *null-compute synthetic
+//! benchmark* on 576 ARCHER cores: every hyperedge generates messages
+//! between its pins whenever they live in different partitions, and the
+//! wall-clock time of that purely communication-bound program is the figure
+//! of merit (Figure 5). Since we do not have ARCHER, this crate simulates the
+//! message passing:
+//!
+//! * [`LinkModel`] — per-pair latency/bandwidth, derived from a
+//!   [`hyperpraw_topology::MachineModel`] or a profiled
+//!   [`hyperpraw_topology::BandwidthMatrix`],
+//! * [`EventDrivenSim`] — an event-driven simulator with per-endpoint
+//!   send/receive serialisation, used for fine-grained rounds and by the
+//!   ring profiler,
+//! * [`RingProfiler`] — the mpiGraph substitute: measures peer-to-peer
+//!   bandwidth by timing simulated ring exchanges, returning the
+//!   [`hyperpraw_topology::BandwidthMatrix`] HyperPRAW-aware consumes,
+//! * [`SyntheticBenchmark`] — the paper's benchmark: builds the hyperedge
+//!   traffic, aggregates it into a [`TrafficMatrix`] and computes the
+//!   communication-bound makespan,
+//! * [`collective`] — cost models for barrier/allreduce synchronisation.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod engine;
+mod link;
+mod message;
+mod trace;
+
+pub mod benchmark;
+pub mod collective;
+pub mod ring_profiler;
+
+pub use benchmark::{BenchmarkConfig, BenchmarkResult, SyntheticBenchmark};
+pub use engine::{EventDrivenSim, RoundOutcome};
+pub use link::LinkModel;
+pub use message::Message;
+pub use ring_profiler::RingProfiler;
+pub use trace::TrafficMatrix;
+
+/// Commonly used items, re-exported for glob import.
+pub mod prelude {
+    pub use crate::{
+        BenchmarkConfig, BenchmarkResult, EventDrivenSim, LinkModel, Message, RingProfiler,
+        SyntheticBenchmark, TrafficMatrix,
+    };
+}

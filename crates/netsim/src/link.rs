@@ -1,0 +1,169 @@
+//! Per-pair latency/bandwidth link model.
+
+use hyperpraw_topology::{BandwidthMatrix, MachineModel};
+
+/// Converts MB/s to bytes per microsecond.
+fn mbs_to_bytes_per_us(mbs: f64) -> f64 {
+    // 1 MB/s = 1e6 bytes / 1e6 us = 1 byte/us.
+    mbs
+}
+
+/// The point-to-point communication model used by the simulator: sending
+/// `bytes` from unit `i` to unit `j` takes
+/// `latency_us(i,j) + bytes / bandwidth(i,j)`.
+///
+/// The model is deliberately simple (a LogGP-style α/β model without
+/// per-message overhead terms): the paper's benchmark is dominated by the
+/// bandwidth term and by endpoint serialisation, both of which the
+/// simulator captures.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkModel {
+    n: usize,
+    /// Bytes per microsecond for each pair, row-major.
+    rate: Vec<f64>,
+    /// One-way latency in microseconds for each pair, row-major.
+    latency: Vec<f64>,
+    /// The bandwidth matrix the model was built from (MB/s).
+    bandwidth: BandwidthMatrix,
+}
+
+impl LinkModel {
+    /// Builds a link model directly from a machine description. Bandwidths
+    /// get multiplicative log-normal noise of sigma `noise_sigma`; latencies
+    /// use the machine's per-level values.
+    pub fn from_machine(model: &MachineModel, noise_sigma: f64, seed: u64) -> Self {
+        let bandwidth = BandwidthMatrix::from_machine(model, noise_sigma, seed);
+        let n = model.num_units();
+        let mut latency = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                latency[i * n + j] = model.link_latency_us(i, j);
+            }
+        }
+        Self::from_parts(bandwidth, latency)
+    }
+
+    /// Builds a link model from an already-profiled bandwidth matrix and a
+    /// single latency value applied to every distinct pair.
+    pub fn from_bandwidth(bandwidth: BandwidthMatrix, latency_us: f64) -> Self {
+        let n = bandwidth.num_units();
+        let mut latency = vec![latency_us; n * n];
+        for i in 0..n {
+            latency[i * n + i] = 0.0;
+        }
+        Self::from_parts(bandwidth, latency)
+    }
+
+    /// A homogeneous network.
+    pub fn uniform(n: usize, bandwidth_mbs: f64, latency_us: f64) -> Self {
+        Self::from_bandwidth(BandwidthMatrix::uniform(n, bandwidth_mbs), latency_us)
+    }
+
+    fn from_parts(bandwidth: BandwidthMatrix, latency: Vec<f64>) -> Self {
+        let n = bandwidth.num_units();
+        let mut rate = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                rate[i * n + j] = mbs_to_bytes_per_us(bandwidth.get(i, j));
+            }
+        }
+        Self {
+            n,
+            rate,
+            latency,
+            bandwidth,
+        }
+    }
+
+    /// Number of compute units.
+    pub fn num_units(&self) -> usize {
+        self.n
+    }
+
+    /// Underlying bandwidth matrix (MB/s).
+    pub fn bandwidth(&self) -> &BandwidthMatrix {
+        &self.bandwidth
+    }
+
+    /// Bandwidth between `i` and `j` in bytes per microsecond.
+    #[inline]
+    pub fn rate_bytes_per_us(&self, i: usize, j: usize) -> f64 {
+        self.rate[i * self.n + j]
+    }
+
+    /// One-way latency between `i` and `j` in microseconds.
+    #[inline]
+    pub fn latency_us(&self, i: usize, j: usize) -> f64 {
+        self.latency[i * self.n + j]
+    }
+
+    /// Pure wire-transfer time (no queueing) of a message of `bytes` bytes
+    /// from `i` to `j`, in microseconds. Zero for self-messages.
+    #[inline]
+    pub fn transfer_time_us(&self, i: usize, j: usize, bytes: u64) -> f64 {
+        if i == j {
+            return 0.0;
+        }
+        self.latency_us(i, j) + bytes as f64 / self.rate_bytes_per_us(i, j)
+    }
+
+    /// The NIC occupancy (serialisation time) of a message: the time the
+    /// sending and receiving endpoints are busy with it, excluding the wire
+    /// latency.
+    #[inline]
+    pub fn occupancy_us(&self, i: usize, j: usize, bytes: u64) -> f64 {
+        if i == j {
+            0.0
+        } else {
+            bytes as f64 / self.rate_bytes_per_us(i, j)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_combines_latency_and_bandwidth() {
+        let link = LinkModel::uniform(4, 100.0, 2.0); // 100 bytes/us, 2us latency
+        let t = link.transfer_time_us(0, 1, 1000);
+        assert!((t - (2.0 + 10.0)).abs() < 1e-9);
+        assert_eq!(link.transfer_time_us(2, 2, 1_000_000), 0.0);
+    }
+
+    #[test]
+    fn archer_links_are_faster_within_a_socket() {
+        let model = MachineModel::archer_like(48);
+        let link = LinkModel::from_machine(&model, 0.0, 1);
+        let near = link.transfer_time_us(0, 1, 1 << 20);
+        let far = link.transfer_time_us(0, 47, 1 << 20);
+        assert!(near < far, "intra-socket {near} should beat inter-blade {far}");
+    }
+
+    #[test]
+    fn occupancy_excludes_latency() {
+        let link = LinkModel::uniform(2, 50.0, 5.0);
+        assert!((link.occupancy_us(0, 1, 500) - 10.0).abs() < 1e-9);
+        assert!((link.transfer_time_us(0, 1, 500) - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_bandwidth_keeps_profiled_values() {
+        let mut bw = BandwidthMatrix::uniform(3, 200.0);
+        bw.set_symmetric(0, 2, 20.0);
+        let link = LinkModel::from_bandwidth(bw, 1.0);
+        assert!(link.rate_bytes_per_us(0, 2) < link.rate_bytes_per_us(0, 1));
+        assert_eq!(link.latency_us(1, 1), 0.0);
+        assert_eq!(link.latency_us(0, 2), 1.0);
+    }
+
+    #[test]
+    fn bigger_messages_take_longer() {
+        let model = MachineModel::archer_like(24);
+        let link = LinkModel::from_machine(&model, 0.05, 3);
+        for (i, j) in [(0usize, 1usize), (0, 13), (0, 23)] {
+            assert!(link.transfer_time_us(i, j, 1 << 12) < link.transfer_time_us(i, j, 1 << 20));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Point-to-point message descriptors.
+
+/// A point-to-point message between two compute units.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Message {
+    /// Sending compute unit (rank).
+    pub src: usize,
+    /// Receiving compute unit (rank).
+    pub dst: usize,
+    /// Payload size in bytes.
+    pub bytes: u64,
+    /// Application tag (used only for tracing/debugging).
+    pub tag: u32,
+}
+
+impl Message {
+    /// Creates a message with tag 0.
+    pub fn new(src: usize, dst: usize, bytes: u64) -> Self {
+        Self {
+            src,
+            dst,
+            bytes,
+            tag: 0,
+        }
+    }
+
+    /// Creates a message with an explicit tag.
+    pub fn with_tag(src: usize, dst: usize, bytes: u64, tag: u32) -> Self {
+        Self {
+            src,
+            dst,
+            bytes,
+            tag,
+        }
+    }
+
+    /// `true` when source and destination are the same unit (a local copy
+    /// that never touches the network).
+    pub fn is_local(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let m = Message::new(1, 2, 64);
+        assert_eq!((m.src, m.dst, m.bytes, m.tag), (1, 2, 64, 0));
+        let t = Message::with_tag(3, 3, 8, 7);
+        assert_eq!(t.tag, 7);
+        assert!(t.is_local());
+        assert!(!m.is_local());
+    }
+}

@@ -1,0 +1,186 @@
+//! Simulated peer-to-peer bandwidth profiling (the mpiGraph substitute).
+//!
+//! The paper profiles the machine *before* partitioning by arranging MPI
+//! processes in a ring and timing message exchanges between every pair of
+//! offsets (the mpiGraph tool from LLNL). HyperPRAW then never looks at the
+//! machine directly — only at the profiled bandwidth matrix. We reproduce
+//! that separation: the profiler only calls into the event-driven simulator
+//! (send a message, observe how long delivery took) and reconstructs the
+//! bandwidth from the observed times, including optional measurement noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use hyperpraw_topology::BandwidthMatrix;
+
+use crate::LinkModel;
+
+/// Configuration of the ring bandwidth profiler.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RingProfiler {
+    /// Message payload used for each probe, in bytes (mpiGraph defaults to
+    /// large messages so the measurement is bandwidth-dominated).
+    pub message_bytes: u64,
+    /// Number of repetitions per pair; the reported bandwidth is the mean.
+    pub repeats: usize,
+    /// Multiplicative measurement noise (standard deviation in log-space)
+    /// applied per observation, emulating timer jitter and network
+    /// background traffic.
+    pub noise_sigma: f64,
+    /// RNG seed for the measurement noise.
+    pub seed: u64,
+}
+
+impl Default for RingProfiler {
+    fn default() -> Self {
+        Self {
+            message_bytes: 1 << 20, // 1 MiB probes
+            repeats: 2,
+            noise_sigma: 0.02,
+            seed: 7,
+        }
+    }
+}
+
+impl RingProfiler {
+    /// Profiles the network reachable through `link` and returns the
+    /// measured (symmetrised) peer-to-peer bandwidth matrix in MB/s.
+    ///
+    /// For every ring offset `d in 1..p`, all processes simultaneously send
+    /// one probe to `(rank + d) mod p` — one simulated round per offset, as
+    /// mpiGraph does — and the bandwidth for the pair is reconstructed from
+    /// the probe's delivery time.
+    pub fn profile(&self, link: &LinkModel) -> BandwidthMatrix {
+        let p = link.num_units();
+        assert!(p >= 2, "profiling needs at least two processes");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut measured = vec![0.0f64; p * p];
+
+        for offset in 1..p {
+            for _ in 0..self.repeats.max(1) {
+                // One round per offset: every rank sends one probe to
+                // rank+offset. A ring pattern has no endpoint contention, so
+                // the delivery time of each probe is exactly the uncontended
+                // single-message time of the event-driven simulator (see the
+                // `single_probe_matches_event_sim` test), which is what the
+                // per-pair timer in mpiGraph observes.
+                for src in 0..p {
+                    let dst = (src + offset) % p;
+                    let elapsed = link.transfer_time_us(src, dst, self.message_bytes);
+                    let noise = if self.noise_sigma > 0.0 {
+                        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        let u2: f64 = rng.gen_range(0.0..1.0);
+                        let z = (-2.0 * u1.ln()).sqrt()
+                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        (z * self.noise_sigma).exp()
+                    } else {
+                        1.0
+                    };
+                    // MB/s == bytes/us in these units.
+                    let bw = (self.message_bytes as f64 / elapsed) * noise;
+                    measured[src * p + dst] += bw / self.repeats.max(1) as f64;
+                }
+            }
+        }
+
+        // Symmetrise (mpiGraph reports send and receive bandwidth separately;
+        // the paper uses a single symmetric cost, so we average).
+        let mut data = vec![0.0f64; p * p];
+        for i in 0..p {
+            for j in 0..p {
+                if i == j {
+                    continue;
+                }
+                data[i * p + j] = 0.5 * (measured[i * p + j] + measured[j * p + i]);
+            }
+        }
+        let max = data.iter().cloned().fold(0.0f64, f64::max).max(1.0);
+        for i in 0..p {
+            data[i * p + i] = max * 4.0;
+        }
+        BandwidthMatrix::from_raw(p, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpraw_topology::{CostMatrix, MachineModel};
+
+    #[test]
+    fn profiling_recovers_tier_structure() {
+        let model = MachineModel::archer_like(48);
+        let link = LinkModel::from_machine(&model, 0.0, 1);
+        let profiler = RingProfiler {
+            noise_sigma: 0.0,
+            repeats: 1,
+            ..RingProfiler::default()
+        };
+        let bw = profiler.profile(&link);
+        // Intra-socket measured faster than inter-blade.
+        assert!(bw.get(0, 1) > 2.0 * bw.get(0, 40));
+        // Symmetric.
+        assert!((bw.get(3, 20) - bw.get(20, 3)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_bandwidth_is_close_to_nominal_for_large_probes() {
+        let model = MachineModel::archer_like(24);
+        let link = LinkModel::from_machine(&model, 0.0, 1);
+        let profiler = RingProfiler {
+            message_bytes: 8 << 20,
+            repeats: 1,
+            noise_sigma: 0.0,
+            seed: 0,
+        };
+        let bw = profiler.profile(&link);
+        // With an 8 MiB probe the latency term is negligible, so the measured
+        // bandwidth should be within a few percent of the nominal one.
+        let nominal = link.bandwidth().get(0, 1);
+        let measured = bw.get(0, 1);
+        assert!(
+            (measured - nominal).abs() / nominal < 0.05,
+            "measured {measured} vs nominal {nominal}"
+        );
+    }
+
+    #[test]
+    fn noise_perturbs_measurements_deterministically() {
+        let link = LinkModel::uniform(8, 500.0, 1.0);
+        let a = RingProfiler { noise_sigma: 0.1, seed: 1, ..RingProfiler::default() }.profile(&link);
+        let b = RingProfiler { noise_sigma: 0.1, seed: 1, ..RingProfiler::default() }.profile(&link);
+        let c = RingProfiler { noise_sigma: 0.1, seed: 2, ..RingProfiler::default() }.profile(&link);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn profiled_cost_matrix_ranks_links_like_the_machine() {
+        let model = MachineModel::archer_like(96);
+        let link = LinkModel::from_machine(&model, 0.0, 3);
+        let bw = RingProfiler { noise_sigma: 0.01, ..RingProfiler::default() }.profile(&link);
+        let cost = CostMatrix::from_bandwidth(&bw);
+        // Fast (intra-socket) pairs must be cheaper than slow (inter-group).
+        assert!(cost.get(0, 1) < cost.get(0, 90));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn profiling_a_single_process_panics() {
+        let link = LinkModel::uniform(1, 100.0, 1.0);
+        RingProfiler::default().profile(&link);
+    }
+
+    #[test]
+    fn single_probe_matches_event_sim() {
+        // The profiler's per-probe time model must agree with the
+        // event-driven simulator for an uncontended message.
+        use crate::{EventDrivenSim, Message};
+        let model = MachineModel::archer_like(24);
+        let link = LinkModel::from_machine(&model, 0.0, 5);
+        let mut sim = EventDrivenSim::new(link.clone());
+        let bytes = 1 << 20;
+        let out = sim.simulate_round(&[Message::new(0, 17, bytes)]);
+        assert!((out.makespan_us - link.transfer_time_us(0, 17, bytes)).abs() < 1e-9);
+    }
+}

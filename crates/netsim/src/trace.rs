@@ -1,0 +1,186 @@
+//! Peer-to-peer traffic accounting.
+
+/// Bytes and message counts exchanged between every pair of compute units.
+///
+/// This is the quantity plotted in the paper's Figure 1B and Figure 6B/C/D:
+/// the per-pair communication activity of the synthetic benchmark under a
+/// given partitioning. Comparing it with the bandwidth heatmap shows how well
+/// the partitioner aligned traffic with fast links.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrafficMatrix {
+    n: usize,
+    bytes: Vec<u64>,
+    messages: Vec<u64>,
+}
+
+impl TrafficMatrix {
+    /// Creates an empty traffic matrix for `n` units.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            bytes: vec![0; n * n],
+            messages: vec![0; n * n],
+        }
+    }
+
+    /// Number of compute units.
+    pub fn num_units(&self) -> usize {
+        self.n
+    }
+
+    /// Records one message of `bytes` bytes from `src` to `dst`.
+    #[inline]
+    pub fn record(&mut self, src: usize, dst: usize, bytes: u64) {
+        self.record_many(src, dst, bytes, 1);
+    }
+
+    /// Records `count` messages of `bytes` bytes each from `src` to `dst`.
+    #[inline]
+    pub fn record_many(&mut self, src: usize, dst: usize, bytes: u64, count: u64) {
+        let idx = src * self.n + dst;
+        self.bytes[idx] += bytes * count;
+        self.messages[idx] += count;
+    }
+
+    /// Bytes sent from `src` to `dst`.
+    pub fn bytes(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.n + dst]
+    }
+
+    /// Number of messages sent from `src` to `dst`.
+    pub fn messages(&self, src: usize, dst: usize) -> u64 {
+        self.messages[src * self.n + dst]
+    }
+
+    /// Total bytes over the whole matrix.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Total number of messages.
+    pub fn total_messages(&self) -> u64 {
+        self.messages.iter().sum()
+    }
+
+    /// Bytes sent by unit `src` to anyone else (excluding local copies).
+    pub fn sent_by(&self, src: usize) -> u64 {
+        (0..self.n)
+            .filter(|&dst| dst != src)
+            .map(|dst| self.bytes(src, dst))
+            .sum()
+    }
+
+    /// Bytes received by unit `dst` from anyone else.
+    pub fn received_by(&self, dst: usize) -> u64 {
+        (0..self.n)
+            .filter(|&src| src != dst)
+            .map(|src| self.bytes(src, dst))
+            .sum()
+    }
+
+    /// Remote (off-diagonal) bytes only.
+    pub fn remote_bytes(&self) -> u64 {
+        (0..self.n).map(|i| self.sent_by(i)).sum()
+    }
+
+    /// Rows of `log10(1 + bytes)`, as plotted in the paper's activity
+    /// heatmaps.
+    pub fn log10_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.n)
+            .map(|i| {
+                (0..self.n)
+                    .map(|j| ((1 + self.bytes(i, j)) as f64).log10())
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Fraction of remote bytes that travel over pairs for which `fast(i,j)`
+    /// returns `true`. Used to quantify how well a partitioning exploits
+    /// fast interconnections (the paper's §7 discussion of Figure 6).
+    pub fn fast_traffic_fraction(&self, fast: impl Fn(usize, usize) -> bool) -> f64 {
+        let mut fast_bytes = 0u64;
+        let mut total = 0u64;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i == j {
+                    continue;
+                }
+                let b = self.bytes(i, j);
+                total += b;
+                if fast(i, j) {
+                    fast_bytes += b;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            fast_bytes as f64 / total as f64
+        }
+    }
+
+    /// Serialises the byte matrix as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for i in 0..self.n {
+            let row: Vec<String> = (0..self.n).map(|j| self.bytes(i, j).to_string()).collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_bytes_and_counts() {
+        let mut t = TrafficMatrix::new(3);
+        t.record(0, 1, 100);
+        t.record(0, 1, 50);
+        t.record_many(2, 0, 10, 5);
+        assert_eq!(t.bytes(0, 1), 150);
+        assert_eq!(t.messages(0, 1), 2);
+        assert_eq!(t.bytes(2, 0), 50);
+        assert_eq!(t.messages(2, 0), 5);
+        assert_eq!(t.total_bytes(), 200);
+        assert_eq!(t.total_messages(), 7);
+    }
+
+    #[test]
+    fn sent_and_received_exclude_local_traffic() {
+        let mut t = TrafficMatrix::new(2);
+        t.record(0, 0, 1000); // local copy
+        t.record(0, 1, 10);
+        t.record(1, 0, 20);
+        assert_eq!(t.sent_by(0), 10);
+        assert_eq!(t.received_by(0), 20);
+        assert_eq!(t.remote_bytes(), 30);
+        assert_eq!(t.total_bytes(), 1030);
+    }
+
+    #[test]
+    fn fast_traffic_fraction_matches_manual_value() {
+        let mut t = TrafficMatrix::new(4);
+        t.record(0, 1, 70); // "fast" pair
+        t.record(0, 3, 30); // "slow" pair
+        let frac = t.fast_traffic_fraction(|i, j| (i, j) == (0, 1) || (i, j) == (1, 0));
+        assert!((frac - 0.7).abs() < 1e-12);
+        let empty = TrafficMatrix::new(4);
+        assert_eq!(empty.fast_traffic_fraction(|_, _| true), 0.0);
+    }
+
+    #[test]
+    fn log_rows_and_csv_have_expected_shape() {
+        let mut t = TrafficMatrix::new(3);
+        t.record(1, 2, 999);
+        let rows = t.log10_rows();
+        assert_eq!(rows.len(), 3);
+        assert!((rows[1][2] - 3.0).abs() < 0.01);
+        assert_eq!(rows[0][0], 0.0);
+        assert_eq!(t.to_csv().lines().count(), 3);
+    }
+}

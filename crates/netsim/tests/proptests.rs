@@ -1,0 +1,144 @@
+//! Property-based tests for the network simulator.
+
+use proptest::prelude::*;
+
+use hyperpraw_hypergraph::{HypergraphBuilder, Partition};
+use hyperpraw_netsim::{
+    BenchmarkConfig, EventDrivenSim, LinkModel, Message, RingProfiler, SyntheticBenchmark,
+};
+use hyperpraw_topology::{CostMatrix, MachineModel};
+
+fn arb_messages(n: usize) -> impl Strategy<Value = Vec<Message>> {
+    prop::collection::vec(
+        (0..n, 0..n, 1u64..10_000).prop_map(|(s, d, b)| Message::new(s, d, b)),
+        0..40,
+    )
+}
+
+proptest! {
+    #[test]
+    fn makespan_is_nonnegative_and_bounded_by_serial_time(
+        msgs in arb_messages(8),
+    ) {
+        let link = LinkModel::uniform(8, 100.0, 1.0);
+        let mut sim = EventDrivenSim::new(link.clone());
+        let out = sim.simulate_round(&msgs);
+        prop_assert!(out.makespan_us >= 0.0);
+        // Upper bound: running every message back-to-back serially.
+        let serial: f64 = msgs
+            .iter()
+            .map(|m| link.transfer_time_us(m.src, m.dst, m.bytes))
+            .sum();
+        prop_assert!(out.makespan_us <= serial + 1e-6);
+        // Lower bound: the single slowest message.
+        let slowest = msgs
+            .iter()
+            .map(|m| link.transfer_time_us(m.src, m.dst, m.bytes))
+            .fold(0.0, f64::max);
+        prop_assert!(out.makespan_us >= slowest - 1e-6);
+    }
+
+    #[test]
+    fn adding_a_message_increases_busy_time_by_its_occupancy(
+        msgs in arb_messages(6),
+        extra_src in 0usize..6,
+        extra_dst in 0usize..6,
+        extra_bytes in 1u64..10_000,
+    ) {
+        // Note: the *makespan* is not monotone under message addition (greedy
+        // schedules exhibit Graham-style anomalies: an extra message can
+        // change which transfer wins a contended receiver and shorten the
+        // critical path), but the total endpoint occupancy is — it grows by
+        // exactly the occupancy of the added message.
+        let link = LinkModel::uniform(6, 100.0, 1.0);
+        let total_busy = |out: &hyperpraw_netsim::RoundOutcome| -> f64 {
+            out.send_busy_us.iter().sum::<f64>() + out.recv_busy_us.iter().sum::<f64>()
+        };
+        let base = EventDrivenSim::new(link.clone()).simulate_round(&msgs);
+        let mut bigger = msgs.clone();
+        let extra = Message::new(extra_src, extra_dst, extra_bytes);
+        bigger.push(extra);
+        let after = EventDrivenSim::new(link.clone()).simulate_round(&bigger);
+        let expected_increase = 2.0 * link.occupancy_us(extra.src, extra.dst, extra.bytes);
+        prop_assert!((total_busy(&after) - total_busy(&base) - expected_increase).abs() < 1e-6);
+        // The makespan is still bounded below by the slowest single message.
+        let slowest = bigger
+            .iter()
+            .map(|m| link.transfer_time_us(m.src, m.dst, m.bytes))
+            .fold(0.0, f64::max);
+        prop_assert!(after.makespan_us >= slowest - 1e-6);
+    }
+
+    #[test]
+    fn benchmark_traffic_is_symmetric_in_totals(
+        assignment in prop::collection::vec(0u32..4, 12..=12),
+        bytes in 1u64..4096,
+    ) {
+        // Hyperedges of consecutive triples over 12 vertices.
+        let mut b = HypergraphBuilder::new(12);
+        for start in 0..10u32 {
+            b.add_hyperedge([start, start + 1, start + 2]);
+        }
+        let hg = b.build();
+        let part = Partition::from_assignment(assignment, 4).unwrap();
+        let bench = SyntheticBenchmark::new(
+            LinkModel::uniform(4, 100.0, 1.0),
+            BenchmarkConfig { message_bytes: bytes, ..BenchmarkConfig::default() },
+        );
+        let traffic = bench.traffic_for(&hg, &part);
+        // The benchmark sends "to and from" every cut pair, so the traffic
+        // matrix is symmetric.
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert_eq!(traffic.bytes(i, j), traffic.bytes(j, i));
+            }
+        }
+        // And every byte is a multiple of the message size.
+        prop_assert_eq!(traffic.remote_bytes() % bytes, 0);
+    }
+
+    #[test]
+    fn benchmark_time_is_zero_iff_no_remote_traffic(
+        assignment in prop::collection::vec(0u32..3, 9..=9),
+    ) {
+        let mut b = HypergraphBuilder::new(9);
+        b.add_hyperedge([0u32, 1, 2]);
+        b.add_hyperedge([3u32, 4, 5]);
+        b.add_hyperedge([6u32, 7, 8]);
+        let hg = b.build();
+        let part = Partition::from_assignment(assignment, 3).unwrap();
+        let bench = SyntheticBenchmark::new(
+            LinkModel::uniform(3, 100.0, 1.0),
+            BenchmarkConfig { barrier: false, ..BenchmarkConfig::default() },
+        );
+        let result = bench.run(&hg, &part);
+        if result.remote_messages == 0 {
+            prop_assert_eq!(result.total_time_us, 0.0);
+        } else {
+            prop_assert!(result.total_time_us > 0.0);
+        }
+    }
+
+    #[test]
+    fn profiled_costs_stay_normalised(
+        units in 2usize..40,
+        noise in 0.0f64..0.1,
+        seed in 0u64..500,
+    ) {
+        let model = MachineModel::archer_like(units);
+        let link = LinkModel::from_machine(&model, 0.0, seed);
+        let profiler = RingProfiler { noise_sigma: noise, seed, repeats: 1, message_bytes: 1 << 18 };
+        let bw = profiler.profile(&link);
+        let cost = CostMatrix::from_bandwidth(&bw);
+        for i in 0..units {
+            for j in 0..units {
+                let c = cost.get(i, j);
+                if i == j {
+                    prop_assert_eq!(c, 0.0);
+                } else {
+                    prop_assert!((1.0 - 1e-9..=2.0 + 1e-9).contains(&c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Peer-to-peer bandwidth matrices.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::MachineModel;
+
+/// A symmetric peer-to-peer bandwidth matrix in MB/s.
+///
+/// This is the quantity the paper profiles with mpiGraph before partitioning
+/// (Figures 1A and 6A). It can be synthesised from a [`MachineModel`] (with
+/// log-normal measurement noise) or measured by the simulated ring profiler
+/// in `hyperpraw-netsim`; HyperPRAW only ever sees the matrix, never the
+/// model, mirroring the paper's profiling-based discovery.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BandwidthMatrix {
+    n: usize,
+    /// Row-major `n × n`; `data[i * n + j]` is the bandwidth from `i` to `j`.
+    data: Vec<f64>,
+}
+
+impl BandwidthMatrix {
+    /// Creates a matrix from raw row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != n * n` or any off-diagonal entry is not a
+    /// positive finite number.
+    pub fn from_raw(n: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "bandwidth matrix must be n x n");
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let b = data[i * n + j];
+                    assert!(
+                        b.is_finite() && b > 0.0,
+                        "bandwidth between {i} and {j} must be positive and finite, got {b}"
+                    );
+                }
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Synthesises the profiled bandwidth of a machine model: the nominal
+    /// per-level bandwidth perturbed by multiplicative log-normal noise of
+    /// standard deviation `noise_sigma` (in log-space; 0.0 disables noise),
+    /// symmetrised by averaging both directions as a ring profiler would.
+    pub fn from_machine(model: &MachineModel, noise_sigma: f64, seed: u64) -> Self {
+        let n = model.num_units();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let nominal = model.link_bandwidth(i, j);
+                let noise = if noise_sigma > 0.0 {
+                    // Box-Muller standard normal, scaled.
+                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    (z * noise_sigma).exp()
+                } else {
+                    1.0
+                };
+                let b = (nominal * noise).max(1e-3);
+                data[i * n + j] = b;
+                data[j * n + i] = b;
+            }
+        }
+        // Self-bandwidth: fastest observed link times a margin (never used by
+        // the cost normalisation, which excludes the diagonal).
+        let max = data
+            .iter()
+            .cloned()
+            .fold(0.0f64, f64::max)
+            .max(1.0);
+        for i in 0..n {
+            data[i * n + i] = max * 4.0;
+        }
+        Self { n, data }
+    }
+
+    /// A perfectly uniform bandwidth matrix (all off-diagonal entries equal).
+    pub fn uniform(n: usize, bandwidth_mbs: f64) -> Self {
+        assert!(bandwidth_mbs > 0.0 && bandwidth_mbs.is_finite());
+        let mut data = vec![bandwidth_mbs; n * n];
+        for i in 0..n {
+            data[i * n + i] = bandwidth_mbs * 4.0;
+        }
+        Self { n, data }
+    }
+
+    /// Number of compute units.
+    pub fn num_units(&self) -> usize {
+        self.n
+    }
+
+    /// Bandwidth from `i` to `j` in MB/s.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Overwrites the bandwidth between `i` and `j` (both directions).
+    pub fn set_symmetric(&mut self, i: usize, j: usize, bandwidth_mbs: f64) {
+        self.data[i * self.n + j] = bandwidth_mbs;
+        self.data[j * self.n + i] = bandwidth_mbs;
+    }
+
+    /// Minimum off-diagonal bandwidth (`b_min` in the paper's normalisation).
+    pub fn min_off_diagonal(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    min = min.min(self.get(i, j));
+                }
+            }
+        }
+        min
+    }
+
+    /// Maximum off-diagonal bandwidth (`b_max`).
+    pub fn max_off_diagonal(&self) -> f64 {
+        let mut max = f64::NEG_INFINITY;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    max = max.max(self.get(i, j));
+                }
+            }
+        }
+        max
+    }
+
+    /// Rows of `log10(bandwidth)` values, as plotted in the paper's heatmaps
+    /// (Figures 1A and 6A).
+    pub fn log10_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| self.get(i, j).log10()).collect())
+            .collect()
+    }
+
+    /// Serialises the matrix as CSV (one row per line).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for i in 0..self.n {
+            let row: Vec<String> = (0..self.n).map(|j| format!("{:.3}", self.get(i, j))).collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_machine_reflects_hierarchy_tiers() {
+        let model = MachineModel::archer_like(48);
+        let bw = BandwidthMatrix::from_machine(&model, 0.0, 1);
+        // Without noise the matrix equals the nominal link bandwidths.
+        assert_eq!(bw.get(0, 1), model.link_bandwidth(0, 1));
+        assert_eq!(bw.get(0, 13), model.link_bandwidth(0, 13));
+        assert!(bw.get(0, 1) > bw.get(0, 13));
+        assert_eq!(bw.get(5, 9), bw.get(9, 5));
+    }
+
+    #[test]
+    fn noise_perturbs_but_preserves_ordering_of_tiers() {
+        let model = MachineModel::archer_like(96);
+        let bw = BandwidthMatrix::from_machine(&model, 0.08, 7);
+        // Average intra-socket bandwidth should still dominate inter-blade.
+        let mut intra = Vec::new();
+        let mut inter = Vec::new();
+        for i in 0..96 {
+            for j in 0..96 {
+                if i == j {
+                    continue;
+                }
+                match model.shared_level(i, j) {
+                    Some(0) => intra.push(bw.get(i, j)),
+                    Some(l) if l >= 2 => inter.push(bw.get(i, j)),
+                    _ => {}
+                }
+            }
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(avg(&intra) > 2.0 * avg(&inter));
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let model = MachineModel::archer_like(24);
+        let a = BandwidthMatrix::from_machine(&model, 0.1, 3);
+        let b = BandwidthMatrix::from_machine(&model, 0.1, 3);
+        let c = BandwidthMatrix::from_machine(&model, 0.1, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn min_max_off_diagonal_ignore_diagonal() {
+        let bw = BandwidthMatrix::uniform(8, 500.0);
+        assert_eq!(bw.min_off_diagonal(), 500.0);
+        assert_eq!(bw.max_off_diagonal(), 500.0);
+        assert!(bw.get(3, 3) > 500.0);
+    }
+
+    #[test]
+    fn from_raw_validates_entries() {
+        let ok = BandwidthMatrix::from_raw(2, vec![10.0, 5.0, 5.0, 10.0]);
+        assert_eq!(ok.get(0, 1), 5.0);
+        let res = std::panic::catch_unwind(|| {
+            BandwidthMatrix::from_raw(2, vec![10.0, -1.0, 5.0, 10.0])
+        });
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn csv_and_log_rows_have_expected_shape() {
+        let bw = BandwidthMatrix::uniform(4, 100.0);
+        let csv = bw.to_csv();
+        assert_eq!(csv.lines().count(), 4);
+        assert_eq!(csv.lines().next().unwrap().split(',').count(), 4);
+        let rows = bw.log10_rows();
+        assert_eq!(rows.len(), 4);
+        assert!((rows[0][1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_symmetric_updates_both_directions() {
+        let mut bw = BandwidthMatrix::uniform(4, 100.0);
+        bw.set_symmetric(1, 2, 42.0);
+        assert_eq!(bw.get(1, 2), 42.0);
+        assert_eq!(bw.get(2, 1), 42.0);
+    }
+}

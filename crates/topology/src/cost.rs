@@ -1,0 +1,249 @@
+//! Communication-cost matrices (the paper's `C(i, j)`).
+
+use crate::BandwidthMatrix;
+
+/// The normalised communication-cost matrix consumed by HyperPRAW.
+///
+/// From the paper (§4.2): given the profiled bandwidths `b_ij`,
+///
+/// ```text
+/// C(i,j) = 2 − (b_ij − b_min) / (b_max − b_min),   C(i,i) = 0
+/// ```
+///
+/// so the fastest link costs 1, the slowest costs 2, and self-communication
+/// is free. The normalisation makes HyperPRAW independent of the absolute
+/// magnitude of the profiled bandwidths (different machines have bandwidths
+/// differing by orders of magnitude, which would otherwise unbalance the
+/// workload/communication trade-off in the vertex assignment function).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CostMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Builds the cost matrix from a profiled bandwidth matrix using the
+    /// paper's normalisation. If every off-diagonal bandwidth is identical
+    /// the cost degenerates to 1 for all distinct pairs (the same as
+    /// [`CostMatrix::uniform`]).
+    pub fn from_bandwidth(bandwidth: &BandwidthMatrix) -> Self {
+        let n = bandwidth.num_units();
+        let b_min = bandwidth.min_off_diagonal();
+        let b_max = bandwidth.max_off_diagonal();
+        let range = b_max - b_min;
+        let mut data = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let c = if range > 0.0 {
+                    2.0 - (bandwidth.get(i, j) - b_min) / range
+                } else {
+                    1.0
+                };
+                data[i * n + j] = c;
+            }
+        }
+        Self { n, data }
+    }
+
+    /// A uniform cost matrix: 1 for every distinct pair, 0 on the diagonal.
+    /// This is what HyperPRAW-basic and the Zoltan baseline use — they are
+    /// oblivious to the physical architecture.
+    pub fn uniform(n: usize) -> Self {
+        let mut data = vec![1.0f64; n * n];
+        for i in 0..n {
+            data[i * n + i] = 0.0;
+        }
+        Self { n, data }
+    }
+
+    /// Builds a cost matrix from raw row-major entries (diagonal forced to
+    /// zero). Useful when the communication costs are known directly without
+    /// profiling, which the paper explicitly allows.
+    pub fn from_raw(n: usize, mut data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n * n, "cost matrix must be n x n");
+        assert!(
+            data.iter().all(|c| c.is_finite() && *c >= 0.0),
+            "costs must be finite and non-negative"
+        );
+        for i in 0..n {
+            data[i * n + i] = 0.0;
+        }
+        Self { n, data }
+    }
+
+    /// Number of compute units.
+    pub fn num_units(&self) -> usize {
+        self.n
+    }
+
+    /// Cost of communicating between units `i` and `j`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Raw row `i` of the matrix (length `n`); the streaming inner loop uses
+    /// this to avoid repeated index arithmetic.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// `true` when every off-diagonal entry is identical, i.e. the matrix
+    /// carries no architecture information.
+    pub fn is_uniform(&self) -> bool {
+        let mut first = None;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i == j {
+                    continue;
+                }
+                let c = self.get(i, j);
+                match first {
+                    None => first = Some(c),
+                    Some(f) if (f - c).abs() > 1e-12 => return false,
+                    _ => {}
+                }
+            }
+        }
+        true
+    }
+
+    /// Minimum off-diagonal cost.
+    pub fn min_off_diagonal(&self) -> f64 {
+        let mut min = f64::INFINITY;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    min = min.min(self.get(i, j));
+                }
+            }
+        }
+        min
+    }
+
+    /// Maximum off-diagonal cost.
+    pub fn max_off_diagonal(&self) -> f64 {
+        let mut max = f64::NEG_INFINITY;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    max = max.max(self.get(i, j));
+                }
+            }
+        }
+        max
+    }
+
+    /// Serialises the matrix as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        for i in 0..self.n {
+            let row: Vec<String> = (0..self.n).map(|j| format!("{:.4}", self.get(i, j))).collect();
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineModel;
+
+    #[test]
+    fn normalisation_maps_fastest_to_one_and_slowest_to_two() {
+        let model = MachineModel::archer_like(48);
+        let bw = BandwidthMatrix::from_machine(&model, 0.0, 1);
+        let cost = CostMatrix::from_bandwidth(&bw);
+        assert!((cost.min_off_diagonal() - 1.0).abs() < 1e-12);
+        assert!((cost.max_off_diagonal() - 2.0).abs() < 1e-12);
+        // Intra-socket pair is the fastest -> cost 1.
+        assert!((cost.get(0, 1) - 1.0).abs() < 1e-12);
+        // Self cost is zero.
+        for i in 0..48 {
+            assert_eq!(cost.get(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn cost_is_monotone_decreasing_in_bandwidth() {
+        let model = MachineModel::archer_like(96);
+        let bw = BandwidthMatrix::from_machine(&model, 0.0, 2);
+        let cost = CostMatrix::from_bandwidth(&bw);
+        // Faster links must never cost more.
+        let pairs = [(0usize, 1usize), (0, 13), (0, 30), (0, 95)];
+        for w in pairs.windows(2) {
+            let (a, b) = w[0];
+            let (c, d) = w[1];
+            assert!(bw.get(a, b) >= bw.get(c, d));
+            assert!(cost.get(a, b) <= cost.get(c, d));
+        }
+    }
+
+    #[test]
+    fn uniform_bandwidth_degenerates_to_uniform_cost() {
+        let bw = BandwidthMatrix::uniform(16, 123.0);
+        let cost = CostMatrix::from_bandwidth(&bw);
+        assert!(cost.is_uniform());
+        assert_eq!(cost.get(0, 1), 1.0);
+        assert_eq!(cost, CostMatrix::uniform(16));
+    }
+
+    #[test]
+    fn normalisation_is_scale_invariant() {
+        let model = MachineModel::archer_like(48);
+        let bw1 = BandwidthMatrix::from_machine(&model, 0.0, 1);
+        // Same machine with all bandwidths scaled 1000x.
+        let scaled = BandwidthMatrix::from_raw(
+            48,
+            (0..48 * 48)
+                .map(|idx| bw1.get(idx / 48, idx % 48) * 1000.0)
+                .collect(),
+        );
+        let c1 = CostMatrix::from_bandwidth(&bw1);
+        let c2 = CostMatrix::from_bandwidth(&scaled);
+        for i in 0..48 {
+            for j in 0..48 {
+                assert!((c1.get(i, j) - c2.get(i, j)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_matrix_properties() {
+        let c = CostMatrix::uniform(8);
+        assert!(c.is_uniform());
+        assert_eq!(c.num_units(), 8);
+        assert_eq!(c.get(3, 3), 0.0);
+        assert_eq!(c.get(3, 4), 1.0);
+        assert_eq!(c.row(2).len(), 8);
+    }
+
+    #[test]
+    fn from_raw_zeroes_the_diagonal() {
+        let c = CostMatrix::from_raw(2, vec![5.0, 1.5, 1.2, 7.0]);
+        assert_eq!(c.get(0, 0), 0.0);
+        assert_eq!(c.get(1, 1), 0.0);
+        assert_eq!(c.get(0, 1), 1.5);
+        assert!(!c.is_uniform());
+    }
+
+    #[test]
+    fn archer_cost_is_not_uniform() {
+        let model = MachineModel::archer_like(48);
+        let bw = BandwidthMatrix::from_machine(&model, 0.05, 9);
+        let cost = CostMatrix::from_bandwidth(&bw);
+        assert!(!cost.is_uniform());
+    }
+
+    #[test]
+    fn csv_has_n_rows() {
+        let c = CostMatrix::uniform(5);
+        assert_eq!(c.to_csv().lines().count(), 5);
+    }
+}

@@ -1,0 +1,183 @@
+//! Rank-to-hardware mapping helpers.
+//!
+//! MPI schedulers can place consecutive ranks on the same node ("block"
+//! placement, ARCHER's default used in the paper) or scatter them round-robin
+//! across nodes ("cyclic"). The placement changes which *rank pairs* are fast
+//! — and therefore changes the profiled bandwidth matrix — without changing
+//! the machine. The experiment harness uses these mappings to emulate the
+//! paper's "three different job allocations" repetitions.
+
+use crate::MachineModel;
+
+/// A bijective mapping from process ranks to hardware compute units.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankMapping {
+    to_unit: Vec<usize>,
+    to_rank: Vec<usize>,
+}
+
+impl RankMapping {
+    /// Builds a mapping from an explicit rank → unit permutation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to_unit` is not a permutation of `0..n`.
+    pub fn from_permutation(to_unit: Vec<usize>) -> Self {
+        let n = to_unit.len();
+        let mut to_rank = vec![usize::MAX; n];
+        for (rank, &unit) in to_unit.iter().enumerate() {
+            assert!(unit < n, "unit {unit} out of range");
+            assert!(
+                to_rank[unit] == usize::MAX,
+                "unit {unit} assigned to two ranks"
+            );
+            to_rank[unit] = rank;
+        }
+        Self { to_unit, to_rank }
+    }
+
+    /// Identity (block) placement: rank `r` runs on unit `r`. Consecutive
+    /// ranks fill sockets and nodes in order — the common scheduler default.
+    pub fn block(n: usize) -> Self {
+        Self::from_permutation((0..n).collect())
+    }
+
+    /// Cyclic placement over the groups of `group_size` consecutive units
+    /// (e.g. nodes of 24 cores): rank `r` runs on node `r % num_nodes`,
+    /// slot `r / num_nodes`. This scatters neighbouring ranks across nodes.
+    pub fn cyclic(n: usize, group_size: usize) -> Self {
+        assert!(group_size > 0, "group size must be positive");
+        let num_groups = n.div_ceil(group_size);
+        let mut to_unit = Vec::with_capacity(n);
+        let mut slots = vec![0usize; num_groups];
+        for rank in 0..n {
+            // Find the next group (round-robin) with a free slot.
+            let mut g = rank % num_groups;
+            loop {
+                let unit = g * group_size + slots[g];
+                if slots[g] < group_size && unit < n {
+                    slots[g] += 1;
+                    to_unit.push(unit);
+                    break;
+                }
+                g = (g + 1) % num_groups;
+            }
+        }
+        Self::from_permutation(to_unit)
+    }
+
+    /// A deterministic pseudo-random placement derived from `seed`, emulating
+    /// the effectively arbitrary node allocations a batch scheduler hands
+    /// out for different jobs (the paper re-runs every experiment on three
+    /// such allocations).
+    pub fn scattered(n: usize, seed: u64) -> Self {
+        let mut to_unit: Vec<usize> = (0..n).collect();
+        // Fisher-Yates with a splitmix64 stream: no external RNG needed.
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        for i in (1..n).rev() {
+            let j = (next() % (i as u64 + 1)) as usize;
+            to_unit.swap(i, j);
+        }
+        Self::from_permutation(to_unit)
+    }
+
+    /// Number of ranks / units.
+    pub fn len(&self) -> usize {
+        self.to_unit.len()
+    }
+
+    /// `true` when the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.to_unit.is_empty()
+    }
+
+    /// Hardware unit hosting `rank`.
+    pub fn unit_of(&self, rank: usize) -> usize {
+        self.to_unit[rank]
+    }
+
+    /// Rank hosted on hardware `unit`.
+    pub fn rank_of(&self, unit: usize) -> usize {
+        self.to_rank[unit]
+    }
+
+    /// Bandwidth between two *ranks* under this mapping on the given machine.
+    pub fn rank_bandwidth(&self, model: &MachineModel, a: usize, b: usize) -> f64 {
+        model.link_bandwidth(self.unit_of(a), self.unit_of(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_mapping_is_identity() {
+        let m = RankMapping::block(8);
+        for r in 0..8 {
+            assert_eq!(m.unit_of(r), r);
+            assert_eq!(m.rank_of(r), r);
+        }
+        assert_eq!(m.len(), 8);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn cyclic_mapping_scatters_consecutive_ranks() {
+        // 12 units in nodes of 4: ranks 0,1,2 land on different nodes.
+        let m = RankMapping::cyclic(12, 4);
+        let node = |u: usize| u / 4;
+        assert_ne!(node(m.unit_of(0)), node(m.unit_of(1)));
+        assert_ne!(node(m.unit_of(1)), node(m.unit_of(2)));
+        // It is still a permutation.
+        let mut units: Vec<usize> = (0..12).map(|r| m.unit_of(r)).collect();
+        units.sort_unstable();
+        assert_eq!(units, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scattered_is_a_deterministic_permutation() {
+        let a = RankMapping::scattered(64, 5);
+        let b = RankMapping::scattered(64, 5);
+        let c = RankMapping::scattered(64, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let mut units: Vec<usize> = (0..64).map(|r| a.unit_of(r)).collect();
+        units.sort_unstable();
+        assert_eq!(units, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rank_and_unit_lookups_are_inverse() {
+        let m = RankMapping::scattered(32, 11);
+        for r in 0..32 {
+            assert_eq!(m.rank_of(m.unit_of(r)), r);
+        }
+    }
+
+    #[test]
+    fn rank_bandwidth_changes_with_placement() {
+        let model = MachineModel::archer_like(48);
+        let block = RankMapping::block(48);
+        let cyclic = RankMapping::cyclic(48, 24);
+        // Ranks 0 and 1 share a socket under block placement but are on
+        // different nodes under 24-wide cyclic placement.
+        assert!(
+            block.rank_bandwidth(&model, 0, 1) > cyclic.rank_bandwidth(&model, 0, 1),
+            "block placement should make neighbouring ranks faster"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to two ranks")]
+    fn duplicate_units_are_rejected() {
+        RankMapping::from_permutation(vec![0, 0, 1]);
+    }
+}

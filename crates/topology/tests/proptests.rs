@@ -1,0 +1,94 @@
+//! Property-based tests for the topology crate.
+
+use proptest::prelude::*;
+
+use hyperpraw_topology::{BandwidthMatrix, CostMatrix, MachineModel};
+
+proptest! {
+    #[test]
+    fn cost_normalisation_stays_in_range(
+        units in 2usize..64,
+        noise in 0.0f64..0.3,
+        seed in 0u64..1_000,
+    ) {
+        let model = MachineModel::archer_like(units);
+        let bw = BandwidthMatrix::from_machine(&model, noise, seed);
+        let cost = CostMatrix::from_bandwidth(&bw);
+        for i in 0..units {
+            prop_assert_eq!(cost.get(i, i), 0.0);
+            for j in 0..units {
+                if i != j {
+                    let c = cost.get(i, j);
+                    prop_assert!((1.0 - 1e-9..=2.0 + 1e-9).contains(&c),
+                        "cost {} out of [1,2]", c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_matrix_is_symmetric_for_symmetric_bandwidth(
+        units in 2usize..48,
+        seed in 0u64..1_000,
+    ) {
+        let model = MachineModel::archer_like(units);
+        let bw = BandwidthMatrix::from_machine(&model, 0.1, seed);
+        let cost = CostMatrix::from_bandwidth(&bw);
+        for i in 0..units {
+            for j in 0..units {
+                prop_assert!((cost.get(i, j) - cost.get(j, i)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn shared_level_is_symmetric_and_consistent(
+        units in 2usize..200,
+        a in 0usize..200,
+        b in 0usize..200,
+    ) {
+        let model = MachineModel::archer_like(units);
+        let a = a % units;
+        let b = b % units;
+        prop_assert_eq!(model.shared_level(a, b), model.shared_level(b, a));
+        prop_assert_eq!(model.link_bandwidth(a, b), model.link_bandwidth(b, a));
+        if a != b {
+            prop_assert!(model.shared_level(a, b).is_some());
+        } else {
+            prop_assert!(model.shared_level(a, b).is_none());
+        }
+    }
+
+    #[test]
+    fn higher_shared_level_never_has_higher_bandwidth(
+        units in 4usize..150,
+        seed in 0u64..100,
+    ) {
+        let model = MachineModel::archer_like(units);
+        // For every pair, the bandwidth must be non-increasing in the shared
+        // level index (levels are ordered innermost/fastest first).
+        let mut per_level: Vec<Option<f64>> = vec![None; model.levels().len()];
+        let _ = seed;
+        for a in 0..units {
+            for b in 0..units {
+                if a == b { continue; }
+                let l = model.shared_level(a, b).unwrap();
+                let bwv = model.link_bandwidth(a, b);
+                per_level[l] = Some(bwv);
+            }
+        }
+        let observed: Vec<f64> = per_level.into_iter().flatten().collect();
+        for w in observed.windows(2) {
+            prop_assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn uniform_bandwidth_always_gives_uniform_cost(
+        units in 2usize..64,
+        mbs in 1.0f64..10_000.0,
+    ) {
+        let cost = CostMatrix::from_bandwidth(&BandwidthMatrix::uniform(units, mbs));
+        prop_assert!(cost.is_uniform());
+    }
+}

@@ -1,0 +1,132 @@
+//! Partitioning for an *unknown* architecture discovered through profiling —
+//! the cloud scenario the paper uses to motivate profiling-based discovery
+//! (§4.2: "an advantage in environments where the architecture is not known,
+//! or when it is known but unreliable due to contextual circumstances").
+//!
+//! ```text
+//! cargo run --release --example cloud_profiling
+//! ```
+//!
+//! The application is given a set of VMs whose placement (same host, same
+//! rack, different zone) it cannot query. The example shows that
+//!
+//! 1. the ring profiler recovers the hidden locality structure from timing
+//!    alone,
+//! 2. HyperPRAW-aware exploits it without any machine-specific code,
+//! 3. when the scheduler hands out a *different* allocation, re-profiling
+//!    adapts the partitioning (the paper's point about re-profiling per
+//!    job), while a stale cost matrix loses part of the benefit.
+
+use hyperpraw::hypergraph::generators::{powerlaw_hypergraph, PowerLawConfig};
+use hyperpraw::prelude::*;
+use hyperpraw::topology::hierarchy::RankMapping;
+
+/// Builds the per-rank link model of a cloud allocation: the hidden machine
+/// plus a placement of ranks onto its VMs.
+fn allocation(machine: &MachineModel, placement_seed: u64) -> (RankMapping, LinkModel) {
+    let procs = machine.num_units();
+    let mapping = if placement_seed == 0 {
+        RankMapping::block(procs)
+    } else {
+        RankMapping::scattered(procs, placement_seed)
+    };
+    let nominal = BandwidthMatrix::from_machine(machine, 0.1, 99);
+    let mut data = vec![0.0; procs * procs];
+    for a in 0..procs {
+        for b in 0..procs {
+            data[a * procs + b] = if a == b {
+                nominal.get(a, b)
+            } else {
+                nominal.get(mapping.unit_of(a), mapping.unit_of(b))
+            };
+        }
+    }
+    (mapping, LinkModel::from_bandwidth(BandwidthMatrix::from_raw(procs, data), 3.0))
+}
+
+fn main() {
+    let procs = 64usize;
+    println!("== Cloud profiling example: partitioning an unknown topology ==\n");
+
+    // A graph-analytics-style workload: power-law connectivity.
+    let hg = powerlaw_hypergraph(&PowerLawConfig {
+        num_vertices: 20_000,
+        num_hyperedges: 20_000,
+        avg_cardinality: 4.0,
+        seed: 5,
+        ..PowerLawConfig::default()
+    });
+    println!("workload hypergraph   : {hg}");
+
+    // The hidden infrastructure: 8-vCPU VMs, 8 hosts per rack, slow
+    // inter-zone links. The application never sees this object.
+    let machine = MachineModel::cloud_like(procs, 8);
+    println!("hidden infrastructure : {machine}\n");
+
+    // --- Job allocation #1 -------------------------------------------------
+    let (_, link1) = allocation(&machine, 0);
+    let profiled1 = RingProfiler::default().profile(&link1);
+    let cost1 = CostMatrix::from_bandwidth(&profiled1);
+    println!(
+        "profiled allocation #1: bandwidth spread {:.0}..{:.0} MB/s (ratio {:.1}x) — locality discovered",
+        profiled1.min_off_diagonal(),
+        profiled1.max_off_diagonal(),
+        profiled1.max_off_diagonal() / profiled1.min_off_diagonal()
+    );
+
+    let bench1 = SyntheticBenchmark::new(link1, BenchmarkConfig {
+        message_bytes: 256,
+        supersteps: 5,
+        ..BenchmarkConfig::default()
+    });
+    let basic = HyperPraw::basic(HyperPrawConfig::default(), procs as u32)
+        .partition(&hg)
+        .partition;
+    let aware1 = HyperPraw::aware(HyperPrawConfig::default(), cost1.clone())
+        .partition(&hg)
+        .partition;
+    let t_basic = bench1.run(&hg, &basic).total_time_us;
+    let t_aware = bench1.run(&hg, &aware1).total_time_us;
+    println!(
+        "allocation #1 runtime : basic {:.2} ms, aware {:.2} ms ({:.2}x faster)\n",
+        t_basic / 1e3,
+        t_aware / 1e3,
+        t_basic / t_aware
+    );
+
+    // --- Job allocation #2: the scheduler scatters the VMs differently -----
+    let (_, link2) = allocation(&machine, 7);
+    let profiled2 = RingProfiler::default().profile(&link2);
+    let cost2 = CostMatrix::from_bandwidth(&profiled2);
+    let bench2 = SyntheticBenchmark::new(link2, BenchmarkConfig {
+        message_bytes: 256,
+        supersteps: 5,
+        ..BenchmarkConfig::default()
+    });
+    // Re-profile and re-partition (what the paper recommends per job) vs
+    // reusing the stale cost matrix from allocation #1.
+    let aware_fresh = HyperPraw::aware(HyperPrawConfig::default(), cost2)
+        .partition(&hg)
+        .partition;
+    let t_stale = bench2.run(&hg, &aware1).total_time_us;
+    let t_fresh = bench2.run(&hg, &aware_fresh).total_time_us;
+    let t_basic2 = bench2.run(&hg, &basic).total_time_us;
+    println!("allocation #2 (different VM placement):");
+    println!("  basic (oblivious)            : {:.2} ms", t_basic2 / 1e3);
+    println!("  aware, stale profile (#1)    : {:.2} ms", t_stale / 1e3);
+    println!("  aware, re-profiled (#2)      : {:.2} ms", t_fresh / 1e3);
+    println!(
+        "\nspeedup over the oblivious placement on allocation #2: stale profile {:.2}x, \
+         re-profiled {:.2}x.",
+        t_basic2 / t_stale,
+        t_basic2 / t_fresh
+    );
+    println!(
+        "The paper's recommendation is to re-profile each new allocation: a stale cost matrix\n\
+         targets links that may no longer be fast. How much that matters grows with the size of\n\
+         the job and the spread of the infrastructure's bandwidth tiers — on this small 64-vCPU\n\
+         example the placements differ only mildly, while a scattered multi-zone allocation at\n\
+         production scale shifts most of the traffic onto the slow tier (increase the vCPU count\n\
+         and the workload size to see the gap widen)."
+    );
+}

@@ -1,0 +1,156 @@
+//! Distributing repeated sparse matrix–vector multiplication (SpMV) — the
+//! second application domain the paper highlights (hypergraph partitioning
+//! for sparse matrices goes back to Catalyurek & Aykanat's row-net model).
+//!
+//! ```text
+//! cargo run --release --example sparse_matrix_spmv
+//! ```
+//!
+//! A structurally symmetric sparse matrix is generated (FEM-like stencil
+//! pattern), converted to its row-net hypergraph through the same code path
+//! used for `.mtx` files, and distributed across a dual-socket commodity
+//! cluster. In a 1-D row-wise SpMV, owning row `i` means needing the vector
+//! entries of every column with a nonzero in that row — so every cut
+//! hyperedge is a remote vector fetch per iteration. The example compares
+//! the iteration time of an iterative solver (many SpMV supersteps) under
+//! the different partitioners.
+
+use hyperpraw::hypergraph::io::matrix_market::{CoordinateMatrix, SparseMatrixModel};
+use hyperpraw::prelude::*;
+
+/// Builds a structurally symmetric sparse matrix with a 3-D stencil pattern
+/// (the nonzero structure of a FEM discretisation).
+fn build_stencil_matrix(n: usize, stencil: usize) -> CoordinateMatrix {
+    let side = (n as f64).cbrt().ceil() as i64;
+    let mut entries = Vec::new();
+    let index = |x: i64, y: i64, z: i64| -> Option<u32> {
+        if x < 0 || y < 0 || z < 0 || x >= side || y >= side || z >= side {
+            return None;
+        }
+        let v = (z * side * side + y * side + x) as usize;
+        (v < n).then_some(v as u32)
+    };
+    for v in 0..n as u32 {
+        let v64 = v as i64;
+        let (x, y, z) = (
+            v64 % side,
+            (v64 / side) % side,
+            v64 / (side * side),
+        );
+        entries.push((v, v)); // diagonal
+        let offsets: &[(i64, i64, i64)] = &[
+            (1, 0, 0),
+            (-1, 0, 0),
+            (0, 1, 0),
+            (0, -1, 0),
+            (0, 0, 1),
+            (0, 0, -1),
+            (1, 1, 0),
+            (-1, -1, 0),
+        ];
+        for &(dx, dy, dz) in offsets.iter().take(stencil) {
+            if let Some(u) = index(x + dx, y + dy, z + dz) {
+                entries.push((v, u));
+                entries.push((u, v));
+            }
+        }
+    }
+    entries.sort_unstable();
+    entries.dedup();
+    CoordinateMatrix {
+        rows: n,
+        cols: n,
+        entries,
+    }
+}
+
+fn main() {
+    let procs = 32usize;
+    let solver_iterations = 50usize;
+    println!("== Sparse matrix–vector multiplication example ==\n");
+
+    // The matrix and its row-net hypergraph.
+    let matrix = build_stencil_matrix(8_000, 8);
+    let hg = matrix.to_hypergraph(SparseMatrixModel::RowNet, "stencil-spmv");
+    println!("matrix                : {} x {} with {} nonzeros", matrix.rows, matrix.cols, matrix.entries.len());
+    println!("row-net hypergraph    : {hg}\n");
+
+    // A commodity dual-socket cluster this time (not ARCHER): the algorithm
+    // only sees the profiled cost matrix, so nothing else changes.
+    let machine = MachineModel::dual_socket_cluster(procs, 8);
+    let link = LinkModel::from_machine(&machine, 0.08, 3);
+    let bandwidth = RingProfiler::default().profile(&link);
+    let cost = CostMatrix::from_bandwidth(&bandwidth);
+
+    // Stencil matrices are extremely regular: under the default FENNEL α the
+    // balance penalty of leaving the (already perfectly balanced) round-robin
+    // start outweighs the marginal communication gain of each single move, so
+    // the stream barely improves. Starting with a smaller α lets the early
+    // streams cluster rows by their stencil neighbourhood first and restore
+    // balance in the later, tempered streams — the tuning knob the library
+    // exposes for such workloads.
+    let spmv_config = HyperPrawConfig {
+        initial_alpha: Some(
+            HyperPrawConfig::fennel_alpha(procs as u32, hg.num_vertices(), hg.num_hyperedges())
+                / 20.0,
+        ),
+        ..HyperPrawConfig::default()
+    };
+    let partitions = [
+        ("round-robin", baselines::round_robin(&hg, procs as u32)),
+        (
+            "zoltan-like",
+            MultilevelPartitioner::new(MultilevelConfig::default()).partition(&hg, procs as u32),
+        ),
+        (
+            "hyperpraw-basic",
+            HyperPraw::basic(spmv_config, procs as u32)
+                .partition(&hg)
+                .partition,
+        ),
+        (
+            "hyperpraw-aware",
+            HyperPraw::aware(spmv_config, cost.clone())
+                .partition(&hg)
+                .partition,
+        ),
+    ];
+
+    // Each solver iteration performs one SpMV: remote vector entries are
+    // fetched for every cut hyperedge.
+    let bench = SyntheticBenchmark::new(
+        link,
+        BenchmarkConfig {
+            message_bytes: 8, // one f64 vector entry
+            supersteps: solver_iterations,
+            ..BenchmarkConfig::default()
+        },
+    );
+
+    println!(
+        "{:<16} {:>10} {:>14} {:>12} {:>20}",
+        "partitioner", "cut", "comm cost", "imbalance", "50-iteration time (ms)"
+    );
+    let mut first = None;
+    for (name, part) in &partitions {
+        let quality = QualityReport::compute(&hg, part, &cost);
+        let run = bench.run(&hg, part);
+        let ms = run.total_time_us / 1e3;
+        let speedup = match first {
+            None => {
+                first = Some(ms);
+                "1.00x".to_string()
+            }
+            Some(base) => format!("{:.2}x", base / ms),
+        };
+        println!(
+            "{:<16} {:>10} {:>14.0} {:>12.3} {:>14.2} ({})",
+            name, quality.hyperedge_cut, quality.comm_cost, quality.imbalance, ms, speedup
+        );
+    }
+
+    println!(
+        "\nFor an iterative solver the partition is computed once and reused for thousands of\n\
+         SpMVs, so even modest per-iteration communication savings dominate the setup cost."
+    );
+}

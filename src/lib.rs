@@ -1,0 +1,70 @@
+//! # hyperpraw
+//!
+//! A from-scratch Rust reproduction of **HyperPRAW** — the
+//! architecture-aware hypergraph restreaming partitioner of Fernandez
+//! Musoles, Coca and Richmond (ICPP 2019) — together with every substrate
+//! the paper's evaluation needs: hypergraph data structures and dataset
+//! generators, a hierarchical HPC machine model with bandwidth profiling, a
+//! discrete-event message-passing simulator standing in for MPI-on-ARCHER,
+//! and a multilevel recursive-bisection baseline standing in for Zoltan.
+//!
+//! This crate is a thin facade: it re-exports the five member crates under
+//! stable module names and provides a [`prelude`].
+//!
+//! | Module | Crate | Contents |
+//! |--------|-------|----------|
+//! | [`hypergraph`] | `hyperpraw-hypergraph` | CSR hypergraphs, builders, generators, IO, cut metrics |
+//! | [`topology`] | `hyperpraw-topology` | machine models, bandwidth matrices, cost matrices |
+//! | [`netsim`] | `hyperpraw-netsim` | event-driven network simulator, ring profiler, synthetic benchmark |
+//! | [`multilevel`] | `hyperpraw-multilevel` | Zoltan-like multilevel recursive bisection baseline |
+//! | [`core`] | `hyperpraw-core` | the HyperPRAW restreaming partitioner itself |
+//!
+//! ## End-to-end flow
+//!
+//! ```
+//! use hyperpraw::prelude::*;
+//!
+//! // 1. A communication-bound application modelled as a hypergraph.
+//! let hg = hyperpraw::hypergraph::generators::mesh_hypergraph(
+//!     &hyperpraw::hypergraph::generators::MeshConfig::new(500, 8),
+//! );
+//!
+//! // 2. The machine: 16 cores of an ARCHER-like cluster, profiled.
+//! let machine = MachineModel::archer_like(16);
+//! let link = LinkModel::from_machine(&machine, 0.05, 7);
+//! let bandwidth = RingProfiler::default().profile(&link);
+//! let cost = CostMatrix::from_bandwidth(&bandwidth);
+//!
+//! // 3. Partition with HyperPRAW-aware.
+//! let result = HyperPraw::aware(HyperPrawConfig::default(), cost).partition(&hg);
+//!
+//! // 4. Run the synthetic benchmark under that placement.
+//! let bench = SyntheticBenchmark::new(link, BenchmarkConfig::default());
+//! let outcome = bench.run(&hg, &result.partition);
+//! assert!(outcome.total_time_us >= 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use hyperpraw_core as core;
+pub use hyperpraw_hypergraph as hypergraph;
+pub use hyperpraw_multilevel as multilevel;
+pub use hyperpraw_netsim as netsim;
+pub use hyperpraw_topology as topology;
+
+/// The most commonly used types from every layer, re-exported flat.
+pub mod prelude {
+    pub use hyperpraw_core::{
+        baselines, metrics::partitioning_communication_cost, metrics::QualityReport, CostMatrix,
+        HyperPraw, HyperPrawConfig, ParallelConfig, ParallelHyperPraw, PartitionResult,
+        RefinementPolicy, StopReason, StreamOrder,
+    };
+    pub use hyperpraw_hypergraph::prelude::*;
+    pub use hyperpraw_multilevel::{recursive_bisection, MultilevelConfig, MultilevelPartitioner};
+    pub use hyperpraw_netsim::{
+        BenchmarkConfig, BenchmarkResult, LinkModel, RingProfiler, SyntheticBenchmark,
+        TrafficMatrix,
+    };
+    pub use hyperpraw_topology::{BandwidthMatrix, MachineModel};
+}

@@ -1,0 +1,150 @@
+//! End-to-end integration tests: the full pipeline from hypergraph
+//! generation through profiling, partitioning and the synthetic benchmark,
+//! asserting the *shape* of the paper's headline results.
+
+use hyperpraw::hypergraph::generators::suite::{PaperInstance, SuiteConfig};
+use hyperpraw::prelude::*;
+
+/// Builds a small ARCHER-like testbed: link model + profiled cost matrix.
+fn testbed(procs: usize, seed: u64) -> (LinkModel, CostMatrix) {
+    let machine = MachineModel::archer_like(procs);
+    let link = LinkModel::from_machine(&machine, 0.05, seed);
+    let bandwidth = RingProfiler::default().profile(&link);
+    let cost = CostMatrix::from_bandwidth(&bandwidth);
+    (link, cost)
+}
+
+#[test]
+fn full_pipeline_runs_for_a_suite_instance() {
+    let procs = 24usize;
+    let (link, cost) = testbed(procs, 1);
+    let hg = PaperInstance::TwoCubesSphere.generate(&SuiteConfig::scaled(0.01));
+
+    let result = HyperPraw::aware(HyperPrawConfig::default(), cost.clone()).partition(&hg);
+    assert_eq!(result.partition.num_parts() as usize, procs);
+    assert!(result.imbalance <= 1.1 + 1e-9);
+
+    let bench = SyntheticBenchmark::new(link, BenchmarkConfig::default());
+    let run = bench.run(&hg, &result.partition);
+    assert!(run.total_time_us.is_finite());
+    assert!(run.total_time_us >= 0.0);
+    // The traffic matrix covers exactly the remote bytes of the benchmark.
+    assert_eq!(run.traffic.remote_bytes(), run.remote_bytes);
+}
+
+#[test]
+fn aware_beats_naive_placements_on_comm_cost_and_runtime() {
+    let procs = 48usize;
+    let (link, cost) = testbed(procs, 3);
+    let hg = PaperInstance::TwoCubesSphere.generate(&SuiteConfig::scaled(0.02));
+
+    let aware = HyperPraw::aware(HyperPrawConfig::default(), cost.clone())
+        .partition(&hg)
+        .partition;
+    let round_robin = baselines::round_robin(&hg, procs as u32);
+    let random = baselines::random(&hg, procs as u32, 1);
+
+    let pc = |p: &Partition| partitioning_communication_cost(&hg, p, &cost);
+    assert!(pc(&aware) < pc(&round_robin));
+    assert!(pc(&aware) < pc(&random));
+
+    let bench = SyntheticBenchmark::new(link, BenchmarkConfig::default());
+    let t_aware = bench.run(&hg, &aware).total_time_us;
+    let t_rr = bench.run(&hg, &round_robin).total_time_us;
+    assert!(
+        t_aware < t_rr,
+        "aware {t_aware} should beat round robin {t_rr}"
+    );
+}
+
+#[test]
+fn aware_beats_basic_which_matches_or_beats_zoltan_comm_cost() {
+    // The Figure 4C ordering on a mesh instance: aware <= basic on the
+    // architecture-aware metric, and both improve on the multilevel baseline.
+    let procs = 24usize;
+    let (_, cost) = testbed(procs, 5);
+    let hg = PaperInstance::AbacusShellHd.generate(&SuiteConfig::scaled(0.05));
+
+    let aware = HyperPraw::aware(HyperPrawConfig::default(), cost.clone())
+        .partition(&hg)
+        .partition;
+    let basic = HyperPraw::basic(HyperPrawConfig::default(), procs as u32)
+        .partition(&hg)
+        .partition;
+    let zoltan = MultilevelPartitioner::new(MultilevelConfig::default())
+        .partition(&hg, procs as u32);
+
+    let pc = |p: &Partition| partitioning_communication_cost(&hg, p, &cost);
+    let (a, b, z) = (pc(&aware), pc(&basic), pc(&zoltan));
+    assert!(a <= b * 1.05, "aware {a} should not lose to basic {b}");
+    assert!(a < z, "aware {a} should beat the multilevel baseline {z}");
+}
+
+#[test]
+fn benchmark_runtime_ranks_the_three_strategies_like_figure_5() {
+    let procs = 48usize;
+    let (link, cost) = testbed(procs, 7);
+    let hg = PaperInstance::TwoCubesSphere.generate(&SuiteConfig::scaled(0.02));
+
+    let aware = HyperPraw::aware(HyperPrawConfig::default(), cost.clone())
+        .partition(&hg)
+        .partition;
+    let basic = HyperPraw::basic(HyperPrawConfig::default(), procs as u32)
+        .partition(&hg)
+        .partition;
+    let zoltan = MultilevelPartitioner::new(MultilevelConfig::default())
+        .partition(&hg, procs as u32);
+
+    let bench = SyntheticBenchmark::new(link, BenchmarkConfig::default());
+    let t_aware = bench.run(&hg, &aware).total_time_us;
+    let t_basic = bench.run(&hg, &basic).total_time_us;
+    let t_zoltan = bench.run(&hg, &zoltan).total_time_us;
+
+    // The paper's headline: aware is the fastest of the three; the speedup
+    // over the multilevel baseline is strictly greater than 1. Against basic
+    // we only require "no worse" (at this reduced scale the two can tie on
+    // instances with little locality; the full-scale gap is reported in
+    // EXPERIMENTS.md).
+    assert!(
+        t_aware <= t_basic * 1.05,
+        "aware {t_aware} should not be slower than basic {t_basic}"
+    );
+    assert!(
+        t_aware < t_zoltan,
+        "aware {t_aware} should be faster than zoltan-like {t_zoltan}"
+    );
+}
+
+#[test]
+fn quality_report_is_consistent_across_crates() {
+    let procs = 16usize;
+    let (_, cost) = testbed(procs, 11);
+    let hg = PaperInstance::Webbase1M.generate(&SuiteConfig::scaled(0.002));
+    let part = HyperPraw::aware(HyperPrawConfig::default(), cost.clone())
+        .partition(&hg)
+        .partition;
+    let report = QualityReport::compute(&hg, &part, &cost);
+    assert_eq!(report.hyperedge_cut, hyperedge_cut(&hg, &part));
+    assert_eq!(report.soed, soed(&hg, &part));
+    assert!((report.imbalance - part.imbalance(&hg).unwrap()).abs() < 1e-12);
+    assert!(report.comm_cost >= 0.0);
+}
+
+#[test]
+fn flat_machines_make_aware_equivalent_to_basic() {
+    // On a homogeneous machine the profiled cost matrix is uniform, so the
+    // aware variant degenerates to basic (same decisions, same partition).
+    let procs = 8usize;
+    let link = LinkModel::uniform(procs, 1_000.0, 1.0);
+    let profiled = RingProfiler {
+        noise_sigma: 0.0,
+        ..RingProfiler::default()
+    }
+    .profile(&link);
+    let cost = CostMatrix::from_bandwidth(&profiled);
+    assert!(cost.is_uniform());
+    let hg = PaperInstance::AbacusShellHd.generate(&SuiteConfig::scaled(0.02));
+    let aware = HyperPraw::aware(HyperPrawConfig::default(), cost).partition(&hg);
+    let basic = HyperPraw::basic(HyperPrawConfig::default(), procs as u32).partition(&hg);
+    assert_eq!(aware.partition, basic.partition);
+}

@@ -1,0 +1,105 @@
+//! Integration tests for dataset IO round-trips and cross-run determinism of
+//! the whole pipeline.
+
+use std::io::Cursor;
+
+use hyperpraw::hypergraph::generators::suite::{PaperInstance, SuiteConfig};
+use hyperpraw::hypergraph::io::{edgelist, hmetis, matrix_market};
+use hyperpraw::prelude::*;
+
+#[test]
+fn suite_instance_round_trips_through_hgr_and_partitions_identically() {
+    let hg = PaperInstance::AbacusShellHd.generate(&SuiteConfig::scaled(0.02));
+    let mut buffer = Vec::new();
+    hmetis::write_hgr(&hg, &mut buffer).unwrap();
+    let reread = hmetis::read_hgr(Cursor::new(buffer)).unwrap();
+    assert_eq!(reread.num_vertices(), hg.num_vertices());
+    assert_eq!(reread.num_hyperedges(), hg.num_hyperedges());
+
+    // Partitioning the re-read hypergraph gives the same result as the
+    // original: the partitioner only depends on the structure.
+    let p = 8u32;
+    let a = HyperPraw::basic(HyperPrawConfig::default(), p).partition(&hg);
+    let b = HyperPraw::basic(HyperPrawConfig::default(), p).partition(&reread);
+    assert_eq!(a.partition, b.partition);
+    assert_eq!(
+        hyperedge_cut(&hg, &a.partition),
+        hyperedge_cut(&reread, &b.partition)
+    );
+}
+
+#[test]
+fn edgelist_and_mtx_paths_produce_consistent_hypergraphs() {
+    // A tiny symmetric matrix written as MatrixMarket and as an edge list
+    // must produce hypergraphs with the same cut behaviour.
+    let mtx_text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+        6 6 8\n\
+        1 1\n2 1\n3 2\n4 3\n5 4\n6 5\n6 4\n5 3\n";
+    let matrix = matrix_market::read_mtx(Cursor::new(mtx_text)).unwrap();
+    let from_mtx = matrix.to_hypergraph(matrix_market::SparseMatrixModel::RowNet, "tiny");
+
+    let mut edge_text = String::new();
+    for e in from_mtx.hyperedges() {
+        let pins: Vec<String> = from_mtx.pins(e).iter().map(|v| v.to_string()).collect();
+        edge_text.push_str(&pins.join(" "));
+        edge_text.push('\n');
+    }
+    let from_edges = edgelist::read_edgelist(Cursor::new(edge_text)).unwrap();
+
+    assert_eq!(from_mtx.num_hyperedges(), from_edges.num_hyperedges());
+    let part = Partition::round_robin(from_mtx.num_vertices(), 3);
+    assert_eq!(
+        hyperedge_cut(&from_mtx, &part),
+        hyperedge_cut(&from_edges, &part)
+    );
+    assert_eq!(soed(&from_mtx, &part), soed(&from_edges, &part));
+}
+
+#[test]
+fn whole_pipeline_is_deterministic_for_fixed_seeds() {
+    let procs = 24usize;
+    let run_once = || {
+        let hg = PaperInstance::Sparsine.generate(&SuiteConfig::scaled(0.01).with_seed(77));
+        let machine = MachineModel::archer_like(procs);
+        let link = LinkModel::from_machine(&machine, 0.05, 9);
+        let bw = RingProfiler::default().profile(&link);
+        let cost = CostMatrix::from_bandwidth(&bw);
+        let part = HyperPraw::aware(HyperPrawConfig::default().with_seed(5), cost)
+            .partition(&hg)
+            .partition;
+        let bench = SyntheticBenchmark::new(link, BenchmarkConfig::default());
+        let result = bench.run(&hg, &part);
+        (part, result.total_time_us, result.remote_bytes)
+    };
+    let (p1, t1, b1) = run_once();
+    let (p2, t2, b2) = run_once();
+    assert_eq!(p1, p2);
+    assert_eq!(b1, b2);
+    assert!((t1 - t2).abs() < 1e-9);
+}
+
+#[test]
+fn different_seeds_change_the_generated_instances_but_not_their_shape() {
+    let a = PaperInstance::Webbase1M.generate(&SuiteConfig::scaled(0.002).with_seed(1));
+    let b = PaperInstance::Webbase1M.generate(&SuiteConfig::scaled(0.002).with_seed(2));
+    assert_ne!(a, b);
+    // Same macroscopic shape.
+    assert_eq!(a.num_vertices(), b.num_vertices());
+    let ca = a.avg_cardinality();
+    let cb = b.avg_cardinality();
+    assert!((ca - cb).abs() / ca < 0.2, "cardinality drifted: {ca} vs {cb}");
+}
+
+#[test]
+fn every_suite_instance_survives_an_hgr_round_trip() {
+    let cfg = SuiteConfig::scaled(0.004);
+    for inst in PaperInstance::all() {
+        let hg = inst.generate(&cfg);
+        let mut buffer = Vec::new();
+        hmetis::write_hgr(&hg, &mut buffer).unwrap();
+        let reread = hmetis::read_hgr(Cursor::new(buffer)).unwrap();
+        assert_eq!(reread.num_vertices(), hg.num_vertices(), "{inst}");
+        assert_eq!(reread.num_hyperedges(), hg.num_hyperedges(), "{inst}");
+        assert_eq!(reread.num_pins(), hg.num_pins(), "{inst}");
+    }
+}

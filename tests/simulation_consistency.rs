@@ -1,0 +1,168 @@
+//! Integration tests that cross-validate the two simulation models (the
+//! event-driven simulator and the aggregate synthetic benchmark) and the
+//! relationship between partition quality metrics and simulated runtime.
+
+use hyperpraw::netsim::{EventDrivenSim, Message};
+use hyperpraw::prelude::*;
+use hyperpraw::hypergraph::generators::{mesh_hypergraph, MeshConfig};
+
+/// Materialises the benchmark's message list explicitly (one message per
+/// ordered cut pin pair of every hyperedge) — only feasible for tiny cases.
+fn materialise_messages(hg: &Hypergraph, part: &Partition, bytes: u64) -> Vec<Message> {
+    let mut messages = Vec::new();
+    for e in hg.hyperedges() {
+        let pins = hg.pins(e);
+        for &a in pins {
+            for &b in pins {
+                if a == b {
+                    continue;
+                }
+                let (pa, pb) = (part.part_of(a) as usize, part.part_of(b) as usize);
+                if pa != pb {
+                    messages.push(Message::new(pa, pb, bytes));
+                }
+            }
+        }
+    }
+    messages
+}
+
+#[test]
+fn aggregate_benchmark_traffic_matches_explicit_message_enumeration() {
+    let hg = mesh_hypergraph(&MeshConfig::new(200, 6));
+    let p = 6usize;
+    let part = baselines::round_robin(&hg, p as u32);
+    let link = LinkModel::uniform(p, 100.0, 1.0);
+    let bench = SyntheticBenchmark::new(
+        link.clone(),
+        BenchmarkConfig {
+            message_bytes: 32,
+            barrier: false,
+            ..BenchmarkConfig::default()
+        },
+    );
+    let result = bench.run(&hg, &part);
+    let messages = materialise_messages(&hg, &part, 32);
+    assert_eq!(result.remote_messages as usize, messages.len());
+
+    // Event-driven delivery of the same messages: both models see identical
+    // traffic, and their makespans agree within a small factor (the aggregate
+    // model serialises per endpoint, the event model additionally interleaves
+    // sends and receives).
+    let mut sim = EventDrivenSim::new(link);
+    let outcome = sim.simulate_round(&messages);
+    for i in 0..p {
+        for j in 0..p {
+            if i != j {
+                assert_eq!(sim.trace().bytes(i, j), result.traffic.bytes(i, j));
+            }
+        }
+    }
+    assert!(outcome.makespan_us > 0.0);
+    let ratio = result.superstep_us / outcome.makespan_us;
+    assert!(
+        (0.3..=3.0).contains(&ratio),
+        "aggregate {} vs event-driven {} (ratio {ratio})",
+        result.superstep_us,
+        outcome.makespan_us
+    );
+}
+
+#[test]
+fn lower_comm_cost_implies_lower_simulated_runtime_across_candidates() {
+    // The partitioning communication cost (the metric HyperPRAW optimises)
+    // must rank candidate partitions in the same order as the simulated
+    // benchmark runtime — that correlation is the premise of the paper.
+    let procs = 24usize;
+    let machine = MachineModel::archer_like(procs);
+    let link = LinkModel::from_machine(&machine, 0.0, 1);
+    let cost = CostMatrix::from_bandwidth(&RingProfiler {
+        noise_sigma: 0.0,
+        ..RingProfiler::default()
+    }
+    .profile(&link));
+    let hg = mesh_hypergraph(&MeshConfig::new(1200, 10));
+    let bench = SyntheticBenchmark::new(link, BenchmarkConfig {
+        barrier: false,
+        ..BenchmarkConfig::default()
+    });
+
+    let candidates = vec![
+        ("random", baselines::random(&hg, procs as u32, 3)),
+        ("round_robin", baselines::round_robin(&hg, procs as u32)),
+        ("blocks", baselines::blocks(&hg, procs as u32)),
+        (
+            "aware",
+            HyperPraw::aware(HyperPrawConfig::default(), cost.clone())
+                .partition(&hg)
+                .partition,
+        ),
+    ];
+    let mut measured: Vec<(f64, f64, &str)> = candidates
+        .iter()
+        .map(|(name, p)| {
+            (
+                partitioning_communication_cost(&hg, p, &cost),
+                bench.run(&hg, p).total_time_us,
+                *name,
+            )
+        })
+        .collect();
+    // Sort by comm cost; the runtimes of the extremes must follow the order.
+    measured.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let best = measured.first().unwrap();
+    let worst = measured.last().unwrap();
+    assert!(
+        best.1 < worst.1,
+        "lowest comm cost ({}, {}us) should be faster than highest ({}, {}us)",
+        best.2,
+        best.1,
+        worst.2,
+        worst.1
+    );
+    // And the aware partition must be the best of the candidates on both.
+    assert_eq!(best.2, "aware");
+}
+
+#[test]
+fn barrier_only_accounts_for_sync_overhead() {
+    let p = 8usize;
+    let link = LinkModel::uniform(p, 100.0, 2.0);
+    let hg = mesh_hypergraph(&MeshConfig::new(64, 4));
+    let part = Partition::all_in_one(hg.num_vertices(), p as u32);
+    let with_barrier = SyntheticBenchmark::new(link.clone(), BenchmarkConfig::default())
+        .run(&hg, &part);
+    let without = SyntheticBenchmark::new(
+        link,
+        BenchmarkConfig {
+            barrier: false,
+            ..BenchmarkConfig::default()
+        },
+    )
+    .run(&hg, &part);
+    assert_eq!(without.total_time_us, 0.0);
+    assert!(with_barrier.total_time_us > 0.0);
+    assert_eq!(with_barrier.superstep_us, 0.0);
+}
+
+#[test]
+fn profiled_and_nominal_cost_matrices_agree_on_link_ranking() {
+    // The ring profiler must preserve the ordering of link costs that the
+    // underlying machine defines — otherwise "aware" would optimise for the
+    // wrong links.
+    let procs = 48usize;
+    let machine = MachineModel::archer_like(procs);
+    let link = LinkModel::from_machine(&machine, 0.0, 2);
+    let nominal = CostMatrix::from_bandwidth(link.bandwidth());
+    let profiled = CostMatrix::from_bandwidth(&RingProfiler {
+        noise_sigma: 0.0,
+        message_bytes: 8 << 20,
+        ..RingProfiler::default()
+    }
+    .profile(&link));
+    for &(a, b, c, d) in &[(0usize, 1usize, 0usize, 30usize), (0, 13, 0, 47), (5, 6, 5, 90 % procs)] {
+        let nominal_says = nominal.get(a, b) < nominal.get(c, d);
+        let profiled_says = profiled.get(a, b) < profiled.get(c, d);
+        assert_eq!(nominal_says, profiled_says, "ranking of ({a},{b}) vs ({c},{d})");
+    }
+}
