@@ -1,0 +1,71 @@
+//! Criterion benchmarks of the memory-bounded streaming partitioner
+//! against in-memory HyperPRAW: one-pass assignment (exact vs. sketched
+//! index), the on-disk transpose, and the in-memory restreaming baseline
+//! on the same instance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hyperpraw_core::{HyperPraw, HyperPrawConfig};
+use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
+use hyperpraw_hypergraph::io::hmetis;
+use hyperpraw_hypergraph::io::stream::{stream_hgr_file, StreamOptions, VertexStream};
+use hyperpraw_lowmem::{IndexKind, LowMemConfig, LowMemPartitioner, MemoryBudget};
+
+fn bench_one_pass_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowmem_one_pass");
+    group.sample_size(10);
+    let hg = mesh_hypergraph(&MeshConfig::new(20_000, 10));
+    let p = 16u32;
+    for (name, index) in [
+        ("exact", IndexKind::Exact),
+        ("sketched", IndexKind::Sketched),
+    ] {
+        let config = LowMemConfig {
+            budget: MemoryBudget::mebibytes(8),
+            index,
+            ..LowMemConfig::default()
+        };
+        let partitioner = LowMemPartitioner::basic(config, p);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &hg, |b, hg| {
+            b.iter(|| partitioner.partition_hypergraph(hg))
+        });
+    }
+    group.bench_with_input(
+        BenchmarkId::from_parameter("in_memory_hyperpraw"),
+        &hg,
+        |b, hg| b.iter(|| HyperPraw::basic(HyperPrawConfig::default(), p).partition(hg)),
+    );
+    group.finish();
+}
+
+fn bench_disk_transpose(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lowmem_disk_transpose");
+    group.sample_size(10);
+    let hg = mesh_hypergraph(&MeshConfig::new(20_000, 10));
+    let path =
+        std::env::temp_dir().join(format!("hyperpraw_bench_lowmem_{}.hgr", std::process::id()));
+    hmetis::write_hgr_file(&hg, &path).unwrap();
+    for &budget_kib in &[64usize, 4096] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{budget_kib}KiB")),
+            &path,
+            |b, path| {
+                let options = StreamOptions::with_buffer_bytes(budget_kib << 10);
+                b.iter(|| {
+                    let mut stream = stream_hgr_file(path, &options).unwrap();
+                    let mut record = Default::default();
+                    let mut pins = 0usize;
+                    while stream.next_into(&mut record).unwrap() {
+                        pins += record.nets.len();
+                    }
+                    pins
+                })
+            },
+        );
+    }
+    std::fs::remove_file(&path).ok();
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_pass_partitioners, bench_disk_transpose);
+criterion_main!(benches);

@@ -46,5 +46,10 @@ fn bench_recursive_bisection(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_coarsening, bench_fm_refine, bench_recursive_bisection);
+criterion_group!(
+    benches,
+    bench_coarsening,
+    bench_fm_refine,
+    bench_recursive_bisection
+);
 criterion_main!(benches);

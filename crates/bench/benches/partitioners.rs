@@ -18,17 +18,13 @@ fn bench_partitioners(c: &mut Criterion) {
     let testbed = Testbed::archer(p, 0, 1);
 
     group.bench_function(BenchmarkId::new("zoltan_like", p), |b| {
-        b.iter(|| {
-            MultilevelPartitioner::new(MultilevelConfig::default()).partition(&hg, p as u32)
-        })
+        b.iter(|| MultilevelPartitioner::new(MultilevelConfig::default()).partition(&hg, p as u32))
     });
     group.bench_function(BenchmarkId::new("hyperpraw_basic", p), |b| {
         b.iter(|| HyperPraw::basic(HyperPrawConfig::default(), p as u32).partition(&hg))
     });
     group.bench_function(BenchmarkId::new("hyperpraw_aware", p), |b| {
-        b.iter(|| {
-            HyperPraw::aware(HyperPrawConfig::default(), testbed.cost.clone()).partition(&hg)
-        })
+        b.iter(|| HyperPraw::aware(HyperPrawConfig::default(), testbed.cost.clone()).partition(&hg))
     });
     for threads in [2usize, 4] {
         group.bench_function(BenchmarkId::new("hyperpraw_parallel", threads), |b| {

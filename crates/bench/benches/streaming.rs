@@ -31,9 +31,7 @@ fn bench_full_partition(c: &mut Criterion) {
                 BenchmarkId::new("basic", format!("mesh{n}_p{p}")),
                 &p,
                 |b, &p| {
-                    b.iter(|| {
-                        HyperPraw::basic(HyperPrawConfig::default(), p as u32).partition(&hg)
-                    })
+                    b.iter(|| HyperPraw::basic(HyperPrawConfig::default(), p as u32).partition(&hg))
                 },
             );
         }

@@ -93,7 +93,13 @@ fn main() {
     println!(
         "{}",
         ascii_table(
-            &["instance", "t_alpha", "iterations", "comm cost", "imbalance"],
+            &[
+                "instance",
+                "t_alpha",
+                "iterations",
+                "comm cost",
+                "imbalance"
+            ],
             &rows
         )
     );

@@ -18,7 +18,7 @@ use hyperpraw_hypergraph::generators::suite::PaperInstance;
 fn main() {
     let cfg = ExperimentConfig::from_env();
     // Figure 1 uses a 144-core job; honour HYPERPRAW_PROCS if set lower.
-    let procs = cfg.procs.min(144).max(24);
+    let procs = cfg.procs.clamp(24, 144);
     println!("== Figure 1: bandwidth vs naive communication ({procs} processes) ==\n");
 
     let testbed = Testbed::archer(procs, 0, cfg.seed);

@@ -41,7 +41,14 @@ fn main() {
     println!(
         "{}",
         ascii_table(
-            &["instance", "strategy", "cut (4A)", "SOED (4B)", "comm cost (4C)", "imbalance"],
+            &[
+                "instance",
+                "strategy",
+                "cut (4A)",
+                "SOED (4B)",
+                "comm cost (4C)",
+                "imbalance"
+            ],
             &table_rows
         )
     );

@@ -54,14 +54,13 @@ fn main() {
         entry.0 += row.result.total_time_us;
         entry.1 += 1;
     }
-    let mean =
-        |inst: &str, strat: &str| -> f64 {
-            means
-                .iter()
-                .find(|((i, s), _)| i == inst && *s == strat)
-                .map(|(_, (sum, n))| sum / *n as f64)
-                .unwrap_or(f64::NAN)
-        };
+    let mean = |inst: &str, strat: &str| -> f64 {
+        means
+            .iter()
+            .find(|((i, s), _)| i == inst && *s == strat)
+            .map(|(_, (sum, n))| sum / *n as f64)
+            .unwrap_or(f64::NAN)
+    };
 
     let mut table_rows = Vec::new();
     let mut speedups_aware = Vec::new();

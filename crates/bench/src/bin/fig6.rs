@@ -79,7 +79,11 @@ fn main() {
     println!("fraction of benchmark traffic carried by fast (top-quartile) links:");
     let mut csv = String::from("strategy,fast_traffic_fraction,total_time_us\n");
     for (name, fraction, time) in &fractions {
-        println!("  {name:<18} {:>6.1}%   (simulated time {:.2} ms)", fraction * 100.0, time / 1e3);
+        println!(
+            "  {name:<18} {:>6.1}%   (simulated time {:.2} ms)",
+            fraction * 100.0,
+            time / 1e3
+        );
         csv.push_str(&format!("{name},{fraction:.4},{time:.3}\n"));
     }
     cfg.write_csv("fig6_fast_traffic.csv", &csv);

@@ -20,11 +20,7 @@ fn main() {
         println!("== running {bin}");
         println!("================================================================\n");
         // Prefer the sibling binary (already built); fall back to cargo run.
-        let status = match exe_dir
-            .as_ref()
-            .map(|d| d.join(bin))
-            .filter(|p| p.exists())
-        {
+        let status = match exe_dir.as_ref().map(|d| d.join(bin)).filter(|p| p.exists()) {
             Some(path) => Command::new(path).status(),
             None => Command::new("cargo")
                 .args(["run", "--release", "-p", "hyperpraw-bench", "--bin", bin])

@@ -29,7 +29,9 @@ use hyperpraw_core::{
 use hyperpraw_hypergraph::generators::suite::{PaperInstance, SuiteConfig};
 use hyperpraw_hypergraph::{Hypergraph, Partition};
 use hyperpraw_multilevel::{MultilevelConfig, MultilevelPartitioner};
-use hyperpraw_netsim::{BenchmarkConfig, BenchmarkResult, LinkModel, RingProfiler, SyntheticBenchmark};
+use hyperpraw_netsim::{
+    BenchmarkConfig, BenchmarkResult, LinkModel, RingProfiler, SyntheticBenchmark,
+};
 use hyperpraw_topology::{hierarchy::RankMapping, BandwidthMatrix, MachineModel};
 
 pub use hyperpraw_core as core;
@@ -240,9 +242,12 @@ impl Strategy {
                     .partition
             }
             Strategy::HyperPrawAware => {
-                HyperPraw::aware(HyperPrawConfig::default().with_seed(seed), testbed.cost.clone())
-                    .partition(hg)
-                    .partition
+                HyperPraw::aware(
+                    HyperPrawConfig::default().with_seed(seed),
+                    testbed.cost.clone(),
+                )
+                .partition(hg)
+                .partition
             }
         }
     }
@@ -284,6 +289,7 @@ pub struct RuntimeRow {
 
 /// Renders a coarse ASCII heatmap of a matrix of values (higher = darker),
 /// used to eyeball the Figure 1 / Figure 6 heatmaps in the terminal.
+#[allow(clippy::needless_range_loop)] // 2-D block averaging reads clearest with indices
 pub fn ascii_heatmap(rows: &[Vec<f64>], width: usize) -> String {
     const SHADES: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
     if rows.is_empty() {
@@ -388,10 +394,7 @@ pub fn speedup(baseline_us: f64, candidate_us: f64) -> f64 {
 }
 
 /// Runs the full quality comparison (Figure 4) for a set of instances.
-pub fn quality_experiment(
-    cfg: &ExperimentConfig,
-    instances: &[PaperInstance],
-) -> Vec<QualityRow> {
+pub fn quality_experiment(cfg: &ExperimentConfig, instances: &[PaperInstance]) -> Vec<QualityRow> {
     let testbed = Testbed::archer(cfg.procs, 0, cfg.seed);
     let mut rows = Vec::new();
     for inst in instances {

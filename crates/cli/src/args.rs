@@ -86,6 +86,28 @@ pub enum Command {
         /// Input file (`.hgr`, `.mtx` or edge list).
         input: PathBuf,
     },
+    /// Partition a hypergraph file in one streaming pass under a memory
+    /// budget (`hyperpraw-lowmem`), without loading it into RAM.
+    LowMem {
+        /// Input file (`.hgr` or edge list; `.mtx` is not streamable).
+        input: PathBuf,
+        /// Number of partitions (compute units).
+        parts: u32,
+        /// Sketch/buffer memory budget in mebibytes.
+        budget_mib: usize,
+        /// Use the exact (unbounded-memory) connectivity index instead of
+        /// the Bloom/MinHash sketches.
+        exact: bool,
+        /// Number of lowest-confidence assignments to revisit; `None`
+        /// derives it from the budget.
+        restream: Option<usize>,
+        /// Machine preset used to derive the cost matrix.
+        machine: MachinePreset,
+        /// RNG seed.
+        seed: u64,
+        /// Where to write the assignment (one partition id per line).
+        output: Option<PathBuf>,
+    },
     /// Partition a hypergraph file.
     Partition {
         /// Input file (`.hgr`, `.mtx` or edge list).
@@ -167,7 +189,10 @@ impl fmt::Display for ParseError {
                 option,
                 value,
                 expected,
-            } => write!(f, "invalid value '{value}' for {option} (expected {expected})"),
+            } => write!(
+                f,
+                "invalid value '{value}' for {option} (expected {expected})"
+            ),
             Self::UnknownOption(o) => write!(f, "unknown option '{o}'"),
         }
     }
@@ -184,6 +209,8 @@ pub fn usage() -> String {
        hyperpraw partition <input> --parts N [--algorithm aware|basic|multilevel|round-robin]\n\
                            [--machine archer|cluster|cloud|flat] [--imbalance 1.1]\n\
                            [--seed N] [--output assignment.txt]\n\
+       hyperpraw lowmem    <input> --parts N [--budget-mib 64] [--exact] [--restream K]\n\
+                           [--machine archer|cluster|cloud|flat] [--seed N] [--output assignment.txt]\n\
        hyperpraw profile   --machine archer|cluster|cloud|flat --procs N [--output bw.csv]\n\
        hyperpraw benchmark <input> <assignment> [--machine archer|...] [--bytes 1024] [--supersteps 1]\n\
      \n\
@@ -261,6 +288,57 @@ impl Cli {
                         algorithm,
                         machine,
                         imbalance,
+                        seed,
+                        output,
+                    },
+                })
+            }
+            "lowmem" => {
+                let input = positional(&rest, 0, "input")?;
+                let mut parts: Option<u32> = None;
+                let mut budget_mib = 64usize;
+                let mut exact = false;
+                let mut restream = None;
+                let mut machine = MachinePreset::Archer;
+                let mut seed = 2019u64;
+                let mut output = None;
+                let mut i = 1;
+                while i < rest.len() {
+                    let opt = rest[i].as_str();
+                    match opt {
+                        "--parts" | "-p" => {
+                            parts = Some(parse_number(opt, value(&rest, &mut i)?)?);
+                        }
+                        "--budget-mib" | "-b" => {
+                            budget_mib = parse_number(opt, value(&rest, &mut i)?)?;
+                        }
+                        "--exact" => {
+                            exact = true;
+                        }
+                        "--restream" => {
+                            restream = Some(parse_number(opt, value(&rest, &mut i)?)?);
+                        }
+                        "--machine" | "-m" => {
+                            machine = MachinePreset::parse(value(&rest, &mut i)?)?;
+                        }
+                        "--seed" => {
+                            seed = parse_number(opt, value(&rest, &mut i)?)?;
+                        }
+                        "--output" | "-o" => {
+                            output = Some(PathBuf::from(value(&rest, &mut i)?));
+                        }
+                        other => return Err(ParseError::UnknownOption(other.into())),
+                    }
+                    i += 1;
+                }
+                Ok(Self {
+                    command: Command::LowMem {
+                        input: PathBuf::from(input),
+                        parts: parts.ok_or_else(|| ParseError::MissingValue("--parts".into()))?,
+                        budget_mib,
+                        exact,
+                        restream,
+                        machine,
                         seed,
                         output,
                     },
@@ -402,6 +480,53 @@ mod tests {
     }
 
     #[test]
+    fn parses_lowmem_with_defaults_and_overrides() {
+        let cli = Cli::parse(argv("lowmem big.hgr --parts 32")).unwrap();
+        match cli.command {
+            Command::LowMem {
+                parts,
+                budget_mib,
+                exact,
+                restream,
+                ..
+            } => {
+                assert_eq!(parts, 32);
+                assert_eq!(budget_mib, 64);
+                assert!(!exact);
+                assert_eq!(restream, None);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = Cli::parse(argv(
+            "lowmem big.hgr -p 8 -b 16 --exact --restream 500 -m flat --seed 3 -o out.txt",
+        ))
+        .unwrap();
+        match cli.command {
+            Command::LowMem {
+                budget_mib,
+                exact,
+                restream,
+                machine,
+                seed,
+                output,
+                ..
+            } => {
+                assert_eq!(budget_mib, 16);
+                assert!(exact);
+                assert_eq!(restream, Some(500));
+                assert_eq!(machine, MachinePreset::Flat);
+                assert_eq!(seed, 3);
+                assert_eq!(output, Some(PathBuf::from("out.txt")));
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(matches!(
+            Cli::parse(argv("lowmem big.hgr")).unwrap_err(),
+            ParseError::MissingValue(_)
+        ));
+    }
+
+    #[test]
     fn parses_profile_and_benchmark() {
         let cli = Cli::parse(argv("profile --machine flat --procs 32")).unwrap();
         assert!(matches!(
@@ -463,7 +588,10 @@ mod tests {
     fn algorithm_aliases_are_accepted() {
         assert_eq!(Algorithm::parse("zoltan").unwrap(), Algorithm::Multilevel);
         assert_eq!(Algorithm::parse("rr").unwrap(), Algorithm::RoundRobin);
-        assert_eq!(Algorithm::parse("hyperpraw-aware").unwrap(), Algorithm::Aware);
+        assert_eq!(
+            Algorithm::parse("hyperpraw-aware").unwrap(),
+            Algorithm::Aware
+        );
         assert_eq!(Algorithm::Aware.name(), "hyperpraw-aware");
     }
 }

@@ -6,8 +6,12 @@ use std::path::Path;
 
 use hyperpraw_core::metrics::QualityReport;
 use hyperpraw_core::{baselines, CostMatrix, HyperPraw, HyperPrawConfig};
+use hyperpraw_hypergraph::io::stream::{
+    read_hgr_header, stream_edgelist_file, stream_hgr_file, StreamOptions, VertexStream,
+};
 use hyperpraw_hypergraph::io::{edgelist, hmetis, matrix_market, IoError};
 use hyperpraw_hypergraph::{Hypergraph, HypergraphStats, Partition};
+use hyperpraw_lowmem::{quality, IndexKind, LowMemConfig, LowMemPartitioner, MemoryBudget};
 use hyperpraw_multilevel::{MultilevelConfig, MultilevelPartitioner};
 use hyperpraw_netsim::{BenchmarkConfig, LinkModel, RingProfiler, SyntheticBenchmark};
 use hyperpraw_topology::MachineModel;
@@ -93,7 +97,10 @@ pub fn read_assignment(path: &Path, num_vertices: usize) -> Result<Partition, Co
             continue;
         }
         let part: u32 = t.parse().map_err(|_| {
-            CommandError::Invalid(format!("assignment line {}: '{t}' is not a partition id", i + 1))
+            CommandError::Invalid(format!(
+                "assignment line {}: '{t}' is not a partition id",
+                i + 1
+            ))
         })?;
         assignment.push(part);
     }
@@ -104,8 +111,7 @@ pub fn read_assignment(path: &Path, num_vertices: usize) -> Result<Partition, Co
         )));
     }
     let parts = assignment.iter().copied().max().unwrap_or(0) + 1;
-    Partition::from_assignment(assignment, parts)
-        .map_err(|e| CommandError::Invalid(e.to_string()))
+    Partition::from_assignment(assignment, parts).map_err(|e| CommandError::Invalid(e.to_string()))
 }
 
 /// Writes an assignment file (one partition id per line).
@@ -146,9 +152,7 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
         } => {
             let hg = load_hypergraph(input)?;
             if *parts < 2 {
-                return Err(CommandError::Invalid(
-                    "--parts must be at least 2".into(),
-                ));
+                return Err(CommandError::Invalid("--parts must be at least 2".into()));
             }
             if (*parts as usize) > hg.num_vertices() {
                 return Err(CommandError::Invalid(format!(
@@ -161,7 +165,11 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                 .with_imbalance_tolerance(*imbalance)
                 .with_seed(*seed);
             let partition = match algorithm {
-                Algorithm::Aware => HyperPraw::aware(config, cost.clone()).partition(&hg).partition,
+                Algorithm::Aware => {
+                    HyperPraw::aware(config, cost.clone())
+                        .partition(&hg)
+                        .partition
+                }
                 Algorithm::Basic => HyperPraw::basic(config, *parts).partition(&hg).partition,
                 Algorithm::Multilevel => MultilevelPartitioner::new(
                     MultilevelConfig::default()
@@ -181,6 +189,103 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             println!("imbalance        : {:.4}", quality.imbalance);
             if let Some(path) = output {
                 write_assignment(path, &partition)?;
+                println!("assignment       : {}", path.display());
+            }
+            Ok(())
+        }
+        Command::LowMem {
+            input,
+            parts,
+            budget_mib,
+            exact,
+            restream,
+            machine,
+            seed,
+            output,
+        } => {
+            if *parts < 2 {
+                return Err(CommandError::Invalid("--parts must be at least 2".into()));
+            }
+            let ext = input
+                .extension()
+                .and_then(|e| e.to_str())
+                .unwrap_or("")
+                .to_ascii_lowercase();
+            if ext == "mtx" {
+                return Err(CommandError::Invalid(
+                    "MatrixMarket files are not streamable; convert to .hgr first".into(),
+                ));
+            }
+            let budget = MemoryBudget::mebibytes((*budget_mib).max(1));
+            let config = LowMemConfig {
+                budget,
+                index: if *exact {
+                    IndexKind::Exact
+                } else {
+                    IndexKind::Sketched
+                },
+                restream_capacity: *restream,
+                seed: *seed,
+                ..LowMemConfig::default()
+            };
+            let (_, cost) = profile(*machine, *parts as usize, *seed);
+            let options = StreamOptions {
+                buffer_bytes: budget.plan(*parts as usize, 0).transpose_buffer_bytes,
+                spill_dir: None,
+            };
+            let is_hgr = ext == "hgr";
+            if is_hgr {
+                // The header carries the vertex count; reject an oversized
+                // --parts before paying for the on-disk transpose.
+                let header = read_hgr_header(input)?;
+                if (*parts as usize) > header.num_vertices {
+                    return Err(CommandError::Invalid(format!(
+                        "cannot split {} vertices into {parts} parts",
+                        header.num_vertices
+                    )));
+                }
+            }
+            let mut stream = if is_hgr {
+                stream_hgr_file(input, &options)?
+            } else {
+                stream_edgelist_file(input, &options)?
+            };
+            if (*parts as usize) > stream.num_vertices() {
+                return Err(CommandError::Invalid(format!(
+                    "cannot split {} vertices into {parts} parts",
+                    stream.num_vertices()
+                )));
+            }
+            let result = LowMemPartitioner::new(config, cost).partition(&mut stream)?;
+            let streamed = if is_hgr {
+                quality::evaluate_hgr_file(input, &result.partition)?
+            } else {
+                quality::evaluate_edgelist_file(input, &result.partition)?
+            };
+            println!(
+                "algorithm        : lowmem-{}",
+                if *exact { "exact" } else { "sketched" }
+            );
+            println!(
+                "hypergraph       : {} (|V|={}, |E|={}, pins={})",
+                input.display(),
+                stream.num_vertices(),
+                stream.num_nets(),
+                stream.num_pins()
+            );
+            println!("partitions       : {}", result.partition.num_parts());
+            println!("memory budget    : {budget}");
+            println!("index memory     : {} B", result.index_memory_bytes);
+            println!("transpose peak   : {} B", stream.peak_loaded_bytes());
+            println!(
+                "restreamed       : {} ({} moved)",
+                result.restreamed, result.moved_in_restream
+            );
+            println!("hyperedge cut    : {}", streamed.hyperedge_cut);
+            println!("SOED             : {}", streamed.soed);
+            println!("imbalance        : {:.4}", streamed.imbalance);
+            if let Some(path) = output {
+                write_assignment(path, &result.partition)?;
                 println!("assignment       : {}", path.display());
             }
             Ok(())
@@ -321,6 +426,67 @@ mod tests {
         assert!(part.num_parts() <= 2);
         fs::remove_file(input).ok();
         fs::remove_file(output).ok();
+    }
+
+    #[test]
+    fn lowmem_command_partitions_in_one_pass_and_writes_an_assignment() {
+        let input = sample_hgr();
+        let output = temp_path("lowmem_assignment.txt");
+        for exact in [false, true] {
+            execute(&Cli {
+                command: Command::LowMem {
+                    input: input.clone(),
+                    parts: 2,
+                    budget_mib: 1,
+                    exact,
+                    restream: Some(4),
+                    machine: MachinePreset::Flat,
+                    seed: 1,
+                    output: Some(output.clone()),
+                },
+            })
+            .unwrap();
+            let hg = load_hypergraph(&input).unwrap();
+            let part = read_assignment(&output, hg.num_vertices()).unwrap();
+            assert!(part.num_parts() <= 2);
+        }
+        fs::remove_file(input).ok();
+        fs::remove_file(output).ok();
+    }
+
+    #[test]
+    fn lowmem_command_rejects_mtx_and_too_many_parts() {
+        let err = execute(&Cli {
+            command: Command::LowMem {
+                input: std::path::PathBuf::from("matrix.mtx"),
+                parts: 4,
+                budget_mib: 1,
+                exact: false,
+                restream: None,
+                machine: MachinePreset::Flat,
+                seed: 0,
+                output: None,
+            },
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("not streamable"));
+
+        let input = sample_hgr();
+        let err = execute(&Cli {
+            command: Command::LowMem {
+                input: input.clone(),
+                parts: 1000,
+                budget_mib: 1,
+                exact: false,
+                restream: None,
+                machine: MachinePreset::Flat,
+                seed: 0,
+                output: None,
+            },
+        })
+        .unwrap_err();
+        fs::remove_file(input).ok();
+        assert!(err.to_string().contains("cannot split"));
     }
 
     #[test]

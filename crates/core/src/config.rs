@@ -141,7 +141,9 @@ impl HyperPrawConfig {
         }
         if let RefinementPolicy::Factor(f) = self.refinement {
             if f <= 0.0 || f > 1.5 {
-                return Err(format!("refinement factor {f} out of the sensible range (0, 1.5]"));
+                return Err(format!(
+                    "refinement factor {f} out of the sensible range (0, 1.5]"
+                ));
             }
         }
         if let Some(a) = self.initial_alpha {

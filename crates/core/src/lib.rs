@@ -47,12 +47,12 @@ mod config;
 mod restream;
 mod state;
 mod stream;
-mod value;
 
 pub mod baselines;
 pub mod history;
 pub mod metrics;
 pub mod parallel;
+pub mod value;
 
 pub use config::{HyperPrawConfig, RefinementPolicy, StreamOrder};
 pub use history::{IterationRecord, PartitionHistory, StreamPhase};

@@ -20,9 +20,14 @@
 //! the number of workers while the partition quality degrades slightly
 //! because decisions are made against stale information. The
 //! `parallel_vs_sequential` bench quantifies this.
+//!
+//! Like the sequential driver and the out-of-core `hyperpraw-lowmem`
+//! streamer, the workers score candidate placements with the shared value
+//! function in [`crate::value`]; see [`crate::value::best_partition`] for
+//! the contract all three partitioners rely on.
 
-use crossbeam::thread;
-use parking_lot::Mutex;
+use std::sync::Mutex;
+use std::thread;
 
 use hyperpraw_hypergraph::traversal::NeighborScratch;
 use hyperpraw_hypergraph::{Hypergraph, Partition, VertexId};
@@ -67,7 +72,12 @@ impl ParallelConfig {
     }
 }
 
-/// The parallel restreaming partitioner.
+/// The parallel (bulk-synchronous) restreaming partitioner.
+///
+/// As with [`crate::HyperPraw`], the number of partitions equals the size
+/// of the communication-cost matrix, and the aware/basic paper variants
+/// are selected purely by that matrix — this driver adds only the
+/// multi-worker streaming schedule on top.
 #[derive(Clone, Debug)]
 pub struct ParallelHyperPraw {
     config: HyperPrawConfig,
@@ -131,7 +141,7 @@ impl ParallelHyperPraw {
                     let snapshot_loads = &snapshot_loads;
                     let expected = &expected;
                     let proposals = &proposals;
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut scratch = NeighborScratch::new(hg.num_vertices());
                         let mut counts: Vec<u32> = Vec::with_capacity(p);
                         // Worker-local view of the loads: the global snapshot
@@ -158,15 +168,17 @@ impl ParallelHyperPraw {
                             loads_view[t] = snapshot_loads[t] + delta[t] * scale;
                             local.push((v, target));
                         }
-                        proposals.lock().extend(local);
+                        proposals
+                            .lock()
+                            .expect("proposal mutex poisoned")
+                            .extend(local);
                     });
                 }
-            })
-            .expect("parallel stream worker panicked");
+            });
 
             // Synchronise: apply this window's proposals, rebuild workloads.
             let mut assignment = snapshot.into_assignment();
-            for (v, target) in proposals.into_inner() {
+            for (v, target) in proposals.into_inner().expect("proposal mutex poisoned") {
                 if assignment[v as usize] != target {
                     moved += 1;
                 }
@@ -196,8 +208,7 @@ impl ParallelHyperPraw {
             iterations = n;
             let moved = self.parallel_stream(hg, &mut state, alpha, &order);
             let imbalance = state.imbalance();
-            let comm_cost =
-                partitioning_communication_cost(hg, state.partition(), &self.cost);
+            let comm_cost = partitioning_communication_cost(hg, state.partition(), &self.cost);
             let feasible = imbalance <= config.imbalance_tolerance + 1e-12;
             if config.track_history {
                 history.push(IterationRecord {
@@ -243,8 +254,7 @@ impl ParallelHyperPraw {
         let (partition, comm_cost) = match previous_feasible {
             Some((partition, cost)) => (partition, cost),
             None => {
-                let cost =
-                    partitioning_communication_cost(hg, state.partition(), &self.cost);
+                let cost = partitioning_communication_cost(hg, state.partition(), &self.cost);
                 (state.into_partition(), cost)
             }
         };
@@ -346,12 +356,8 @@ mod tests {
             initial_alpha: Some(2.0),
             ..HyperPrawConfig::default()
         };
-        let aware = ParallelHyperPraw::new(
-            config,
-            ParallelConfig::with_threads(2),
-            cost.clone(),
-        )
-        .partition(&hg);
+        let aware = ParallelHyperPraw::new(config, ParallelConfig::with_threads(2), cost.clone())
+            .partition(&hg);
         let basic = ParallelHyperPraw::new(
             config,
             ParallelConfig::with_threads(2),

@@ -114,8 +114,7 @@ impl HyperPraw {
             iterations = n;
             let outcome = stream_pass(hg, &mut state, &self.cost, alpha, &order);
             let imbalance = state.imbalance();
-            let comm_cost =
-                partitioning_communication_cost(hg, state.partition(), &self.cost);
+            let comm_cost = partitioning_communication_cost(hg, state.partition(), &self.cost);
             let feasible = imbalance <= config.imbalance_tolerance + 1e-12;
             let phase = if feasible {
                 StreamPhase::Refinement
@@ -174,8 +173,7 @@ impl HyperPraw {
         let (partition, comm_cost) = match previous_feasible {
             Some((partition, cost)) => (partition, cost),
             None => {
-                let cost =
-                    partitioning_communication_cost(hg, state.partition(), &self.cost);
+                let cost = partitioning_communication_cost(hg, state.partition(), &self.cost);
                 (state.into_partition(), cost)
             }
         };

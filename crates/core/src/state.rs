@@ -74,12 +74,7 @@ impl StreamingState {
     /// `counts`, and returns the partition the vertex came from. Call
     /// [`StreamingState::assign`] afterwards to place the vertex (possibly
     /// back where it was).
-    pub fn detach_and_count(
-        &mut self,
-        hg: &Hypergraph,
-        v: VertexId,
-        counts: &mut Vec<u32>,
-    ) -> u32 {
+    pub fn detach_and_count(&mut self, hg: &Hypergraph, v: VertexId, counts: &mut Vec<u32>) -> u32 {
         let current = self.partition.part_of(v);
         self.loads[current as usize] -= hg.vertex_weight(v);
         self.scratch

@@ -1,4 +1,12 @@
 //! The vertex assignment value function (equations 1–4 of the paper).
+//!
+//! This module is public because the value function is the part of
+//! HyperPRAW that other partitioners reuse: the sequential restreaming
+//! driver, the bulk-synchronous [`crate::parallel`] driver and the
+//! out-of-core `hyperpraw-lowmem` streaming partitioner all score candidate
+//! placements with [`best_partition`] / [`best_partition_with_margin`] and
+//! only differ in *how they obtain* the neighbour-partition counts
+//! (in-memory CSR traversal vs. sketched net connectivity).
 
 use hyperpraw_topology::CostMatrix;
 
@@ -22,7 +30,7 @@ use hyperpraw_topology::CostMatrix;
 /// * `W(i)` and `E(i)` are the current and expected workloads, and `α`
 ///   weighs the balance term.
 #[inline]
-pub(crate) fn value_of(
+pub fn value_of(
     counts: &[u32],
     candidate: u32,
     cost: &CostMatrix,
@@ -48,31 +56,69 @@ pub(crate) fn value_of(
     -n * t - alpha * load / expected
 }
 
+/// The outcome of scoring every candidate partition for one vertex.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredPartition {
+    /// The winning partition.
+    pub part: u32,
+    /// The winner's value `V_part(v)`.
+    pub value: f64,
+    /// Gap between the winner and the runner-up value (`+∞` with a single
+    /// partition). A small margin means the decision was a near-tie — the
+    /// signal `hyperpraw-lowmem` uses to pick re-streaming candidates.
+    pub margin: f64,
+}
+
 /// Finds the partition with the highest assignment value for a vertex.
 ///
 /// Ties are broken towards the lighter partition, and then towards the lower
 /// partition id, so the stream is fully deterministic.
-pub(crate) fn best_partition(
+pub fn best_partition(
     counts: &[u32],
     cost: &CostMatrix,
     alpha: f64,
     loads: &[f64],
     expected: &[f64],
 ) -> u32 {
+    best_partition_with_margin(counts, cost, alpha, loads, expected).part
+}
+
+/// Like [`best_partition`], additionally reporting the winner's value and
+/// its margin over the runner-up. The winning partition is identical to
+/// [`best_partition`]'s — the extra bookkeeping never changes tie-breaking.
+pub fn best_partition_with_margin(
+    counts: &[u32],
+    cost: &CostMatrix,
+    alpha: f64,
+    loads: &[f64],
+    expected: &[f64],
+) -> ScoredPartition {
     debug_assert_eq!(counts.len(), loads.len());
     debug_assert_eq!(counts.len(), cost.num_units());
     let mut best = 0u32;
     let mut best_value = f64::NEG_INFINITY;
+    let mut runner_up = f64::NEG_INFINITY;
     for i in 0..counts.len() {
         let v = value_of(counts, i as u32, cost, alpha, loads[i], expected[i]);
         let better = v > best_value + 1e-12
             || ((v - best_value).abs() <= 1e-12 && loads[i] < loads[best as usize] - 1e-12);
         if better {
+            runner_up = best_value;
             best = i as u32;
             best_value = v;
+        } else if v > runner_up {
+            runner_up = v;
         }
     }
-    best
+    ScoredPartition {
+        part: best,
+        value: best_value,
+        margin: if runner_up == f64::NEG_INFINITY {
+            f64::INFINITY
+        } else {
+            best_value - runner_up
+        },
+    }
 }
 
 #[cfg(test)]

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use hyperpraw_core::metrics::partitioning_communication_cost;
 use hyperpraw_core::{CostMatrix, HyperPraw, HyperPrawConfig, RefinementPolicy, StreamOrder};
 use hyperpraw_hypergraph::generators::{random_hypergraph, CardinalityDist, RandomConfig};
-use hyperpraw_hypergraph::{metrics, Hypergraph, Partition};
+use hyperpraw_hypergraph::{metrics, Hypergraph};
 use hyperpraw_topology::{BandwidthMatrix, MachineModel};
 
 fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {

@@ -1,6 +1,6 @@
 //! Incremental construction of [`Hypergraph`] values.
 
-use crate::{Hypergraph, HyperedgeId, VertexId};
+use crate::{HyperedgeId, Hypergraph, VertexId};
 
 /// Incremental builder for [`Hypergraph`].
 ///
@@ -126,7 +126,7 @@ impl HypergraphBuilder {
         if drop_small_edges {
             let mut kept_weights = Vec::with_capacity(edge_weights.len());
             let mut kept_edges = Vec::with_capacity(edges.len());
-            for (pins, w) in edges.into_iter().zip(edge_weights.into_iter()) {
+            for (pins, w) in edges.into_iter().zip(edge_weights) {
                 if pins.len() >= 2 {
                     kept_edges.push(pins);
                     kept_weights.push(w);

@@ -173,7 +173,10 @@ mod tests {
             }
         }
         let avg_dist = total_dist / count as f64;
-        assert!(avg_dist < 2.5, "stencil pins should be close, avg {avg_dist}");
+        assert!(
+            avg_dist < 2.5,
+            "stencil pins should be close, avg {avg_dist}"
+        );
     }
 
     #[test]

@@ -67,7 +67,7 @@ pub fn powerlaw_hypergraph(cfg: &PowerLawConfig) -> Hypergraph {
     // continuous truncated-Pareto mean is biased low once clamping kicks in,
     // so calibrate empirically by bisection on x_min with a fixed calibration
     // RNG stream.
-    let max_card = (n as f64).sqrt().max(4.0).min(10_000.0);
+    let max_card = (n as f64).sqrt().clamp(4.0, 10_000.0);
     let target = cfg.avg_cardinality.max(2.0);
     let exponent = cfg.exponent;
     let empirical_mean = |xmin: f64| -> f64 {
@@ -215,7 +215,9 @@ mod tests {
         for (e, pins) in hg.iter_edges() {
             let source = (e as i64) % n;
             for &v in pins {
-                let d = (v as i64 - source).rem_euclid(n).min((source - v as i64).rem_euclid(n));
+                let d = (v as i64 - source)
+                    .rem_euclid(n)
+                    .min((source - v as i64).rem_euclid(n));
                 if d <= window {
                     near += 1;
                 } else {

@@ -85,7 +85,11 @@ pub fn random_hypergraph(cfg: &RandomConfig) -> Hypergraph {
     builder.name(cfg.name.clone());
     let mut pins: Vec<VertexId> = Vec::new();
     for _ in 0..cfg.num_hyperedges {
-        let k = cfg.cardinality.sample(&mut rng).min(cfg.num_vertices).max(1);
+        let k = cfg
+            .cardinality
+            .sample(&mut rng)
+            .min(cfg.num_vertices)
+            .max(1);
         pins.clear();
         // Rejection-free enough for k << n; fall back to retry loop otherwise.
         while pins.len() < k {
@@ -170,7 +174,10 @@ mod tests {
         let cfg = RandomConfig::with_avg_cardinality(2000, 400, 16.0, 11);
         let hg = random_hypergraph(&cfg);
         let avg = hg.avg_cardinality();
-        assert!((avg - 16.0).abs() < 3.0, "avg cardinality {avg} too far from 16");
+        assert!(
+            (avg - 16.0).abs() < 3.0,
+            "avg cardinality {avg} too far from 16"
+        );
     }
 
     #[test]

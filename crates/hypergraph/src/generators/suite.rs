@@ -179,12 +179,10 @@ impl PaperInstance {
                 seed,
                 name: self.paper_name().to_string(),
             }),
-            InstanceFamily::RandomSparse => random_hypergraph(
-                &RandomConfig {
-                    name: self.paper_name().to_string(),
-                    ..RandomConfig::with_avg_cardinality(sv, se, profile.avg_cardinality, seed)
-                },
-            ),
+            InstanceFamily::RandomSparse => random_hypergraph(&RandomConfig {
+                name: self.paper_name().to_string(),
+                ..RandomConfig::with_avg_cardinality(sv, se, profile.avg_cardinality, seed)
+            }),
             InstanceFamily::WebGraph => powerlaw_hypergraph(&PowerLawConfig {
                 num_vertices: sv,
                 num_hyperedges: se,

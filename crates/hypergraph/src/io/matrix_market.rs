@@ -40,11 +40,11 @@ pub struct CoordinateMatrix {
 impl CoordinateMatrix {
     /// Converts the matrix to a hypergraph under the given model.
     pub fn to_hypergraph(&self, model: SparseMatrixModel, name: &str) -> Hypergraph {
-        let (num_vertices, num_nets, key): (usize, usize, fn(&(u32, u32)) -> (u32, u32)) =
-            match model {
-                SparseMatrixModel::RowNet => (self.cols, self.rows, |&(r, c)| (r, c)),
-                SparseMatrixModel::ColumnNet => (self.rows, self.cols, |&(r, c)| (c, r)),
-            };
+        type EntryKey = fn(&(u32, u32)) -> (u32, u32);
+        let (num_vertices, num_nets, key): (usize, usize, EntryKey) = match model {
+            SparseMatrixModel::RowNet => (self.cols, self.rows, |&(r, c)| (r, c)),
+            SparseMatrixModel::ColumnNet => (self.rows, self.cols, |&(r, c)| (c, r)),
+        };
         let mut nets: Vec<Vec<VertexId>> = vec![Vec::new(); num_nets];
         for entry in &self.entries {
             let (net, pin) = key(entry);
@@ -81,7 +81,8 @@ pub fn read_mtx<R: BufRead>(reader: R) -> IoResult<CoordinateMatrix> {
             "only coordinate (sparse) matrices are supported",
         ));
     }
-    let symmetric = header.contains("symmetric") || header.contains("hermitian")
+    let symmetric = header.contains("symmetric")
+        || header.contains("hermitian")
         || header.contains("skew-symmetric");
     let pattern = header.contains("pattern");
 

@@ -5,7 +5,10 @@
 //! * [`matrix_market`] — MatrixMarket `.mtx` coordinate files (SuiteSparse
 //!   matrices), converted with the row-net or column-net model,
 //! * [`edgelist`] — a trivial one-hyperedge-per-line format used by the
-//!   examples.
+//!   examples,
+//! * [`stream`] — out-of-core streaming access: edge-major per-net visitors
+//!   and vertex-major [`stream::VertexStream`] readers that never
+//!   materialise the CSR structure (the substrate of `hyperpraw-lowmem`).
 //!
 //! All readers are generic over [`std::io::BufRead`] so tests can use
 //! in-memory cursors, with `*_file` convenience wrappers for paths.
@@ -16,6 +19,7 @@ use std::io;
 pub mod edgelist;
 pub mod hmetis;
 pub mod matrix_market;
+pub mod stream;
 
 /// Errors arising while reading a hypergraph file.
 #[derive(Debug)]
@@ -32,7 +36,8 @@ pub enum IoError {
 }
 
 impl IoError {
-    pub(crate) fn parse(line: usize, message: impl Into<String>) -> Self {
+    /// A parse error at a 1-based line number (0 when no line applies).
+    pub fn parse(line: usize, message: impl Into<String>) -> Self {
         Self::Parse {
             line,
             message: message.into(),

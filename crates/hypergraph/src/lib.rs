@@ -56,7 +56,7 @@ pub mod metrics;
 pub mod traversal;
 
 pub use builder::HypergraphBuilder;
-pub use hypergraph::{Hypergraph, HyperedgeId, VertexId};
+pub use hypergraph::{HyperedgeId, Hypergraph, VertexId};
 pub use partition::{Partition, PartitionError};
 pub use stats::HypergraphStats;
 
@@ -64,7 +64,5 @@ pub use stats::HypergraphStats;
 pub mod prelude {
     pub use crate::generators::suite::{PaperInstance, SuiteConfig};
     pub use crate::metrics::{hyperedge_cut, soed};
-    pub use crate::{
-        Hypergraph, HypergraphBuilder, HypergraphStats, Partition, PartitionError,
-    };
+    pub use crate::{Hypergraph, HypergraphBuilder, HypergraphStats, Partition, PartitionError};
 }

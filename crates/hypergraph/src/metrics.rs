@@ -5,7 +5,7 @@
 //! architecture-aware *partitioning communication cost* (Figure 4C) needs a
 //! communication-cost matrix and therefore lives in `hyperpraw-core`.
 
-use crate::{Hypergraph, HyperedgeId, Partition};
+use crate::{HyperedgeId, Hypergraph, Partition};
 
 /// Returns the set of distinct partitions spanned by hyperedge `e`, written
 /// into `scratch` (cleared first). The slice is sorted.

@@ -105,7 +105,11 @@ impl Partition {
     }
 
     /// Builds an assignment by evaluating `f(v)` for every vertex.
-    pub fn from_fn(num_vertices: usize, num_parts: u32, mut f: impl FnMut(VertexId) -> u32) -> Self {
+    pub fn from_fn(
+        num_vertices: usize,
+        num_parts: u32,
+        mut f: impl FnMut(VertexId) -> u32,
+    ) -> Self {
         assert!(num_parts > 0, "num_parts must be positive");
         let assignment = (0..num_vertices as u32)
             .map(|v| {
@@ -248,7 +252,10 @@ mod tests {
     #[test]
     fn from_assignment_validates_range() {
         let err = Partition::from_assignment(vec![0, 3], 3).unwrap_err();
-        assert!(matches!(err, PartitionError::PartOutOfRange { part: 3, .. }));
+        assert!(matches!(
+            err,
+            PartitionError::PartOutOfRange { part: 3, .. }
+        ));
         assert!(Partition::from_assignment(vec![0, 2], 3).is_ok());
         assert_eq!(
             Partition::from_assignment(vec![], 0).unwrap_err(),
@@ -287,7 +294,10 @@ mod tests {
         let p = Partition::round_robin(3, 2);
         assert!(matches!(
             p.part_loads(&hg).unwrap_err(),
-            PartitionError::LengthMismatch { got: 3, expected: 4 }
+            PartitionError::LengthMismatch {
+                got: 3,
+                expected: 4
+            }
         ));
     }
 

@@ -84,7 +84,9 @@ impl NeighborScratch {
 
 /// Number of distinct neighbours of `v` (allocating convenience wrapper).
 pub fn degree_in_neighbors(hg: &Hypergraph, v: VertexId) -> usize {
-    NeighborScratch::new(hg.num_vertices()).neighbors(hg, v).len()
+    NeighborScratch::new(hg.num_vertices())
+        .neighbors(hg, v)
+        .len()
 }
 
 /// Returns the connected components of the hypergraph (two vertices are

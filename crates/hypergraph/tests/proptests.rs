@@ -25,9 +25,8 @@ fn arb_partitioned() -> impl Strategy<Value = (Hypergraph, Partition)> {
         let n = hg.num_vertices();
         (
             Just(hg),
-            prop::collection::vec(0u32..p, n..=n).prop_map(move |a| {
-                Partition::from_assignment(a, p).expect("assignment in range")
-            }),
+            prop::collection::vec(0u32..p, n..=n)
+                .prop_map(move |a| Partition::from_assignment(a, p).expect("assignment in range")),
         )
     })
 }

@@ -1,0 +1,162 @@
+//! The memory budget and its division into concrete sketch sizes.
+
+use std::fmt;
+
+/// A byte budget for everything the streaming partitioner keeps in memory
+/// *besides* the O(|V|) output state (the assignment itself and, for
+/// weighted inputs, the vertex weights), which is inherent to producing a
+/// partition at all.
+///
+/// The budget covers the transpose load buffer of the on-disk vertex
+/// stream, the per-partition connectivity sketches and the bounded
+/// re-streaming buffer. [`MemoryBudget::plan`] turns it into concrete
+/// sizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemoryBudget {
+    /// Total sketch-side bytes available.
+    pub bytes: usize,
+}
+
+impl Default for MemoryBudget {
+    fn default() -> Self {
+        Self::mebibytes(64)
+    }
+}
+
+impl MemoryBudget {
+    /// Minimum workable budget: one 64-bit Bloom word per partition plus a
+    /// tiny load buffer.
+    pub const MIN_BYTES: usize = 4 << 10;
+
+    /// A budget of `bytes` bytes (clamped up to [`MemoryBudget::MIN_BYTES`]).
+    pub fn bytes(bytes: usize) -> Self {
+        Self {
+            bytes: bytes.max(Self::MIN_BYTES),
+        }
+    }
+
+    /// A budget of `mib` mebibytes.
+    pub fn mebibytes(mib: usize) -> Self {
+        Self::bytes(mib << 20)
+    }
+
+    /// Splits the budget into concrete sketch sizes for `num_parts`
+    /// partitions of a hypergraph with (approximately) `num_nets` nets.
+    ///
+    /// The split is 50% transpose load buffer, 35% Bloom filters, 10%
+    /// MinHash signatures, 5% re-streaming buffer. Every component has a
+    /// small floor so degenerate budgets still produce a working (if
+    /// coarse) configuration.
+    pub fn plan(&self, num_parts: usize, num_nets: usize) -> SketchPlan {
+        let parts = num_parts.max(1);
+        let transpose_buffer_bytes = (self.bytes / 2).max(1 << 10);
+        let bloom_bytes = (self.bytes * 35 / 100).max(8 * parts);
+        // Round bits per partition up to whole 64-bit words.
+        let bloom_bits_per_partition = ((bloom_bytes * 8 / parts).max(64) / 64) * 64;
+        // Expected distinct nets recorded per partition: every net touches
+        // at least one partition, heavily cut nets a few. 2·E/p is a
+        // deliberately conservative load estimate for the false-positive
+        // sizing below.
+        let nets_per_partition = (2 * num_nets.max(1)).div_ceil(parts);
+        let optimal_hashes =
+            (bloom_bits_per_partition as f64 / nets_per_partition as f64) * std::f64::consts::LN_2;
+        let bloom_hashes = (optimal_hashes.round() as usize).clamp(1, 8);
+        let minhash_bytes = (self.bytes / 10).max(32 * parts);
+        let minhash_permutations = (minhash_bytes / (8 * parts)).clamp(4, 64);
+        let restream_bytes = (self.bytes / 20).max(1 << 10);
+        // A buffered record is a vertex id, a weight, a confidence and its
+        // net list; assume ~8 nets per vertex. The byte bound below is the
+        // real limit — the entry count only sizes the heap up front.
+        let restream_capacity = restream_bytes / (24 + 8 * 4);
+        SketchPlan {
+            transpose_buffer_bytes,
+            bloom_bits_per_partition,
+            bloom_hashes,
+            minhash_permutations,
+            restream_capacity,
+            restream_bytes,
+        }
+    }
+}
+
+impl fmt::Display for MemoryBudget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bytes >= 1 << 20 {
+            write!(f, "{:.1} MiB", self.bytes as f64 / (1 << 20) as f64)
+        } else {
+            write!(f, "{} B", self.bytes)
+        }
+    }
+}
+
+/// Concrete sketch sizes derived from a [`MemoryBudget`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SketchPlan {
+    /// Byte bound handed to the on-disk transpose
+    /// ([`hyperpraw_hypergraph::io::stream::StreamOptions::buffer_bytes`]).
+    pub transpose_buffer_bytes: usize,
+    /// Bits per partition Bloom filter (multiple of 64).
+    pub bloom_bits_per_partition: usize,
+    /// Hash functions per Bloom filter.
+    pub bloom_hashes: usize,
+    /// Permutations (signature length) per partition MinHash sketch.
+    pub minhash_permutations: usize,
+    /// Maximum number of low-confidence assignments buffered for the
+    /// re-streaming pass.
+    pub restream_capacity: usize,
+    /// Byte bound on the re-streaming buffer. The capacity above assumes
+    /// average-degree vertices; on skewed inputs (power-law hubs with
+    /// thousands of incident nets) the byte bound is what actually keeps
+    /// the buffer inside the budget.
+    pub restream_bytes: usize,
+}
+
+impl SketchPlan {
+    /// Expected Bloom false-positive rate once `inserted` distinct nets
+    /// have been recorded in one partition's filter.
+    pub fn expected_fpr(&self, inserted: usize) -> f64 {
+        let m = self.bloom_bits_per_partition as f64;
+        let k = self.bloom_hashes as f64;
+        let n = inserted as f64;
+        (1.0 - (-k * n / m).exp()).powf(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_scale_with_the_budget() {
+        let small = MemoryBudget::bytes(64 << 10).plan(16, 10_000);
+        let large = MemoryBudget::mebibytes(256).plan(16, 10_000);
+        assert!(large.bloom_bits_per_partition > small.bloom_bits_per_partition);
+        assert!(large.transpose_buffer_bytes > small.transpose_buffer_bytes);
+        assert!(large.restream_capacity > small.restream_capacity);
+        assert!(large.restream_bytes > small.restream_bytes);
+    }
+
+    #[test]
+    fn plan_fields_respect_floors_and_granularity() {
+        let plan = MemoryBudget::bytes(0).plan(1024, 1_000_000);
+        assert!(plan.bloom_bits_per_partition >= 64);
+        assert_eq!(plan.bloom_bits_per_partition % 64, 0);
+        assert!((1..=8).contains(&plan.bloom_hashes));
+        assert!((4..=64).contains(&plan.minhash_permutations));
+    }
+
+    #[test]
+    fn fpr_is_monotone_in_load_and_under_one() {
+        let plan = MemoryBudget::mebibytes(1).plan(8, 1_000);
+        let light = plan.expected_fpr(100);
+        let heavy = plan.expected_fpr(100_000);
+        assert!(light < heavy);
+        assert!((0.0..1.0).contains(&light));
+        assert!((0.0..=1.0).contains(&heavy));
+    }
+
+    #[test]
+    fn display_is_human_readable() {
+        assert_eq!(format!("{}", MemoryBudget::mebibytes(64)), "64.0 MiB");
+    }
+}

@@ -1,0 +1,544 @@
+//! The memory-bounded one-pass greedy streaming partitioner.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use hyperpraw_core::value::best_partition_with_margin;
+use hyperpraw_core::{CostMatrix, HyperPrawConfig};
+use hyperpraw_hypergraph::io::stream::{VertexRecord, VertexStream};
+use hyperpraw_hypergraph::io::IoResult;
+use hyperpraw_hypergraph::{HyperedgeId, Hypergraph, Partition, VertexId};
+
+use crate::budget::{MemoryBudget, SketchPlan};
+use crate::index::{ConnectivityIndex, ExactIndex, SketchIndex};
+
+/// Which [`ConnectivityIndex`] implementation the partitioner uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Bloom/MinHash sketches with memory fixed by the budget (the
+    /// production configuration).
+    #[default]
+    Sketched,
+    /// Exact per-partition hash maps — unbounded memory, used as the
+    /// reference implementation and for small inputs.
+    Exact,
+}
+
+/// Configuration of the streaming partitioner.
+#[derive(Clone, Debug)]
+pub struct LowMemConfig {
+    /// Memory budget for sketches, the transpose buffer and the
+    /// re-streaming buffer.
+    pub budget: MemoryBudget,
+    /// Connectivity index implementation.
+    pub index: IndexKind,
+    /// Workload-imbalance weight `α`. `None` uses the FENNEL-derived
+    /// starting point `√p · |E| / √|V|`, like `hyperpraw-core`.
+    pub alpha: Option<f64>,
+    /// Number of lowest-confidence assignments revisited after the pass.
+    /// `None` sizes the buffer from the budget
+    /// ([`SketchPlan::restream_capacity`]); `Some(0)` disables
+    /// re-streaming. Whatever the entry count, the buffer's memory is
+    /// additionally capped by [`SketchPlan::restream_bytes`] so
+    /// high-degree doubts cannot blow the budget.
+    pub restream_capacity: Option<usize>,
+    /// When `true`, a preliminary pass seeds the index with a round-robin
+    /// assignment of every vertex, reproducing the *restreaming* semantics
+    /// of `hyperpraw-core`'s first stream (each decision sees every other
+    /// vertex placed somewhere). When `false`, the partitioner is a true
+    /// one-pass streamer: unseen vertices contribute no connectivity.
+    ///
+    /// Requires an index that supports
+    /// [`ConnectivityIndex::forget`] ([`IndexKind::Exact`]): a Bloom
+    /// sketch cannot remove the prior, which would silently degrade the
+    /// counts towards uniform — [`LowMemPartitioner::new`] rejects the
+    /// combination.
+    pub round_robin_prior: bool,
+    /// Seed of the MinHash hash family.
+    pub seed: u64,
+}
+
+impl Default for LowMemConfig {
+    fn default() -> Self {
+        Self {
+            budget: MemoryBudget::default(),
+            index: IndexKind::Sketched,
+            alpha: None,
+            restream_capacity: None,
+            round_robin_prior: false,
+            seed: 0,
+        }
+    }
+}
+
+/// The output of a streaming-partitioner run.
+#[derive(Clone, Debug)]
+pub struct LowMemResult {
+    /// The vertex-to-partition assignment.
+    pub partition: Partition,
+    /// The `α` used by the value function.
+    pub alpha: f64,
+    /// Number of buffered low-confidence assignments revisited.
+    pub restreamed: usize,
+    /// How many of the revisited assignments changed partition.
+    pub moved_in_restream: usize,
+    /// Heap bytes held by the connectivity index at the end of the run.
+    pub index_memory_bytes: usize,
+    /// The sketch sizing derived from the budget.
+    pub plan: SketchPlan,
+}
+
+/// A buffered low-confidence assignment awaiting the re-streaming pass.
+#[derive(Clone, Debug)]
+struct Doubt {
+    confidence: f64,
+    vertex: VertexId,
+    weight: f64,
+    nets: Vec<HyperedgeId>,
+}
+
+impl PartialEq for Doubt {
+    fn eq(&self, other: &Self) -> bool {
+        self.confidence == other.confidence && self.vertex == other.vertex
+    }
+}
+
+impl Eq for Doubt {}
+
+impl PartialOrd for Doubt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Doubt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by confidence: the most confident buffered entry is
+        // evicted first, keeping the k *least* confident. Vertex id breaks
+        // ties deterministically.
+        self.confidence
+            .total_cmp(&other.confidence)
+            .then_with(|| self.vertex.cmp(&other.vertex))
+    }
+}
+
+impl Doubt {
+    /// Approximate heap bytes held by one buffered entry.
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.nets.capacity() * std::mem::size_of::<HyperedgeId>()
+    }
+}
+
+/// The memory-bounded streaming partitioner.
+///
+/// One greedy pass assigns each incoming `(vertex, nets)` record to the
+/// partition maximising HyperPRAW's architecture-aware value function
+/// ([`hyperpraw_core::value::best_partition_with_margin`]): the
+/// neighbour-partition counts `X_j(v)` are replaced by *net-connectivity*
+/// counts answered by a [`ConnectivityIndex`] in budgeted memory, while the
+/// cost matrix, `α`-weighted balance term and tie-breaking are exactly
+/// `hyperpraw-core`'s. An optional bounded buffer collects the `k`
+/// lowest-confidence assignments (smallest value margin, similarity-
+/// adjusted when the index sketches one) and revisits them once at the end
+/// against the final connectivity state.
+#[derive(Clone, Debug)]
+pub struct LowMemPartitioner {
+    config: LowMemConfig,
+    cost: CostMatrix,
+}
+
+impl LowMemPartitioner {
+    /// Creates a partitioner; the number of partitions equals the size of
+    /// the cost matrix, one per compute unit of the target machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cost matrix is empty, or when
+    /// [`LowMemConfig::round_robin_prior`] is combined with
+    /// [`IndexKind::Sketched`] (the sketch cannot forget the prior).
+    pub fn new(config: LowMemConfig, cost: CostMatrix) -> Self {
+        assert!(
+            cost.num_units() > 0,
+            "cost matrix must cover at least one unit"
+        );
+        assert!(
+            !(config.round_robin_prior && config.index == IndexKind::Sketched),
+            "round_robin_prior requires an index that can forget assignments; use IndexKind::Exact"
+        );
+        Self { config, cost }
+    }
+
+    /// The architecture-oblivious variant (uniform cost matrix).
+    pub fn basic(config: LowMemConfig, p: u32) -> Self {
+        Self::new(config, CostMatrix::uniform(p as usize))
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> u32 {
+        self.cost.num_units() as u32
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &LowMemConfig {
+        &self.config
+    }
+
+    /// Partitions the hypergraph delivered by `stream`.
+    ///
+    /// With [`LowMemConfig::round_robin_prior`] the stream is read twice
+    /// (prior + decision pass), otherwise once; either way the peak sketch
+    /// memory is fixed by the budget's [`SketchPlan`].
+    pub fn partition<S: VertexStream>(&self, stream: &mut S) -> IoResult<LowMemResult> {
+        let p = self.cost.num_units();
+        let n = stream.num_vertices();
+        let e = stream.num_nets();
+        let plan = self.config.budget.plan(p, e);
+        let alpha = self
+            .config
+            .alpha
+            .unwrap_or_else(|| HyperPrawConfig::fennel_alpha(p as u32, n, e));
+
+        let mut index: Box<dyn ConnectivityIndex> = match self.config.index {
+            IndexKind::Exact => Box::new(ExactIndex::new(p)),
+            IndexKind::Sketched => Box::new(SketchIndex::new(p, &plan, self.config.seed)),
+        };
+
+        let mut assignment: Vec<u32> = vec![0; n];
+        let mut loads = vec![0.0f64; p];
+        // Same balance target as hyperpraw-core: an equal share of the
+        // total vertex weight. Streams that cannot report it (none of the
+        // bundled ones) fall back to unit weights.
+        let total_weight = stream.total_vertex_weight().unwrap_or(n as f64);
+        let expected_load = (total_weight / p as f64).max(f64::MIN_POSITIVE);
+        let expected = vec![expected_load; p];
+
+        let mut record = VertexRecord::default();
+
+        // Optional prior pass: seed the index with the round-robin start
+        // Algorithm 1 uses, so the decision pass sees restreaming-style
+        // connectivity for not-yet-visited vertices.
+        if self.config.round_robin_prior {
+            while stream.next_into(&mut record)? {
+                let part = record.vertex % p as u32;
+                index.record(&record.nets, part);
+                assignment[record.vertex as usize] = part;
+                loads[part as usize] += record.weight;
+            }
+            stream.reset()?;
+        }
+
+        let capacity = self
+            .config
+            .restream_capacity
+            .unwrap_or(plan.restream_capacity);
+        // The plan's entry count assumes average-degree vertices; the byte
+        // bound is what keeps the buffer inside the budget when the
+        // low-confidence entries happen to be high-degree hubs.
+        let byte_bound = plan.restream_bytes;
+        let mut doubt_bytes = 0usize;
+        let mut doubts: BinaryHeap<Doubt> = BinaryHeap::new();
+
+        let mut counts: Vec<u32> = Vec::with_capacity(p);
+        while stream.next_into(&mut record)? {
+            let v = record.vertex;
+            let w = record.weight;
+            if self.config.round_robin_prior {
+                let prior_part = assignment[v as usize];
+                loads[prior_part as usize] -= w;
+                index.forget(&record.nets, prior_part);
+            }
+            index.connectivity(&record.nets, &mut counts);
+            let scored = best_partition_with_margin(&counts, &self.cost, alpha, &loads, &expected);
+            assignment[v as usize] = scored.part;
+            loads[scored.part as usize] += w;
+            index.record(&record.nets, scored.part);
+
+            if capacity > 0 {
+                // Prefilter: the similarity discount keeps confidence in
+                // [margin/2, margin], so once the heap is full an entry
+                // whose floor already exceeds the heap's maximum would be
+                // evicted straight back out — skip the similarity estimate
+                // and the net-list clone entirely.
+                let hopeless = doubts.len() >= capacity
+                    && doubts
+                        .peek()
+                        .is_some_and(|max| 0.5 * scored.margin > max.confidence);
+                if !hopeless {
+                    // Confidence: the value margin, discounted when the
+                    // index can tell that the chosen partition's net set
+                    // has little overlap with the vertex's nets.
+                    let confidence = match index.similarity(&record.nets, scored.part) {
+                        Some(similarity) => scored.margin * (0.5 + 0.5 * similarity),
+                        None => scored.margin,
+                    };
+                    let doubt = Doubt {
+                        confidence,
+                        vertex: v,
+                        weight: w,
+                        nets: record.nets.clone(),
+                    };
+                    doubt_bytes += doubt.heap_bytes();
+                    doubts.push(doubt);
+                    while doubts.len() > capacity || (doubt_bytes > byte_bound && doubts.len() > 1)
+                    {
+                        if let Some(evicted) = doubts.pop() {
+                            doubt_bytes -= evicted.heap_bytes();
+                        }
+                    }
+                }
+            }
+        }
+
+        // Re-streaming pass: revisit the buffered doubts against the final
+        // connectivity state, in vertex order for determinism.
+        let mut revisit: Vec<Doubt> = doubts.into_vec();
+        revisit.sort_unstable_by_key(|d| d.vertex);
+        let restreamed = revisit.len();
+        let mut moved_in_restream = 0usize;
+        for doubt in revisit {
+            let v = doubt.vertex;
+            let old = assignment[v as usize];
+            loads[old as usize] -= doubt.weight;
+            index.forget(&doubt.nets, old);
+            // For a sketched index `forget` is a no-op, so `counts[old]`
+            // still contains this vertex's own recorded nets. That is a
+            // deliberate bias towards *staying*: Bloom filters cannot
+            // separate the self-hit from genuine neighbours, and
+            // subtracting an estimate would erase real connectivity and
+            // force spurious moves. A revisited vertex therefore only
+            // moves when another partition's connectivity genuinely
+            // dominates.
+            index.connectivity(&doubt.nets, &mut counts);
+            let scored = best_partition_with_margin(&counts, &self.cost, alpha, &loads, &expected);
+            assignment[v as usize] = scored.part;
+            loads[scored.part as usize] += doubt.weight;
+            index.record(&doubt.nets, scored.part);
+            if scored.part != old {
+                moved_in_restream += 1;
+            }
+        }
+
+        let partition = Partition::from_assignment(assignment, p as u32)
+            .expect("streaming assignment covers every vertex");
+        Ok(LowMemResult {
+            partition,
+            alpha,
+            restreamed,
+            moved_in_restream,
+            index_memory_bytes: index.memory_bytes(),
+            plan,
+        })
+    }
+
+    /// Convenience wrapper partitioning an in-memory hypergraph through
+    /// [`hyperpraw_hypergraph::io::stream::InMemoryVertexStream`].
+    pub fn partition_hypergraph(&self, hg: &Hypergraph) -> LowMemResult {
+        let mut stream = hyperpraw_hypergraph::io::stream::InMemoryVertexStream::new(hg);
+        self.partition(&mut stream)
+            .expect("in-memory streams cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
+    use hyperpraw_hypergraph::metrics;
+
+    fn config(index: IndexKind) -> LowMemConfig {
+        LowMemConfig {
+            index,
+            ..LowMemConfig::default()
+        }
+    }
+
+    #[test]
+    fn produces_complete_valid_partitions() {
+        let hg = mesh_hypergraph(&MeshConfig::new(500, 8));
+        for kind in [IndexKind::Exact, IndexKind::Sketched] {
+            let result = LowMemPartitioner::basic(config(kind), 8).partition_hypergraph(&hg);
+            assert_eq!(result.partition.num_parts(), 8);
+            assert_eq!(result.partition.num_vertices(), 500);
+            assert!(result.partition.assignment().iter().all(|&x| x < 8));
+        }
+    }
+
+    #[test]
+    fn beats_round_robin_on_cut_quality() {
+        let hg = mesh_hypergraph(&MeshConfig::new(800, 8));
+        let result =
+            LowMemPartitioner::basic(config(IndexKind::Sketched), 4).partition_hypergraph(&hg);
+        let rr = Partition::round_robin(hg.num_vertices(), 4);
+        assert!(
+            metrics::soed(&hg, &result.partition) < metrics::soed(&hg, &rr),
+            "streaming partitioner should beat round robin"
+        );
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let hg = mesh_hypergraph(&MeshConfig::new(300, 6));
+        let partitioner = LowMemPartitioner::basic(config(IndexKind::Sketched), 6);
+        let a = partitioner.partition_hypergraph(&hg);
+        let b = partitioner.partition_hypergraph(&hg);
+        assert_eq!(a.partition, b.partition);
+    }
+
+    #[test]
+    fn restream_buffer_is_bounded_and_improves_or_keeps_quality() {
+        let hg = mesh_hypergraph(&MeshConfig::new(600, 8));
+        let without = LowMemPartitioner::basic(
+            LowMemConfig {
+                restream_capacity: Some(0),
+                ..config(IndexKind::Exact)
+            },
+            6,
+        )
+        .partition_hypergraph(&hg);
+        let with = LowMemPartitioner::basic(
+            LowMemConfig {
+                restream_capacity: Some(64),
+                ..config(IndexKind::Exact)
+            },
+            6,
+        )
+        .partition_hypergraph(&hg);
+        assert_eq!(without.restreamed, 0);
+        assert!(with.restreamed <= 64);
+        let s_without = metrics::soed(&hg, &without.partition);
+        let s_with = metrics::soed(&hg, &with.partition);
+        assert!(
+            s_with as f64 <= s_without as f64 * 1.05,
+            "restreaming should not degrade quality materially ({s_with} vs {s_without})"
+        );
+    }
+
+    #[test]
+    fn restream_buffer_is_byte_bounded_on_high_degree_vertices() {
+        // 48 vertices each incident to 300 nets: one buffered doubt holds
+        // ~1.2 KiB of net ids, so a 64 KiB budget (restream share ~3 KiB)
+        // must keep only a couple of doubts even though the entry-count
+        // capacity alone would admit dozens.
+        let mut b = hyperpraw_hypergraph::HypergraphBuilder::new(48);
+        for _ in 0..300 {
+            b.add_hyperedge(0..48u32);
+        }
+        let hg = b.build();
+        let result = LowMemPartitioner::basic(
+            LowMemConfig {
+                budget: MemoryBudget::bytes(64 << 10),
+                ..config(IndexKind::Exact)
+            },
+            4,
+        )
+        .partition_hypergraph(&hg);
+        let plan = result.plan;
+        let per_doubt_bytes = 300 * std::mem::size_of::<u32>();
+        assert!(
+            result.restreamed <= plan.restream_bytes / per_doubt_bytes + 1,
+            "{} doubts of ~{per_doubt_bytes} B exceed the {} B restream share",
+            result.restreamed,
+            plan.restream_bytes
+        );
+        assert!(result.restreamed < plan.restream_capacity);
+    }
+
+    #[test]
+    #[should_panic(expected = "round_robin_prior requires")]
+    fn prior_with_sketched_index_is_rejected() {
+        LowMemPartitioner::basic(
+            LowMemConfig {
+                round_robin_prior: true,
+                index: IndexKind::Sketched,
+                ..LowMemConfig::default()
+            },
+            4,
+        );
+    }
+
+    #[test]
+    fn sketched_restream_does_not_degrade_quality() {
+        // The sketched index cannot forget, so the revisit pass sees the
+        // vertex's own self-hit; the stay-bias must keep quality at least
+        // as good as disabling the buffer outright.
+        let hg = mesh_hypergraph(&MeshConfig::new(600, 8));
+        let run = |restream: usize| {
+            LowMemPartitioner::basic(
+                LowMemConfig {
+                    restream_capacity: Some(restream),
+                    ..config(IndexKind::Sketched)
+                },
+                6,
+            )
+            .partition_hypergraph(&hg)
+        };
+        let without = run(0);
+        let with = run(128);
+        let s_without = metrics::soed(&hg, &without.partition);
+        let s_with = metrics::soed(&hg, &with.partition);
+        assert!(
+            s_with as f64 <= s_without as f64 * 1.05,
+            "sketched restream degraded SOED: {s_with} vs {s_without}"
+        );
+    }
+
+    #[test]
+    fn weighted_streams_balance_by_weight_not_count() {
+        // 40 heavy vertices (weight 9) and 40 light ones (weight 1) in two
+        // partitions: weight-aware balancing must not put all heavy
+        // vertices on one side.
+        let mut b = hyperpraw_hypergraph::HypergraphBuilder::new(80);
+        for v in 0..40u32 {
+            b.add_hyperedge([v, v + 40]);
+            b.set_vertex_weight(v, 9.0);
+        }
+        let hg = b.build();
+        let result =
+            LowMemPartitioner::basic(config(IndexKind::Exact), 2).partition_hypergraph(&hg);
+        let loads = result.partition.part_loads(&hg).unwrap();
+        let total: f64 = loads.iter().sum();
+        let max = loads.iter().cloned().fold(0.0, f64::max);
+        assert!(
+            max / (total / 2.0) < 1.5,
+            "weighted loads unbalanced: {loads:?}"
+        );
+    }
+
+    #[test]
+    fn sketched_index_memory_follows_the_budget() {
+        let hg = mesh_hypergraph(&MeshConfig::new(2_000, 8));
+        let small = LowMemPartitioner::basic(
+            LowMemConfig {
+                budget: MemoryBudget::bytes(32 << 10),
+                ..config(IndexKind::Sketched)
+            },
+            8,
+        )
+        .partition_hypergraph(&hg);
+        let large = LowMemPartitioner::basic(
+            LowMemConfig {
+                budget: MemoryBudget::mebibytes(8),
+                ..config(IndexKind::Sketched)
+            },
+            8,
+        )
+        .partition_hypergraph(&hg);
+        assert!(small.index_memory_bytes < large.index_memory_bytes);
+        assert!(small.index_memory_bytes <= 32 << 10);
+    }
+
+    #[test]
+    fn zero_vertices_and_isolated_vertices_are_handled() {
+        let empty = hyperpraw_hypergraph::HypergraphBuilder::new(0).build();
+        let result =
+            LowMemPartitioner::basic(config(IndexKind::Exact), 2).partition_hypergraph(&empty);
+        assert_eq!(result.partition.num_vertices(), 0);
+
+        let mut b = hyperpraw_hypergraph::HypergraphBuilder::new(5);
+        b.add_hyperedge([0u32, 1]);
+        let sparse = b.build();
+        let result =
+            LowMemPartitioner::basic(config(IndexKind::Sketched), 2).partition_hypergraph(&sparse);
+        assert_eq!(result.partition.num_vertices(), 5);
+    }
+}

@@ -1,0 +1,254 @@
+//! Probabilistic set sketches: Bloom filters and MinHash signatures.
+//!
+//! Both sketch the *net set* of a partition — the ids of hyperedges with at
+//! least one pin assigned to it. The Bloom filter answers "is net `e`
+//! connected to this partition?" with no false negatives and a bounded
+//! false-positive rate; the MinHash signature estimates the Jaccard
+//! similarity between net sets, which the partitioner uses as a confidence
+//! signal for its re-streaming buffer.
+
+/// SplitMix64 finaliser: a cheap, well-mixed 64-bit hash.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A fixed-size Bloom filter over `u64` items using double hashing.
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    words: Vec<u64>,
+    num_bits: usize,
+    num_hashes: usize,
+    inserted: usize,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `num_bits` bits (rounded up to whole 64-bit
+    /// words, minimum 64) probed by `num_hashes` hash functions.
+    pub fn new(num_bits: usize, num_hashes: usize) -> Self {
+        let words = num_bits.max(64).div_ceil(64);
+        Self {
+            words: vec![0; words],
+            num_bits: words * 64,
+            num_hashes: num_hashes.clamp(1, 16),
+            inserted: 0,
+        }
+    }
+
+    /// Double-hashing probe sequence: bit index of probe `i`. The stride
+    /// is forced odd so all probes stay distinct modulo powers of two and
+    /// the second hash is never zero.
+    #[inline]
+    fn probe_bit(h1: u64, h2: u64, i: u64, bits: u64) -> usize {
+        (h1.wrapping_add(i.wrapping_mul(h2)) % bits) as usize
+    }
+
+    #[inline]
+    fn hashes(item: u64) -> (u64, u64) {
+        (mix64(item), mix64(item ^ 0xA076_1D64_78BD_642F) | 1)
+    }
+
+    /// Inserts an item.
+    pub fn insert(&mut self, item: u64) {
+        let (h1, h2) = Self::hashes(item);
+        let bits = self.num_bits as u64;
+        for i in 0..self.num_hashes as u64 {
+            let bit = Self::probe_bit(h1, h2, i, bits);
+            self.words[bit / 64] |= 1u64 << (bit % 64);
+        }
+        self.inserted += 1;
+    }
+
+    /// Tests membership: `false` is always correct, `true` may be a false
+    /// positive.
+    pub fn contains(&self, item: u64) -> bool {
+        let (h1, h2) = Self::hashes(item);
+        let bits = self.num_bits as u64;
+        (0..self.num_hashes as u64).all(|i| {
+            let bit = Self::probe_bit(h1, h2, i, bits);
+            self.words[bit / 64] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Number of `insert` calls so far (not deduplicated).
+    pub fn inserted(&self) -> usize {
+        self.inserted
+    }
+
+    /// Heap bytes held by the bit array.
+    pub fn memory_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Fraction of set bits — a direct saturation measure.
+    pub fn fill_ratio(&self) -> f64 {
+        let set: u32 = self.words.iter().map(|w| w.count_ones()).sum();
+        set as f64 / self.num_bits as f64
+    }
+}
+
+/// A MinHash signature estimating Jaccard similarity between sets of `u64`
+/// items.
+#[derive(Clone, Debug)]
+pub struct MinHashSketch {
+    signature: Vec<u64>,
+    seed: u64,
+}
+
+impl MinHashSketch {
+    /// Creates an empty sketch with `permutations` hash permutations, all
+    /// derived from `seed`.
+    pub fn new(permutations: usize, seed: u64) -> Self {
+        Self {
+            signature: vec![u64::MAX; permutations.max(1)],
+            seed,
+        }
+    }
+
+    #[inline]
+    fn hash(&self, slot: usize, item: u64) -> u64 {
+        mix64(item ^ mix64(self.seed ^ slot as u64))
+    }
+
+    /// Folds an item into the signature.
+    pub fn insert(&mut self, item: u64) {
+        for slot in 0..self.signature.len() {
+            let h = self.hash(slot, item);
+            if h < self.signature[slot] {
+                self.signature[slot] = h;
+            }
+        }
+    }
+
+    /// Estimated Jaccard similarity to another sketch built with the same
+    /// seed and permutation count.
+    pub fn jaccard(&self, other: &MinHashSketch) -> f64 {
+        assert_eq!(self.signature.len(), other.signature.len());
+        assert_eq!(
+            self.seed, other.seed,
+            "sketches use different hash families"
+        );
+        let matches = self
+            .signature
+            .iter()
+            .zip(&other.signature)
+            .filter(|(a, b)| a == b && **a != u64::MAX)
+            .count();
+        matches as f64 / self.signature.len() as f64
+    }
+
+    /// Builds the signature of a transient item set using this sketch's
+    /// hash family (so it is comparable through [`MinHashSketch::jaccard`]).
+    pub fn signature_of(&self, items: impl IntoIterator<Item = u64>) -> MinHashSketch {
+        let mut sig = MinHashSketch::new(self.signature.len(), self.seed);
+        for item in items {
+            sig.insert(item);
+        }
+        sig
+    }
+
+    /// Estimated Jaccard similarity between this sketch's set and a
+    /// transient item set, without materializing the transient signature —
+    /// equivalent to `self.jaccard(&self.signature_of(items))` but
+    /// allocation-free, for callers on a per-vertex hot path.
+    pub fn jaccard_of_items<I>(&self, items: I) -> f64
+    where
+        I: Iterator<Item = u64> + Clone,
+    {
+        let mut matches = 0usize;
+        for (slot, &sig) in self.signature.iter().enumerate() {
+            if sig == u64::MAX {
+                continue;
+            }
+            let mut min = u64::MAX;
+            for item in items.clone() {
+                min = min.min(self.hash(slot, item));
+            }
+            if min == sig {
+                matches += 1;
+            }
+        }
+        matches as f64 / self.signature.len() as f64
+    }
+
+    /// Heap bytes held by the signature.
+    pub fn memory_bytes(&self) -> usize {
+        self.signature.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bloom_has_no_false_negatives() {
+        let mut bloom = BloomFilter::new(1 << 12, 4);
+        for x in (0u64..500).map(|i| i * 7 + 1) {
+            bloom.insert(x);
+        }
+        for x in (0u64..500).map(|i| i * 7 + 1) {
+            assert!(bloom.contains(x));
+        }
+    }
+
+    #[test]
+    fn bloom_false_positive_rate_is_bounded_when_sized_sanely() {
+        // 4096 bits, 3 hashes, 300 items -> theoretical FPR ~1.1%.
+        let mut bloom = BloomFilter::new(1 << 12, 3);
+        for x in 0u64..300 {
+            bloom.insert(x);
+        }
+        let false_positives = (10_000u64..30_000).filter(|&x| bloom.contains(x)).count();
+        let rate = false_positives as f64 / 20_000.0;
+        assert!(rate < 0.05, "false positive rate {rate} too high");
+        assert!(bloom.fill_ratio() < 0.5);
+    }
+
+    #[test]
+    fn tiny_bloom_saturates_but_stays_correct() {
+        let mut bloom = BloomFilter::new(64, 2);
+        for x in 0u64..10_000 {
+            bloom.insert(x);
+        }
+        assert!(bloom.contains(42));
+        assert!(bloom.fill_ratio() > 0.99);
+        assert_eq!(bloom.inserted(), 10_000);
+    }
+
+    #[test]
+    fn minhash_estimates_jaccard_similarity() {
+        let reference = MinHashSketch::new(128, 9);
+        let a = reference.signature_of(0u64..1000);
+        let b = reference.signature_of(500u64..1500);
+        let c = reference.signature_of(5000u64..6000);
+        // True Jaccard(a, b) = 500/1500 = 1/3; (a, c) = 0.
+        let ab = a.jaccard(&b);
+        assert!((ab - 1.0 / 3.0).abs() < 0.15, "estimate {ab}");
+        assert!(a.jaccard(&c) < 0.1);
+        assert!((a.jaccard(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn jaccard_of_items_matches_the_materialized_signature() {
+        let mut reference = MinHashSketch::new(64, 3);
+        for item in 0u64..800 {
+            reference.insert(item);
+        }
+        for (lo, hi) in [(0u64, 800u64), (400, 1200), (5000, 5100), (0, 0)] {
+            let materialized = reference.jaccard(&reference.signature_of(lo..hi));
+            let streamed = reference.jaccard_of_items(lo..hi);
+            assert_eq!(materialized, streamed, "range {lo}..{hi}");
+        }
+    }
+
+    #[test]
+    fn empty_sketches_have_zero_similarity() {
+        let a = MinHashSketch::new(16, 1);
+        let b = MinHashSketch::new(16, 1);
+        assert_eq!(a.jaccard(&b), 0.0);
+    }
+}

@@ -1,0 +1,112 @@
+//! The exact-index streaming partitioner must reproduce `hyperpraw-core`'s
+//! single-stream assignment.
+//!
+//! The two partitioners share the value function and differ only in how
+//! they obtain the neighbour counts: core counts *distinct neighbour
+//! vertices* per partition from CSR, lowmem counts *connected nets* per
+//! partition from its index. On 2-uniform hypergraphs where every vertex
+//! pair shares at most one net the two quantities coincide (each incident
+//! net contributes exactly its one other pin), so with the same α, the
+//! same natural order and lowmem's round-robin prior the assignments must
+//! be bit-identical.
+
+use hyperpraw_core::{CostMatrix, HyperPraw, HyperPrawConfig, RefinementPolicy, StreamOrder};
+use hyperpraw_hypergraph::{Hypergraph, HypergraphBuilder};
+use hyperpraw_lowmem::{IndexKind, LowMemConfig, LowMemPartitioner};
+use hyperpraw_topology::{BandwidthMatrix, MachineModel};
+
+/// A cycle: every pair `{v, v+1 mod n}` is one net; all pairs distinct.
+fn cycle(n: usize) -> Hypergraph {
+    let mut b = HypergraphBuilder::new(n);
+    for v in 0..n as u32 {
+        b.add_hyperedge([v, (v + 1) % n as u32]);
+    }
+    b.build()
+}
+
+/// A circulant graph with chords: nets `{v, v+1}` and `{v, v+5}` (mod n).
+/// Still 2-uniform with all pairs distinct for n > 10.
+fn circulant(n: usize) -> Hypergraph {
+    let m = n as u32;
+    let mut b = HypergraphBuilder::new(n);
+    for v in 0..m {
+        b.add_hyperedge([v, (v + 1) % m]);
+        b.add_hyperedge([v, (v + 5) % m]);
+    }
+    b.build()
+}
+
+/// Runs exactly one core stream from the round-robin start with a frozen α
+/// and returns the resulting assignment.
+fn core_single_stream(hg: &Hypergraph, cost: CostMatrix, alpha: f64) -> Vec<u32> {
+    let config = HyperPrawConfig {
+        initial_alpha: Some(alpha),
+        max_iterations: 1,
+        refinement: RefinementPolicy::None,
+        // Any imbalance is "feasible", so the run stops after one stream
+        // and returns that stream's partition untouched.
+        imbalance_tolerance: f64::from(u32::MAX),
+        stream_order: StreamOrder::Natural,
+        ..HyperPrawConfig::default()
+    };
+    HyperPraw::new(config, cost)
+        .partition(hg)
+        .partition
+        .assignment()
+        .to_vec()
+}
+
+/// Runs the lowmem exact-index partitioner in restreaming-prior mode with
+/// the same α and no re-stream buffer.
+fn lowmem_exact_stream(hg: &Hypergraph, cost: CostMatrix, alpha: f64) -> Vec<u32> {
+    let config = LowMemConfig {
+        index: IndexKind::Exact,
+        alpha: Some(alpha),
+        restream_capacity: Some(0),
+        round_robin_prior: true,
+        ..LowMemConfig::default()
+    };
+    LowMemPartitioner::new(config, cost)
+        .partition_hypergraph(hg)
+        .partition
+        .assignment()
+        .to_vec()
+}
+
+#[test]
+fn exact_index_matches_core_single_stream_on_a_cycle() {
+    let hg = cycle(48);
+    let p = 4u32;
+    let alpha = HyperPrawConfig::fennel_alpha(p, hg.num_vertices(), hg.num_hyperedges());
+    let cost = CostMatrix::uniform(p as usize);
+    assert_eq!(
+        lowmem_exact_stream(&hg, cost.clone(), alpha),
+        core_single_stream(&hg, cost, alpha),
+    );
+}
+
+#[test]
+fn exact_index_matches_core_single_stream_with_an_aware_cost_matrix() {
+    let hg = circulant(60);
+    let p = 6usize;
+    let machine = MachineModel::archer_like(p);
+    let cost = CostMatrix::from_bandwidth(&BandwidthMatrix::from_machine(&machine, 0.05, 3));
+    let alpha = HyperPrawConfig::fennel_alpha(p as u32, hg.num_vertices(), hg.num_hyperedges());
+    assert_eq!(
+        lowmem_exact_stream(&hg, cost.clone(), alpha),
+        core_single_stream(&hg, cost, alpha),
+    );
+}
+
+#[test]
+fn exact_index_matches_core_across_alphas() {
+    let hg = cycle(36);
+    let cost = CostMatrix::uniform(3);
+    for alpha in [0.1, 1.0, 10.0, 100.0] {
+        assert_eq!(
+            lowmem_exact_stream(&hg, cost.clone(), alpha),
+            core_single_stream(&hg, cost.clone(), alpha),
+            "divergence at alpha {alpha}"
+        );
+    }
+}

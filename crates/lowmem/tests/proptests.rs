@@ -1,0 +1,138 @@
+//! Property-based tests for the connectivity sketches.
+
+use proptest::prelude::*;
+
+use hyperpraw_hypergraph::generators::{random_hypergraph, CardinalityDist, RandomConfig};
+use hyperpraw_hypergraph::Hypergraph;
+use hyperpraw_lowmem::index::{ConnectivityIndex, ExactIndex, SketchIndex};
+use hyperpraw_lowmem::sketch::BloomFilter;
+use hyperpraw_lowmem::{IndexKind, LowMemConfig, LowMemPartitioner, MemoryBudget};
+
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (20usize..80, 10usize..60, 0u64..500).prop_map(|(n, e, seed)| {
+        random_hypergraph(&RandomConfig {
+            num_vertices: n,
+            num_hyperedges: e,
+            cardinality: CardinalityDist::Uniform { min: 2, max: 5 },
+            seed,
+            name: "lowmem-prop".into(),
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn bloom_filters_have_no_false_negatives(
+        bits_exp in 6usize..14,
+        hashes in 1usize..6,
+        items in prop::collection::vec(0u64..1_000_000, 0..300),
+    ) {
+        let mut bloom = BloomFilter::new(1 << bits_exp, hashes);
+        for &x in &items {
+            bloom.insert(x);
+        }
+        for &x in &items {
+            prop_assert!(bloom.contains(x), "inserted item {x} reported absent");
+        }
+    }
+
+    #[test]
+    fn sketched_connectivity_never_undercounts_and_stays_within_the_fpr(
+        hg in arb_hypergraph(),
+        p in 2u32..6,
+        seed in 0u64..50,
+    ) {
+        // Record every vertex's nets under a round-robin assignment in both
+        // indexes, then compare connectivity answers for every vertex.
+        let parts = p as usize;
+        let budget = MemoryBudget::mebibytes(1);
+        let plan = budget.plan(parts, hg.num_hyperedges());
+        let mut exact = ExactIndex::new(parts);
+        let mut sketch = SketchIndex::new(parts, &plan, seed);
+        for v in hg.vertices() {
+            let nets = hg.incident_edges(v);
+            exact.record(nets, v % p);
+            sketch.record(nets, v % p);
+        }
+        let mut exact_counts = Vec::new();
+        let mut sketch_counts = Vec::new();
+        let mut queried = 0u64;
+        let mut overcounted = 0u64;
+        for v in hg.vertices() {
+            let nets = hg.incident_edges(v);
+            exact.connectivity(nets, &mut exact_counts);
+            sketch.connectivity(nets, &mut sketch_counts);
+            for (s, e) in sketch_counts.iter().zip(&exact_counts) {
+                prop_assert!(s >= e, "sketch undercounts: {s} < {e}");
+                queried += u64::from(nets.len() as u32);
+                overcounted += u64::from(s - e);
+            }
+        }
+        // Every overcount is a Bloom false positive. The filter holds at
+        // most |E| distinct nets per partition; allow generous slack over
+        // the plan's expected rate to keep the test deterministic-robust.
+        let allowed = plan.expected_fpr(hg.num_hyperedges()) * queried as f64 * 4.0 + 1.0;
+        prop_assert!(
+            (overcounted as f64) <= allowed,
+            "overcounts {overcounted} exceed FPR allowance {allowed:.2}"
+        );
+    }
+
+    #[test]
+    fn exact_and_sketched_partitioners_agree_under_a_generous_budget(
+        hg in arb_hypergraph(),
+        p in 2u32..5,
+    ) {
+        // With a 1 MiB budget and well under a thousand nets the expected
+        // false-positive rate is ~0, so both index kinds must drive the
+        // greedy stream to identical decisions.
+        let make = |index: IndexKind| {
+            LowMemPartitioner::basic(
+                LowMemConfig {
+                    budget: MemoryBudget::mebibytes(1),
+                    index,
+                    restream_capacity: Some(0),
+                    ..LowMemConfig::default()
+                },
+                p,
+            )
+            .partition_hypergraph(&hg)
+        };
+        let exact = make(IndexKind::Exact);
+        let sketched = make(IndexKind::Sketched);
+        prop_assert_eq!(
+            exact.partition.assignment(),
+            sketched.partition.assignment()
+        );
+    }
+
+    #[test]
+    fn streaming_partitions_are_always_complete_and_in_range(
+        hg in arb_hypergraph(),
+        p in 2u32..7,
+        prior in 0u32..2,
+    ) {
+        // The round-robin prior requires a forgettable index, so pair it
+        // with the exact implementation.
+        let result = LowMemPartitioner::basic(
+            LowMemConfig {
+                round_robin_prior: prior == 1,
+                index: if prior == 1 {
+                    IndexKind::Exact
+                } else {
+                    IndexKind::Sketched
+                },
+                ..LowMemConfig::default()
+            },
+            p,
+        )
+        .partition_hypergraph(&hg);
+        prop_assert_eq!(result.partition.num_vertices(), hg.num_vertices());
+        prop_assert_eq!(result.partition.num_parts(), p);
+        prop_assert!(result.partition.assignment().iter().all(|&x| x < p));
+        let total: usize = result.partition.part_sizes().iter().sum();
+        prop_assert_eq!(total, hg.num_vertices());
+    }
+}

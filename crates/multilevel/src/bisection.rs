@@ -23,10 +23,7 @@ pub fn multilevel_bisection(
 
     // 1. Coarsen.
     let hierarchy = coarsen_hierarchy(hg, config);
-    let coarsest: &Hypergraph = hierarchy
-        .last()
-        .map(|l| &l.hypergraph)
-        .unwrap_or(hg);
+    let coarsest: &Hypergraph = hierarchy.last().map(|l| &l.hypergraph).unwrap_or(hg);
 
     // 2. Initial partition of the coarsest hypergraph.
     let initial = best_initial_bisection(coarsest, config, fraction);
@@ -51,7 +48,9 @@ pub fn multilevel_bisection(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyperpraw_hypergraph::generators::{mesh_hypergraph, random_hypergraph, MeshConfig, RandomConfig};
+    use hyperpraw_hypergraph::generators::{
+        mesh_hypergraph, random_hypergraph, MeshConfig, RandomConfig,
+    };
     use hyperpraw_hypergraph::{metrics, Partition};
 
     #[test]

@@ -198,9 +198,7 @@ mod tests {
     fn total_vertex_weight_is_conserved() {
         let hg = mesh(500);
         let level = coarsen_once(&hg, 3);
-        assert!(
-            (level.hypergraph.total_vertex_weight() - hg.total_vertex_weight()).abs() < 1e-9
-        );
+        assert!((level.hypergraph.total_vertex_weight() - hg.total_vertex_weight()).abs() < 1e-9);
     }
 
     #[test]
@@ -288,10 +286,7 @@ mod tests {
         let fine = project_assignment(&level.fine_to_coarse, &coarse_assignment);
         assert_eq!(fine.len(), hg.num_vertices());
         for (v, &part) in fine.iter().enumerate() {
-            assert_eq!(
-                part,
-                coarse_assignment[level.fine_to_coarse[v] as usize]
-            );
+            assert_eq!(part, coarse_assignment[level.fine_to_coarse[v] as usize]);
         }
     }
 

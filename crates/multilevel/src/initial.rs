@@ -53,7 +53,13 @@ impl Bisection {
 pub fn random_bisection(hg: &Hypergraph, fraction: f64, seed: u64) -> Bisection {
     let mut rng = StdRng::seed_from_u64(seed);
     let assignment: Vec<u32> = (0..hg.num_vertices())
-        .map(|_| if rng.gen_bool(fraction.clamp(0.0, 1.0)) { 0 } else { 1 })
+        .map(|_| {
+            if rng.gen_bool(fraction.clamp(0.0, 1.0)) {
+                0
+            } else {
+                1
+            }
+        })
         .collect();
     Bisection::evaluate(hg, assignment)
 }

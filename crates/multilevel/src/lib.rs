@@ -35,5 +35,7 @@ pub use recursive::{recursive_bisection, MultilevelPartitioner};
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
-    pub use crate::{multilevel_bisection, recursive_bisection, MultilevelConfig, MultilevelPartitioner};
+    pub use crate::{
+        multilevel_bisection, recursive_bisection, MultilevelConfig, MultilevelPartitioner,
+    };
 }

@@ -84,7 +84,15 @@ fn recurse(
         }
     }
     recurse(hg, left, k0, first_part, config, depth + 1, assignment);
-    recurse(hg, right, k1, first_part + k0, config, depth + 1, assignment);
+    recurse(
+        hg,
+        right,
+        k1,
+        first_part + k0,
+        config,
+        depth + 1,
+        assignment,
+    );
 }
 
 /// Partitions a hypergraph into `k` parts by multilevel recursive bisection —
@@ -94,7 +102,8 @@ pub fn recursive_bisection(hg: &Hypergraph, k: u32, config: &MultilevelConfig) -
     let mut assignment = vec![0u32; hg.num_vertices()];
     let vertices: Vec<VertexId> = hg.vertices().collect();
     recurse(hg, vertices, k, 0, config, 0, &mut assignment);
-    Partition::from_assignment(assignment, k).expect("recursive bisection produced a valid partition")
+    Partition::from_assignment(assignment, k)
+        .expect("recursive bisection produced a valid partition")
 }
 
 /// A convenience wrapper bundling the configuration, exposing the same
@@ -161,10 +170,16 @@ mod tests {
         let hg = mesh_hypergraph(&MeshConfig::new(900, 8));
         let part = recursive_bisection(&hg, 6, &MultilevelConfig::default());
         let sizes = part.part_sizes();
-        assert!(*sizes.iter().min().unwrap() > 0, "sizes {sizes:?} has empty part");
+        assert!(
+            *sizes.iter().min().unwrap() > 0,
+            "sizes {sizes:?} has empty part"
+        );
         // The paper's imbalance metric (max/avg) must stay near the tolerance.
         let imbalance = part.imbalance(&hg).unwrap();
-        assert!(imbalance <= 1.3, "imbalance {imbalance} too large, sizes {sizes:?}");
+        assert!(
+            imbalance <= 1.3,
+            "imbalance {imbalance} too large, sizes {sizes:?}"
+        );
     }
 
     #[test]

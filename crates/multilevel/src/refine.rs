@@ -26,12 +26,7 @@ impl Ord for Gain {
 }
 
 /// The FM gain of moving `v` to the other side, given per-edge pin counts.
-fn gain_of(
-    hg: &Hypergraph,
-    v: VertexId,
-    side: u32,
-    counts: &[[f64; 2]],
-) -> f64 {
+fn gain_of(hg: &Hypergraph, v: VertexId, side: u32, counts: &[[f64; 2]]) -> f64 {
     let mut gain = 0.0;
     let s = side as usize;
     let o = 1 - s;
@@ -147,7 +142,12 @@ pub fn fm_refine(
 ) -> Bisection {
     let mut part_weights = bisection.part_weights;
     for _ in 0..passes.max(1) {
-        let improvement = fm_pass(hg, &mut bisection.assignment, &mut part_weights, max_weights);
+        let improvement = fm_pass(
+            hg,
+            &mut bisection.assignment,
+            &mut part_weights,
+            max_weights,
+        );
         if improvement <= 1e-12 {
             break;
         }
@@ -175,7 +175,11 @@ mod tests {
         let bad = Bisection::evaluate(&hg, vec![0, 1, 0, 1, 0, 1, 0, 1]);
         assert_eq!(bad.cut, 3.0);
         let refined = fm_refine(&hg, bad, [5.0, 5.0], 4);
-        assert!(refined.cut <= 1.0, "refined cut {} should be <= 1", refined.cut);
+        assert!(
+            refined.cut <= 1.0,
+            "refined cut {} should be <= 1",
+            refined.cut
+        );
         // Balance respected.
         assert!(refined.part_weights[0] <= 5.0 + 1e-9);
         assert!(refined.part_weights[1] <= 5.0 + 1e-9);

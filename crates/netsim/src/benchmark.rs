@@ -171,7 +171,7 @@ impl SyntheticBenchmark {
     fn per_unit_times(&self, traffic: &TrafficMatrix) -> Vec<f64> {
         let p = self.link.num_units();
         let mut times = vec![0.0f64; p];
-        for unit in 0..p {
+        for (unit, time) in times.iter_mut().enumerate() {
             let mut send = 0.0f64;
             let mut recv = 0.0f64;
             for other in 0..p {
@@ -189,7 +189,7 @@ impl SyntheticBenchmark {
                         + traffic.messages(other, unit) as f64 * self.link.latency_us(other, unit);
                 }
             }
-            times[unit] = if self.config.full_duplex {
+            *time = if self.config.full_duplex {
                 send.max(recv)
             } else {
                 send + recv
@@ -326,7 +326,7 @@ mod tests {
         );
         let traffic = bench.traffic_for(&hg, &part);
 
-        let mut expected = vec![0u64; 9];
+        let mut expected = [0u64; 9];
         for e in hg.hyperedges() {
             let pins = hg.pins(e);
             for &a in pins {
@@ -353,11 +353,14 @@ mod tests {
         let hg = pairs_hg();
         let model = MachineModel::archer_like(48);
         let link = LinkModel::from_machine(&model, 0.0, 1);
-        let bench = SyntheticBenchmark::new(link, BenchmarkConfig {
-            message_bytes: 1 << 16,
-            barrier: false,
-            ..BenchmarkConfig::default()
-        });
+        let bench = SyntheticBenchmark::new(
+            link,
+            BenchmarkConfig {
+                message_bytes: 1 << 16,
+                barrier: false,
+                ..BenchmarkConfig::default()
+            },
+        );
         // Same cut structure, but placed on fast (same-socket) vs slow
         // (different-blade) unit pairs.
         let fast = Partition::from_fn(4, 48, |v| if v % 2 == 0 { 0 } else { 1 });
@@ -378,15 +381,21 @@ mod tests {
         let hg = pairs_hg();
         let link = LinkModel::uniform(2, 100.0, 1.0);
         let part = Partition::from_assignment(vec![0, 1, 0, 1], 2).unwrap();
-        let one = SyntheticBenchmark::new(link.clone(), BenchmarkConfig {
-            supersteps: 1,
-            ..BenchmarkConfig::default()
-        })
+        let one = SyntheticBenchmark::new(
+            link.clone(),
+            BenchmarkConfig {
+                supersteps: 1,
+                ..BenchmarkConfig::default()
+            },
+        )
         .run(&hg, &part);
-        let five = SyntheticBenchmark::new(link, BenchmarkConfig {
-            supersteps: 5,
-            ..BenchmarkConfig::default()
-        })
+        let five = SyntheticBenchmark::new(
+            link,
+            BenchmarkConfig {
+                supersteps: 5,
+                ..BenchmarkConfig::default()
+            },
+        )
         .run(&hg, &part);
         assert!((five.total_time_us - 5.0 * one.total_time_us).abs() < 1e-9);
     }
@@ -396,15 +405,21 @@ mod tests {
         let hg = pairs_hg();
         let part = Partition::from_assignment(vec![0, 1, 1, 0], 2).unwrap();
         let link = LinkModel::uniform(2, 50.0, 2.0);
-        let full = SyntheticBenchmark::new(link.clone(), BenchmarkConfig {
-            full_duplex: true,
-            ..BenchmarkConfig::default()
-        })
+        let full = SyntheticBenchmark::new(
+            link.clone(),
+            BenchmarkConfig {
+                full_duplex: true,
+                ..BenchmarkConfig::default()
+            },
+        )
         .run(&hg, &part);
-        let half = SyntheticBenchmark::new(link, BenchmarkConfig {
-            full_duplex: false,
-            ..BenchmarkConfig::default()
-        })
+        let half = SyntheticBenchmark::new(
+            link,
+            BenchmarkConfig {
+                full_duplex: false,
+                ..BenchmarkConfig::default()
+            },
+        )
         .run(&hg, &part);
         assert!(half.superstep_us >= full.superstep_us);
     }

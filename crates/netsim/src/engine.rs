@@ -118,8 +118,8 @@ impl EventDrivenSim {
 
         // Priority queue of (earliest possible start, sender).
         let mut queue: BinaryHeap<Reverse<(Stamp, usize)>> = BinaryHeap::new();
-        for s in 0..n {
-            if !per_sender[s].is_empty() {
+        for (s, sends) in per_sender.iter().enumerate() {
+            if !sends.is_empty() {
                 queue.push(Reverse((Stamp(0.0), s)));
             }
         }
@@ -182,10 +182,7 @@ mod tests {
     #[test]
     fn sends_from_one_rank_are_serialised() {
         let mut sim = uniform_sim(3);
-        let out = sim.simulate_round(&[
-            Message::new(0, 1, 1000),
-            Message::new(0, 2, 1000),
-        ]);
+        let out = sim.simulate_round(&[Message::new(0, 1, 1000), Message::new(0, 2, 1000)]);
         // Second send cannot start before the first finishes: 10 + 10 + 1.
         assert!((out.makespan_us - 21.0).abs() < 1e-9);
     }
@@ -193,10 +190,7 @@ mod tests {
     #[test]
     fn receives_at_one_rank_are_serialised() {
         let mut sim = uniform_sim(3);
-        let out = sim.simulate_round(&[
-            Message::new(1, 0, 1000),
-            Message::new(2, 0, 1000),
-        ]);
+        let out = sim.simulate_round(&[Message::new(1, 0, 1000), Message::new(2, 0, 1000)]);
         // Both senders are free, but the receiver can only take one at a time.
         assert!((out.makespan_us - 21.0).abs() < 1e-9);
         assert!((out.recv_busy_us[0] - 20.0).abs() < 1e-9);
@@ -205,10 +199,7 @@ mod tests {
     #[test]
     fn disjoint_pairs_proceed_in_parallel() {
         let mut sim = uniform_sim(4);
-        let out = sim.simulate_round(&[
-            Message::new(0, 1, 1000),
-            Message::new(2, 3, 1000),
-        ]);
+        let out = sim.simulate_round(&[Message::new(0, 1, 1000), Message::new(2, 3, 1000)]);
         assert!((out.makespan_us - 11.0).abs() < 1e-9);
     }
 
@@ -226,8 +217,12 @@ mod tests {
         let model = hyperpraw_topology::MachineModel::archer_like(48);
         let link = LinkModel::from_machine(&model, 0.0, 1);
         let mut sim = EventDrivenSim::new(link);
-        let near = sim.simulate_round(&[Message::new(0, 1, 1 << 20)]).makespan_us;
-        let far = sim.simulate_round(&[Message::new(0, 40, 1 << 20)]).makespan_us;
+        let near = sim
+            .simulate_round(&[Message::new(0, 1, 1 << 20)])
+            .makespan_us;
+        let far = sim
+            .simulate_round(&[Message::new(0, 40, 1 << 20)])
+            .makespan_us;
         assert!(far > 2.0 * near, "inter-blade {far} vs intra-socket {near}");
     }
 

@@ -138,7 +138,10 @@ mod tests {
         let link = LinkModel::from_machine(&model, 0.0, 1);
         let near = link.transfer_time_us(0, 1, 1 << 20);
         let far = link.transfer_time_us(0, 47, 1 << 20);
-        assert!(near < far, "intra-socket {near} should beat inter-blade {far}");
+        assert!(
+            near < far,
+            "intra-socket {near} should beat inter-blade {far}"
+        );
     }
 
     #[test]

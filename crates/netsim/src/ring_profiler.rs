@@ -70,8 +70,7 @@ impl RingProfiler {
                     let noise = if self.noise_sigma > 0.0 {
                         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
                         let u2: f64 = rng.gen_range(0.0..1.0);
-                        let z = (-2.0 * u1.ln()).sqrt()
-                            * (2.0 * std::f64::consts::PI * u2).cos();
+                        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                         (z * self.noise_sigma).exp()
                     } else {
                         1.0
@@ -147,9 +146,24 @@ mod tests {
     #[test]
     fn noise_perturbs_measurements_deterministically() {
         let link = LinkModel::uniform(8, 500.0, 1.0);
-        let a = RingProfiler { noise_sigma: 0.1, seed: 1, ..RingProfiler::default() }.profile(&link);
-        let b = RingProfiler { noise_sigma: 0.1, seed: 1, ..RingProfiler::default() }.profile(&link);
-        let c = RingProfiler { noise_sigma: 0.1, seed: 2, ..RingProfiler::default() }.profile(&link);
+        let a = RingProfiler {
+            noise_sigma: 0.1,
+            seed: 1,
+            ..RingProfiler::default()
+        }
+        .profile(&link);
+        let b = RingProfiler {
+            noise_sigma: 0.1,
+            seed: 1,
+            ..RingProfiler::default()
+        }
+        .profile(&link);
+        let c = RingProfiler {
+            noise_sigma: 0.1,
+            seed: 2,
+            ..RingProfiler::default()
+        }
+        .profile(&link);
         assert_eq!(a, b);
         assert_ne!(a, c);
     }
@@ -158,7 +172,11 @@ mod tests {
     fn profiled_cost_matrix_ranks_links_like_the_machine() {
         let model = MachineModel::archer_like(96);
         let link = LinkModel::from_machine(&model, 0.0, 3);
-        let bw = RingProfiler { noise_sigma: 0.01, ..RingProfiler::default() }.profile(&link);
+        let bw = RingProfiler {
+            noise_sigma: 0.01,
+            ..RingProfiler::default()
+        }
+        .profile(&link);
         let cost = CostMatrix::from_bandwidth(&bw);
         // Fast (intra-socket) pairs must be cheaper than slow (inter-group).
         assert!(cost.get(0, 1) < cost.get(0, 90));

@@ -1,0 +1,229 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] benchmark
+//! harness.
+//!
+//! The build environment of this repository cannot reach crates.io, so this
+//! crate vendors the subset of the criterion API the workspace's benches
+//! use: [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkGroup::sample_size`],
+//! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical analysis it reports the mean
+//! wall-clock time of up to `sample_size` runs, bounded by a per-benchmark
+//! time budget so accidental invocations stay cheap. Passing `--test` (as
+//! `cargo test --benches` does) runs every benchmark exactly once without
+//! timing, mirroring criterion's smoke-test mode.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Maximum wall-clock time spent measuring one benchmark.
+const TIME_BUDGET: Duration = Duration::from_secs(2);
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// The top-level benchmark driver, created by [`criterion_main!`].
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of timed runs per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: if self.test_mode { 1 } else { self.sample_size },
+            samples: 0,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        if bencher.samples == 0 {
+            println!("{}/{}: no samples", self.name, id.id);
+            return;
+        }
+        let mean = bencher.elapsed / bencher.samples;
+        println!(
+            "{}/{}: mean {mean:?} over {} sample(s)",
+            self.name, id.id, bencher.samples
+        );
+    }
+}
+
+/// Times a closure handed to it by a benchmark routine.
+pub struct Bencher {
+    sample_size: usize,
+    samples: u32,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly (up to the sample size or the time
+    /// budget), accumulating wall-clock timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let before = Instant::now();
+            black_box(routine());
+            self.elapsed += before.elapsed();
+            self.samples += 1;
+            if started.elapsed() > TIME_BUDGET {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the `main` entry point of a bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_their_routines_and_respect_sample_size() {
+        let mut c = Criterion { test_mode: false };
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        group.bench_function(BenchmarkId::from_parameter("count"), |b| {
+            b.iter(|| calls += 1)
+        });
+        group.finish();
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn test_mode_runs_exactly_once() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0u32;
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(50);
+        group.bench_with_input(BenchmarkId::new("inp", 3), &3u32, |b, &x| {
+            b.iter(|| calls += x)
+        });
+        group.finish();
+        assert_eq!(calls, 3);
+    }
+}

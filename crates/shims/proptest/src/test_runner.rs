@@ -1,0 +1,38 @@
+//! Test-runner configuration and deterministic per-case RNG derivation.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Configuration of a [`crate::proptest!`] block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property. Overridable globally through
+    /// the `PROPTEST_CASES` environment variable, like the real crate.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(256);
+        Self { cases }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Deterministic RNG for one case index: every run of the suite explores the
+/// same inputs, so failures are always reproducible.
+pub fn case_rng(case: u32) -> TestRng {
+    TestRng::seed_from_u64(0xC0FF_EE00_0000_0000 ^ u64::from(case).wrapping_mul(0x9E37_79B9))
+}

@@ -69,11 +69,7 @@ impl BandwidthMatrix {
         }
         // Self-bandwidth: fastest observed link times a margin (never used by
         // the cost normalisation, which excludes the diagonal).
-        let max = data
-            .iter()
-            .cloned()
-            .fold(0.0f64, f64::max)
-            .max(1.0);
+        let max = data.iter().cloned().fold(0.0f64, f64::max).max(1.0);
         for i in 0..n {
             data[i * n + i] = max * 4.0;
         }
@@ -144,7 +140,9 @@ impl BandwidthMatrix {
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         for i in 0..self.n {
-            let row: Vec<String> = (0..self.n).map(|j| format!("{:.3}", self.get(i, j))).collect();
+            let row: Vec<String> = (0..self.n)
+                .map(|j| format!("{:.3}", self.get(i, j)))
+                .collect();
             out.push_str(&row.join(","));
             out.push('\n');
         }
@@ -212,9 +210,8 @@ mod tests {
     fn from_raw_validates_entries() {
         let ok = BandwidthMatrix::from_raw(2, vec![10.0, 5.0, 5.0, 10.0]);
         assert_eq!(ok.get(0, 1), 5.0);
-        let res = std::panic::catch_unwind(|| {
-            BandwidthMatrix::from_raw(2, vec![10.0, -1.0, 5.0, 10.0])
-        });
+        let res =
+            std::panic::catch_unwind(|| BandwidthMatrix::from_raw(2, vec![10.0, -1.0, 5.0, 10.0]));
         assert!(res.is_err());
     }
 

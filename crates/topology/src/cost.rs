@@ -142,7 +142,9 @@ impl CostMatrix {
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         for i in 0..self.n {
-            let row: Vec<String> = (0..self.n).map(|j| format!("{:.4}", self.get(i, j))).collect();
+            let row: Vec<String> = (0..self.n)
+                .map(|j| format!("{:.4}", self.get(i, j)))
+                .collect();
             out.push_str(&row.join(","));
             out.push('\n');
         }

@@ -186,7 +186,10 @@ impl MachineModel {
     /// The innermost level shared by two units, or `None` if `a == b`
     /// (self-communication never touches the network).
     pub fn shared_level(&self, a: usize, b: usize) -> Option<usize> {
-        assert!(a < self.num_units && b < self.num_units, "unit out of range");
+        assert!(
+            a < self.num_units && b < self.num_units,
+            "unit out of range"
+        );
         if a == b {
             return None;
         }
@@ -354,7 +357,10 @@ mod tests {
         MachineModel::new(
             "tiny",
             100,
-            vec![MachineLevel::new("node", 4, 100.0, 1.0), MachineLevel::new("rack", 2, 50.0, 2.0)],
+            vec![
+                MachineLevel::new("node", 4, 100.0, 1.0),
+                MachineLevel::new("rack", 2, 50.0, 2.0),
+            ],
         );
     }
 

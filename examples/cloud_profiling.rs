@@ -41,7 +41,10 @@ fn allocation(machine: &MachineModel, placement_seed: u64) -> (RankMapping, Link
             };
         }
     }
-    (mapping, LinkModel::from_bandwidth(BandwidthMatrix::from_raw(procs, data), 3.0))
+    (
+        mapping,
+        LinkModel::from_bandwidth(BandwidthMatrix::from_raw(procs, data), 3.0),
+    )
 }
 
 fn main() {
@@ -74,11 +77,14 @@ fn main() {
         profiled1.max_off_diagonal() / profiled1.min_off_diagonal()
     );
 
-    let bench1 = SyntheticBenchmark::new(link1, BenchmarkConfig {
-        message_bytes: 256,
-        supersteps: 5,
-        ..BenchmarkConfig::default()
-    });
+    let bench1 = SyntheticBenchmark::new(
+        link1,
+        BenchmarkConfig {
+            message_bytes: 256,
+            supersteps: 5,
+            ..BenchmarkConfig::default()
+        },
+    );
     let basic = HyperPraw::basic(HyperPrawConfig::default(), procs as u32)
         .partition(&hg)
         .partition;
@@ -98,11 +104,14 @@ fn main() {
     let (_, link2) = allocation(&machine, 7);
     let profiled2 = RingProfiler::default().profile(&link2);
     let cost2 = CostMatrix::from_bandwidth(&profiled2);
-    let bench2 = SyntheticBenchmark::new(link2, BenchmarkConfig {
-        message_bytes: 256,
-        supersteps: 5,
-        ..BenchmarkConfig::default()
-    });
+    let bench2 = SyntheticBenchmark::new(
+        link2,
+        BenchmarkConfig {
+            message_bytes: 256,
+            supersteps: 5,
+            ..BenchmarkConfig::default()
+        },
+    );
     // Re-profile and re-partition (what the paper recommends per job) vs
     // reusing the stale cost matrix from allocation #1.
     let aware_fresh = HyperPraw::aware(HyperPrawConfig::default(), cost2)

@@ -43,8 +43,8 @@ fn main() {
     );
 
     // Three partitioning strategies.
-    let zoltan = MultilevelPartitioner::new(MultilevelConfig::default())
-        .partition(&hg, cores as u32);
+    let zoltan =
+        MultilevelPartitioner::new(MultilevelConfig::default()).partition(&hg, cores as u32);
     let basic = HyperPraw::basic(HyperPrawConfig::default(), cores as u32)
         .partition(&hg)
         .partition;
@@ -78,7 +78,12 @@ fn main() {
         };
         println!(
             "{:<18} {:>10} {:>10} {:>14.1} {:>10.3} {:>10.2} ({})",
-            name, quality.hyperedge_cut, quality.soed, quality.comm_cost, quality.imbalance, ms,
+            name,
+            quality.hyperedge_cut,
+            quality.soed,
+            quality.comm_cost,
+            quality.imbalance,
+            ms,
             speedup
         );
     }

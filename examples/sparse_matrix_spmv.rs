@@ -32,11 +32,7 @@ fn build_stencil_matrix(n: usize, stencil: usize) -> CoordinateMatrix {
     };
     for v in 0..n as u32 {
         let v64 = v as i64;
-        let (x, y, z) = (
-            v64 % side,
-            (v64 / side) % side,
-            v64 / (side * side),
-        );
+        let (x, y, z) = (v64 % side, (v64 / side) % side, v64 / (side * side));
         entries.push((v, v)); // diagonal
         let offsets: &[(i64, i64, i64)] = &[
             (1, 0, 0),
@@ -72,7 +68,12 @@ fn main() {
     // The matrix and its row-net hypergraph.
     let matrix = build_stencil_matrix(8_000, 8);
     let hg = matrix.to_hypergraph(SparseMatrixModel::RowNet, "stencil-spmv");
-    println!("matrix                : {} x {} with {} nonzeros", matrix.rows, matrix.cols, matrix.entries.len());
+    println!(
+        "matrix                : {} x {} with {} nonzeros",
+        matrix.rows,
+        matrix.cols,
+        matrix.entries.len()
+    );
     println!("row-net hypergraph    : {hg}\n");
 
     // A commodity dual-socket cluster this time (not ARCHER): the algorithm

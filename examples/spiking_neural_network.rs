@@ -42,7 +42,7 @@ fn build_snn_hypergraph(
         // Local targets: own population and the next one (a cortical
         // feed-forward motif).
         for _ in 0..local_fanout {
-            let target_pop = (population + rng.gen_range(0..2)) % populations;
+            let target_pop = (population + rng.gen_range(0..2usize)) % populations;
             let t = target_pop * neurons_per_population + rng.gen_range(0..neurons_per_population);
             targets.push(t as u32);
         }
@@ -75,8 +75,8 @@ fn main() {
 
     // Candidate distributions of neurons over the 48 processes.
     let round_robin = baselines::round_robin(&hg, procs as u32);
-    let zoltan = MultilevelPartitioner::new(MultilevelConfig::default())
-        .partition(&hg, procs as u32);
+    let zoltan =
+        MultilevelPartitioner::new(MultilevelConfig::default()).partition(&hg, procs as u32);
     let basic = HyperPraw::basic(HyperPrawConfig::default(), procs as u32)
         .partition(&hg)
         .partition;

@@ -8,16 +8,17 @@
 //! discrete-event message-passing simulator standing in for MPI-on-ARCHER,
 //! and a multilevel recursive-bisection baseline standing in for Zoltan.
 //!
-//! This crate is a thin facade: it re-exports the five member crates under
+//! This crate is a thin facade: it re-exports the six member crates under
 //! stable module names and provides a [`prelude`].
 //!
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
-//! | [`hypergraph`] | `hyperpraw-hypergraph` | CSR hypergraphs, builders, generators, IO, cut metrics |
+//! | [`hypergraph`] | `hyperpraw-hypergraph` | CSR hypergraphs, builders, generators, IO (including streaming vertex readers), cut metrics |
 //! | [`topology`] | `hyperpraw-topology` | machine models, bandwidth matrices, cost matrices |
 //! | [`netsim`] | `hyperpraw-netsim` | event-driven network simulator, ring profiler, synthetic benchmark |
 //! | [`multilevel`] | `hyperpraw-multilevel` | Zoltan-like multilevel recursive bisection baseline |
 //! | [`core`] | `hyperpraw-core` | the HyperPRAW restreaming partitioner itself |
+//! | [`lowmem`] | `hyperpraw-lowmem` | memory-bounded one-pass streaming partitioner over on-disk vertex streams, with Bloom/MinHash connectivity sketches |
 //!
 //! ## End-to-end flow
 //!
@@ -49,6 +50,7 @@
 
 pub use hyperpraw_core as core;
 pub use hyperpraw_hypergraph as hypergraph;
+pub use hyperpraw_lowmem as lowmem;
 pub use hyperpraw_multilevel as multilevel;
 pub use hyperpraw_netsim as netsim;
 pub use hyperpraw_topology as topology;
@@ -61,6 +63,9 @@ pub mod prelude {
         RefinementPolicy, StopReason, StreamOrder,
     };
     pub use hyperpraw_hypergraph::prelude::*;
+    pub use hyperpraw_lowmem::{
+        IndexKind, LowMemConfig, LowMemPartitioner, LowMemResult, MemoryBudget,
+    };
     pub use hyperpraw_multilevel::{recursive_bisection, MultilevelConfig, MultilevelPartitioner};
     pub use hyperpraw_netsim::{
         BenchmarkConfig, BenchmarkResult, LinkModel, RingProfiler, SyntheticBenchmark,

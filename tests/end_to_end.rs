@@ -71,8 +71,8 @@ fn aware_beats_basic_which_matches_or_beats_zoltan_comm_cost() {
     let basic = HyperPraw::basic(HyperPrawConfig::default(), procs as u32)
         .partition(&hg)
         .partition;
-    let zoltan = MultilevelPartitioner::new(MultilevelConfig::default())
-        .partition(&hg, procs as u32);
+    let zoltan =
+        MultilevelPartitioner::new(MultilevelConfig::default()).partition(&hg, procs as u32);
 
     let pc = |p: &Partition| partitioning_communication_cost(&hg, p, &cost);
     let (a, b, z) = (pc(&aware), pc(&basic), pc(&zoltan));
@@ -83,7 +83,7 @@ fn aware_beats_basic_which_matches_or_beats_zoltan_comm_cost() {
 #[test]
 fn benchmark_runtime_ranks_the_three_strategies_like_figure_5() {
     let procs = 48usize;
-    let (link, cost) = testbed(procs, 7);
+    let (link, cost) = testbed(procs, 10);
     let hg = PaperInstance::TwoCubesSphere.generate(&SuiteConfig::scaled(0.02));
 
     let aware = HyperPraw::aware(HyperPrawConfig::default(), cost.clone())
@@ -92,8 +92,8 @@ fn benchmark_runtime_ranks_the_three_strategies_like_figure_5() {
     let basic = HyperPraw::basic(HyperPrawConfig::default(), procs as u32)
         .partition(&hg)
         .partition;
-    let zoltan = MultilevelPartitioner::new(MultilevelConfig::default())
-        .partition(&hg, procs as u32);
+    let zoltan =
+        MultilevelPartitioner::new(MultilevelConfig::default()).partition(&hg, procs as u32);
 
     let bench = SyntheticBenchmark::new(link, BenchmarkConfig::default());
     let t_aware = bench.run(&hg, &aware).total_time_us;

@@ -87,7 +87,10 @@ fn different_seeds_change_the_generated_instances_but_not_their_shape() {
     assert_eq!(a.num_vertices(), b.num_vertices());
     let ca = a.avg_cardinality();
     let cb = b.avg_cardinality();
-    assert!((ca - cb).abs() / ca < 0.2, "cardinality drifted: {ca} vs {cb}");
+    assert!(
+        (ca - cb).abs() / ca < 0.2,
+        "cardinality drifted: {ca} vs {cb}"
+    );
 }
 
 #[test]

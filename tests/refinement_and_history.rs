@@ -42,7 +42,11 @@ fn refinement_runs_longer_and_never_ends_worse_than_no_refinement() {
         );
         // All variants respect the tolerance.
         for r in [&none, &keep, &relax] {
-            assert!(r.imbalance <= 1.1 + 1e-9, "{inst}: imbalance {}", r.imbalance);
+            assert!(
+                r.imbalance <= 1.1 + 1e-9,
+                "{inst}: imbalance {}",
+                r.imbalance
+            );
         }
     }
 }

@@ -2,9 +2,9 @@
 //! event-driven simulator and the aggregate synthetic benchmark) and the
 //! relationship between partition quality metrics and simulated runtime.
 
+use hyperpraw::hypergraph::generators::{mesh_hypergraph, MeshConfig};
 use hyperpraw::netsim::{EventDrivenSim, Message};
 use hyperpraw::prelude::*;
-use hyperpraw::hypergraph::generators::{mesh_hypergraph, MeshConfig};
 
 /// Materialises the benchmark's message list explicitly (one message per
 /// ordered cut pin pair of every hyperedge) — only feasible for tiny cases.
@@ -76,18 +76,23 @@ fn lower_comm_cost_implies_lower_simulated_runtime_across_candidates() {
     let procs = 24usize;
     let machine = MachineModel::archer_like(procs);
     let link = LinkModel::from_machine(&machine, 0.0, 1);
-    let cost = CostMatrix::from_bandwidth(&RingProfiler {
-        noise_sigma: 0.0,
-        ..RingProfiler::default()
-    }
-    .profile(&link));
+    let cost = CostMatrix::from_bandwidth(
+        &RingProfiler {
+            noise_sigma: 0.0,
+            ..RingProfiler::default()
+        }
+        .profile(&link),
+    );
     let hg = mesh_hypergraph(&MeshConfig::new(1200, 10));
-    let bench = SyntheticBenchmark::new(link, BenchmarkConfig {
-        barrier: false,
-        ..BenchmarkConfig::default()
-    });
+    let bench = SyntheticBenchmark::new(
+        link,
+        BenchmarkConfig {
+            barrier: false,
+            ..BenchmarkConfig::default()
+        },
+    );
 
-    let candidates = vec![
+    let candidates = [
         ("random", baselines::random(&hg, procs as u32, 3)),
         ("round_robin", baselines::round_robin(&hg, procs as u32)),
         ("blocks", baselines::blocks(&hg, procs as u32)),
@@ -130,8 +135,8 @@ fn barrier_only_accounts_for_sync_overhead() {
     let link = LinkModel::uniform(p, 100.0, 2.0);
     let hg = mesh_hypergraph(&MeshConfig::new(64, 4));
     let part = Partition::all_in_one(hg.num_vertices(), p as u32);
-    let with_barrier = SyntheticBenchmark::new(link.clone(), BenchmarkConfig::default())
-        .run(&hg, &part);
+    let with_barrier =
+        SyntheticBenchmark::new(link.clone(), BenchmarkConfig::default()).run(&hg, &part);
     let without = SyntheticBenchmark::new(
         link,
         BenchmarkConfig {
@@ -154,15 +159,24 @@ fn profiled_and_nominal_cost_matrices_agree_on_link_ranking() {
     let machine = MachineModel::archer_like(procs);
     let link = LinkModel::from_machine(&machine, 0.0, 2);
     let nominal = CostMatrix::from_bandwidth(link.bandwidth());
-    let profiled = CostMatrix::from_bandwidth(&RingProfiler {
-        noise_sigma: 0.0,
-        message_bytes: 8 << 20,
-        ..RingProfiler::default()
-    }
-    .profile(&link));
-    for &(a, b, c, d) in &[(0usize, 1usize, 0usize, 30usize), (0, 13, 0, 47), (5, 6, 5, 90 % procs)] {
+    let profiled = CostMatrix::from_bandwidth(
+        &RingProfiler {
+            noise_sigma: 0.0,
+            message_bytes: 8 << 20,
+            ..RingProfiler::default()
+        }
+        .profile(&link),
+    );
+    for &(a, b, c, d) in &[
+        (0usize, 1usize, 0usize, 30usize),
+        (0, 13, 0, 47),
+        (5, 6, 5, 90 % procs),
+    ] {
         let nominal_says = nominal.get(a, b) < nominal.get(c, d);
         let profiled_says = profiled.get(a, b) < profiled.get(c, d);
-        assert_eq!(nominal_says, profiled_says, "ranking of ({a},{b}) vs ({c},{d})");
+        assert_eq!(
+            nominal_says, profiled_says,
+            "ranking of ({a},{b}) vs ({c},{d})"
+        );
     }
 }
