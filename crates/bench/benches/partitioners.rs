@@ -2,12 +2,21 @@
 //! Zoltan-like multilevel baseline, HyperPRAW (sequential) and the parallel
 //! restreaming extension — the data behind the "partitioning cost" column of
 //! the evaluation.
+//!
+//! The `hyperpraw_basic`/`hyperpraw_aware` entries time the unified
+//! restreaming engine's sequential strategy (`InMemorySource × CsrProvider`)
+//! — the figures to compare against the seed driver when validating the
+//! engine refactor's "no slower than the seed" criterion. The
+//! `lowmem_bsp_sketched` entries time the engine combination none of the
+//! pre-engine drivers could express: bulk-synchronous workers over the
+//! sketched out-of-core connectivity provider.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use hyperpraw_bench::Testbed;
 use hyperpraw_core::{HyperPraw, HyperPrawConfig, ParallelConfig, ParallelHyperPraw};
 use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
+use hyperpraw_lowmem::{LowMemConfig, LowMemPartitioner};
 use hyperpraw_multilevel::{MultilevelConfig, MultilevelPartitioner};
 
 fn bench_partitioners(c: &mut Criterion) {
@@ -35,6 +44,21 @@ fn bench_partitioners(c: &mut Criterion) {
                     testbed.cost.clone(),
                 )
                 .partition(&hg)
+            })
+        });
+    }
+    for threads in [1usize, 4] {
+        group.bench_function(BenchmarkId::new("lowmem_bsp_sketched", threads), |b| {
+            b.iter(|| {
+                LowMemPartitioner::new(
+                    LowMemConfig {
+                        threads,
+                        sync_interval: 512,
+                        ..LowMemConfig::default()
+                    },
+                    testbed.cost.clone(),
+                )
+                .partition_hypergraph(&hg)
             })
         });
     }

@@ -1,6 +1,7 @@
 //! Regenerates Figure 5: runtime of the synthetic communication-bound
-//! benchmark under the three partitioning strategies, with the speedup of
-//! HyperPRAW-aware over the Zoltan-like baseline annotated per instance.
+//! benchmark under the compared partitioning strategies (the paper's three
+//! plus the memory-bounded `lowmem` streamer), with the speedup over the
+//! Zoltan-like baseline annotated per instance.
 //!
 //! ```text
 //! cargo run --release -p hyperpraw-bench --bin fig5
@@ -65,28 +66,35 @@ fn main() {
     let mut table_rows = Vec::new();
     let mut speedups_aware = Vec::new();
     let mut speedups_basic = Vec::new();
-    let mut speedup_csv =
-        String::from("instance,zoltan_us,basic_us,aware_us,speedup_basic,speedup_aware\n");
+    let mut speedups_lowmem = Vec::new();
+    let mut speedup_csv = String::from(
+        "instance,zoltan_us,basic_us,aware_us,lowmem_us,speedup_basic,speedup_aware,speedup_lowmem\n",
+    );
     for inst in PaperInstance::all() {
         let name = inst.paper_name();
         let z = mean(name, "zoltan-like");
         let b = mean(name, "hyperpraw-basic");
         let a = mean(name, "hyperpraw-aware");
+        let l = mean(name, "lowmem-sketched");
         let sb = speedup(z, b);
         let sa = speedup(z, a);
+        let sl = speedup(z, l);
         speedups_basic.push(sb);
         speedups_aware.push(sa);
+        speedups_lowmem.push(sl);
         table_rows.push(vec![
             name.to_string(),
             format!("{:.2}", z / 1e3),
             format!("{:.2}", b / 1e3),
             format!("{:.2}", a / 1e3),
+            format!("{:.2}", l / 1e3),
             format!("{:.2}x", sb),
             format!("{:.2}x", sa),
+            format!("{:.2}x", sl),
         ]);
         speedup_csv.push_str(&format!(
-            "{},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
-            name, z, b, a, sb, sa
+            "{},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+            name, z, b, a, l, sb, sa, sl
         ));
     }
     println!(
@@ -97,16 +105,20 @@ fn main() {
                 "zoltan (ms)",
                 "basic (ms)",
                 "aware (ms)",
+                "lowmem (ms)",
                 "speedup basic",
                 "speedup aware",
+                "speedup lowmem",
             ],
             &table_rows
         )
     );
     println!(
-        "geometric-mean speedup over the Zoltan-like baseline: basic {:.2}x, aware {:.2}x",
+        "geometric-mean speedup over the Zoltan-like baseline: basic {:.2}x, aware {:.2}x, \
+         lowmem-sketched {:.2}x",
         geometric_mean(&speedups_basic),
-        geometric_mean(&speedups_aware)
+        geometric_mean(&speedups_aware),
+        geometric_mean(&speedups_lowmem)
     );
     println!(
         "max speedup of HyperPRAW-aware: {:.2}x (the paper reports 1.3x–14x on 576 ARCHER cores)",

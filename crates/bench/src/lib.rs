@@ -28,6 +28,7 @@ use hyperpraw_core::{
 };
 use hyperpraw_hypergraph::generators::suite::{PaperInstance, SuiteConfig};
 use hyperpraw_hypergraph::{Hypergraph, Partition};
+use hyperpraw_lowmem::{LowMemConfig, LowMemPartitioner};
 use hyperpraw_multilevel::{MultilevelConfig, MultilevelPartitioner};
 use hyperpraw_netsim::{
     BenchmarkConfig, BenchmarkResult, LinkModel, RingProfiler, SyntheticBenchmark,
@@ -193,7 +194,9 @@ impl Testbed {
     }
 }
 
-/// The partitioning strategies compared throughout the evaluation.
+/// The partitioning strategies compared throughout the evaluation: the
+/// paper's three, plus the memory-bounded streaming partitioner so the
+/// quality/memory trade-off lands in the experiment CSVs by default.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Strategy {
     /// Multilevel recursive bisection (the Zoltan baseline).
@@ -202,15 +205,20 @@ pub enum Strategy {
     HyperPrawBasic,
     /// HyperPRAW with the profiled cost matrix.
     HyperPrawAware,
+    /// The `hyperpraw-lowmem` sketched streaming partitioner with the
+    /// profiled cost matrix (architecture-aware, budgeted memory).
+    LowMemSketched,
 }
 
 impl Strategy {
-    /// All three strategies in the order the paper plots them.
-    pub fn all() -> [Strategy; 3] {
+    /// Every compared strategy, in plotting order (the paper's three
+    /// first).
+    pub fn all() -> [Strategy; 4] {
         [
             Strategy::ZoltanLike,
             Strategy::HyperPrawBasic,
             Strategy::HyperPrawAware,
+            Strategy::LowMemSketched,
         ]
     }
 
@@ -220,6 +228,7 @@ impl Strategy {
             Strategy::ZoltanLike => "zoltan-like",
             Strategy::HyperPrawBasic => "hyperpraw-basic",
             Strategy::HyperPrawAware => "hyperpraw-aware",
+            Strategy::LowMemSketched => "lowmem-sketched",
         }
     }
 
@@ -247,6 +256,17 @@ impl Strategy {
                     testbed.cost.clone(),
                 )
                 .partition(hg)
+                .partition
+            }
+            Strategy::LowMemSketched => {
+                LowMemPartitioner::new(
+                    LowMemConfig {
+                        seed,
+                        ..LowMemConfig::default()
+                    },
+                    testbed.cost.clone(),
+                )
+                .partition_hypergraph(hg)
                 .partition
             }
         }

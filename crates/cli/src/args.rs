@@ -86,7 +86,7 @@ pub enum Command {
         /// Input file (`.hgr`, `.mtx` or edge list).
         input: PathBuf,
     },
-    /// Partition a hypergraph file in one streaming pass under a memory
+    /// Partition a hypergraph file in streaming passes under a memory
     /// budget (`hyperpraw-lowmem`), without loading it into RAM.
     LowMem {
         /// Input file (`.hgr` or edge list; `.mtx` is not streamable).
@@ -101,6 +101,13 @@ pub enum Command {
         /// Number of lowest-confidence assignments to revisit; `None`
         /// derives it from the budget.
         restream: Option<usize>,
+        /// Number of streaming passes over the input (out-of-core
+        /// restreaming when above 1).
+        passes: usize,
+        /// Rebuild the sketches between passes to shed staleness.
+        rebuild_sketches: bool,
+        /// Worker threads for bulk-synchronous streaming (1 = sequential).
+        threads: usize,
         /// Machine preset used to derive the cost matrix.
         machine: MachinePreset,
         /// RNG seed.
@@ -210,6 +217,7 @@ pub fn usage() -> String {
                            [--machine archer|cluster|cloud|flat] [--imbalance 1.1]\n\
                            [--seed N] [--output assignment.txt]\n\
        hyperpraw lowmem    <input> --parts N [--budget-mib 64] [--exact] [--restream K]\n\
+                           [--passes N] [--rebuild-sketches] [--threads N]\n\
                            [--machine archer|cluster|cloud|flat] [--seed N] [--output assignment.txt]\n\
        hyperpraw profile   --machine archer|cluster|cloud|flat --procs N [--output bw.csv]\n\
        hyperpraw benchmark <input> <assignment> [--machine archer|...] [--bytes 1024] [--supersteps 1]\n\
@@ -299,6 +307,9 @@ impl Cli {
                 let mut budget_mib = 64usize;
                 let mut exact = false;
                 let mut restream = None;
+                let mut passes = 1usize;
+                let mut rebuild_sketches = false;
+                let mut threads = 1usize;
                 let mut machine = MachinePreset::Archer;
                 let mut seed = 2019u64;
                 let mut output = None;
@@ -318,6 +329,15 @@ impl Cli {
                         "--restream" => {
                             restream = Some(parse_number(opt, value(&rest, &mut i)?)?);
                         }
+                        "--passes" => {
+                            passes = parse_number(opt, value(&rest, &mut i)?)?;
+                        }
+                        "--rebuild-sketches" => {
+                            rebuild_sketches = true;
+                        }
+                        "--threads" | "-t" => {
+                            threads = parse_number(opt, value(&rest, &mut i)?)?;
+                        }
                         "--machine" | "-m" => {
                             machine = MachinePreset::parse(value(&rest, &mut i)?)?;
                         }
@@ -331,6 +351,20 @@ impl Cli {
                     }
                     i += 1;
                 }
+                if passes == 0 {
+                    return Err(ParseError::InvalidValue {
+                        option: "--passes".into(),
+                        value: "0".into(),
+                        expected: "at least one streaming pass".into(),
+                    });
+                }
+                if threads == 0 {
+                    return Err(ParseError::InvalidValue {
+                        option: "--threads".into(),
+                        value: "0".into(),
+                        expected: "at least one worker thread".into(),
+                    });
+                }
                 Ok(Self {
                     command: Command::LowMem {
                         input: PathBuf::from(input),
@@ -338,6 +372,9 @@ impl Cli {
                         budget_mib,
                         exact,
                         restream,
+                        passes,
+                        rebuild_sketches,
+                        threads,
                         machine,
                         seed,
                         output,
@@ -488,17 +525,24 @@ mod tests {
                 budget_mib,
                 exact,
                 restream,
+                passes,
+                rebuild_sketches,
+                threads,
                 ..
             } => {
                 assert_eq!(parts, 32);
                 assert_eq!(budget_mib, 64);
                 assert!(!exact);
                 assert_eq!(restream, None);
+                assert_eq!(passes, 1);
+                assert!(!rebuild_sketches);
+                assert_eq!(threads, 1);
             }
             other => panic!("wrong command {other:?}"),
         }
         let cli = Cli::parse(argv(
-            "lowmem big.hgr -p 8 -b 16 --exact --restream 500 -m flat --seed 3 -o out.txt",
+            "lowmem big.hgr -p 8 -b 16 --exact --restream 500 --passes 3 --rebuild-sketches \
+             --threads 4 -m flat --seed 3 -o out.txt",
         ))
         .unwrap();
         match cli.command {
@@ -506,6 +550,9 @@ mod tests {
                 budget_mib,
                 exact,
                 restream,
+                passes,
+                rebuild_sketches,
+                threads,
                 machine,
                 seed,
                 output,
@@ -514,6 +561,9 @@ mod tests {
                 assert_eq!(budget_mib, 16);
                 assert!(exact);
                 assert_eq!(restream, Some(500));
+                assert_eq!(passes, 3);
+                assert!(rebuild_sketches);
+                assert_eq!(threads, 4);
                 assert_eq!(machine, MachinePreset::Flat);
                 assert_eq!(seed, 3);
                 assert_eq!(output, Some(PathBuf::from("out.txt")));
@@ -523,6 +573,14 @@ mod tests {
         assert!(matches!(
             Cli::parse(argv("lowmem big.hgr")).unwrap_err(),
             ParseError::MissingValue(_)
+        ));
+        assert!(matches!(
+            Cli::parse(argv("lowmem big.hgr --parts 8 --passes 0")).unwrap_err(),
+            ParseError::InvalidValue { .. }
+        ));
+        assert!(matches!(
+            Cli::parse(argv("lowmem big.hgr --parts 8 --threads 0")).unwrap_err(),
+            ParseError::InvalidValue { .. }
         ));
     }
 

@@ -199,12 +199,20 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             budget_mib,
             exact,
             restream,
+            passes,
+            rebuild_sketches,
+            threads,
             machine,
             seed,
             output,
         } => {
             if *parts < 2 {
                 return Err(CommandError::Invalid("--parts must be at least 2".into()));
+            }
+            if *rebuild_sketches && *exact {
+                return Err(CommandError::Invalid(
+                    "--rebuild-sketches only applies to the sketched index; drop --exact".into(),
+                ));
             }
             let ext = input
                 .extension()
@@ -225,6 +233,9 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                     IndexKind::Sketched
                 },
                 restream_capacity: *restream,
+                passes: *passes,
+                rebuild_sketches: *rebuild_sketches,
+                threads: *threads,
                 seed: *seed,
                 ..LowMemConfig::default()
             };
@@ -263,8 +274,20 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                 quality::evaluate_edgelist_file(input, &result.partition)?
             };
             println!(
-                "algorithm        : lowmem-{}",
-                if *exact { "exact" } else { "sketched" }
+                "algorithm        : lowmem-{}{}",
+                if *exact { "exact" } else { "sketched" },
+                if *threads > 1 { "-bsp" } else { "" }
+            );
+            println!(
+                "execution        : {} pass(es) ({} run), {} thread(s){}",
+                passes,
+                result.passes,
+                threads,
+                if *rebuild_sketches {
+                    ", rebuilding sketches between passes"
+                } else {
+                    ""
+                }
             );
             println!(
                 "hypergraph       : {} (|V|={}, |E|={}, pins={})",
@@ -316,6 +339,15 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                 link.bandwidth().max_off_diagonal(),
                 cost.min_off_diagonal(),
                 cost.max_off_diagonal()
+            );
+            // Cost centrality: the precomputed row sums bound what each
+            // unit pays to reach every peer — the spread flags poorly
+            // connected units worth keeping off chatty partitions.
+            let sums: Vec<f64> = (0..*procs).map(|i| cost.row_sum(i)).collect();
+            let most = sums.iter().cloned().fold(f64::INFINITY, f64::min);
+            let least = sums.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            println!(
+                "# per-unit total reach cost (row sums): {most:.1} (best) .. {least:.1} (worst)"
             );
             Ok(())
         }
@@ -428,22 +460,66 @@ mod tests {
         fs::remove_file(output).ok();
     }
 
+    /// Builder for `Command::LowMem` literals in tests (enum variants do
+    /// not support functional record update).
+    struct LowMemArgs {
+        input: std::path::PathBuf,
+        parts: u32,
+        exact: bool,
+        restream: Option<usize>,
+        passes: usize,
+        rebuild_sketches: bool,
+        threads: usize,
+        seed: u64,
+        output: Option<std::path::PathBuf>,
+    }
+
+    impl LowMemArgs {
+        fn new(input: std::path::PathBuf, parts: u32) -> Self {
+            Self {
+                input,
+                parts,
+                exact: false,
+                restream: None,
+                passes: 1,
+                rebuild_sketches: false,
+                threads: 1,
+                seed: 0,
+                output: None,
+            }
+        }
+
+        fn command(self) -> Command {
+            Command::LowMem {
+                input: self.input,
+                parts: self.parts,
+                budget_mib: 1,
+                exact: self.exact,
+                restream: self.restream,
+                passes: self.passes,
+                rebuild_sketches: self.rebuild_sketches,
+                threads: self.threads,
+                machine: MachinePreset::Flat,
+                seed: self.seed,
+                output: self.output,
+            }
+        }
+    }
+
     #[test]
     fn lowmem_command_partitions_in_one_pass_and_writes_an_assignment() {
         let input = sample_hgr();
         let output = temp_path("lowmem_assignment.txt");
         for exact in [false, true] {
             execute(&Cli {
-                command: Command::LowMem {
-                    input: input.clone(),
-                    parts: 2,
-                    budget_mib: 1,
+                command: LowMemArgs {
                     exact,
                     restream: Some(4),
-                    machine: MachinePreset::Flat,
                     seed: 1,
                     output: Some(output.clone()),
-                },
+                    ..LowMemArgs::new(input.clone(), 2)
+                }
+                .command(),
             })
             .unwrap();
             let hg = load_hypergraph(&input).unwrap();
@@ -455,38 +531,57 @@ mod tests {
     }
 
     #[test]
-    fn lowmem_command_rejects_mtx_and_too_many_parts() {
+    fn lowmem_command_runs_bsp_sketched_restreaming_end_to_end() {
+        // The acceptance scenario of the engine refactor: bulk-synchronous
+        // workers over the sketched connectivity provider, with multi-pass
+        // restreaming and sketch rebuilds, straight from the CLI.
+        let input = sample_hgr();
+        let output = temp_path("lowmem_bsp_assignment.txt");
+        execute(&Cli {
+            command: LowMemArgs {
+                passes: 2,
+                rebuild_sketches: true,
+                threads: 3,
+                seed: 7,
+                output: Some(output.clone()),
+                ..LowMemArgs::new(input.clone(), 2)
+            }
+            .command(),
+        })
+        .unwrap();
+        let hg = load_hypergraph(&input).unwrap();
+        let part = read_assignment(&output, hg.num_vertices()).unwrap();
+        assert!(part.num_parts() <= 2);
+        fs::remove_file(input).ok();
+        fs::remove_file(output).ok();
+    }
+
+    #[test]
+    fn lowmem_command_rejects_mtx_too_many_parts_and_exact_rebuilds() {
         let err = execute(&Cli {
-            command: Command::LowMem {
-                input: std::path::PathBuf::from("matrix.mtx"),
-                parts: 4,
-                budget_mib: 1,
-                exact: false,
-                restream: None,
-                machine: MachinePreset::Flat,
-                seed: 0,
-                output: None,
-            },
+            command: LowMemArgs::new(std::path::PathBuf::from("matrix.mtx"), 4).command(),
         })
         .unwrap_err();
         assert!(err.to_string().contains("not streamable"));
 
         let input = sample_hgr();
         let err = execute(&Cli {
-            command: Command::LowMem {
-                input: input.clone(),
-                parts: 1000,
-                budget_mib: 1,
-                exact: false,
-                restream: None,
-                machine: MachinePreset::Flat,
-                seed: 0,
-                output: None,
-            },
+            command: LowMemArgs::new(input.clone(), 1000).command(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("cannot split"));
+
+        let err = execute(&Cli {
+            command: LowMemArgs {
+                exact: true,
+                rebuild_sketches: true,
+                ..LowMemArgs::new(input.clone(), 2)
+            }
+            .command(),
         })
         .unwrap_err();
         fs::remove_file(input).ok();
-        assert!(err.to_string().contains("cannot split"));
+        assert!(err.to_string().contains("rebuild-sketches"));
     }
 
     #[test]

@@ -1,0 +1,946 @@
+//! The generic restreaming engine — one implementation of the paper's
+//! Algorithm 1 shared by every partitioning driver in the workspace.
+//!
+//! HyperPRAW's restreaming loop is a single algorithm: visit every vertex,
+//! score each candidate partition with the value function of
+//! [`crate::value`], assign greedily, temper the balance weight `α` until
+//! the imbalance tolerance holds, then refine while the partitioning
+//! communication cost improves. What varies between deployment scenarios
+//! is *where the vertices come from*, *where the connectivity state
+//! lives*, and *how the stream is executed*. The engine factors those
+//! three axes into pluggable traits and keeps the loop itself in one
+//! place:
+//!
+//! ```text
+//!                       ┌──────────────────────────────┐
+//!                       │          Engine::run         │
+//!                       │  stream order · α tempering  │
+//!                       │  tolerance / comm-cost stop  │
+//!                       │  PartitionHistory · doubts   │
+//!                       └──────┬───────┬───────┬───────┘
+//!            ┌─────────────────┘       │       └──────────────────┐
+//!            ▼                         ▼                          ▼
+//!   VertexSource             ConnectivityProvider        ExecutionStrategy
+//!   "which vertex next?"     "who are its neighbours?"   "who decides when?"
+//!   ├ InMemorySource         ├ CsrProvider (scratch      ├ Sequential
+//!   │  (natural/shuffled/    │   over in-memory CSR)     │   (fresh info per
+//!   │   degree order)        ├ lowmem ExactIndex         │    vertex)
+//!   └ StreamSource over any  │   (hash maps, exact,      └ Chunked BSP
+//!      io::stream source     │    reversible)                (frozen snapshot
+//!      (on-disk transpose,   └ lowmem SketchIndex            + local load
+//!       InMemoryVertexStream)    (Bloom + MinHash,           deltas, apply at
+//!                                 budget-bounded)            sync points)
+//! ```
+//!
+//! Every combination is valid: [`crate::HyperPraw`] is
+//! `InMemorySource × CsrProvider × Sequential`, [`crate::ParallelHyperPraw`]
+//! swaps in `Chunked`, `hyperpraw-lowmem` runs `StreamSource × IndexProvider`
+//! in either strategy — which is how bulk-synchronous *out-of-core*
+//! partitioning (a scenario none of the original drivers supported) falls
+//! out for free.
+//!
+//! The engine also owns the two cross-cutting quality devices the drivers
+//! used to duplicate: the bounded **doubt buffer** (the `k`
+//! lowest-confidence placements are revisited once against the final
+//! state) and **sketch rebuilding** (providers that cannot forget are
+//! reset between restreaming passes to shed staleness).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::thread;
+
+use hyperpraw_hypergraph::io::stream::VertexRecord;
+use hyperpraw_hypergraph::io::IoResult;
+use hyperpraw_hypergraph::{HyperedgeId, Hypergraph, Partition, VertexId};
+use hyperpraw_topology::CostMatrix;
+
+use crate::history::{IterationRecord, PartitionHistory, StreamPhase};
+use crate::metrics::partitioning_communication_cost;
+use crate::value::{best_partition_in, ScoredPartition, ValueScratch};
+use crate::{HyperPrawConfig, RefinementPolicy};
+
+mod provider;
+mod source;
+
+pub use provider::{ConnectivityProvider, CsrProvider};
+pub use source::{stream_order, InMemorySource, StreamSource, VertexSource};
+
+/// Why the restreaming loop stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The imbalance tolerance was reached and the configuration requested
+    /// no refinement (the GraSP-style stopping rule).
+    ToleranceReached,
+    /// The refinement phase stopped because the partitioning communication
+    /// cost ceased to improve; the previous (better) partition is returned.
+    CommCostConverged,
+    /// The iteration limit `N` was exhausted.
+    MaxIterations,
+}
+
+/// How the engine executes one stream over the vertices.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecutionStrategy {
+    /// One decision at a time with fully fresh information — the paper's
+    /// sequential Algorithm 1.
+    Sequential,
+    /// Bulk-synchronous chunked streaming (the GraSP-style extension): the
+    /// stream is processed in windows of `sync_interval` vertices; within
+    /// a window, worker threads propose assignments for their slices
+    /// against a frozen snapshot of the assignment (tracking their own
+    /// load deltas, scaled by the worker count to anticipate concurrent
+    /// placements), and all proposals are applied at the window boundary.
+    Chunked {
+        /// Number of worker threads. A single worker degenerates to
+        /// [`ExecutionStrategy::Sequential`] (no snapshot is needed when
+        /// nobody races you).
+        num_threads: usize,
+        /// Vertices per synchronisation window; smaller windows mean
+        /// fresher information at the price of synchronisation overhead.
+        sync_interval: usize,
+    },
+}
+
+/// How the partition is initialised before the first stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InitialAssignment {
+    /// Algorithm 1's round-robin start: every vertex begins on partition
+    /// `v mod p` and the first stream already *re*-assigns. Requires one
+    /// seeding pass over the source (to push the prior into index-backed
+    /// providers and accumulate the initial loads).
+    RoundRobin,
+    /// True one-pass streaming: vertices are unassigned until first
+    /// visited, contribute no load, and unseen vertices contribute no
+    /// connectivity.
+    Unassigned,
+}
+
+/// The bounded buffer of lowest-confidence placements revisited after the
+/// final stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DoubtConfig {
+    /// Maximum number of buffered placements (`0` disables the buffer).
+    pub capacity: usize,
+    /// Byte bound on the buffer: whatever the entry count, high-degree
+    /// entries cannot hold more than this many heap bytes.
+    pub byte_bound: usize,
+}
+
+impl Default for DoubtConfig {
+    fn default() -> Self {
+        Self {
+            capacity: 0,
+            byte_bound: usize::MAX,
+        }
+    }
+}
+
+/// Configuration of the generic restreaming engine.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EngineConfig {
+    /// Initial `α`; `None` uses the FENNEL-derived starting point.
+    pub initial_alpha: Option<f64>,
+    /// Multiplicative `α` update while the imbalance is above tolerance.
+    pub tempering_factor: f64,
+    /// Behaviour once the imbalance tolerance has been reached.
+    pub refinement: RefinementPolicy,
+    /// Maximum allowed total imbalance `max_k W(k) / avg_k W(k)`.
+    pub imbalance_tolerance: f64,
+    /// Maximum number of streams.
+    pub max_iterations: usize,
+    /// Record per-iteration history.
+    pub track_history: bool,
+    /// Sequential or bulk-synchronous execution.
+    pub strategy: ExecutionStrategy,
+    /// Round-robin restreaming start or one-pass streaming start.
+    pub initial: InitialAssignment,
+    /// Ask the provider to drop irreversible connectivity state at the
+    /// start of every pass after the first, shedding sketch staleness at
+    /// the price of a cold start for the early vertices of the pass.
+    /// Providers with exact, reversible state ignore this.
+    pub rebuild_between_passes: bool,
+    /// Bounded low-confidence revisit buffer.
+    pub doubts: DoubtConfig,
+}
+
+impl EngineConfig {
+    /// The classic in-memory restreaming configuration of
+    /// [`crate::HyperPraw`], derived from a [`HyperPrawConfig`] (stream
+    /// order and seed are consumed by the [`InMemorySource`] instead).
+    pub fn restreaming(config: &HyperPrawConfig) -> Self {
+        Self {
+            initial_alpha: config.initial_alpha,
+            tempering_factor: config.tempering_factor,
+            refinement: config.refinement,
+            imbalance_tolerance: config.imbalance_tolerance,
+            max_iterations: config.max_iterations,
+            track_history: config.track_history,
+            strategy: ExecutionStrategy::Sequential,
+            initial: InitialAssignment::RoundRobin,
+            rebuild_between_passes: false,
+            doubts: DoubtConfig::default(),
+        }
+    }
+
+    /// A one-pass streaming configuration with a frozen `α` (the
+    /// `hyperpraw-lowmem` regime): no tolerance gate, `passes` streams,
+    /// refinement-style stopping when a pass moves nothing.
+    pub fn streaming(alpha: Option<f64>, passes: usize) -> Self {
+        Self {
+            initial_alpha: alpha,
+            tempering_factor: 1.7,
+            refinement: if passes > 1 {
+                RefinementPolicy::Factor(1.0)
+            } else {
+                RefinementPolicy::None
+            },
+            imbalance_tolerance: f64::INFINITY,
+            max_iterations: passes.max(1),
+            track_history: false,
+            strategy: ExecutionStrategy::Sequential,
+            initial: InitialAssignment::Unassigned,
+            rebuild_between_passes: false,
+            doubts: DoubtConfig::default(),
+        }
+    }
+
+    /// Replaces the execution strategy.
+    pub fn with_strategy(mut self, strategy: ExecutionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Validates parameter ranges, returning the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tempering_factor <= 1.0 {
+            return Err(format!(
+                "tempering factor must exceed 1.0 (got {})",
+                self.tempering_factor
+            ));
+        }
+        if self.imbalance_tolerance < 1.0 {
+            return Err("imbalance tolerance below 1.0 is unsatisfiable".into());
+        }
+        if self.max_iterations == 0 {
+            return Err("max_iterations must be at least 1".into());
+        }
+        if let RefinementPolicy::Factor(f) = self.refinement {
+            if f <= 0.0 || f > 1.5 {
+                return Err(format!("refinement factor {f} out of (0, 1.5]"));
+            }
+        }
+        if let ExecutionStrategy::Chunked { num_threads, .. } = self.strategy {
+            if num_threads == 0 {
+                return Err("need at least one worker thread".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// How the engine evaluates the partitioning communication cost after each
+/// pass — the refinement phase's stopping signal. Out-of-core runs cannot
+/// afford the evaluation and return `None`, which disables cost-based
+/// rollback (the loop then stops on fixed points or the iteration limit).
+pub trait CommCostModel {
+    /// Cost of `partition` under `cost`, when computable.
+    fn comm_cost(&mut self, partition: &Partition, cost: &CostMatrix) -> Option<f64>;
+}
+
+/// Cost model for out-of-core runs: never evaluates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoCommCost;
+
+impl CommCostModel for NoCommCost {
+    fn comm_cost(&mut self, _partition: &Partition, _cost: &CostMatrix) -> Option<f64> {
+        None
+    }
+}
+
+/// Exact evaluation over an in-memory hypergraph
+/// ([`partitioning_communication_cost`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ExactCommCost<'a> {
+    hg: &'a Hypergraph,
+}
+
+impl<'a> ExactCommCost<'a> {
+    /// Creates a model evaluating against `hg`.
+    pub fn new(hg: &'a Hypergraph) -> Self {
+        Self { hg }
+    }
+}
+
+impl CommCostModel for ExactCommCost<'_> {
+    fn comm_cost(&mut self, partition: &Partition, cost: &CostMatrix) -> Option<f64> {
+        Some(partitioning_communication_cost(self.hg, partition, cost))
+    }
+}
+
+/// The outcome of an [`Engine::run`].
+#[derive(Clone, Debug)]
+pub struct EngineRun {
+    /// The selected vertex-to-partition assignment.
+    pub partition: Partition,
+    /// Per-stream history (empty unless tracking is enabled).
+    pub history: PartitionHistory,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+    /// Number of streams executed.
+    pub iterations: usize,
+    /// The `α` in effect when the run stopped.
+    pub final_alpha: f64,
+    /// Communication cost of the returned partition (`NaN` when the cost
+    /// model cannot evaluate).
+    pub comm_cost: f64,
+    /// Imbalance of the returned partition, taken from the engine's
+    /// incrementally tracked workloads — the same value the stopping rule
+    /// compared against the tolerance. Out-of-core sources cannot afford
+    /// an exact recomputation; in-memory callers that need one can always
+    /// evaluate `partition.imbalance(hg)` on the result.
+    pub imbalance: f64,
+    /// Number of buffered low-confidence placements revisited at the end.
+    pub restreamed: usize,
+    /// How many revisited placements changed partition.
+    pub moved_in_restream: usize,
+}
+
+/// A buffered low-confidence placement awaiting the revisit pass.
+#[derive(Clone, Debug)]
+struct Doubt {
+    confidence: f64,
+    vertex: VertexId,
+    weight: f64,
+    nets: Vec<HyperedgeId>,
+}
+
+impl PartialEq for Doubt {
+    fn eq(&self, other: &Self) -> bool {
+        self.confidence == other.confidence && self.vertex == other.vertex
+    }
+}
+
+impl Eq for Doubt {}
+
+impl PartialOrd for Doubt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Doubt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by confidence: the most confident buffered entry is
+        // evicted first, keeping the k *least* confident. Vertex id breaks
+        // ties deterministically.
+        self.confidence
+            .total_cmp(&other.confidence)
+            .then_with(|| self.vertex.cmp(&other.vertex))
+    }
+}
+
+impl Doubt {
+    /// Approximate heap bytes held by one buffered entry.
+    fn heap_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.nets.capacity() * std::mem::size_of::<HyperedgeId>()
+    }
+}
+
+/// The byte-bounded max-heap of doubts collected during a pass.
+#[derive(Debug, Default)]
+struct DoubtBuffer {
+    heap: BinaryHeap<Doubt>,
+    bytes: usize,
+}
+
+impl DoubtBuffer {
+    fn clear(&mut self) {
+        self.heap.clear();
+        self.bytes = 0;
+    }
+
+    /// Records a placement unless its confidence floor already exceeds the
+    /// buffer's current maximum (in which case it would be evicted right
+    /// back out — skip the net-list clone entirely).
+    fn offer<P: ConnectivityProvider>(
+        &mut self,
+        config: &DoubtConfig,
+        provider: &P,
+        record: &VertexRecord,
+        part: u32,
+        margin: f64,
+    ) {
+        if config.capacity == 0 {
+            return;
+        }
+        // The provider's confidence stays within [margin / 2, margin].
+        let hopeless = self.heap.len() >= config.capacity
+            && self
+                .heap
+                .peek()
+                .is_some_and(|max| 0.5 * margin > max.confidence);
+        if hopeless {
+            return;
+        }
+        let doubt = Doubt {
+            confidence: provider.confidence(record, part, margin),
+            vertex: record.vertex,
+            weight: record.weight,
+            nets: record.nets.clone(),
+        };
+        self.bytes += doubt.heap_bytes();
+        self.heap.push(doubt);
+        while self.heap.len() > config.capacity
+            || (self.bytes > config.byte_bound && self.heap.len() > 1)
+        {
+            if let Some(evicted) = self.heap.pop() {
+                self.bytes -= evicted.heap_bytes();
+            }
+        }
+    }
+}
+
+/// Mutable state shared by every strategy: the assignment, the workloads
+/// `W(k)` and the expected workloads `E(k)`.
+#[derive(Clone, Debug)]
+struct EngineState {
+    partition: Partition,
+    loads: Vec<f64>,
+    expected: Vec<f64>,
+}
+
+impl EngineState {
+    /// Total imbalance `max_k W(k) / avg_k W(k)` from the tracked loads.
+    fn imbalance(&self) -> f64 {
+        let total: f64 = self.loads.iter().sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        let avg = total / self.loads.len() as f64;
+        self.loads.iter().cloned().fold(f64::MIN, f64::max) / avg
+    }
+}
+
+/// Per-worker scratch buffers, created once per run and reused across
+/// windows and passes.
+struct WorkerSlot<T> {
+    scratch: T,
+    counts: Vec<u32>,
+    value: ValueScratch,
+    delta: Vec<f64>,
+    loads_view: Vec<f64>,
+}
+
+/// One live (fresh-information) placement — the shared inner step of the
+/// sequential strategy, the single-worker chunked fallback and the doubt
+/// revisit: detach `record` from `current`, count against the live
+/// assignment, score, assign, attach. The caller handles move accounting
+/// and doubt collection.
+#[allow(clippy::too_many_arguments)] // the engine's hot path shares one state bundle
+fn place_live<P: ConnectivityProvider>(
+    cost: &CostMatrix,
+    provider: &mut P,
+    state: &mut EngineState,
+    alpha: f64,
+    record: &VertexRecord,
+    current: Option<u32>,
+    scratch: &mut P::Scratch,
+    counts: &mut Vec<u32>,
+    value: &mut ValueScratch,
+) -> ScoredPartition {
+    let w = record.weight;
+    if let Some(cur) = current {
+        state.loads[cur as usize] -= w;
+        provider.detach(record, cur);
+    }
+    provider.count(record, &state.partition, scratch, counts);
+    let scored = best_partition_in(counts, cost, alpha, &state.loads, &state.expected, value);
+    state.partition.set(record.vertex, scored.part);
+    state.loads[scored.part as usize] += w;
+    provider.attach(record, scored.part);
+    scored
+}
+
+/// The generic restreaming engine. See the [module docs](self) for the
+/// architecture; [`Engine::run`] is the single implementation of the
+/// restreaming loop every driver delegates to.
+#[derive(Clone, Debug)]
+pub struct Engine {
+    config: EngineConfig,
+}
+
+impl Engine {
+    /// Creates an engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation.
+    pub fn new(config: EngineConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid engine configuration: {e}"));
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Runs the restreaming loop: `source × provider × strategy` under the
+    /// communication-cost matrix `cost`, with per-pass costs evaluated by
+    /// `cost_model`.
+    pub fn run<S, P, C>(
+        &self,
+        cost: &CostMatrix,
+        source: &mut S,
+        provider: &mut P,
+        cost_model: &mut C,
+    ) -> IoResult<EngineRun>
+    where
+        S: VertexSource,
+        P: ConnectivityProvider,
+        C: CommCostModel,
+    {
+        let p = cost.num_units();
+        assert!(p > 0, "cost matrix must cover at least one compute unit");
+        let config = &self.config;
+        let n = source.num_vertices();
+        let e = source.num_nets();
+        source.set_nets_enabled(provider.needs_nets() || config.doubts.capacity > 0);
+
+        let total_weight = source.total_vertex_weight().unwrap_or(n as f64);
+        let expected_load = (total_weight / p as f64).max(f64::MIN_POSITIVE);
+        let mut state = EngineState {
+            partition: Partition::round_robin(n, p as u32),
+            loads: vec![0.0f64; p],
+            expected: vec![expected_load; p],
+        };
+        let mut assigned = match config.initial {
+            InitialAssignment::RoundRobin => {
+                self.seed_round_robin(source, provider, &mut state)?;
+                true
+            }
+            InitialAssignment::Unassigned => false,
+        };
+
+        let mut alpha = config
+            .initial_alpha
+            .unwrap_or_else(|| HyperPrawConfig::fennel_alpha(p as u32, n, e));
+
+        let mut history = PartitionHistory::new();
+        // Best feasible (within-tolerance) partition seen so far, with its
+        // cost and imbalance. Only tracked when the cost model can
+        // evaluate — without costs there is nothing to roll back to.
+        let mut previous_feasible: Option<(Partition, f64, f64)> = None;
+        let mut stop_reason = StopReason::MaxIterations;
+        let mut iterations = 0usize;
+        let mut doubts = DoubtBuffer::default();
+        let mut slots: Vec<WorkerSlot<P::Scratch>> = Vec::new();
+        let mut window: Vec<VertexRecord> = Vec::new();
+        let mut record = VertexRecord::default();
+
+        for pass in 1..=config.max_iterations {
+            iterations = pass;
+            provider.begin_pass(pass, config.rebuild_between_passes && pass > 1);
+            doubts.clear();
+            source.reset()?;
+            let moved = match config.strategy {
+                ExecutionStrategy::Sequential => self.sequential_pass(
+                    cost,
+                    source,
+                    provider,
+                    &mut state,
+                    alpha,
+                    assigned,
+                    &mut doubts,
+                    &mut record,
+                )?,
+                ExecutionStrategy::Chunked {
+                    num_threads,
+                    sync_interval,
+                } => self.chunked_pass(
+                    cost,
+                    source,
+                    provider,
+                    &mut state,
+                    alpha,
+                    assigned,
+                    num_threads,
+                    sync_interval,
+                    &mut doubts,
+                    &mut slots,
+                    &mut window,
+                )?,
+            };
+            assigned = true;
+
+            let imbalance = state.imbalance();
+            let comm_cost = cost_model.comm_cost(&state.partition, cost);
+            let feasible = imbalance <= config.imbalance_tolerance + 1e-12;
+            if config.track_history {
+                history.push(IterationRecord {
+                    iteration: pass,
+                    phase: if feasible {
+                        StreamPhase::Refinement
+                    } else {
+                        StreamPhase::Tempering
+                    },
+                    alpha,
+                    imbalance,
+                    comm_cost: comm_cost.unwrap_or(f64::NAN),
+                    moved_vertices: moved,
+                });
+            }
+
+            if !feasible {
+                // Still outside tolerance: temper α upwards and re-stream.
+                alpha *= config.tempering_factor;
+                continue;
+            }
+
+            match config.refinement {
+                RefinementPolicy::None => {
+                    // GraSP-style: stop as soon as the tolerance is met.
+                    stop_reason = StopReason::ToleranceReached;
+                    if let Some(c) = comm_cost {
+                        previous_feasible = Some((state.partition.clone(), c, imbalance));
+                    }
+                    break;
+                }
+                RefinementPolicy::Factor(factor) => {
+                    // Refinement phase: keep streaming while the
+                    // partitioning communication cost improves; roll back
+                    // to the previous feasible partition when it gets
+                    // worse (Algorithm 1's `Cost of Pⁿ > Cost of Pⁿ⁻¹`
+                    // test). A stream that moved no vertex is a fixed
+                    // point: further streams would repeat it verbatim, so
+                    // stop there too. Without a cost model only the
+                    // fixed-point and iteration-limit rules apply.
+                    if let (Some(c), Some((_, previous_cost, _))) = (comm_cost, &previous_feasible)
+                    {
+                        if c > *previous_cost {
+                            stop_reason = StopReason::CommCostConverged;
+                            break;
+                        }
+                    }
+                    if let Some(c) = comm_cost {
+                        previous_feasible = Some((state.partition.clone(), c, imbalance));
+                    }
+                    if moved == 0 {
+                        stop_reason = StopReason::CommCostConverged;
+                        break;
+                    }
+                    alpha *= factor;
+                }
+            }
+        }
+
+        // Revisit the buffered low-confidence placements against the final
+        // state, in vertex order for determinism. Only meaningful when the
+        // live state is what will be returned — a cost-based rollback
+        // discards the state the doubts were collected on.
+        let mut restreamed = 0usize;
+        let mut moved_in_restream = 0usize;
+        if previous_feasible.is_none() && !doubts.heap.is_empty() {
+            let mut revisit: Vec<Doubt> = std::mem::take(&mut doubts.heap).into_vec();
+            revisit.sort_unstable_by_key(|d| d.vertex);
+            restreamed = revisit.len();
+            let mut scratch = provider.new_scratch();
+            let mut counts: Vec<u32> = Vec::with_capacity(p);
+            let mut value = ValueScratch::new();
+            for doubt in revisit {
+                record.vertex = doubt.vertex;
+                record.weight = doubt.weight;
+                record.nets.clear();
+                record.nets.extend_from_slice(&doubt.nets);
+                let old = state.partition.part_of(doubt.vertex);
+                let scored = place_live(
+                    cost,
+                    provider,
+                    &mut state,
+                    alpha,
+                    &record,
+                    Some(old),
+                    &mut scratch,
+                    &mut counts,
+                    &mut value,
+                );
+                if scored.part != old {
+                    moved_in_restream += 1;
+                }
+            }
+        }
+
+        // Select the partition to return: the best feasible snapshot if
+        // one exists, otherwise whatever the final stream produced.
+        let (partition, comm_cost, imbalance) = match previous_feasible {
+            Some((partition, c, imb)) => (partition, c, imb),
+            None => {
+                let c = cost_model
+                    .comm_cost(&state.partition, cost)
+                    .unwrap_or(f64::NAN);
+                let imb = state.imbalance();
+                (state.partition, c, imb)
+            }
+        };
+
+        Ok(EngineRun {
+            partition,
+            history,
+            stop_reason,
+            iterations,
+            final_alpha: alpha,
+            comm_cost,
+            imbalance,
+            restreamed,
+            moved_in_restream,
+        })
+    }
+
+    /// Pushes Algorithm 1's round-robin initial assignment into the
+    /// provider and the workload accounting with one pass over the source.
+    fn seed_round_robin<S, P>(
+        &self,
+        source: &mut S,
+        provider: &mut P,
+        state: &mut EngineState,
+    ) -> IoResult<()>
+    where
+        S: VertexSource,
+        P: ConnectivityProvider,
+    {
+        let p = state.loads.len() as u32;
+        let mut record = VertexRecord::default();
+        while source.next_into(&mut record)? {
+            let part = record.vertex % p;
+            state.loads[part as usize] += record.weight;
+            provider.attach(&record, part);
+        }
+        source.reset()
+    }
+
+    /// One sequential stream: every vertex is detached from its current
+    /// partition and re-assigned with fully fresh information (Algorithm
+    /// 1's inner loop). Returns the number of moved vertices.
+    #[allow(clippy::too_many_arguments)] // the engine's hot path shares one state bundle
+    fn sequential_pass<S, P>(
+        &self,
+        cost: &CostMatrix,
+        source: &mut S,
+        provider: &mut P,
+        state: &mut EngineState,
+        alpha: f64,
+        assigned: bool,
+        doubts: &mut DoubtBuffer,
+        record: &mut VertexRecord,
+    ) -> IoResult<usize>
+    where
+        S: VertexSource,
+        P: ConnectivityProvider,
+    {
+        let mut moved = 0usize;
+        let mut scratch = provider.new_scratch();
+        let mut counts: Vec<u32> = Vec::with_capacity(state.loads.len());
+        let mut value = ValueScratch::new();
+        while source.next_into(record)? {
+            let current = assigned.then(|| state.partition.part_of(record.vertex));
+            let scored = place_live(
+                cost,
+                provider,
+                state,
+                alpha,
+                record,
+                current,
+                &mut scratch,
+                &mut counts,
+                &mut value,
+            );
+            if current != Some(scored.part) {
+                moved += 1;
+            }
+            doubts.offer(
+                &self.config.doubts,
+                provider,
+                record,
+                scored.part,
+                scored.margin,
+            );
+        }
+        Ok(moved)
+    }
+
+    /// One bulk-synchronous stream: windows of `sync_interval` vertices
+    /// are scored by worker threads against a frozen snapshot and applied
+    /// at the window boundary. Returns the number of moved vertices.
+    #[allow(clippy::too_many_arguments)] // the engine's hot path shares one state bundle
+    fn chunked_pass<S, P>(
+        &self,
+        cost: &CostMatrix,
+        source: &mut S,
+        provider: &mut P,
+        state: &mut EngineState,
+        alpha: f64,
+        assigned: bool,
+        num_threads: usize,
+        sync_interval: usize,
+        doubts: &mut DoubtBuffer,
+        slots: &mut Vec<WorkerSlot<P::Scratch>>,
+        window: &mut Vec<VertexRecord>,
+    ) -> IoResult<usize>
+    where
+        S: VertexSource,
+        P: ConnectivityProvider,
+    {
+        let p = state.loads.len();
+        let window_len = sync_interval.max(num_threads).max(1);
+        while slots.len() < num_threads {
+            slots.push(WorkerSlot {
+                scratch: provider.new_scratch(),
+                counts: Vec::with_capacity(p),
+                value: ValueScratch::new(),
+                delta: vec![0.0f64; p],
+                loads_view: Vec::with_capacity(p),
+            });
+        }
+        let mut moved = 0usize;
+
+        loop {
+            // Fill the window, reusing the record allocations.
+            let mut len = 0usize;
+            while len < window_len {
+                if window.len() == len {
+                    window.push(VertexRecord::default());
+                }
+                if !source.next_into(&mut window[len])? {
+                    break;
+                }
+                len += 1;
+            }
+            if len == 0 {
+                break;
+            }
+            let records = &window[..len];
+            let workers = num_threads.min(len).max(1);
+
+            if workers == 1 {
+                // No concurrency — decide with live information, exactly
+                // like the sequential strategy.
+                let slot = &mut slots[0];
+                for record in records {
+                    let current = assigned.then(|| state.partition.part_of(record.vertex));
+                    let scored = place_live(
+                        cost,
+                        provider,
+                        state,
+                        alpha,
+                        record,
+                        current,
+                        &mut slot.scratch,
+                        &mut slot.counts,
+                        &mut slot.value,
+                    );
+                    if current != Some(scored.part) {
+                        moved += 1;
+                    }
+                    doubts.offer(
+                        &self.config.doubts,
+                        provider,
+                        record,
+                        scored.part,
+                        scored.margin,
+                    );
+                }
+                continue;
+            }
+
+            let chunk_size = len.div_ceil(workers);
+            let chunks: Vec<&[VertexRecord]> = records.chunks(chunk_size).collect();
+            // Scale worker-local load deltas by the number of *live*
+            // chunks: each worker assumes its peers fill partitions at a
+            // similar rate, which prevents the herd effect where every
+            // worker dumps its slice into the same globally-lightest
+            // partition. A trailing window smaller than the worker count
+            // spawns fewer chunks and must scale by that smaller number,
+            // or its published deltas would overshoot.
+            let scale = chunks.len() as f64;
+            let snapshot = &state.partition;
+            let snapshot_loads = &state.loads;
+            let expected = &state.expected;
+            let provider_ref: &P = provider;
+            let config_alpha = alpha;
+
+            let proposals: Vec<Vec<(u32, f64)>> = thread::scope(|scope| {
+                let handles: Vec<_> = chunks
+                    .iter()
+                    .zip(slots.iter_mut())
+                    .map(|(chunk, slot)| {
+                        let chunk: &[VertexRecord] = chunk;
+                        scope.spawn(move || {
+                            slot.delta.iter_mut().for_each(|d| *d = 0.0);
+                            slot.loads_view.clear();
+                            slot.loads_view.extend_from_slice(snapshot_loads);
+                            let mut local: Vec<(u32, f64)> = Vec::with_capacity(chunk.len());
+                            for record in chunk {
+                                let w = record.weight;
+                                if assigned {
+                                    let current = snapshot.part_of(record.vertex) as usize;
+                                    slot.delta[current] -= w;
+                                    slot.loads_view[current] =
+                                        snapshot_loads[current] + slot.delta[current] * scale;
+                                }
+                                provider_ref.count(
+                                    record,
+                                    snapshot,
+                                    &mut slot.scratch,
+                                    &mut slot.counts,
+                                );
+                                let scored = best_partition_in(
+                                    &slot.counts,
+                                    cost,
+                                    config_alpha,
+                                    &slot.loads_view,
+                                    expected,
+                                    &mut slot.value,
+                                );
+                                let t = scored.part as usize;
+                                slot.delta[t] += w;
+                                slot.loads_view[t] = snapshot_loads[t] + slot.delta[t] * scale;
+                                local.push((scored.part, scored.margin));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("engine worker panicked"))
+                    .collect()
+            });
+
+            // Synchronise: apply every chunk's proposals in deterministic
+            // (chunk, in-chunk) order, publishing all load deltas —
+            // including the final partial window's — before the pass-end
+            // metrics are computed.
+            for (chunk, results) in chunks.iter().zip(&proposals) {
+                for (record, &(target, margin)) in chunk.iter().zip(results) {
+                    let v = record.vertex;
+                    let w = record.weight;
+                    let current = assigned.then(|| state.partition.part_of(v));
+                    if let Some(cur) = current {
+                        state.loads[cur as usize] -= w;
+                        provider.detach(record, cur);
+                    }
+                    state.partition.set(v, target);
+                    state.loads[target as usize] += w;
+                    provider.attach(record, target);
+                    if current != Some(target) {
+                        moved += 1;
+                    }
+                    doubts.offer(&self.config.doubts, provider, record, target, margin);
+                }
+            }
+        }
+        Ok(moved)
+    }
+}

@@ -1,0 +1,156 @@
+//! How neighbour-partition counts are obtained — the engine's state axis.
+//!
+//! For each visited vertex the engine needs the counts `X_j(v)` consumed by
+//! the value function ([`crate::value`]). A [`ConnectivityProvider`]
+//! answers that query and absorbs assignment updates; implementations
+//! differ only in *where the connectivity state lives*:
+//!
+//! * [`CsrProvider`] — traverses an in-memory CSR [`Hypergraph`] with a
+//!   per-worker [`NeighborScratch`], counting **distinct neighbour
+//!   vertices** per partition against the assignment the engine passes in.
+//!   Holds no state of its own, so detach/attach are no-ops.
+//! * `hyperpraw-lowmem`'s `IndexProvider` — answers from a budgeted
+//!   `ConnectivityIndex` (exact hash maps, or Bloom/MinHash sketches),
+//!   counting **connected nets** per partition; attach/detach record and
+//!   (when supported) forget net incidences.
+//!
+//! Scoring reads take `&self` plus a worker-local
+//! [`ConnectivityProvider::Scratch`], so the bulk-synchronous execution
+//! strategy can fan the same provider out across worker threads; all
+//! mutation happens on the engine thread at synchronisation points.
+
+use hyperpraw_hypergraph::io::stream::VertexRecord;
+use hyperpraw_hypergraph::traversal::NeighborScratch;
+use hyperpraw_hypergraph::{Hypergraph, Partition};
+
+/// Supplies neighbour-partition counts to the restreaming engine and
+/// tracks assignment changes, when the implementation keeps its own
+/// connectivity state.
+pub trait ConnectivityProvider: Sync {
+    /// Worker-local scratch handed to every [`ConnectivityProvider::count`]
+    /// call; one instance per worker thread, reused across windows and
+    /// passes.
+    type Scratch: Send;
+
+    /// Creates one worker's scratch space.
+    fn new_scratch(&self) -> Self::Scratch;
+
+    /// Whether the provider reads [`VertexRecord::nets`]. CSR traversal
+    /// does not, which lets in-memory sources skip copying incidence
+    /// lists into each record.
+    fn needs_nets(&self) -> bool {
+        true
+    }
+
+    /// Called once at the start of every stream. `rebuild` asks the
+    /// provider to drop accumulated state it cannot forget incrementally
+    /// (sketch staleness shedding); providers with exact, reversible state
+    /// ignore it.
+    fn begin_pass(&mut self, pass: usize, rebuild: bool) {
+        let _ = (pass, rebuild);
+    }
+
+    /// Writes the neighbour-partition counts `X_j(v)` for `record` into
+    /// `counts` (cleared and resized), evaluated against `assignment` —
+    /// the live assignment in sequential execution, a frozen snapshot in
+    /// bulk-synchronous execution. The vertex's own contribution must be
+    /// excluded when the provider can tell (CSR traversal excludes the
+    /// vertex itself; index providers rely on the engine detaching first).
+    fn count(
+        &self,
+        record: &VertexRecord,
+        assignment: &Partition,
+        scratch: &mut Self::Scratch,
+        counts: &mut Vec<u32>,
+    );
+
+    /// Removes `record`'s contribution to `part` from the provider's own
+    /// state, where supported (sketches cannot forget and accept the
+    /// staleness). Stateless providers do nothing.
+    fn detach(&mut self, record: &VertexRecord, part: u32) {
+        let _ = (record, part);
+    }
+
+    /// Records that `record` is now assigned to `part` in the provider's
+    /// own state. Stateless providers do nothing.
+    fn attach(&mut self, record: &VertexRecord, part: u32) {
+        let _ = (record, part);
+    }
+
+    /// Confidence in a decision with the given value `margin`, in
+    /// `[margin / 2, margin]`. Providers that can estimate how similar the
+    /// vertex's nets are to the chosen partition discount near-ties whose
+    /// connectivity evidence is weak; the default trusts the margin.
+    fn confidence(&self, record: &VertexRecord, part: u32, margin: f64) -> f64 {
+        let _ = (record, part);
+        margin
+    }
+}
+
+/// [`ConnectivityProvider`] over an in-memory CSR hypergraph: counts
+/// distinct neighbour vertices per partition, the exact `X_j(v)` of the
+/// paper. All state is the assignment itself, so the provider is free to
+/// share across worker threads.
+#[derive(Clone, Copy, Debug)]
+pub struct CsrProvider<'a> {
+    hg: &'a Hypergraph,
+}
+
+impl<'a> CsrProvider<'a> {
+    /// Creates a provider traversing `hg`.
+    pub fn new(hg: &'a Hypergraph) -> Self {
+        Self { hg }
+    }
+}
+
+impl ConnectivityProvider for CsrProvider<'_> {
+    type Scratch = NeighborScratch;
+
+    fn new_scratch(&self) -> Self::Scratch {
+        NeighborScratch::new(self.hg.num_vertices())
+    }
+
+    fn needs_nets(&self) -> bool {
+        false
+    }
+
+    fn count(
+        &self,
+        record: &VertexRecord,
+        assignment: &Partition,
+        scratch: &mut Self::Scratch,
+        counts: &mut Vec<u32>,
+    ) {
+        scratch.neighbor_partition_counts(self.hg, assignment, record.vertex, counts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpraw_hypergraph::HypergraphBuilder;
+
+    #[test]
+    fn csr_provider_counts_distinct_neighbours_excluding_self() {
+        let mut b = HypergraphBuilder::new(6);
+        b.add_hyperedge([0u32, 1, 2]);
+        b.add_hyperedge([2u32, 3, 4]);
+        b.add_hyperedge([4u32, 5]);
+        let hg = b.build();
+        let provider = CsrProvider::new(&hg);
+        assert!(!provider.needs_nets());
+        let part = Partition::round_robin(6, 3);
+        let mut scratch = provider.new_scratch();
+        let mut counts = Vec::new();
+        let record = VertexRecord {
+            vertex: 2,
+            weight: 1.0,
+            nets: vec![],
+        };
+        provider.count(&record, &part, &mut scratch, &mut counts);
+        // Neighbours of 2 are {0,1,3,4} in parts {0,1,0,1}.
+        assert_eq!(counts, vec![2, 2, 0]);
+        // Confidence defaults to the margin.
+        assert_eq!(provider.confidence(&record, 0, 0.25), 0.25);
+    }
+}

@@ -24,6 +24,30 @@
 //! (architecture-oblivious), **HyperPRAW-aware** uses a matrix derived from
 //! bandwidth profiling ([`CostMatrix::from_bandwidth`]).
 //!
+//! ## Architecture: one engine, pluggable axes
+//!
+//! Algorithm 1 is implemented exactly once, by the generic restreaming
+//! [`engine`]; every driver is a thin instantiation of it along three
+//! orthogonal axes:
+//!
+//! * **vertex source** ([`engine::VertexSource`]) — where the vertices
+//!   come from: an in-memory hypergraph in natural/shuffled/degree order
+//!   ([`engine::InMemorySource`]), or any on-disk
+//!   `hypergraph::io::stream::VertexStream` via [`engine::StreamSource`];
+//! * **connectivity provider** ([`engine::ConnectivityProvider`]) — where
+//!   the neighbour-partition counts `X_j(v)` come from: exact CSR
+//!   traversal ([`engine::CsrProvider`]), or `hyperpraw-lowmem`'s
+//!   budget-bounded exact/sketched connectivity indices;
+//! * **execution strategy** ([`engine::ExecutionStrategy`]) — sequential
+//!   decisions with fresh information, or bulk-synchronous windows scored
+//!   by worker threads against a frozen snapshot.
+//!
+//! [`HyperPraw`] is `InMemorySource × CsrProvider × Sequential`,
+//! [`ParallelHyperPraw`] swaps in the chunked strategy, and the
+//! `hyperpraw-lowmem` crate instantiates the streamed source with the
+//! sketched providers — in either strategy, which yields parallel
+//! out-of-core partitioning without a fourth copy of the loop.
+//!
 //! ```
 //! use hyperpraw_core::{HyperPraw, HyperPrawConfig};
 //! use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
@@ -45,10 +69,9 @@
 
 mod config;
 mod restream;
-mod state;
-mod stream;
 
 pub mod baselines;
+pub mod engine;
 pub mod history;
 pub mod metrics;
 pub mod parallel;

@@ -2,49 +2,44 @@
 //!
 //! The paper notes (§8.2) that sequential restreaming limits scalability and
 //! points to Battaglino et al.'s GraSP as evidence that *parallel* streaming
-//! with periodic synchronisation loses little quality. This module
-//! implements that extension as a bulk-synchronous scheme:
+//! with periodic synchronisation loses little quality. This driver is a
+//! thin instantiation of the generic [`crate::engine`]: the in-memory
+//! vertex source and CSR connectivity provider of [`crate::HyperPraw`],
+//! executed under the engine's bulk-synchronous
+//! [`crate::engine::ExecutionStrategy::Chunked`] strategy —
 //!
-//! * the vertex stream is split into one chunk per worker thread,
-//! * within a stream, every worker re-assigns the vertices of its chunk
-//!   against a frozen snapshot of the global assignment, tracking its own
-//!   load deltas (so it sees its *local* moves immediately but other
-//!   workers' moves only at the next synchronisation),
-//! * at the end of the stream all proposed assignments are applied and the
-//!   global workloads are recomputed — this is the "periodically
-//!   synchronising workload and partition assignments" step of GraSP,
+//! * the vertex stream is processed in synchronisation windows,
+//! * within a window, worker threads re-assign the vertices of their
+//!   chunks against a frozen snapshot of the global assignment, tracking
+//!   their own load deltas (so each sees its *local* moves immediately but
+//!   other workers' moves only at the next synchronisation),
+//! * at the window boundary all proposals are applied and the global
+//!   workloads updated — GraSP's "periodically synchronising workload and
+//!   partition assignments" step,
 //! * the restreaming loop (α tempering, tolerance check, refinement on the
-//!   partitioning communication cost) is identical to the sequential driver.
+//!   partitioning communication cost) is the engine's, identical to the
+//!   sequential driver.
 //!
 //! The trade-off is the classic one: wall-clock time per stream drops with
 //! the number of workers while the partition quality degrades slightly
 //! because decisions are made against stale information. The
-//! `parallel_vs_sequential` bench quantifies this.
-//!
-//! Like the sequential driver and the out-of-core `hyperpraw-lowmem`
-//! streamer, the workers score candidate placements with the shared value
-//! function in [`crate::value`]; see [`crate::value::best_partition`] for
-//! the contract all three partitioners rely on.
+//! `parallel_vs_sequential` bench quantifies this. With a single worker no
+//! information is stale and the engine degenerates to the sequential
+//! strategy, so `num_threads = 1` reproduces [`crate::HyperPraw`] exactly.
 
-use std::sync::Mutex;
-use std::thread;
-
-use hyperpraw_hypergraph::traversal::NeighborScratch;
-use hyperpraw_hypergraph::{Hypergraph, Partition, VertexId};
+use hyperpraw_hypergraph::Hypergraph;
 use hyperpraw_topology::CostMatrix;
 
-use crate::history::{IterationRecord, PartitionHistory, StreamPhase};
-use crate::metrics::partitioning_communication_cost;
-use crate::state::StreamingState;
-use crate::stream::stream_order;
-use crate::value::best_partition;
-use crate::{HyperPrawConfig, PartitionResult, RefinementPolicy, StopReason};
+use crate::engine::{
+    CsrProvider, Engine, EngineConfig, ExactCommCost, ExecutionStrategy, InMemorySource,
+};
+use crate::{HyperPrawConfig, PartitionResult};
 
 /// Configuration of the parallel driver.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ParallelConfig {
     /// Number of worker threads (streams). 1 reproduces the sequential
-    /// behaviour up to floating-point tie-breaking.
+    /// driver exactly.
     pub num_threads: usize,
     /// How many vertices are processed between global synchronisations.
     /// Smaller intervals give fresher information (quality closer to the
@@ -108,175 +103,35 @@ impl ParallelHyperPraw {
         self.cost.num_units() as u32
     }
 
-    /// One parallel stream: the vertex order is processed in synchronisation
-    /// windows of `sync_interval` vertices; within a window the worker
-    /// threads propose assignments for their slices against the window's
-    /// frozen snapshot (tracking their own load deltas), and all proposals
-    /// are applied at the window boundary. Returns the number of moved
-    /// vertices.
-    fn parallel_stream(
-        &self,
-        hg: &Hypergraph,
-        state: &mut StreamingState,
-        alpha: f64,
-        order: &[VertexId],
-    ) -> usize {
-        let p = self.num_partitions() as usize;
-        let workers = self.parallel.num_threads.min(order.len()).max(1);
-        let window = self.parallel.sync_interval.max(workers);
-        let cost = &self.cost;
-        let expected: Vec<f64> = state.expected().to_vec();
-        let mut moved = 0usize;
-
-        for sync_window in order.chunks(window) {
-            let snapshot: Partition = state.partition().clone();
-            let snapshot_loads: Vec<f64> = state.loads().to_vec();
-            let chunk_size = sync_window.len().div_ceil(workers).max(1);
-            let proposals: Mutex<Vec<(VertexId, u32)>> =
-                Mutex::new(Vec::with_capacity(sync_window.len()));
-
-            thread::scope(|scope| {
-                for chunk in sync_window.chunks(chunk_size) {
-                    let snapshot = &snapshot;
-                    let snapshot_loads = &snapshot_loads;
-                    let expected = &expected;
-                    let proposals = &proposals;
-                    scope.spawn(move || {
-                        let mut scratch = NeighborScratch::new(hg.num_vertices());
-                        let mut counts: Vec<u32> = Vec::with_capacity(p);
-                        // Worker-local view of the loads: the global snapshot
-                        // plus this worker's own deltas *scaled by the worker
-                        // count*. The scaling anticipates that the other
-                        // workers are filling partitions at a similar rate,
-                        // which prevents the herd effect where every worker
-                        // dumps its vertices into the same globally-lightest
-                        // partition and the synchronised result oscillates.
-                        let mut delta = vec![0.0f64; p];
-                        let mut loads_view = snapshot_loads.clone();
-                        let scale = workers as f64;
-                        let mut local: Vec<(VertexId, u32)> = Vec::with_capacity(chunk.len());
-                        for &v in chunk {
-                            let current = snapshot.part_of(v) as usize;
-                            let w = hg.vertex_weight(v);
-                            delta[current] -= w;
-                            loads_view[current] = snapshot_loads[current] + delta[current] * scale;
-                            scratch.neighbor_partition_counts(hg, snapshot, v, &mut counts);
-                            let target =
-                                best_partition(&counts, cost, alpha, &loads_view, expected);
-                            let t = target as usize;
-                            delta[t] += w;
-                            loads_view[t] = snapshot_loads[t] + delta[t] * scale;
-                            local.push((v, target));
-                        }
-                        proposals
-                            .lock()
-                            .expect("proposal mutex poisoned")
-                            .extend(local);
-                    });
-                }
-            });
-
-            // Synchronise: apply this window's proposals, rebuild workloads.
-            let mut assignment = snapshot.into_assignment();
-            for (v, target) in proposals.into_inner().expect("proposal mutex poisoned") {
-                if assignment[v as usize] != target {
-                    moved += 1;
-                }
-                assignment[v as usize] = target;
-            }
-            let new_partition = Partition::from_assignment(assignment, self.num_partitions())
-                .expect("workers only propose valid partitions");
-            state.replace_partition(hg, new_partition);
-        }
-        moved
-    }
-
     /// Runs the parallel restreaming algorithm.
     pub fn partition(&self, hg: &Hypergraph) -> PartitionResult {
-        let p = self.num_partitions();
-        let config = &self.config;
-        let mut state = StreamingState::round_robin(hg, p);
-        let mut alpha = config.starting_alpha(p, hg.num_vertices(), hg.num_hyperedges());
-        let order = stream_order(hg, config.stream_order, config.seed);
-
-        let mut history = PartitionHistory::new();
-        let mut previous_feasible: Option<(Partition, f64)> = None;
-        let mut stop_reason = StopReason::MaxIterations;
-        let mut iterations = 0usize;
-
-        for n in 1..=config.max_iterations {
-            iterations = n;
-            let moved = self.parallel_stream(hg, &mut state, alpha, &order);
-            let imbalance = state.imbalance();
-            let comm_cost = partitioning_communication_cost(hg, state.partition(), &self.cost);
-            let feasible = imbalance <= config.imbalance_tolerance + 1e-12;
-            if config.track_history {
-                history.push(IterationRecord {
-                    iteration: n,
-                    phase: if feasible {
-                        StreamPhase::Refinement
-                    } else {
-                        StreamPhase::Tempering
-                    },
-                    alpha,
-                    imbalance,
-                    comm_cost,
-                    moved_vertices: moved,
-                });
-            }
-            if !feasible {
-                alpha *= config.tempering_factor;
-                continue;
-            }
-            match config.refinement {
-                RefinementPolicy::None => {
-                    stop_reason = StopReason::ToleranceReached;
-                    previous_feasible = Some((state.partition().clone(), comm_cost));
-                    break;
-                }
-                RefinementPolicy::Factor(factor) => {
-                    if let Some((_, previous_cost)) = &previous_feasible {
-                        if comm_cost > *previous_cost {
-                            stop_reason = StopReason::CommCostConverged;
-                            break;
-                        }
-                    }
-                    previous_feasible = Some((state.partition().clone(), comm_cost));
-                    if moved == 0 {
-                        stop_reason = StopReason::CommCostConverged;
-                        break;
-                    }
-                    alpha *= factor;
-                }
-            }
-        }
-
-        let (partition, comm_cost) = match previous_feasible {
-            Some((partition, cost)) => (partition, cost),
-            None => {
-                let cost = partitioning_communication_cost(hg, state.partition(), &self.cost);
-                (state.into_partition(), cost)
-            }
-        };
-        let imbalance = partition.imbalance(hg).unwrap_or(f64::NAN);
-        PartitionResult {
-            partition,
-            history,
-            stop_reason,
-            iterations,
-            final_alpha: alpha,
-            comm_cost,
-            imbalance,
-        }
+        let engine = Engine::new(EngineConfig::restreaming(&self.config).with_strategy(
+            ExecutionStrategy::Chunked {
+                num_threads: self.parallel.num_threads,
+                sync_interval: self.parallel.sync_interval,
+            },
+        ));
+        let mut source = InMemorySource::new(hg, self.config.stream_order, self.config.seed);
+        let mut provider = CsrProvider::new(hg);
+        let run = engine
+            .run(
+                &self.cost,
+                &mut source,
+                &mut provider,
+                &mut ExactCommCost::new(hg),
+            )
+            .expect("in-memory sources cannot fail");
+        PartitionResult::from_engine(run)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics::partitioning_communication_cost;
     use crate::HyperPraw;
     use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
-    use hyperpraw_hypergraph::metrics;
+    use hyperpraw_hypergraph::{metrics, Partition};
     use hyperpraw_topology::{BandwidthMatrix, MachineModel};
 
     fn archer_cost(p: usize) -> CostMatrix {
@@ -327,10 +182,9 @@ mod tests {
     }
 
     #[test]
-    fn single_thread_matches_the_bulk_synchronous_semantics() {
-        // One worker still synchronises per stream (not per vertex), so it is
-        // not bit-identical to the sequential driver — but it must produce a
-        // valid, feasible result deterministically.
+    fn single_worker_reproduces_the_sequential_driver_exactly() {
+        // One worker has nothing to race: the engine decides with live
+        // information, so the run is bit-identical to HyperPraw.
         let hg = mesh_hypergraph(&MeshConfig::new(400, 8));
         let praw = ParallelHyperPraw::new(
             HyperPrawConfig::default(),
@@ -340,6 +194,37 @@ mod tests {
         let a = praw.partition(&hg);
         let b = praw.partition(&hg);
         assert_eq!(a.partition, b.partition);
+        let seq = HyperPraw::basic(HyperPrawConfig::default(), 4).partition(&hg);
+        assert_eq!(a.partition, seq.partition);
+        assert_eq!(a.iterations, seq.iterations);
+        assert_eq!(a.history, seq.history);
+    }
+
+    #[test]
+    fn final_partial_window_publishes_its_load_deltas() {
+        // 901 vertices with a 300-vertex window leaves a trailing window of
+        // one vertex: its assignment and load delta must land in the global
+        // state before the pass-end metrics are computed.
+        let hg = mesh_hypergraph(&MeshConfig::new(901, 8));
+        let praw = ParallelHyperPraw::new(
+            HyperPrawConfig::default(),
+            ParallelConfig {
+                num_threads: 4,
+                sync_interval: 300,
+            },
+            CostMatrix::uniform(6),
+        );
+        let result = praw.partition(&hg);
+        assert_eq!(result.partition.num_vertices(), 901);
+        // The loads-based imbalance the stopping rule saw must agree with a
+        // recomputation from the final assignment.
+        let recomputed = result.partition.imbalance(&hg).unwrap();
+        assert!(
+            (result.imbalance - recomputed).abs() < 1e-9,
+            "tracked imbalance {} diverged from recomputed {recomputed}",
+            result.imbalance
+        );
+        assert!(result.imbalance <= 1.1 + 1e-9);
     }
 
     #[test]

@@ -1,26 +1,15 @@
-//! The HyperPRAW restreaming driver (Algorithm 1).
+//! The HyperPRAW restreaming driver (Algorithm 1) — a thin instantiation
+//! of the generic [`crate::engine`]: in-memory vertex source × CSR
+//! connectivity provider × sequential execution.
 
 use hyperpraw_hypergraph::{Hypergraph, Partition};
 use hyperpraw_topology::CostMatrix;
 
-use crate::history::{IterationRecord, PartitionHistory, StreamPhase};
-use crate::metrics::partitioning_communication_cost;
-use crate::state::StreamingState;
-use crate::stream::{stream_order, stream_pass};
-use crate::{HyperPrawConfig, RefinementPolicy};
+use crate::engine::{CsrProvider, Engine, EngineConfig, EngineRun, ExactCommCost, InMemorySource};
+use crate::history::PartitionHistory;
+use crate::HyperPrawConfig;
 
-/// Why the restreaming loop stopped.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum StopReason {
-    /// The imbalance tolerance was reached and the configuration requested
-    /// no refinement (the GraSP-style stopping rule).
-    ToleranceReached,
-    /// The refinement phase stopped because the partitioning communication
-    /// cost ceased to improve; the previous (better) partition is returned.
-    CommCostConverged,
-    /// The iteration limit `N` was exhausted.
-    MaxIterations,
-}
+pub use crate::engine::StopReason;
 
 /// The output of a HyperPRAW run.
 #[derive(Clone, Debug)]
@@ -95,98 +84,34 @@ impl HyperPraw {
 
     /// Runs the restreaming algorithm on a hypergraph.
     pub fn partition(&self, hg: &Hypergraph) -> PartitionResult {
-        let p = self.num_partitions();
-        assert!(p > 0, "cost matrix must cover at least one compute unit");
-        let config = &self.config;
+        let engine = Engine::new(EngineConfig::restreaming(&self.config));
+        let mut source = InMemorySource::new(hg, self.config.stream_order, self.config.seed);
+        let mut provider = CsrProvider::new(hg);
+        let run = engine
+            .run(
+                &self.cost,
+                &mut source,
+                &mut provider,
+                &mut ExactCommCost::new(hg),
+            )
+            .expect("in-memory sources cannot fail");
+        PartitionResult::from_engine(run)
+    }
+}
 
-        // Initialise: round-robin assignment, FENNEL α.
-        let mut state = StreamingState::round_robin(hg, p);
-        let mut alpha = config.starting_alpha(p, hg.num_vertices(), hg.num_hyperedges());
-        let order = stream_order(hg, config.stream_order, config.seed);
-
-        let mut history = PartitionHistory::new();
-        // Best feasible (within-tolerance) partition seen so far and its cost.
-        let mut previous_feasible: Option<(Partition, f64)> = None;
-        let mut stop_reason = StopReason::MaxIterations;
-        let mut iterations = 0usize;
-
-        for n in 1..=config.max_iterations {
-            iterations = n;
-            let outcome = stream_pass(hg, &mut state, &self.cost, alpha, &order);
-            let imbalance = state.imbalance();
-            let comm_cost = partitioning_communication_cost(hg, state.partition(), &self.cost);
-            let feasible = imbalance <= config.imbalance_tolerance + 1e-12;
-            let phase = if feasible {
-                StreamPhase::Refinement
-            } else {
-                StreamPhase::Tempering
-            };
-            if config.track_history {
-                history.push(IterationRecord {
-                    iteration: n,
-                    phase,
-                    alpha,
-                    imbalance,
-                    comm_cost,
-                    moved_vertices: outcome.moved,
-                });
-            }
-
-            if !feasible {
-                // Still outside tolerance: temper α upwards and re-stream.
-                alpha *= config.tempering_factor;
-                continue;
-            }
-
-            match config.refinement {
-                RefinementPolicy::None => {
-                    // GraSP-style: stop as soon as the tolerance is met.
-                    stop_reason = StopReason::ToleranceReached;
-                    previous_feasible = Some((state.partition().clone(), comm_cost));
-                    break;
-                }
-                RefinementPolicy::Factor(factor) => {
-                    // Refinement phase: keep streaming while the partitioning
-                    // communication cost improves; roll back to the previous
-                    // feasible partition when it gets worse (Algorithm 1's
-                    // `Cost of Pⁿ > Cost of Pⁿ⁻¹` test). A stream that moved
-                    // no vertex is a fixed point: further streams would
-                    // repeat it verbatim, so stop there too.
-                    if let Some((_, previous_cost)) = &previous_feasible {
-                        if comm_cost > *previous_cost {
-                            stop_reason = StopReason::CommCostConverged;
-                            break;
-                        }
-                    }
-                    previous_feasible = Some((state.partition().clone(), comm_cost));
-                    if outcome.moved == 0 {
-                        stop_reason = StopReason::CommCostConverged;
-                        break;
-                    }
-                    alpha *= factor;
-                }
-            }
-        }
-
-        // Select the partition to return: the best feasible snapshot if one
-        // exists, otherwise whatever the final stream produced.
-        let (partition, comm_cost) = match previous_feasible {
-            Some((partition, cost)) => (partition, cost),
-            None => {
-                let cost = partitioning_communication_cost(hg, state.partition(), &self.cost);
-                (state.into_partition(), cost)
-            }
-        };
-        let imbalance = partition.imbalance(hg).unwrap_or(f64::NAN);
-
-        PartitionResult {
-            partition,
-            history,
-            stop_reason,
-            iterations,
-            final_alpha: alpha,
-            comm_cost,
-            imbalance,
+impl PartitionResult {
+    /// Converts an engine outcome into the driver-level result (dropping
+    /// the engine's revisit-buffer counters, which the classic drivers do
+    /// not use).
+    pub(crate) fn from_engine(run: EngineRun) -> Self {
+        Self {
+            partition: run.partition,
+            history: run.history,
+            stop_reason: run.stop_reason,
+            iterations: run.iterations,
+            final_alpha: run.final_alpha,
+            comm_cost: run.comm_cost,
+            imbalance: run.imbalance,
         }
     }
 }
@@ -194,7 +119,9 @@ impl HyperPraw {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::metrics::QualityReport;
+    use crate::history::StreamPhase;
+    use crate::metrics::{partitioning_communication_cost, QualityReport};
+    use crate::RefinementPolicy;
     use hyperpraw_hypergraph::generators::{
         mesh_hypergraph, random_hypergraph, MeshConfig, RandomConfig,
     };

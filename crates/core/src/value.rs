@@ -121,6 +121,109 @@ pub fn best_partition_with_margin(
     }
 }
 
+/// Reusable buffers for [`best_partition_in`], the allocation-free scorer
+/// the restreaming engine keeps per worker. One instance per thread; the
+/// contents are meaningless between calls.
+#[derive(Clone, Debug, Default)]
+pub struct ValueScratch {
+    t: Vec<f64>,
+}
+
+impl ValueScratch {
+    /// Creates empty scratch space (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Scores every candidate partition like [`best_partition_with_margin`]
+/// but restructured for the hot loop, reusing `scratch` across calls.
+///
+/// The naive scorer evaluates [`value_of`] per candidate — `O(p²)` matrix
+/// reads per vertex even when the vertex's neighbours touch only a handful
+/// of partitions. This version accumulates the communication terms
+/// `t_i = Σ_j X_j(v) · C(i,j)` one *source* partition `j` with `X_j > 0`
+/// at a time over the contiguous column cache ([`CostMatrix::col`]),
+/// so the work is `O(p · |{j : X_j > 0}|)`; for unit-uniform matrices
+/// ([`CostMatrix::is_unit_uniform`]) the terms collapse to the exact
+/// integers `Σ_j X_j − X_i` and the matrix is never touched.
+///
+/// For every candidate `i` the contributions are added in the same
+/// ascending-`j` order [`value_of`] uses, so the result — winner, value,
+/// margin and tie-breaking — is **bit-identical** to
+/// [`best_partition_with_margin`]; the engine equivalence tests rely on
+/// this.
+pub fn best_partition_in(
+    counts: &[u32],
+    cost: &CostMatrix,
+    alpha: f64,
+    loads: &[f64],
+    expected: &[f64],
+    scratch: &mut ValueScratch,
+) -> ScoredPartition {
+    debug_assert_eq!(counts.len(), loads.len());
+    debug_assert_eq!(counts.len(), cost.num_units());
+    let p = counts.len();
+    let t = &mut scratch.t;
+    t.clear();
+    t.resize(p, 0.0);
+    let mut neighbour_parts_total = 0u32;
+    if cost.is_unit_uniform() {
+        // Exact integer shortcut: every off-diagonal cost is 1.0, so
+        // t_i = Σ_j X_j − X_i. Counts are u32 integers, so the sums are
+        // exact and bitwise equal to the ordered accumulation.
+        let mut total = 0u64;
+        for &c in counts {
+            if c > 0 {
+                neighbour_parts_total += 1;
+                total += u64::from(c);
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            t[i] = (total - u64::from(c)) as f64;
+        }
+    } else {
+        for (j, &c) in counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            neighbour_parts_total += 1;
+            let cj = c as f64;
+            for (ti, &cij) in t.iter_mut().zip(cost.col(j)) {
+                *ti += cj * cij;
+            }
+        }
+    }
+
+    let pf = p as f64;
+    let mut best = 0u32;
+    let mut best_value = f64::NEG_INFINITY;
+    let mut runner_up = f64::NEG_INFINITY;
+    for i in 0..p {
+        let neighbour_parts = neighbour_parts_total - u32::from(counts[i] > 0);
+        let n = neighbour_parts as f64 / pf;
+        let v = -n * t[i] - alpha * loads[i] / expected[i];
+        let better = v > best_value + 1e-12
+            || ((v - best_value).abs() <= 1e-12 && loads[i] < loads[best as usize] - 1e-12);
+        if better {
+            runner_up = best_value;
+            best = i as u32;
+            best_value = v;
+        } else if v > runner_up {
+            runner_up = v;
+        }
+    }
+    ScoredPartition {
+        part: best,
+        value: best_value,
+        margin: if runner_up == f64::NEG_INFINITY {
+            f64::INFINITY
+        } else {
+            best_value - runner_up
+        },
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +319,55 @@ mod tests {
         let light = value_of(&counts, 0, &cost, 2.0, 1.0, 10.0);
         let heavy = value_of(&counts, 0, &cost, 2.0, 9.0, 10.0);
         assert!(light > heavy);
+    }
+
+    #[test]
+    fn scratch_scorer_is_bit_identical_to_the_reference_scorer() {
+        // Pseudo-random but deterministic instances over both a unit-uniform
+        // and a genuinely heterogeneous cost matrix.
+        let p = 7usize;
+        let mut raw = vec![0.0f64; p * p];
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for v in raw.iter_mut() {
+            *v = 0.5 + next() * 1.5;
+        }
+        let aware = CostMatrix::from_raw(p, raw);
+        let uniform = CostMatrix::uniform(p);
+        let mut scratch = ValueScratch::new();
+        for cost in [&uniform, &aware] {
+            for case in 0..200 {
+                let counts: Vec<u32> = (0..p)
+                    .map(|i| {
+                        if (case + i) % 3 == 0 {
+                            0
+                        } else {
+                            (next() * 9.0) as u32
+                        }
+                    })
+                    .collect();
+                let loads: Vec<f64> = (0..p).map(|_| next() * 20.0).collect();
+                let expected = vec![10.0f64; p];
+                let alpha = next() * 50.0;
+                let reference = best_partition_with_margin(&counts, cost, alpha, &loads, &expected);
+                let fast = best_partition_in(&counts, cost, alpha, &loads, &expected, &mut scratch);
+                assert_eq!(fast.part, reference.part, "case {case}");
+                assert_eq!(
+                    fast.value.to_bits(),
+                    reference.value.to_bits(),
+                    "case {case}"
+                );
+                assert_eq!(
+                    fast.margin.to_bits(),
+                    reference.margin.to_bits(),
+                    "case {case}"
+                );
+            }
+        }
     }
 }

@@ -64,6 +64,31 @@ pub trait VertexStream {
     }
 }
 
+/// A mutable borrow of a stream is itself a stream, so consumers that take
+/// a stream by value (e.g. the restreaming engine's source adapters) also
+/// accept `&mut stream` without giving up ownership.
+impl<S: VertexStream + ?Sized> VertexStream for &mut S {
+    fn num_vertices(&self) -> usize {
+        (**self).num_vertices()
+    }
+
+    fn num_nets(&self) -> usize {
+        (**self).num_nets()
+    }
+
+    fn next_into(&mut self, record: &mut VertexRecord) -> IoResult<bool> {
+        (**self).next_into(record)
+    }
+
+    fn reset(&mut self) -> IoResult<()> {
+        (**self).reset()
+    }
+
+    fn total_vertex_weight(&self) -> Option<f64> {
+        (**self).total_vertex_weight()
+    }
+}
+
 /// [`VertexStream`] over an in-memory [`Hypergraph`], yielding vertices in
 /// natural id order. Used by tests and by callers whose input already fits
 /// in RAM.

@@ -46,6 +46,20 @@ pub trait ConnectivityIndex {
     /// only grow, which the re-streaming pass tolerates as staleness.
     fn supports_forget(&self) -> bool;
 
+    /// Drops every recorded incidence, returning the index to its
+    /// freshly-constructed state (same size, same hash families). The
+    /// restreaming engine calls this between passes when asked to rebuild
+    /// sketches: indexes that cannot forget shed their accumulated
+    /// staleness wholesale and are repopulated by the pass itself.
+    fn reset(&mut self);
+
+    /// An empty index of the same shape (partition count, sizes, hash
+    /// families) — the second half of the double-buffered rebuild: during
+    /// a rebuild pass the stale index keeps answering queries while the
+    /// empty copy records the pass's placements, and the pair is swapped
+    /// at the next pass boundary.
+    fn empty_clone(&self) -> Box<dyn ConnectivityIndex + Send + Sync>;
+
     /// Estimated Jaccard similarity between `nets` and partition `part`'s
     /// net set, when the index can estimate it cheaply. Used as a
     /// confidence signal only — never to pick the partition.
@@ -107,6 +121,14 @@ impl ConnectivityIndex for ExactIndex {
 
     fn supports_forget(&self) -> bool {
         true
+    }
+
+    fn reset(&mut self) {
+        self.per_part.iter_mut().for_each(HashMap::clear);
+    }
+
+    fn empty_clone(&self) -> Box<dyn ConnectivityIndex + Send + Sync> {
+        Box::new(ExactIndex::new(self.per_part.len()))
     }
 
     fn memory_bytes(&self) -> usize {
@@ -176,6 +198,17 @@ impl ConnectivityIndex for SketchIndex {
 
     fn supports_forget(&self) -> bool {
         false
+    }
+
+    fn reset(&mut self) {
+        self.blooms.iter_mut().for_each(BloomFilter::clear);
+        self.minhashes.iter_mut().for_each(MinHashSketch::clear);
+    }
+
+    fn empty_clone(&self) -> Box<dyn ConnectivityIndex + Send + Sync> {
+        let mut copy = self.clone();
+        copy.reset();
+        Box::new(copy)
     }
 
     fn similarity(&self, nets: &[HyperedgeId], part: u32) -> Option<f64> {
@@ -260,6 +293,26 @@ mod tests {
         let sim_home = sketch.similarity(&[0, 1, 2], 0).unwrap();
         let sim_away = sketch.similarity(&[0, 1, 2], 1).unwrap();
         assert!(sim_home > sim_away);
+    }
+
+    #[test]
+    fn reset_returns_both_indexes_to_the_empty_state() {
+        let plan = plan();
+        let mut exact = ExactIndex::new(3);
+        let mut sketch = SketchIndex::new(3, &plan, 9);
+        for index in [&mut exact as &mut dyn ConnectivityIndex, &mut sketch] {
+            index.record(&[1, 2, 3], 0);
+            index.record(&[3, 4], 2);
+            index.reset();
+            let mut counts = Vec::new();
+            index.connectivity(&[1, 2, 3, 4], &mut counts);
+            assert_eq!(counts, vec![0, 0, 0], "index must be empty after reset");
+        }
+        // The sketch keeps its size (and therefore its budget) across resets.
+        let before = sketch.memory_bytes();
+        sketch.record(&[7], 1);
+        sketch.reset();
+        assert_eq!(sketch.memory_bytes(), before);
     }
 
     #[test]

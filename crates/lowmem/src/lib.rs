@@ -18,13 +18,16 @@
 //!   this net touch partition j?" and MinHash signatures estimate net-set
 //!   similarity ([`SketchIndex`]), with an exact hash-map reference
 //!   implementation ([`ExactIndex`]) for validation,
-//! * each arriving vertex is placed by `hyperpraw-core`'s
-//!   architecture-aware value function
-//!   ([`hyperpraw_core::value::best_partition_with_margin`] against a
-//!   [`CostMatrix`]), so HyperPRAW-aware vs. -basic is again just a cost
-//!   matrix away,
-//! * a bounded buffer keeps the `k` lowest-confidence placements and
-//!   revisits them once at the end (a miniature re-stream).
+//! * the placement loop itself is `hyperpraw-core`'s generic restreaming
+//!   engine ([`hyperpraw_core::engine::Engine`]): this crate only
+//!   contributes the [`IndexProvider`] connectivity axis, and the engine
+//!   supplies the value function, the α handling, the bounded
+//!   low-confidence revisit buffer, out-of-core restreaming passes
+//!   ([`LowMemConfig::passes`], with optional sketch rebuilding between
+//!   passes to shed staleness), and the bulk-synchronous execution
+//!   strategy ([`LowMemConfig::threads`] — parallel out-of-core
+//!   partitioning over the frozen index),
+//! * HyperPRAW-aware vs. -basic is again just a [`CostMatrix`] away.
 //!
 //! Everything is sized from a single [`MemoryBudget`]; peak sketch memory
 //! is independent of the hypergraph.
@@ -51,12 +54,14 @@ mod budget;
 mod partitioner;
 
 pub mod index;
+pub mod provider;
 pub mod quality;
 pub mod sketch;
 
 pub use budget::{MemoryBudget, SketchPlan};
 pub use index::{ConnectivityIndex, ExactIndex, SketchIndex};
 pub use partitioner::{IndexKind, LowMemConfig, LowMemPartitioner, LowMemResult};
+pub use provider::IndexProvider;
 pub use quality::{evaluate_edgelist_file, evaluate_hgr_file, StreamedQuality};
 
 // Re-export so downstream users do not need to depend on the topology

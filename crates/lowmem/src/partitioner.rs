@@ -1,18 +1,23 @@
-//! The memory-bounded one-pass greedy streaming partitioner.
+//! The memory-bounded streaming partitioner — a thin instantiation of
+//! `hyperpraw-core`'s generic restreaming engine: any
+//! [`VertexStream`] as the vertex source × an [`IndexProvider`] over
+//! budgeted connectivity state × the sequential or bulk-synchronous
+//! execution strategy.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
-
-use hyperpraw_core::value::best_partition_with_margin;
+use hyperpraw_core::engine::{
+    DoubtConfig, Engine, EngineConfig, ExecutionStrategy, InitialAssignment, NoCommCost,
+    StreamSource,
+};
 use hyperpraw_core::{CostMatrix, HyperPrawConfig};
-use hyperpraw_hypergraph::io::stream::{VertexRecord, VertexStream};
+use hyperpraw_hypergraph::io::stream::VertexStream;
 use hyperpraw_hypergraph::io::IoResult;
-use hyperpraw_hypergraph::{HyperedgeId, Hypergraph, Partition, VertexId};
+use hyperpraw_hypergraph::{Hypergraph, Partition};
 
 use crate::budget::{MemoryBudget, SketchPlan};
-use crate::index::{ConnectivityIndex, ExactIndex, SketchIndex};
+use crate::index::{ExactIndex, SketchIndex};
+use crate::provider::IndexProvider;
 
-/// Which [`ConnectivityIndex`] implementation the partitioner uses.
+/// Which [`crate::ConnectivityIndex`] implementation the partitioner uses.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum IndexKind {
     /// Bloom/MinHash sketches with memory fixed by the budget (the
@@ -35,8 +40,8 @@ pub struct LowMemConfig {
     /// Workload-imbalance weight `α`. `None` uses the FENNEL-derived
     /// starting point `√p · |E| / √|V|`, like `hyperpraw-core`.
     pub alpha: Option<f64>,
-    /// Number of lowest-confidence assignments revisited after the pass.
-    /// `None` sizes the buffer from the budget
+    /// Number of lowest-confidence assignments revisited after the final
+    /// pass. `None` sizes the buffer from the budget
     /// ([`SketchPlan::restream_capacity`]); `Some(0)` disables
     /// re-streaming. Whatever the entry count, the buffer's memory is
     /// additionally capped by [`SketchPlan::restream_bytes`] so
@@ -49,11 +54,28 @@ pub struct LowMemConfig {
     /// one-pass streamer: unseen vertices contribute no connectivity.
     ///
     /// Requires an index that supports
-    /// [`ConnectivityIndex::forget`] ([`IndexKind::Exact`]): a Bloom
+    /// [`crate::ConnectivityIndex::forget`] ([`IndexKind::Exact`]): a Bloom
     /// sketch cannot remove the prior, which would silently degrade the
     /// counts towards uniform — [`LowMemPartitioner::new`] rejects the
     /// combination.
     pub round_robin_prior: bool,
+    /// Number of streaming passes over the input. `1` is the classic
+    /// one-pass regime; larger values restream out-of-core (each pass
+    /// re-reads the vertex stream and re-places every vertex against the
+    /// index), stopping early when a pass moves nothing.
+    pub passes: usize,
+    /// Rebuild the sketches at the start of every pass after the first,
+    /// shedding the staleness a non-forgetting index accumulates when
+    /// vertices move (the Taşyaran-style rebuild). Ignored by
+    /// [`IndexKind::Exact`], whose state is never stale.
+    pub rebuild_sketches: bool,
+    /// Worker threads for the bulk-synchronous execution strategy. `1`
+    /// streams sequentially; larger values score synchronisation windows
+    /// in parallel against the frozen index — parallel out-of-core
+    /// partitioning.
+    pub threads: usize,
+    /// Vertices per synchronisation window when `threads > 1`.
+    pub sync_interval: usize,
     /// Seed of the MinHash hash family.
     pub seed: u64,
 }
@@ -66,6 +88,10 @@ impl Default for LowMemConfig {
             alpha: None,
             restream_capacity: None,
             round_robin_prior: false,
+            passes: 1,
+            rebuild_sketches: false,
+            threads: 1,
+            sync_interval: 4096,
             seed: 0,
         }
     }
@@ -78,6 +104,9 @@ pub struct LowMemResult {
     pub partition: Partition,
     /// The `α` used by the value function.
     pub alpha: f64,
+    /// Number of streaming passes executed (≤ [`LowMemConfig::passes`];
+    /// fewer when a pass reaches a fixed point).
+    pub passes: usize,
     /// Number of buffered low-confidence assignments revisited.
     pub restreamed: usize,
     /// How many of the revisited assignments changed partition.
@@ -88,59 +117,22 @@ pub struct LowMemResult {
     pub plan: SketchPlan,
 }
 
-/// A buffered low-confidence assignment awaiting the re-streaming pass.
-#[derive(Clone, Debug)]
-struct Doubt {
-    confidence: f64,
-    vertex: VertexId,
-    weight: f64,
-    nets: Vec<HyperedgeId>,
-}
-
-impl PartialEq for Doubt {
-    fn eq(&self, other: &Self) -> bool {
-        self.confidence == other.confidence && self.vertex == other.vertex
-    }
-}
-
-impl Eq for Doubt {}
-
-impl PartialOrd for Doubt {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Doubt {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Max-heap by confidence: the most confident buffered entry is
-        // evicted first, keeping the k *least* confident. Vertex id breaks
-        // ties deterministically.
-        self.confidence
-            .total_cmp(&other.confidence)
-            .then_with(|| self.vertex.cmp(&other.vertex))
-    }
-}
-
-impl Doubt {
-    /// Approximate heap bytes held by one buffered entry.
-    fn heap_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.nets.capacity() * std::mem::size_of::<HyperedgeId>()
-    }
-}
-
 /// The memory-bounded streaming partitioner.
 ///
-/// One greedy pass assigns each incoming `(vertex, nets)` record to the
-/// partition maximising HyperPRAW's architecture-aware value function
-/// ([`hyperpraw_core::value::best_partition_with_margin`]): the
+/// Each incoming `(vertex, nets)` record is assigned to the partition
+/// maximising HyperPRAW's architecture-aware value function: the
 /// neighbour-partition counts `X_j(v)` are replaced by *net-connectivity*
-/// counts answered by a [`ConnectivityIndex`] in budgeted memory, while the
-/// cost matrix, `α`-weighted balance term and tie-breaking are exactly
-/// `hyperpraw-core`'s. An optional bounded buffer collects the `k`
+/// counts answered by a [`crate::ConnectivityIndex`] in budgeted memory,
+/// while the cost matrix, `α`-weighted balance term and tie-breaking are
+/// exactly `hyperpraw-core`'s — the whole loop *is*
+/// [`hyperpraw_core::engine::Engine::run`], instantiated with this
+/// crate's [`IndexProvider`]. An optional bounded buffer collects the `k`
 /// lowest-confidence assignments (smallest value margin, similarity-
 /// adjusted when the index sketches one) and revisits them once at the end
-/// against the final connectivity state.
+/// against the final connectivity state; optional extra passes restream
+/// the whole input out-of-core, optionally rebuilding the sketches
+/// between passes; optional worker threads score synchronisation windows
+/// in parallel (bulk-synchronous out-of-core partitioning).
 #[derive(Clone, Debug)]
 pub struct LowMemPartitioner {
     config: LowMemConfig,
@@ -153,9 +145,10 @@ impl LowMemPartitioner {
     ///
     /// # Panics
     ///
-    /// Panics when the cost matrix is empty, or when
+    /// Panics when the cost matrix is empty, when
     /// [`LowMemConfig::round_robin_prior`] is combined with
-    /// [`IndexKind::Sketched`] (the sketch cannot forget the prior).
+    /// [`IndexKind::Sketched`] (the sketch cannot forget the prior), or
+    /// when `passes` or `threads` is zero.
     pub fn new(config: LowMemConfig, cost: CostMatrix) -> Self {
         assert!(
             cost.num_units() > 0,
@@ -165,6 +158,8 @@ impl LowMemPartitioner {
             !(config.round_robin_prior && config.index == IndexKind::Sketched),
             "round_robin_prior requires an index that can forget assignments; use IndexKind::Exact"
         );
+        assert!(config.passes >= 1, "need at least one streaming pass");
+        assert!(config.threads >= 1, "need at least one worker thread");
         Self { config, cost }
     }
 
@@ -185,147 +180,72 @@ impl LowMemPartitioner {
 
     /// Partitions the hypergraph delivered by `stream`.
     ///
-    /// With [`LowMemConfig::round_robin_prior`] the stream is read twice
-    /// (prior + decision pass), otherwise once; either way the peak sketch
-    /// memory is fixed by the budget's [`SketchPlan`].
+    /// The stream is read once per pass, plus once more when
+    /// [`LowMemConfig::round_robin_prior`] seeds the index; either way the
+    /// peak sketch memory is fixed by the budget's [`SketchPlan`].
     pub fn partition<S: VertexStream>(&self, stream: &mut S) -> IoResult<LowMemResult> {
         let p = self.cost.num_units();
         let n = stream.num_vertices();
         let e = stream.num_nets();
-        let plan = self.config.budget.plan(p, e);
+        // The double-buffered sketch rebuild holds two index copies during
+        // rebuild passes; halve the per-copy sizing so the pair still fits
+        // the budget.
+        let rebuilding = self.config.rebuild_sketches
+            && self.config.passes > 1
+            && self.config.index == IndexKind::Sketched;
+        let sizing = if rebuilding {
+            MemoryBudget::bytes(self.config.budget.bytes / 2)
+        } else {
+            self.config.budget
+        };
+        let plan = sizing.plan(p, e);
         let alpha = self
             .config
             .alpha
             .unwrap_or_else(|| HyperPrawConfig::fennel_alpha(p as u32, n, e));
 
-        let mut index: Box<dyn ConnectivityIndex> = match self.config.index {
+        let mut provider = IndexProvider::new(match self.config.index {
             IndexKind::Exact => Box::new(ExactIndex::new(p)),
             IndexKind::Sketched => Box::new(SketchIndex::new(p, &plan, self.config.seed)),
+        });
+
+        let mut engine_config = EngineConfig::streaming(Some(alpha), self.config.passes);
+        engine_config.initial = if self.config.round_robin_prior {
+            InitialAssignment::RoundRobin
+        } else {
+            InitialAssignment::Unassigned
         };
-
-        let mut assignment: Vec<u32> = vec![0; n];
-        let mut loads = vec![0.0f64; p];
-        // Same balance target as hyperpraw-core: an equal share of the
-        // total vertex weight. Streams that cannot report it (none of the
-        // bundled ones) fall back to unit weights.
-        let total_weight = stream.total_vertex_weight().unwrap_or(n as f64);
-        let expected_load = (total_weight / p as f64).max(f64::MIN_POSITIVE);
-        let expected = vec![expected_load; p];
-
-        let mut record = VertexRecord::default();
-
-        // Optional prior pass: seed the index with the round-robin start
-        // Algorithm 1 uses, so the decision pass sees restreaming-style
-        // connectivity for not-yet-visited vertices.
-        if self.config.round_robin_prior {
-            while stream.next_into(&mut record)? {
-                let part = record.vertex % p as u32;
-                index.record(&record.nets, part);
-                assignment[record.vertex as usize] = part;
-                loads[part as usize] += record.weight;
-            }
-            stream.reset()?;
+        engine_config.rebuild_between_passes = self.config.rebuild_sketches;
+        engine_config.doubts = DoubtConfig {
+            capacity: self
+                .config
+                .restream_capacity
+                .unwrap_or(plan.restream_capacity),
+            // The plan's entry count assumes average-degree vertices; the
+            // byte bound is what keeps the buffer inside the budget when
+            // the low-confidence entries happen to be high-degree hubs.
+            byte_bound: plan.restream_bytes,
+        };
+        if self.config.threads > 1 {
+            engine_config.strategy = ExecutionStrategy::Chunked {
+                num_threads: self.config.threads,
+                sync_interval: self.config.sync_interval,
+            };
         }
 
-        let capacity = self
-            .config
-            .restream_capacity
-            .unwrap_or(plan.restream_capacity);
-        // The plan's entry count assumes average-degree vertices; the byte
-        // bound is what keeps the buffer inside the budget when the
-        // low-confidence entries happen to be high-degree hubs.
-        let byte_bound = plan.restream_bytes;
-        let mut doubt_bytes = 0usize;
-        let mut doubts: BinaryHeap<Doubt> = BinaryHeap::new();
-
-        let mut counts: Vec<u32> = Vec::with_capacity(p);
-        while stream.next_into(&mut record)? {
-            let v = record.vertex;
-            let w = record.weight;
-            if self.config.round_robin_prior {
-                let prior_part = assignment[v as usize];
-                loads[prior_part as usize] -= w;
-                index.forget(&record.nets, prior_part);
-            }
-            index.connectivity(&record.nets, &mut counts);
-            let scored = best_partition_with_margin(&counts, &self.cost, alpha, &loads, &expected);
-            assignment[v as usize] = scored.part;
-            loads[scored.part as usize] += w;
-            index.record(&record.nets, scored.part);
-
-            if capacity > 0 {
-                // Prefilter: the similarity discount keeps confidence in
-                // [margin/2, margin], so once the heap is full an entry
-                // whose floor already exceeds the heap's maximum would be
-                // evicted straight back out — skip the similarity estimate
-                // and the net-list clone entirely.
-                let hopeless = doubts.len() >= capacity
-                    && doubts
-                        .peek()
-                        .is_some_and(|max| 0.5 * scored.margin > max.confidence);
-                if !hopeless {
-                    // Confidence: the value margin, discounted when the
-                    // index can tell that the chosen partition's net set
-                    // has little overlap with the vertex's nets.
-                    let confidence = match index.similarity(&record.nets, scored.part) {
-                        Some(similarity) => scored.margin * (0.5 + 0.5 * similarity),
-                        None => scored.margin,
-                    };
-                    let doubt = Doubt {
-                        confidence,
-                        vertex: v,
-                        weight: w,
-                        nets: record.nets.clone(),
-                    };
-                    doubt_bytes += doubt.heap_bytes();
-                    doubts.push(doubt);
-                    while doubts.len() > capacity || (doubt_bytes > byte_bound && doubts.len() > 1)
-                    {
-                        if let Some(evicted) = doubts.pop() {
-                            doubt_bytes -= evicted.heap_bytes();
-                        }
-                    }
-                }
-            }
-        }
-
-        // Re-streaming pass: revisit the buffered doubts against the final
-        // connectivity state, in vertex order for determinism.
-        let mut revisit: Vec<Doubt> = doubts.into_vec();
-        revisit.sort_unstable_by_key(|d| d.vertex);
-        let restreamed = revisit.len();
-        let mut moved_in_restream = 0usize;
-        for doubt in revisit {
-            let v = doubt.vertex;
-            let old = assignment[v as usize];
-            loads[old as usize] -= doubt.weight;
-            index.forget(&doubt.nets, old);
-            // For a sketched index `forget` is a no-op, so `counts[old]`
-            // still contains this vertex's own recorded nets. That is a
-            // deliberate bias towards *staying*: Bloom filters cannot
-            // separate the self-hit from genuine neighbours, and
-            // subtracting an estimate would erase real connectivity and
-            // force spurious moves. A revisited vertex therefore only
-            // moves when another partition's connectivity genuinely
-            // dominates.
-            index.connectivity(&doubt.nets, &mut counts);
-            let scored = best_partition_with_margin(&counts, &self.cost, alpha, &loads, &expected);
-            assignment[v as usize] = scored.part;
-            loads[scored.part as usize] += doubt.weight;
-            index.record(&doubt.nets, scored.part);
-            if scored.part != old {
-                moved_in_restream += 1;
-            }
-        }
-
-        let partition = Partition::from_assignment(assignment, p as u32)
-            .expect("streaming assignment covers every vertex");
+        let run = Engine::new(engine_config).run(
+            &self.cost,
+            &mut StreamSource(stream),
+            &mut provider,
+            &mut NoCommCost,
+        )?;
         Ok(LowMemResult {
-            partition,
+            partition: run.partition,
             alpha,
-            restreamed,
-            moved_in_restream,
-            index_memory_bytes: index.memory_bytes(),
+            passes: run.iterations,
+            restreamed: run.restreamed,
+            moved_in_restream: run.moved_in_restream,
+            index_memory_bytes: provider.memory_bytes(),
             plan,
         })
     }
@@ -540,5 +460,68 @@ mod tests {
         let result =
             LowMemPartitioner::basic(config(IndexKind::Sketched), 2).partition_hypergraph(&sparse);
         assert_eq!(result.partition.num_vertices(), 5);
+    }
+
+    #[test]
+    fn multi_pass_restreaming_does_not_degrade_quality() {
+        let hg = mesh_hypergraph(&MeshConfig::new(800, 8));
+        let run = |passes: usize, rebuild: bool| {
+            LowMemPartitioner::basic(
+                LowMemConfig {
+                    passes,
+                    rebuild_sketches: rebuild,
+                    restream_capacity: Some(0),
+                    ..config(IndexKind::Sketched)
+                },
+                6,
+            )
+            .partition_hypergraph(&hg)
+        };
+        let one = run(1, false);
+        let rebuilt = run(3, true);
+        assert!(rebuilt.passes >= 1 && rebuilt.passes <= 3);
+        let s_one = metrics::soed(&hg, &one.partition) as f64;
+        let s_rebuilt = metrics::soed(&hg, &rebuilt.partition) as f64;
+        assert!(
+            s_rebuilt <= s_one * 1.05,
+            "rebuilt restreaming degraded SOED: {s_rebuilt} vs {s_one}"
+        );
+    }
+
+    #[test]
+    fn bsp_threads_produce_valid_deterministic_partitions() {
+        let hg = mesh_hypergraph(&MeshConfig::new(900, 8));
+        let run = || {
+            LowMemPartitioner::basic(
+                LowMemConfig {
+                    threads: 4,
+                    sync_interval: 128,
+                    ..config(IndexKind::Sketched)
+                },
+                6,
+            )
+            .partition_hypergraph(&hg)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(
+            a.partition, b.partition,
+            "BSP streaming must be deterministic"
+        );
+        assert_eq!(a.partition.num_vertices(), 900);
+        let rr = Partition::round_robin(hg.num_vertices(), 6);
+        assert!(metrics::soed(&hg, &a.partition) < metrics::soed(&hg, &rr));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one streaming pass")]
+    fn zero_passes_is_rejected() {
+        LowMemPartitioner::basic(
+            LowMemConfig {
+                passes: 0,
+                ..LowMemConfig::default()
+            },
+            4,
+        );
     }
 }

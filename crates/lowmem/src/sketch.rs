@@ -78,6 +78,13 @@ impl BloomFilter {
         self.inserted
     }
 
+    /// Empties the filter in place, keeping its size and hash family —
+    /// the staleness-shedding rebuild between restreaming passes.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.inserted = 0;
+    }
+
     /// Heap bytes held by the bit array.
     pub fn memory_bytes(&self) -> usize {
         self.words.len() * 8
@@ -121,6 +128,12 @@ impl MinHashSketch {
                 self.signature[slot] = h;
             }
         }
+    }
+
+    /// Empties the signature in place, keeping its seed and permutation
+    /// count — the staleness-shedding rebuild between restreaming passes.
+    pub fn clear(&mut self) {
+        self.signature.iter_mut().for_each(|s| *s = u64::MAX);
     }
 
     /// Estimated Jaccard similarity to another sketch built with the same

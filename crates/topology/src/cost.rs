@@ -15,13 +15,55 @@ use crate::BandwidthMatrix;
 /// magnitude of the profiled bandwidths (different machines have bandwidths
 /// differing by orders of magnitude, which would otherwise unbalance the
 /// workload/communication trade-off in the vertex assignment function).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug)]
 pub struct CostMatrix {
     n: usize,
     data: Vec<f64>,
+    /// Column-major copy of `data`: `cols[j * n + i] = data[i * n + j]`.
+    /// The streaming scorer accumulates `t_i = Σ_j X_j(v) · C(i,j)` one
+    /// *source* partition `j` at a time, so it needs column `j` of the
+    /// matrix contiguous in memory.
+    cols: Vec<f64>,
+    /// Per-row sums `Σ_j C(i,j)`, kept alongside the matrix so consumers
+    /// can bound a row's contribution without rescanning it.
+    row_sums: Vec<f64>,
+    /// `true` when every off-diagonal entry is exactly `1.0` (the
+    /// architecture-oblivious case): `t_i` then collapses to the exact
+    /// integer `Σ_j X_j(v) − X_i(v)` and the scorer skips the matrix walk.
+    unit_uniform: bool,
+}
+
+impl PartialEq for CostMatrix {
+    fn eq(&self, other: &Self) -> bool {
+        // The caches are a pure function of `data`.
+        self.n == other.n && self.data == other.data
+    }
 }
 
 impl CostMatrix {
+    fn with_caches(n: usize, data: Vec<f64>) -> Self {
+        let mut cols = vec![0.0f64; n * n];
+        let mut row_sums = vec![0.0f64; n];
+        let mut unit_uniform = true;
+        for i in 0..n {
+            for j in 0..n {
+                let c = data[i * n + j];
+                cols[j * n + i] = c;
+                row_sums[i] += c;
+                if i != j && c != 1.0 {
+                    unit_uniform = false;
+                }
+            }
+        }
+        Self {
+            n,
+            data,
+            cols,
+            row_sums,
+            unit_uniform,
+        }
+    }
+
     /// Builds the cost matrix from a profiled bandwidth matrix using the
     /// paper's normalisation. If every off-diagonal bandwidth is identical
     /// the cost degenerates to 1 for all distinct pairs (the same as
@@ -45,7 +87,7 @@ impl CostMatrix {
                 data[i * n + j] = c;
             }
         }
-        Self { n, data }
+        Self::with_caches(n, data)
     }
 
     /// A uniform cost matrix: 1 for every distinct pair, 0 on the diagonal.
@@ -56,7 +98,7 @@ impl CostMatrix {
         for i in 0..n {
             data[i * n + i] = 0.0;
         }
-        Self { n, data }
+        Self::with_caches(n, data)
     }
 
     /// Builds a cost matrix from raw row-major entries (diagonal forced to
@@ -71,7 +113,7 @@ impl CostMatrix {
         for i in 0..n {
             data[i * n + i] = 0.0;
         }
-        Self { n, data }
+        Self::with_caches(n, data)
     }
 
     /// Number of compute units.
@@ -90,6 +132,30 @@ impl CostMatrix {
     #[inline]
     pub fn row(&self, i: usize) -> &[f64] {
         &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// Column `j` of the matrix as a contiguous slice (`col(j)[i] = C(i,j)`),
+    /// served from a transposed copy precomputed at construction. The
+    /// streaming scorer walks one column per *source* partition holding
+    /// neighbours, so this keeps its inner loop stride-1.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[f64] {
+        &self.cols[j * self.n..(j + 1) * self.n]
+    }
+
+    /// Precomputed sum of row `i` (`Σ_j C(i,j)`) — an upper bound on the
+    /// per-neighbour communication term of hosting a vertex on unit `i`.
+    #[inline]
+    pub fn row_sum(&self, i: usize) -> f64 {
+        self.row_sums[i]
+    }
+
+    /// `true` when every off-diagonal entry is exactly `1.0`, i.e. the
+    /// matrix is [`CostMatrix::uniform`]-shaped. Scorers use this to replace
+    /// the matrix walk with exact integer arithmetic.
+    #[inline]
+    pub fn is_unit_uniform(&self) -> bool {
+        self.unit_uniform
     }
 
     /// `true` when every off-diagonal entry is identical, i.e. the matrix
@@ -247,5 +313,32 @@ mod tests {
     fn csv_has_n_rows() {
         let c = CostMatrix::uniform(5);
         assert_eq!(c.to_csv().lines().count(), 5);
+    }
+
+    #[test]
+    fn column_cache_transposes_the_matrix() {
+        let c = CostMatrix::from_raw(3, vec![0.0, 1.5, 2.0, 1.0, 0.0, 3.0, 2.5, 0.5, 0.0]);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(c.col(j)[i], c.get(i, j));
+            }
+            let sum: f64 = (0..3).map(|j| c.get(i, j)).sum();
+            assert!((c.row_sum(i) - sum).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn unit_uniform_flag_tracks_the_entries() {
+        assert!(CostMatrix::uniform(6).is_unit_uniform());
+        // Degenerate bandwidth also collapses to unit costs.
+        let bw = BandwidthMatrix::uniform(4, 10.0);
+        assert!(CostMatrix::from_bandwidth(&bw).is_unit_uniform());
+        // Uniform but not *unit* uniform: the fast path must stay off.
+        let scaled = CostMatrix::from_raw(2, vec![0.0, 2.0, 2.0, 0.0]);
+        assert!(scaled.is_uniform());
+        assert!(!scaled.is_unit_uniform());
+        let model = MachineModel::archer_like(24);
+        let aware = CostMatrix::from_bandwidth(&BandwidthMatrix::from_machine(&model, 0.05, 1));
+        assert!(!aware.is_unit_uniform());
     }
 }

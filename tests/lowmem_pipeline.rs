@@ -74,6 +74,62 @@ fn disk_stream_partitioning_respects_the_budget_and_beats_round_robin() {
 }
 
 #[test]
+fn bsp_multi_pass_out_of_core_restreaming_runs_from_a_disk_stream() {
+    // The engine combination none of the pre-refactor drivers could
+    // express: bulk-synchronous worker threads scoring a frozen sketched
+    // connectivity index over an on-disk vertex stream, restreamed for
+    // several passes with the sketches rebuilt in between.
+    let hg = PaperInstance::TwoCubesSphere.generate(&SuiteConfig::scaled(0.02));
+    let path = std::env::temp_dir().join(format!(
+        "hyperpraw_lowmem_bsp_pipeline_{}.hgr",
+        std::process::id()
+    ));
+    hmetis::write_hgr_file(&hg, &path).unwrap();
+
+    let p = 8u32;
+    let budget = MemoryBudget::bytes(512 << 10);
+    let options = StreamOptions {
+        buffer_bytes: budget
+            .plan(p as usize, hg.num_hyperedges())
+            .transpose_buffer_bytes,
+        spill_dir: None,
+    };
+    let mut stream = stream_hgr_file(&path, &options).unwrap();
+    let config = LowMemConfig {
+        budget,
+        index: IndexKind::Sketched,
+        passes: 2,
+        rebuild_sketches: true,
+        threads: 4,
+        sync_interval: 256,
+        ..LowMemConfig::default()
+    };
+    let result = LowMemPartitioner::basic(config, p)
+        .partition(&mut stream)
+        .unwrap();
+
+    assert_eq!(result.partition.num_vertices(), hg.num_vertices());
+    assert!(result.passes >= 1 && result.passes <= 2);
+    // The double-buffered index pair still fits the budget.
+    assert!(
+        result.index_memory_bytes <= budget.bytes,
+        "index pair {} exceeds budget {}",
+        result.index_memory_bytes,
+        budget.bytes
+    );
+    let streamed = evaluate_hgr_file(&path, &result.partition).unwrap();
+    let rr = Partition::round_robin(hg.num_vertices(), p);
+    assert!(
+        streamed.soed < metrics::soed(&hg, &rr),
+        "BSP out-of-core SOED {} should beat round robin {}",
+        streamed.soed,
+        metrics::soed(&hg, &rr)
+    );
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
 fn prior_mode_tracks_in_memory_hyperpraw_on_a_single_stream() {
     // With the round-robin prior and the exact index, the streaming
     // partitioner implements the same restreaming semantics as core's
