@@ -4,17 +4,21 @@
 //! the evaluation.
 //!
 //! The `hyperpraw_basic`/`hyperpraw_aware` entries time the unified
-//! restreaming engine's sequential strategy (`InMemorySource × CsrProvider`)
-//! — the figures to compare against the seed driver when validating the
-//! engine refactor's "no slower than the seed" criterion. The
-//! `lowmem_bsp_sketched` entries time the engine combination none of the
-//! pre-engine drivers could express: bulk-synchronous workers over the
-//! sketched out-of-core connectivity provider.
+//! restreaming engine's sequential strategy under both connectivity
+//! providers: the `…_csr` ids re-deduplicate neighbourhoods through the
+//! epoch scratch on every visit (the pre-adjacency default, and the seed
+//! driver's cost model), the `…_adj` ids answer from the precomputed
+//! dedup adjacency (`Connectivity::Auto`, the new default) — same
+//! partitions bit for bit, so the ratio between the two ids is pure
+//! provider speedup. The `lowmem_bsp_sketched` entries time the engine
+//! combination none of the pre-engine drivers could express:
+//! bulk-synchronous workers over the sketched out-of-core connectivity
+//! provider. Medians land in `target/BENCH_partitioners.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use hyperpraw_bench::Testbed;
-use hyperpraw_core::{HyperPraw, HyperPrawConfig, ParallelConfig, ParallelHyperPraw};
+use hyperpraw_core::{Connectivity, HyperPraw, HyperPrawConfig, ParallelConfig, ParallelHyperPraw};
 use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
 use hyperpraw_lowmem::{LowMemConfig, LowMemPartitioner};
 use hyperpraw_multilevel::{MultilevelConfig, MultilevelPartitioner};
@@ -22,19 +26,39 @@ use hyperpraw_multilevel::{MultilevelConfig, MultilevelPartitioner};
 fn bench_partitioners(c: &mut Criterion) {
     let mut group = c.benchmark_group("partitioners_end_to_end");
     group.sample_size(10);
-    let hg = mesh_hypergraph(&MeshConfig::new(3_000, 10));
+    // Cardinality 16 approaches the paper's FEM row-net instances (Table 1
+    // averages 24–60 pins per hyperedge); the pre-PR-4 group used
+    // cardinality 10, so ids are not comparable across that boundary.
+    let hg = mesh_hypergraph(&MeshConfig::new(3_000, 16));
     let p = 24usize;
     let testbed = Testbed::archer(p, 0, 1);
+    let providers = [("csr", Connectivity::Csr), ("adj", Connectivity::Auto)];
 
     group.bench_function(BenchmarkId::new("zoltan_like", p), |b| {
         b.iter(|| MultilevelPartitioner::new(MultilevelConfig::default()).partition(&hg, p as u32))
     });
-    group.bench_function(BenchmarkId::new("hyperpraw_basic", p), |b| {
-        b.iter(|| HyperPraw::basic(HyperPrawConfig::default(), p as u32).partition(&hg))
-    });
-    group.bench_function(BenchmarkId::new("hyperpraw_aware", p), |b| {
-        b.iter(|| HyperPraw::aware(HyperPrawConfig::default(), testbed.cost.clone()).partition(&hg))
-    });
+    for (tag, connectivity) in providers {
+        let config = HyperPrawConfig::default().with_connectivity(connectivity);
+        group.bench_function(BenchmarkId::new(format!("hyperpraw_basic_{tag}"), p), |b| {
+            b.iter(|| HyperPraw::basic(config, p as u32).partition(&hg))
+        });
+        group.bench_function(BenchmarkId::new(format!("hyperpraw_aware_{tag}"), p), |b| {
+            b.iter(|| HyperPraw::aware(config, testbed.cost.clone()).partition(&hg))
+        });
+    }
+    // Multi-pass refinement is where the precomputation amortises hardest:
+    // a frozen-α refinement run keeps restreaming until the comm cost
+    // converges, revisiting every neighbourhood once per pass.
+    for (tag, connectivity) in providers {
+        let config = HyperPrawConfig {
+            initial_alpha: Some(2.0),
+            ..HyperPrawConfig::default().with_connectivity(connectivity)
+        };
+        group.bench_function(
+            BenchmarkId::new(format!("hyperpraw_refine_{tag}"), p),
+            |b| b.iter(|| HyperPraw::basic(config, p as u32).partition(&hg)),
+        );
+    }
     for threads in [2usize, 4] {
         group.bench_function(BenchmarkId::new("hyperpraw_parallel", threads), |b| {
             b.iter(|| {

@@ -42,6 +42,35 @@ impl Algorithm {
     }
 }
 
+/// In-memory connectivity provider selectable from the command line
+/// (HyperPRAW algorithms only; quality-neutral, see
+/// `hyperpraw_core::Connectivity`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ConnectivityChoice {
+    /// Epoch-marked CSR traversal (no precomputation).
+    Csr,
+    /// Precomputed dedup adjacency with unbounded flat lists.
+    Adjacency,
+    /// Precomputed adjacency under the automatic memory budget (default).
+    #[default]
+    Auto,
+}
+
+impl ConnectivityChoice {
+    fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "csr" => Ok(Self::Csr),
+            "adjacency" | "adj" => Ok(Self::Adjacency),
+            "auto" => Ok(Self::Auto),
+            other => Err(ParseError::InvalidValue {
+                option: "--connectivity".into(),
+                value: other.into(),
+                expected: "csr | adjacency | auto".into(),
+            }),
+        }
+    }
+}
+
 /// Machine model preset selectable from the command line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum MachinePreset {
@@ -128,6 +157,9 @@ pub enum Command {
         machine: MachinePreset,
         /// Imbalance tolerance.
         imbalance: f64,
+        /// Connectivity provider for the HyperPRAW algorithms (ignored by
+        /// the multilevel and round-robin baselines).
+        connectivity: ConnectivityChoice,
         /// RNG seed.
         seed: u64,
         /// Where to write the assignment (one partition id per line); stdout
@@ -215,7 +247,7 @@ pub fn usage() -> String {
        hyperpraw stats     <input>\n\
        hyperpraw partition <input> --parts N [--algorithm aware|basic|multilevel|round-robin]\n\
                            [--machine archer|cluster|cloud|flat] [--imbalance 1.1]\n\
-                           [--seed N] [--output assignment.txt]\n\
+                           [--connectivity csr|adjacency|auto] [--seed N] [--output assignment.txt]\n\
        hyperpraw lowmem    <input> --parts N [--budget-mib 64] [--exact] [--restream K]\n\
                            [--passes N] [--rebuild-sketches] [--threads N]\n\
                            [--machine archer|cluster|cloud|flat] [--seed N] [--output assignment.txt]\n\
@@ -261,6 +293,7 @@ impl Cli {
                 let mut algorithm = Algorithm::Aware;
                 let mut machine = MachinePreset::Archer;
                 let mut imbalance = 1.1f64;
+                let mut connectivity = ConnectivityChoice::default();
                 let mut seed = 2019u64;
                 let mut output = None;
                 let mut i = 1;
@@ -279,6 +312,9 @@ impl Cli {
                         "--imbalance" => {
                             imbalance = parse_number(opt, value(&rest, &mut i)?)?;
                         }
+                        "--connectivity" | "-c" => {
+                            connectivity = ConnectivityChoice::parse(value(&rest, &mut i)?)?;
+                        }
                         "--seed" => {
                             seed = parse_number(opt, value(&rest, &mut i)?)?;
                         }
@@ -296,6 +332,7 @@ impl Cli {
                         algorithm,
                         machine,
                         imbalance,
+                        connectivity,
                         seed,
                         output,
                     },
@@ -485,7 +522,8 @@ mod tests {
     #[test]
     fn parses_partition_with_defaults_and_overrides() {
         let cli = Cli::parse(argv(
-            "partition app.hgr --parts 96 -a multilevel -m cloud --imbalance 1.05 --seed 7 -o out.txt",
+            "partition app.hgr --parts 96 -a multilevel -m cloud --imbalance 1.05 \
+             --connectivity csr --seed 7 -o out.txt",
         ))
         .unwrap();
         match cli.command {
@@ -495,6 +533,7 @@ mod tests {
                 algorithm,
                 machine,
                 imbalance,
+                connectivity,
                 seed,
                 output,
             } => {
@@ -503,11 +542,34 @@ mod tests {
                 assert_eq!(algorithm, Algorithm::Multilevel);
                 assert_eq!(machine, MachinePreset::Cloud);
                 assert!((imbalance - 1.05).abs() < 1e-12);
+                assert_eq!(connectivity, ConnectivityChoice::Csr);
                 assert_eq!(seed, 7);
                 assert_eq!(output, Some(PathBuf::from("out.txt")));
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn connectivity_defaults_to_auto_and_rejects_unknown_values() {
+        let cli = Cli::parse(argv("partition app.hgr --parts 8")).unwrap();
+        match cli.command {
+            Command::Partition { connectivity, .. } => {
+                assert_eq!(connectivity, ConnectivityChoice::Auto);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        let cli = Cli::parse(argv("partition app.hgr --parts 8 -c adj")).unwrap();
+        match cli.command {
+            Command::Partition { connectivity, .. } => {
+                assert_eq!(connectivity, ConnectivityChoice::Adjacency);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(matches!(
+            Cli::parse(argv("partition app.hgr --parts 8 --connectivity hashmap")).unwrap_err(),
+            ParseError::InvalidValue { .. }
+        ));
     }
 
     #[test]

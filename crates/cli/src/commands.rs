@@ -5,7 +5,7 @@ use std::fs;
 use std::path::Path;
 
 use hyperpraw_core::metrics::QualityReport;
-use hyperpraw_core::{baselines, CostMatrix, HyperPraw, HyperPrawConfig};
+use hyperpraw_core::{baselines, Connectivity, CostMatrix, HyperPraw, HyperPrawConfig};
 use hyperpraw_hypergraph::io::stream::{
     read_hgr_header, stream_edgelist_file, stream_hgr_file, StreamOptions, VertexStream,
 };
@@ -16,7 +16,16 @@ use hyperpraw_multilevel::{MultilevelConfig, MultilevelPartitioner};
 use hyperpraw_netsim::{BenchmarkConfig, LinkModel, RingProfiler, SyntheticBenchmark};
 use hyperpraw_topology::MachineModel;
 
-use crate::args::{Algorithm, Cli, Command, MachinePreset};
+use crate::args::{Algorithm, Cli, Command, ConnectivityChoice, MachinePreset};
+
+/// Maps the CLI connectivity choice onto the core configuration axis.
+fn connectivity_of(choice: ConnectivityChoice) -> Connectivity {
+    match choice {
+        ConnectivityChoice::Csr => Connectivity::Csr,
+        ConnectivityChoice::Adjacency => Connectivity::Adjacency,
+        ConnectivityChoice::Auto => Connectivity::Auto,
+    }
+}
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -147,6 +156,7 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             algorithm,
             machine,
             imbalance,
+            connectivity,
             seed,
             output,
         } => {
@@ -163,7 +173,8 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             let (_, cost) = profile(*machine, *parts as usize, *seed);
             let config = HyperPrawConfig::default()
                 .with_imbalance_tolerance(*imbalance)
-                .with_seed(*seed);
+                .with_seed(*seed)
+                .with_connectivity(connectivity_of(*connectivity));
             let partition = match algorithm {
                 Algorithm::Aware => {
                     HyperPraw::aware(config, cost.clone())
@@ -448,6 +459,7 @@ mod tests {
                 algorithm: Algorithm::Basic,
                 machine: MachinePreset::Flat,
                 imbalance: 1.2,
+                connectivity: ConnectivityChoice::Auto,
                 seed: 1,
                 output: Some(output.clone()),
             },
@@ -458,6 +470,40 @@ mod tests {
         assert!(part.num_parts() <= 2);
         fs::remove_file(input).ok();
         fs::remove_file(output).ok();
+    }
+
+    #[test]
+    fn partition_command_is_identical_across_connectivity_providers() {
+        // The provider axis must be quality-neutral all the way through the
+        // CLI: the same invocation with --connectivity csr/adjacency/auto
+        // writes the same assignment file.
+        let input = sample_hgr();
+        let mut assignments = Vec::new();
+        for choice in [
+            ConnectivityChoice::Csr,
+            ConnectivityChoice::Adjacency,
+            ConnectivityChoice::Auto,
+        ] {
+            let output = temp_path(&format!("conn_{choice:?}.txt"));
+            execute(&Cli {
+                command: Command::Partition {
+                    input: input.clone(),
+                    parts: 2,
+                    algorithm: Algorithm::Basic,
+                    machine: MachinePreset::Flat,
+                    imbalance: 1.2,
+                    connectivity: choice,
+                    seed: 3,
+                    output: Some(output.clone()),
+                },
+            })
+            .unwrap();
+            assignments.push(fs::read_to_string(&output).unwrap());
+            fs::remove_file(output).ok();
+        }
+        fs::remove_file(input).ok();
+        assert_eq!(assignments[0], assignments[1]);
+        assert_eq!(assignments[0], assignments[2]);
     }
 
     /// Builder for `Command::LowMem` literals in tests (enum variants do
@@ -644,6 +690,7 @@ mod tests {
                     algorithm: Algorithm::RoundRobin,
                     machine: MachinePreset::Flat,
                     imbalance: 1.1,
+                    connectivity: ConnectivityChoice::Auto,
                     seed: 0,
                     output: None,
                 },

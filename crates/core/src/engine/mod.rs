@@ -22,22 +22,38 @@
 //!            ▼                         ▼                          ▼
 //!   VertexSource             ConnectivityProvider        ExecutionStrategy
 //!   "which vertex next?"     "who are its neighbours?"   "who decides when?"
-//!   ├ InMemorySource         ├ CsrProvider (scratch      ├ Sequential
-//!   │  (natural/shuffled/    │   over in-memory CSR)     │   (fresh info per
-//!   │   degree order)        ├ lowmem ExactIndex         │    vertex)
-//!   └ StreamSource over any  │   (hash maps, exact,      └ Chunked BSP
-//!      io::stream source     │    reversible)                (frozen snapshot
-//!      (on-disk transpose,   └ lowmem SketchIndex            + local load
-//!       InMemoryVertexStream)    (Bloom + MinHash,           deltas, apply at
-//!                                 budget-bounded)            sync points)
+//!   ├ InMemorySource         ├ AdjProvider (default:     ├ Sequential
+//!   │  (natural/shuffled/    │   precomputed dedup CSR,  │   (fresh info per
+//!   │   degree order)        │   flat scan; budgeted,    │    vertex)
+//!   └ StreamSource over any  │   hubs fall back to       └ Chunked BSP
+//!      io::stream source     │   epoch traversal)            (frozen snapshot
+//!      (on-disk transpose,   ├ CsrProvider (epoch           + local load
+//!       InMemoryVertexStream)│   scratch over the CSR)      deltas, apply at
+//!                            ├ lowmem ExactIndex            sync points)
+//!                            │   (hash maps, exact,
+//!                            │    reversible)
+//!                            └ lowmem SketchIndex
+//!                                (Bloom + MinHash,
+//!                                 budget-bounded)
 //! ```
 //!
 //! Every combination is valid: [`crate::HyperPraw`] is
-//! `InMemorySource × CsrProvider × Sequential`, [`crate::ParallelHyperPraw`]
-//! swaps in `Chunked`, `hyperpraw-lowmem` runs `StreamSource × IndexProvider`
-//! in either strategy — which is how bulk-synchronous *out-of-core*
-//! partitioning (a scenario none of the original drivers supported) falls
-//! out for free.
+//! `InMemorySource × AdjProvider × Sequential` (the
+//! [`crate::Connectivity`] config axis swaps `CsrProvider` back in),
+//! [`crate::ParallelHyperPraw`] swaps in `Chunked`, `hyperpraw-lowmem`
+//! runs `StreamSource × IndexProvider` in either strategy — which is how
+//! bulk-synchronous *out-of-core* partitioning (a scenario none of the
+//! original drivers supported) falls out for free.
+//!
+//! `AdjProvider` and `CsrProvider` answer the identical distinct-neighbour
+//! query with exact integer counts, so switching between them never
+//! changes a partition: the engine-equivalence suite holds bit for bit
+//! (f64 history equality) under either. What changes is the cost model —
+//! `CsrProvider` re-deduplicates `O(Σ_{e∋v}|e|)` pins per visit on every
+//! pass through an `O(|V|)` epoch scratch per worker, while `AdjProvider`
+//! pays one parallel dedup up front, scans a flat list per visit, and
+//! needs only O(1) worker scratch until a budget-capped *hub* vertex
+//! falls back to traversal.
 //!
 //! The engine also owns the two cross-cutting quality devices the drivers
 //! used to duplicate: the bounded **doubt buffer** (the `k`
@@ -51,18 +67,18 @@ use std::thread;
 
 use hyperpraw_hypergraph::io::stream::VertexRecord;
 use hyperpraw_hypergraph::io::IoResult;
-use hyperpraw_hypergraph::{HyperedgeId, Hypergraph, Partition, VertexId};
+use hyperpraw_hypergraph::{HyperedgeId, Hypergraph, NeighborAdjacency, Partition, VertexId};
 use hyperpraw_topology::CostMatrix;
 
 use crate::history::{IterationRecord, PartitionHistory, StreamPhase};
-use crate::metrics::partitioning_communication_cost;
+use crate::metrics::{partitioning_communication_cost, partitioning_communication_cost_with};
 use crate::value::{best_partition_in, ScoredPartition, ValueScratch};
 use crate::{HyperPrawConfig, RefinementPolicy};
 
 mod provider;
 mod source;
 
-pub use provider::{ConnectivityProvider, CsrProvider};
+pub use provider::{AdjProvider, AdjScratch, ConnectivityProvider, CsrProvider};
 pub use source::{stream_order, InMemorySource, StreamSource, VertexSource};
 
 /// Why the restreaming loop stopped.
@@ -258,22 +274,35 @@ impl CommCostModel for NoCommCost {
 }
 
 /// Exact evaluation over an in-memory hypergraph
-/// ([`partitioning_communication_cost`]).
+/// ([`partitioning_communication_cost`]). When a precomputed
+/// [`NeighborAdjacency`] is supplied — the in-memory drivers share the
+/// provider's — every per-pass evaluation scans flat neighbour lists
+/// instead of re-deduplicating each neighbourhood, with bit-identical
+/// results ([`partitioning_communication_cost_with`]).
 #[derive(Clone, Copy, Debug)]
 pub struct ExactCommCost<'a> {
     hg: &'a Hypergraph,
+    adj: Option<&'a NeighborAdjacency>,
 }
 
 impl<'a> ExactCommCost<'a> {
-    /// Creates a model evaluating against `hg`.
+    /// Creates a model evaluating against `hg` by neighbourhood traversal.
     pub fn new(hg: &'a Hypergraph) -> Self {
-        Self { hg }
+        Self { hg, adj: None }
+    }
+
+    /// Creates a model answering from a precomputed adjacency.
+    pub fn with_adjacency(hg: &'a Hypergraph, adj: &'a NeighborAdjacency) -> Self {
+        Self { hg, adj: Some(adj) }
     }
 }
 
 impl CommCostModel for ExactCommCost<'_> {
     fn comm_cost(&mut self, partition: &Partition, cost: &CostMatrix) -> Option<f64> {
-        Some(partitioning_communication_cost(self.hg, partition, cost))
+        Some(match self.adj {
+            Some(adj) => partitioning_communication_cost_with(self.hg, adj, partition, cost),
+            None => partitioning_communication_cost(self.hg, partition, cost),
+        })
     }
 }
 

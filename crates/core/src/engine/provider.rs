@@ -9,6 +9,14 @@
 //!   per-worker [`NeighborScratch`], counting **distinct neighbour
 //!   vertices** per partition against the assignment the engine passes in.
 //!   Holds no state of its own, so detach/attach are no-ops.
+//! * [`AdjProvider`] — answers the same query from a precomputed
+//!   deduplicated neighbour adjacency ([`NeighborAdjacency`]): one flat,
+//!   cache-linear scan per visit instead of re-deduplicating the
+//!   neighbourhood through the epoch array on every pass. Budget-aware
+//!   and hybrid — hub vertices above the adjacency's degree cutover fall
+//!   back to epoch traversal — and **bit-identical** to [`CsrProvider`]
+//!   (both paths produce the same exact integer counts). This is the
+//!   default in-memory provider.
 //! * `hyperpraw-lowmem`'s `IndexProvider` — answers from a budgeted
 //!   `ConnectivityIndex` (exact hash maps, or Bloom/MinHash sketches),
 //!   counting **connected nets** per partition; attach/detach record and
@@ -18,10 +26,13 @@
 //! [`ConnectivityProvider::Scratch`], so the bulk-synchronous execution
 //! strategy can fan the same provider out across worker threads; all
 //! mutation happens on the engine thread at synchronisation points.
+//! [`AdjProvider`]'s scratch is O(1) until a hub is met (the traversal
+//! scratch materialises lazily), which keeps per-worker memory flat as
+//! the bulk-synchronous strategy scales out.
 
 use hyperpraw_hypergraph::io::stream::VertexRecord;
 use hyperpraw_hypergraph::traversal::NeighborScratch;
-use hyperpraw_hypergraph::{Hypergraph, Partition};
+use hyperpraw_hypergraph::{AdjacencyBudget, Hypergraph, NeighborAdjacency, Partition};
 
 /// Supplies neighbour-partition counts to the restreaming engine and
 /// tracks assignment changes, when the implementation keeps its own
@@ -125,6 +136,88 @@ impl ConnectivityProvider for CsrProvider<'_> {
     }
 }
 
+/// [`ConnectivityProvider`] over a precomputed [`NeighborAdjacency`]:
+/// distinct-neighbour partition counts answered by one flat scan of the
+/// vertex's deduplicated neighbour list — no epoch array, no nested pin
+/// loop. Hub vertices above the adjacency's degree cutover traverse the
+/// hypergraph through a lazily created per-worker [`NeighborScratch`]
+/// instead, so dense instances degrade gracefully rather than exploding
+/// the adjacency quadratically.
+///
+/// Counts are exact integers on both paths, making the provider
+/// bit-identical to [`CsrProvider`] — it slots under the engine's
+/// equivalence guarantees (f64 history bit-equality) unchanged.
+///
+/// The adjacency is either owned ([`AdjProvider::new`] builds it) or
+/// borrowed ([`AdjProvider::from_adjacency`]), so one precomputation can
+/// be shared with other consumers — the in-memory drivers reuse it for
+/// the per-pass comm-cost evaluation
+/// ([`crate::engine::ExactCommCost::with_adjacency`]).
+#[derive(Clone, Debug)]
+pub struct AdjProvider<'a> {
+    hg: &'a Hypergraph,
+    adj: std::borrow::Cow<'a, NeighborAdjacency>,
+}
+
+/// Worker-local scratch of [`AdjProvider`]: empty (O(1)) until the worker
+/// meets a hub vertex, at which point the `O(|V|)` epoch scratch for the
+/// traversal fallback is created once and reused.
+#[derive(Debug, Default)]
+pub struct AdjScratch {
+    fallback: Option<NeighborScratch>,
+}
+
+impl<'a> AdjProvider<'a> {
+    /// Builds the adjacency for `hg` under `budget` and owns it.
+    pub fn new(hg: &'a Hypergraph, budget: AdjacencyBudget) -> Self {
+        Self {
+            hg,
+            adj: std::borrow::Cow::Owned(NeighborAdjacency::build(hg, budget)),
+        }
+    }
+
+    /// Borrows an adjacency built elsewhere (shared across consumers).
+    pub fn from_adjacency(hg: &'a Hypergraph, adj: &'a NeighborAdjacency) -> Self {
+        Self {
+            hg,
+            adj: std::borrow::Cow::Borrowed(adj),
+        }
+    }
+
+    /// The precomputed adjacency in use.
+    pub fn adjacency(&self) -> &NeighborAdjacency {
+        &self.adj
+    }
+}
+
+impl ConnectivityProvider for AdjProvider<'_> {
+    type Scratch = AdjScratch;
+
+    fn new_scratch(&self) -> Self::Scratch {
+        AdjScratch::default()
+    }
+
+    fn needs_nets(&self) -> bool {
+        false
+    }
+
+    fn count(
+        &self,
+        record: &VertexRecord,
+        assignment: &Partition,
+        scratch: &mut Self::Scratch,
+        counts: &mut Vec<u32>,
+    ) {
+        self.adj.neighbor_partition_counts(
+            self.hg,
+            assignment,
+            record.vertex,
+            &mut scratch.fallback,
+            counts,
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,5 +245,56 @@ mod tests {
         assert_eq!(counts, vec![2, 2, 0]);
         // Confidence defaults to the margin.
         assert_eq!(provider.confidence(&record, 0, 0.25), 0.25);
+    }
+
+    #[test]
+    fn adj_provider_matches_csr_provider_counts() {
+        let mut b = HypergraphBuilder::new(6);
+        b.add_hyperedge([0u32, 1, 2]);
+        b.add_hyperedge([2u32, 3, 4]);
+        b.add_hyperedge([4u32, 5]);
+        let hg = b.build();
+        let csr = CsrProvider::new(&hg);
+        let part = Partition::round_robin(6, 3);
+        let mut expected = Vec::new();
+        let mut got = Vec::new();
+        for budget in [
+            AdjacencyBudget::Unbounded,
+            AdjacencyBudget::Auto,
+            AdjacencyBudget::DegreeCutoff(2), // forces hubs onto the fallback
+            AdjacencyBudget::DegreeCutoff(0), // every connected vertex is a hub
+        ] {
+            let adj = AdjProvider::new(&hg, budget);
+            assert!(!adj.needs_nets());
+            let mut csr_scratch = csr.new_scratch();
+            let mut adj_scratch = adj.new_scratch();
+            for v in hg.vertices() {
+                let record = VertexRecord {
+                    vertex: v,
+                    weight: 1.0,
+                    nets: vec![],
+                };
+                csr.count(&record, &part, &mut csr_scratch, &mut expected);
+                adj.count(&record, &part, &mut adj_scratch, &mut got);
+                assert_eq!(got, expected, "budget {budget:?}, vertex {v}");
+            }
+            // The O(|V|) fallback scratch only exists when hubs exist.
+            assert_eq!(
+                adj_scratch.fallback.is_some(),
+                adj.adjacency().num_hubs() > 0,
+                "budget {budget:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn adj_provider_reuses_an_external_adjacency() {
+        let mut b = HypergraphBuilder::new(4);
+        b.add_hyperedge([0u32, 1, 2, 3]);
+        let hg = b.build();
+        let adj = NeighborAdjacency::build(&hg, AdjacencyBudget::Unbounded);
+        let provider = AdjProvider::from_adjacency(&hg, &adj);
+        assert_eq!(provider.adjacency().num_vertices(), 4);
+        assert_eq!(provider.adjacency().distinct_degree(0), 3);
     }
 }

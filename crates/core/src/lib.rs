@@ -35,14 +35,17 @@
 //!   ([`engine::InMemorySource`]), or any on-disk
 //!   `hypergraph::io::stream::VertexStream` via [`engine::StreamSource`];
 //! * **connectivity provider** ([`engine::ConnectivityProvider`]) — where
-//!   the neighbour-partition counts `X_j(v)` come from: exact CSR
+//!   the neighbour-partition counts `X_j(v)` come from: a precomputed
+//!   deduplicated neighbour adjacency ([`engine::AdjProvider`], the
+//!   in-memory default, selected by [`Connectivity`]), exact CSR
 //!   traversal ([`engine::CsrProvider`]), or `hyperpraw-lowmem`'s
-//!   budget-bounded exact/sketched connectivity indices;
+//!   budget-bounded exact/sketched connectivity indices — the in-memory
+//!   providers are interchangeable bit for bit;
 //! * **execution strategy** ([`engine::ExecutionStrategy`]) — sequential
 //!   decisions with fresh information, or bulk-synchronous windows scored
 //!   by worker threads against a frozen snapshot.
 //!
-//! [`HyperPraw`] is `InMemorySource × CsrProvider × Sequential`,
+//! [`HyperPraw`] is `InMemorySource × AdjProvider × Sequential`,
 //! [`ParallelHyperPraw`] swaps in the chunked strategy, and the
 //! `hyperpraw-lowmem` crate instantiates the streamed source with the
 //! sketched providers — in either strategy, which yields parallel
@@ -77,7 +80,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod value;
 
-pub use config::{HyperPrawConfig, RefinementPolicy, StreamOrder};
+pub use config::{Connectivity, HyperPrawConfig, RefinementPolicy, StreamOrder};
 pub use history::{IterationRecord, PartitionHistory, StreamPhase};
 pub use parallel::{ParallelConfig, ParallelHyperPraw};
 pub use restream::{HyperPraw, PartitionResult, StopReason};

@@ -8,7 +8,9 @@
 //! reported in Figure 4.
 
 use hyperpraw_hypergraph::traversal::NeighborScratch;
-use hyperpraw_hypergraph::{metrics as cut_metrics, Hypergraph, Partition, VertexId};
+use hyperpraw_hypergraph::{
+    metrics as cut_metrics, Hypergraph, NeighborAdjacency, Partition, VertexId,
+};
 use hyperpraw_topology::CostMatrix;
 
 /// The communication cost `T_i(v)` of hosting vertex `v` on partition `i`
@@ -53,6 +55,40 @@ pub fn partitioning_communication_cost(
     let mut total = 0.0;
     for v in hg.vertices() {
         scratch.neighbor_partition_counts(hg, partition, v, &mut counts);
+        total += vertex_comm_cost(&counts, partition.part_of(v), cost);
+    }
+    total
+}
+
+/// [`partitioning_communication_cost`] answered through a precomputed
+/// [`NeighborAdjacency`]: every vertex's `X_j(v)` comes from a flat scan
+/// of its deduplicated neighbour list (hubs fall back to epoch traversal)
+/// instead of re-deduplicating the neighbourhood per vertex. Counts are
+/// identical exact integers accumulated in the same vertex order, so the
+/// result is **bit-identical** to the traversal-based evaluation — this is
+/// what lets the refinement stopping rule run on the adjacency without
+/// perturbing the engine-equivalence guarantees.
+pub fn partitioning_communication_cost_with(
+    hg: &Hypergraph,
+    adj: &NeighborAdjacency,
+    partition: &Partition,
+    cost: &CostMatrix,
+) -> f64 {
+    assert_eq!(
+        partition.num_parts() as usize,
+        cost.num_units(),
+        "cost matrix size must match the partition count"
+    );
+    assert_eq!(
+        partition.num_vertices(),
+        hg.num_vertices(),
+        "partition must cover the hypergraph"
+    );
+    let mut fallback = None;
+    let mut counts: Vec<u32> = Vec::new();
+    let mut total = 0.0;
+    for v in hg.vertices() {
+        adj.neighbor_partition_counts(hg, partition, v, &mut fallback, &mut counts);
         total += vertex_comm_cost(&counts, partition.part_of(v), cost);
     }
     total

@@ -30,9 +30,8 @@
 use hyperpraw_hypergraph::Hypergraph;
 use hyperpraw_topology::CostMatrix;
 
-use crate::engine::{
-    CsrProvider, Engine, EngineConfig, ExactCommCost, ExecutionStrategy, InMemorySource,
-};
+use crate::engine::{Engine, EngineConfig, ExecutionStrategy};
+use crate::restream::run_in_memory;
 use crate::{HyperPrawConfig, PartitionResult};
 
 /// Configuration of the parallel driver.
@@ -111,17 +110,7 @@ impl ParallelHyperPraw {
                 sync_interval: self.parallel.sync_interval,
             },
         ));
-        let mut source = InMemorySource::new(hg, self.config.stream_order, self.config.seed);
-        let mut provider = CsrProvider::new(hg);
-        let run = engine
-            .run(
-                &self.cost,
-                &mut source,
-                &mut provider,
-                &mut ExactCommCost::new(hg),
-            )
-            .expect("in-memory sources cannot fail");
-        PartitionResult::from_engine(run)
+        run_in_memory(&engine, hg, &self.config, &self.cost)
     }
 }
 

@@ -1,11 +1,16 @@
 //! The HyperPRAW restreaming driver (Algorithm 1) — a thin instantiation
-//! of the generic [`crate::engine`]: in-memory vertex source × CSR
-//! connectivity provider × sequential execution.
+//! of the generic [`crate::engine`]: in-memory vertex source × the
+//! connectivity provider selected by [`crate::Connectivity`] (precomputed
+//! dedup adjacency by default, CSR traversal on request) × sequential
+//! execution.
 
-use hyperpraw_hypergraph::{Hypergraph, Partition};
+use hyperpraw_hypergraph::{Hypergraph, NeighborAdjacency, Partition};
 use hyperpraw_topology::CostMatrix;
 
-use crate::engine::{CsrProvider, Engine, EngineConfig, EngineRun, ExactCommCost, InMemorySource};
+use crate::engine::{
+    AdjProvider, CsrProvider, Engine, EngineConfig, EngineRun, ExactCommCost, ExecutionStrategy,
+    InMemorySource,
+};
 use crate::history::PartitionHistory;
 use crate::HyperPrawConfig;
 
@@ -85,18 +90,51 @@ impl HyperPraw {
     /// Runs the restreaming algorithm on a hypergraph.
     pub fn partition(&self, hg: &Hypergraph) -> PartitionResult {
         let engine = Engine::new(EngineConfig::restreaming(&self.config));
-        let mut source = InMemorySource::new(hg, self.config.stream_order, self.config.seed);
-        let mut provider = CsrProvider::new(hg);
-        let run = engine
-            .run(
-                &self.cost,
-                &mut source,
-                &mut provider,
-                &mut ExactCommCost::new(hg),
-            )
-            .expect("in-memory sources cannot fail");
-        PartitionResult::from_engine(run)
+        run_in_memory(&engine, hg, &self.config, &self.cost)
     }
+}
+
+/// Shared in-memory instantiation of the engine: the [`InMemorySource`]
+/// stream, the exact cost model, and the connectivity provider selected by
+/// [`HyperPrawConfig::connectivity`] — the precomputed dedup adjacency
+/// ([`AdjProvider`], budgeted per the selection) by default, or the epoch
+/// CSR traversal ([`CsrProvider`]). Both providers produce bit-identical
+/// partitions; used by [`HyperPraw`] and [`crate::ParallelHyperPraw`].
+pub(crate) fn run_in_memory(
+    engine: &Engine,
+    hg: &Hypergraph,
+    config: &HyperPrawConfig,
+    cost: &CostMatrix,
+) -> PartitionResult {
+    let mut source = InMemorySource::new(hg, config.stream_order, config.seed);
+    let run = match config.connectivity.adjacency_budget() {
+        None => engine.run(
+            cost,
+            &mut source,
+            &mut CsrProvider::new(hg),
+            &mut ExactCommCost::new(hg),
+        ),
+        Some(budget) => {
+            // One precomputation serves both hot consumers: the per-visit
+            // X_j(v) queries and the per-pass comm-cost evaluation. The
+            // build honours the driver's threading contract — the
+            // sequential driver stays single-threaded end to end, the
+            // bulk-synchronous driver never exceeds its worker count.
+            let max_threads = match engine.config().strategy {
+                ExecutionStrategy::Sequential => 1,
+                ExecutionStrategy::Chunked { num_threads, .. } => num_threads,
+            };
+            let adj = NeighborAdjacency::build_with_threads(hg, budget, max_threads);
+            engine.run(
+                cost,
+                &mut source,
+                &mut AdjProvider::from_adjacency(hg, &adj),
+                &mut ExactCommCost::with_adjacency(hg, &adj),
+            )
+        }
+    }
+    .expect("in-memory sources cannot fail");
+    PartitionResult::from_engine(run)
 }
 
 impl PartitionResult {

@@ -14,8 +14,8 @@ use hyperpraw_core::history::{IterationRecord, PartitionHistory, StreamPhase};
 use hyperpraw_core::metrics::partitioning_communication_cost;
 use hyperpraw_core::value::value_of;
 use hyperpraw_core::{
-    CostMatrix, HyperPraw, HyperPrawConfig, ParallelConfig, ParallelHyperPraw, RefinementPolicy,
-    StopReason, StreamOrder,
+    Connectivity, CostMatrix, HyperPraw, HyperPrawConfig, ParallelConfig, ParallelHyperPraw,
+    RefinementPolicy, StopReason, StreamOrder,
 };
 use hyperpraw_hypergraph::generators::{
     mesh_hypergraph, powerlaw_hypergraph, random_hypergraph, MeshConfig, PowerLawConfig,
@@ -266,6 +266,26 @@ fn sequential_engine_matches_across_configurations() {
         ),
     ] {
         assert_bit_identical(&hg, config, CostMatrix::uniform(6), label);
+    }
+}
+
+#[test]
+fn every_connectivity_provider_is_bit_identical_to_the_reference() {
+    // The provider axis must be quality-neutral: the precomputed dedup
+    // adjacency (unbounded or auto-budgeted) and the epoch CSR traversal
+    // all reproduce the frozen seed loop bit for bit, f64 history included.
+    let machine = MachineModel::archer_like(16);
+    let cost = CostMatrix::from_bandwidth(&BandwidthMatrix::from_machine(&machine, 0.05, 1));
+    for (name, hg) in suite() {
+        for connectivity in [
+            Connectivity::Csr,
+            Connectivity::Adjacency,
+            Connectivity::Auto,
+        ] {
+            let config = HyperPrawConfig::default().with_connectivity(connectivity);
+            let label = format!("{name}/{}", connectivity.name());
+            assert_bit_identical(&hg, config, cost.clone(), &label);
+        }
     }
 }
 

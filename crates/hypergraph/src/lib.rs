@@ -50,11 +50,13 @@ mod hypergraph;
 mod partition;
 mod stats;
 
+pub mod adjacency;
 pub mod generators;
 pub mod io;
 pub mod metrics;
 pub mod traversal;
 
+pub use adjacency::{AdjacencyBudget, NeighborAdjacency};
 pub use builder::HypergraphBuilder;
 pub use hypergraph::{HyperedgeId, Hypergraph, VertexId};
 pub use partition::{Partition, PartitionError};

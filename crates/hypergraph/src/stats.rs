@@ -27,6 +27,12 @@ pub struct HypergraphStats {
     pub avg_degree: f64,
     /// Maximum vertex degree.
     pub max_degree: usize,
+    /// Upper bound on the deduplicated neighbour-adjacency size
+    /// (`Σ_e |e|·(|e|−1)`, the number of ordered neighbour pairs before
+    /// deduplication). The ratio of this bound to the pin count is what
+    /// decides whether a full [`crate::NeighborAdjacency`] stays linear in
+    /// the input or needs the budgeted hub cutover.
+    pub adjacency_upper_bound: usize,
 }
 
 impl HypergraphStats {
@@ -46,18 +52,25 @@ impl HypergraphStats {
             },
             avg_degree: hg.avg_degree(),
             max_degree: hg.max_degree(),
+            adjacency_upper_bound: hg
+                .hyperedges()
+                .map(|e| {
+                    let c = hg.cardinality(e);
+                    c * c.saturating_sub(1)
+                })
+                .sum(),
         }
     }
 
     /// Header row matching [`HypergraphStats::csv_row`].
     pub fn csv_header() -> &'static str {
-        "name,vertices,hyperedges,pins,avg_cardinality,max_cardinality,edge_vertex_ratio,avg_degree,max_degree"
+        "name,vertices,hyperedges,pins,avg_cardinality,max_cardinality,edge_vertex_ratio,avg_degree,max_degree,adjacency_upper_bound"
     }
 
     /// Comma-separated row, for the Table 1 harness output.
     pub fn csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{:.2},{},{:.2},{:.2},{}",
+            "{},{},{},{},{:.2},{},{:.2},{:.2},{},{}",
             self.name,
             self.vertices,
             self.hyperedges,
@@ -66,7 +79,8 @@ impl HypergraphStats {
             self.max_cardinality,
             self.edge_vertex_ratio,
             self.avg_degree,
-            self.max_degree
+            self.max_degree,
+            self.adjacency_upper_bound
         )
     }
 }
@@ -111,6 +125,8 @@ mod tests {
         assert!((s.edge_vertex_ratio - 0.4).abs() < 1e-12);
         assert!((s.avg_degree - 1.2).abs() < 1e-12);
         assert_eq!(s.max_degree, 2);
+        // 4·3 + 2·1 ordered neighbour pairs before deduplication.
+        assert_eq!(s.adjacency_upper_bound, 14);
     }
 
     #[test]

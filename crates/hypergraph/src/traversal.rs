@@ -82,11 +82,15 @@ impl NeighborScratch {
     }
 }
 
-/// Number of distinct neighbours of `v` (allocating convenience wrapper).
-pub fn degree_in_neighbors(hg: &Hypergraph, v: VertexId) -> usize {
-    NeighborScratch::new(hg.num_vertices())
-        .neighbors(hg, v)
-        .len()
+/// Number of distinct neighbours of `v`, computed through the caller's
+/// reusable `scratch` (no per-call allocation).
+///
+/// When many degrees are needed, or when a
+/// [`crate::NeighborAdjacency`] already exists for the hypergraph, prefer
+/// [`crate::NeighborAdjacency::distinct_degree`], which answers in O(1)
+/// from the precomputed structure.
+pub fn degree_in_neighbors(hg: &Hypergraph, v: VertexId, scratch: &mut NeighborScratch) -> usize {
+    scratch.neighbors(hg, v).len()
 }
 
 /// Returns the connected components of the hypergraph (two vertices are
@@ -199,8 +203,9 @@ mod tests {
     #[test]
     fn degree_in_neighbors_counts_distinct_vertices() {
         let hg = sample();
-        assert_eq!(degree_in_neighbors(&hg, 2), 3);
-        assert_eq!(degree_in_neighbors(&hg, 4), 0);
+        let mut scratch = NeighborScratch::new(hg.num_vertices());
+        assert_eq!(degree_in_neighbors(&hg, 2, &mut scratch), 3);
+        assert_eq!(degree_in_neighbors(&hg, 4, &mut scratch), 0);
     }
 
     #[test]

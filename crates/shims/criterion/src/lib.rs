@@ -8,23 +8,101 @@
 //! [`BenchmarkId`], [`Bencher::iter`], [`black_box`], and the
 //! [`criterion_group!`] / [`criterion_main!`] macros.
 //!
-//! Instead of criterion's statistical analysis it reports the mean
-//! wall-clock time of up to `sample_size` runs, bounded by a per-benchmark
-//! time budget so accidental invocations stay cheap. Passing `--test` (as
-//! `cargo test --benches` does) runs every benchmark exactly once without
-//! timing, mirroring criterion's smoke-test mode.
+//! Instead of criterion's statistical analysis it reports the mean and
+//! median wall-clock time of up to `sample_size` runs, bounded by a
+//! per-benchmark time budget so accidental invocations stay cheap. Passing
+//! `--test` (as `cargo test --benches` does) runs every benchmark exactly
+//! once without timing, mirroring criterion's smoke-test mode.
+//!
+//! On top of the console report, every bench binary writes a
+//! machine-readable artefact `BENCH_<bench>.json` (benchmark id → median
+//! milliseconds) so the perf trajectory can be tracked across PRs instead
+//! of living only in commit messages. The output directory defaults to
+//! `target/` and is overridable via `HYPERPRAW_BENCH_JSON_DIR`; nothing is
+//! written in `--test` mode (single untimed runs are not measurements).
 //!
 //! [`criterion`]: https://crates.io/crates/criterion
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+use std::collections::BTreeMap;
 use std::fmt;
 use std::hint;
+use std::path::PathBuf;
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Maximum wall-clock time spent measuring one benchmark.
 const TIME_BUDGET: Duration = Duration::from_secs(2);
+
+/// Process-wide registry of measured medians (benchmark id → ms), flushed
+/// to `BENCH_<bench>.json` by [`write_json_report`].
+fn registry() -> &'static Mutex<BTreeMap<String, f64>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, f64>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The stem of the running bench binary with cargo's `-<hash>` suffix
+/// stripped: `target/release/deps/partitioners-0f3a…` → `partitioners`.
+fn bench_stem() -> String {
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "bench".to_string());
+    match stem.rsplit_once('-') {
+        Some((name, hash)) if !name.is_empty() && hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+            name.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// The workspace `target/` directory the running bench binary lives in
+/// (cargo executes benches with the *package* directory as CWD, so a
+/// relative `target/` would scatter artefacts across crates). Falls back
+/// to `target` under the CWD when the exe path gives no hint.
+fn default_json_dir() -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.ancestors()
+                .find(|a| a.file_name().is_some_and(|n| n == "target"))
+                .map(PathBuf::from)
+        })
+        .unwrap_or_else(|| PathBuf::from("target"))
+}
+
+/// Writes the collected medians as `BENCH_<bench>.json` (benchmark id →
+/// median milliseconds, sorted by id) into `HYPERPRAW_BENCH_JSON_DIR`
+/// (default `target/`). Called by [`criterion_main!`] after every group
+/// has run; a no-op when nothing was measured (e.g. `--test` mode).
+pub fn write_json_report() {
+    let results = registry().lock().expect("bench registry poisoned");
+    if results.is_empty() {
+        return;
+    }
+    let dir = std::env::var_os("HYPERPRAW_BENCH_JSON_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(default_json_dir);
+    let path = dir.join(format!("BENCH_{}.json", bench_stem()));
+    let mut json = String::from("{\n");
+    for (i, (id, ms)) in results.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&format!("  \"{id}\": {ms:.3}"));
+    }
+    json.push_str("\n}\n");
+    if std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(&path, json))
+        .is_ok()
+    {
+        println!("bench medians written to {}", path.display());
+    } else {
+        eprintln!("warning: could not write {}", path.display());
+    }
+}
 
 /// Prevents the compiler from optimising away a benchmarked value.
 pub fn black_box<T>(value: T) -> T {
@@ -115,7 +193,7 @@ impl BenchmarkGroup<'_> {
         let id = id.into();
         let mut bencher = Bencher {
             sample_size: if self.test_mode { 1 } else { self.sample_size },
-            samples: 0,
+            samples: Vec::new(),
             elapsed: Duration::ZERO,
         };
         routine(&mut bencher);
@@ -140,22 +218,31 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 
     fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
-        if bencher.samples == 0 {
+        if bencher.samples.is_empty() {
             println!("{}/{}: no samples", self.name, id.id);
             return;
         }
-        let mean = bencher.elapsed / bencher.samples;
+        let mean = bencher.elapsed / bencher.samples.len() as u32;
+        let median = bencher.median();
         println!(
-            "{}/{}: mean {mean:?} over {} sample(s)",
-            self.name, id.id, bencher.samples
+            "{}/{}: mean {mean:?} median {median:?} over {} sample(s)",
+            self.name,
+            id.id,
+            bencher.samples.len()
         );
+        if !self.test_mode {
+            registry().lock().expect("bench registry poisoned").insert(
+                format!("{}/{}", self.name, id.id),
+                median.as_secs_f64() * 1e3,
+            );
+        }
     }
 }
 
 /// Times a closure handed to it by a benchmark routine.
 pub struct Bencher {
     sample_size: usize,
-    samples: u32,
+    samples: Vec<Duration>,
     elapsed: Duration,
 }
 
@@ -167,12 +254,20 @@ impl Bencher {
         for _ in 0..self.sample_size {
             let before = Instant::now();
             black_box(routine());
-            self.elapsed += before.elapsed();
-            self.samples += 1;
+            let took = before.elapsed();
+            self.elapsed += took;
+            self.samples.push(took);
             if started.elapsed() > TIME_BUDGET {
                 break;
             }
         }
+    }
+
+    /// Median of the recorded samples (lower middle for even counts).
+    fn median(&self) -> Duration {
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        sorted[(sorted.len() - 1) / 2]
     }
 }
 
@@ -187,12 +282,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Declares the `main` entry point of a bench binary.
+/// Declares the `main` entry point of a bench binary. After every group
+/// has run, the measured medians are flushed to `BENCH_<bench>.json` (see
+/// [`write_json_report`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
@@ -212,6 +310,45 @@ mod tests {
         });
         group.finish();
         assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn medians_are_registered_for_the_json_report() {
+        let mut c = Criterion { test_mode: false };
+        let mut group = c.benchmark_group("shim_json");
+        group.sample_size(3);
+        group.bench_function("registered", |b| {
+            b.iter(|| std::thread::sleep(Duration::from_micros(50)))
+        });
+        group.finish();
+        let reg = registry().lock().unwrap();
+        let median = reg
+            .get("shim_json/registered")
+            .expect("median must be registered outside test mode");
+        assert!(*median > 0.0);
+    }
+
+    #[test]
+    fn test_mode_does_not_pollute_the_registry() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("shim_json");
+        group.bench_function("skipped", |b| b.iter(|| ()));
+        group.finish();
+        assert!(!registry().lock().unwrap().contains_key("shim_json/skipped"));
+    }
+
+    #[test]
+    fn bench_stem_strips_cargo_hashes() {
+        // The test binary itself is `hyperpraw_criterion-<hex>`; the hash
+        // must be stripped, the crate stem kept.
+        let stem = bench_stem();
+        assert!(!stem.is_empty());
+        assert!(
+            !stem
+                .rsplit_once('-')
+                .is_some_and(|(_, h)| h.len() >= 8 && h.chars().all(|c| c.is_ascii_hexdigit())),
+            "hash suffix survived in {stem:?}"
+        );
     }
 
     #[test]
