@@ -38,7 +38,7 @@ fn main() {
                 inst.paper_name().to_string(),
                 format!("{f:.2}"),
                 result.iterations.to_string(),
-                format!("{:.0}", result.comm_cost),
+                format!("{:.0}", result.comm_cost.unwrap_or(f64::NAN)),
                 format!("{:.3}", result.imbalance),
             ]);
             csv.push_str(&format!(
@@ -46,7 +46,7 @@ fn main() {
                 inst.paper_name(),
                 f,
                 result.iterations,
-                result.comm_cost,
+                result.comm_cost.unwrap_or(f64::NAN),
                 result.imbalance
             ));
         }
@@ -77,7 +77,7 @@ fn main() {
                 inst.paper_name().to_string(),
                 format!("{t:.1}"),
                 result.iterations.to_string(),
-                format!("{:.0}", result.comm_cost),
+                format!("{:.0}", result.comm_cost.unwrap_or(f64::NAN)),
                 format!("{:.3}", result.imbalance),
             ]);
             csv.push_str(&format!(
@@ -85,7 +85,7 @@ fn main() {
                 inst.paper_name(),
                 t,
                 result.iterations,
-                result.comm_cost,
+                result.comm_cost.unwrap_or(f64::NAN),
                 result.imbalance
             ));
         }
@@ -125,7 +125,7 @@ fn main() {
                 inst.paper_name().to_string(),
                 name.to_string(),
                 result.iterations.to_string(),
-                format!("{:.0}", result.comm_cost),
+                format!("{:.0}", result.comm_cost.unwrap_or(f64::NAN)),
                 format!("{:.3}", result.imbalance),
             ]);
             csv.push_str(&format!(
@@ -133,7 +133,7 @@ fn main() {
                 inst.paper_name(),
                 name,
                 result.iterations,
-                result.comm_cost,
+                result.comm_cost.unwrap_or(f64::NAN),
                 result.imbalance
             ));
         }

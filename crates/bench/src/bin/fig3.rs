@@ -39,7 +39,7 @@ fn main() {
                 .with_seed(cfg.seed);
             let result = run_hyperpraw(&hg, testbed.cost.clone(), config);
             let series = result.history.comm_cost_series();
-            let final_cost = result.comm_cost;
+            let final_cost = result.comm_cost.unwrap_or(f64::NAN);
             println!(
                 "{name:<16} iterations {:>3}  final comm cost {:>12.1}  {}",
                 result.iterations,

@@ -4,16 +4,14 @@
 //! For every instance it reports hyperedge cut, SOED, imbalance, the
 //! connectivity-index memory and the wall-clock time of (a) in-memory
 //! HyperPRAW-aware restreaming, (b) the lowmem exact-index one-pass
-//! stream and (c) the lowmem sketched one-pass stream at two budgets.
+//! stream and (c) the lowmem sketched one-pass stream at two budgets —
+//! all dispatched through the facade's unified `PartitionJob` API.
 //! Writes `lowmem_compare.csv` under `HYPERPRAW_OUT`.
 
-use std::time::Instant;
-
+use hyperpraw::api::{Algorithm, PartitionJob};
+use hyperpraw::report::PartitionReport;
 use hyperpraw_bench::{ascii_table, ExperimentConfig, Testbed};
-use hyperpraw_core::{HyperPraw, HyperPrawConfig};
-use hyperpraw_hypergraph::generators::suite::PaperInstance;
-use hyperpraw_hypergraph::{metrics, Hypergraph, Partition};
-use hyperpraw_lowmem::{IndexKind, LowMemConfig, LowMemPartitioner, MemoryBudget};
+use hyperpraw_lowmem::MemoryBudget;
 
 struct Row {
     instance: String,
@@ -25,78 +23,66 @@ struct Row {
     millis: f64,
 }
 
-fn measure(
-    instance: &str,
-    method: &str,
-    hg: &Hypergraph,
-    run: impl FnOnce() -> (Partition, usize),
-) -> Row {
-    let started = Instant::now();
-    let (partition, index_bytes) = run();
-    let millis = started.elapsed().as_secs_f64() * 1e3;
-    Row {
-        instance: instance.to_string(),
-        method: method.to_string(),
-        cut: metrics::hyperedge_cut(hg, &partition),
-        soed: metrics::soed(hg, &partition),
-        imbalance: partition.imbalance(hg).unwrap_or(f64::NAN),
-        index_bytes,
-        millis,
+impl Row {
+    /// Extracts a comparison row from a job report. The in-memory
+    /// restreamer has no connectivity index; its working state is
+    /// dominated by the CSR pin storage the caller passes as a fallback.
+    fn from_report(
+        instance: &str,
+        method: &str,
+        report: &PartitionReport,
+        fallback_bytes: usize,
+    ) -> Self {
+        Self {
+            instance: instance.to_string(),
+            method: method.to_string(),
+            cut: report.hyperedge_cut.unwrap_or(0),
+            soed: report.soed.unwrap_or(0),
+            imbalance: report.imbalance,
+            index_bytes: report
+                .lowmem
+                .map(|s| s.index_memory_bytes)
+                .unwrap_or(fallback_bytes),
+            millis: report.timings.partition_secs * 1e3,
+        }
     }
 }
 
 fn main() {
     let cfg = ExperimentConfig::from_env();
     let testbed = Testbed::archer(cfg.procs, 0, cfg.seed);
+    let job = |algorithm: Algorithm| {
+        PartitionJob::new(algorithm)
+            .cost(testbed.cost.clone())
+            .seed(cfg.seed)
+    };
     let mut rows: Vec<Row> = Vec::new();
 
     for inst in [
-        PaperInstance::TwoCubesSphere,
-        PaperInstance::AbacusShellHd,
-        PaperInstance::Sparsine,
+        hyperpraw_hypergraph::generators::suite::PaperInstance::TwoCubesSphere,
+        hyperpraw_hypergraph::generators::suite::PaperInstance::AbacusShellHd,
+        hyperpraw_hypergraph::generators::suite::PaperInstance::Sparsine,
     ] {
         let hg = cfg.instance(inst);
         let name = inst.paper_name();
+        let pin_bytes = hg.num_pins() * 8;
 
-        rows.push(measure(name, "hyperpraw-aware", &hg, || {
-            let config = HyperPrawConfig::default().with_seed(cfg.seed);
-            let result = HyperPraw::aware(config, testbed.cost.clone()).partition(&hg);
-            // The restreamer's working state is dominated by the CSR
-            // hypergraph itself: report its pin storage as "index" memory.
-            (result.partition, hg.num_pins() * 8)
-        }));
+        let aware = job(Algorithm::HyperPrawAware).run(&hg).unwrap();
+        rows.push(Row::from_report(name, "hyperpraw-aware", &aware, pin_bytes));
 
-        rows.push(measure(name, "lowmem-exact", &hg, || {
-            let result = LowMemPartitioner::new(
-                LowMemConfig {
-                    index: IndexKind::Exact,
-                    seed: cfg.seed,
-                    ..LowMemConfig::default()
-                },
-                testbed.cost.clone(),
-            )
-            .partition_hypergraph(&hg);
-            (result.partition, result.index_memory_bytes)
-        }));
+        let exact = job(Algorithm::LowMemExact).run(&hg).unwrap();
+        rows.push(Row::from_report(name, "lowmem-exact", &exact, 0));
 
         for budget_mib in [1usize, 16] {
-            rows.push(measure(
+            let sketched = job(Algorithm::LowMemSketched)
+                .memory_budget(MemoryBudget::mebibytes(budget_mib))
+                .run(&hg)
+                .unwrap();
+            rows.push(Row::from_report(
                 name,
                 &format!("lowmem-sketched-{budget_mib}MiB"),
-                &hg,
-                || {
-                    let result = LowMemPartitioner::new(
-                        LowMemConfig {
-                            budget: MemoryBudget::mebibytes(budget_mib),
-                            index: IndexKind::Sketched,
-                            seed: cfg.seed,
-                            ..LowMemConfig::default()
-                        },
-                        testbed.cost.clone(),
-                    )
-                    .partition_hypergraph(&hg);
-                    (result.partition, result.index_memory_bytes)
-                },
+                &sketched,
+                0,
             ));
         }
     }

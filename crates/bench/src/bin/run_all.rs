@@ -22,7 +22,16 @@ use std::time::Instant;
 use hyperpraw_bench::ExperimentConfig;
 
 fn main() {
-    let bins = ["table1", "fig1", "fig3", "fig4", "fig5", "fig6", "ablation"];
+    let bins = [
+        "table1",
+        "fig1",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "ablation",
+        "lowmem_compare",
+    ];
     let exe_dir = std::env::current_exe()
         .ok()
         .and_then(|p| p.parent().map(|d| d.to_path_buf()));

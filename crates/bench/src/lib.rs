@@ -23,13 +23,11 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use hyperpraw_core::{
-    metrics::QualityReport, CostMatrix, HyperPraw, HyperPrawConfig, PartitionResult,
-};
+use hyperpraw::api::{Algorithm, PartitionJob};
+use hyperpraw::report::PartitionReport;
+use hyperpraw_core::{metrics::QualityReport, CostMatrix, HyperPrawConfig};
 use hyperpraw_hypergraph::generators::suite::{PaperInstance, SuiteConfig};
 use hyperpraw_hypergraph::{Hypergraph, Partition};
-use hyperpraw_lowmem::{LowMemConfig, LowMemPartitioner};
-use hyperpraw_multilevel::{MultilevelConfig, MultilevelPartitioner};
 use hyperpraw_netsim::{
     BenchmarkConfig, BenchmarkResult, LinkModel, RingProfiler, SyntheticBenchmark,
 };
@@ -232,6 +230,40 @@ impl Strategy {
         }
     }
 
+    /// The facade [`Algorithm`] this strategy dispatches to.
+    pub fn algorithm(&self) -> Algorithm {
+        match self {
+            Strategy::ZoltanLike => Algorithm::MultilevelBaseline,
+            Strategy::HyperPrawBasic => Algorithm::HyperPrawBasic,
+            Strategy::HyperPrawAware => Algorithm::HyperPrawAware,
+            Strategy::LowMemSketched => Algorithm::LowMemSketched,
+        }
+    }
+
+    /// The [`PartitionJob`] this strategy runs on the given testbed: every
+    /// strategy is handed the profiled cost matrix (the oblivious
+    /// algorithms ignore it for partitioning but are evaluated against it,
+    /// as in the paper's Figure 4C).
+    pub fn job(&self, testbed: &Testbed, procs: usize, seed: u64) -> PartitionJob {
+        PartitionJob::new(self.algorithm())
+            .partitions(procs as u32)
+            .cost(testbed.cost.clone())
+            .seed(seed)
+    }
+
+    /// Runs this strategy on the given testbed, returning the full report.
+    pub fn run(
+        &self,
+        hg: &Hypergraph,
+        testbed: &Testbed,
+        procs: usize,
+        seed: u64,
+    ) -> PartitionReport {
+        self.job(testbed, procs, seed)
+            .run(hg)
+            .unwrap_or_else(|e| panic!("{}: {e}", self.name()))
+    }
+
     /// Partitions a hypergraph with this strategy on the given testbed.
     pub fn partition(
         &self,
@@ -240,47 +272,22 @@ impl Strategy {
         procs: usize,
         seed: u64,
     ) -> Partition {
-        match self {
-            Strategy::ZoltanLike => {
-                MultilevelPartitioner::new(MultilevelConfig::default().with_seed(seed))
-                    .partition(hg, procs as u32)
-            }
-            Strategy::HyperPrawBasic => {
-                HyperPraw::basic(HyperPrawConfig::default().with_seed(seed), procs as u32)
-                    .partition(hg)
-                    .partition
-            }
-            Strategy::HyperPrawAware => {
-                HyperPraw::aware(
-                    HyperPrawConfig::default().with_seed(seed),
-                    testbed.cost.clone(),
-                )
-                .partition(hg)
-                .partition
-            }
-            Strategy::LowMemSketched => {
-                LowMemPartitioner::new(
-                    LowMemConfig {
-                        seed,
-                        ..LowMemConfig::default()
-                    },
-                    testbed.cost.clone(),
-                )
-                .partition_hypergraph(hg)
-                .partition
-            }
-        }
+        self.run(hg, testbed, procs, seed).partition
     }
 }
 
-/// Runs HyperPRAW and returns the full result (with history), used by the
-/// Figure 3 and ablation binaries.
+/// Runs HyperPRAW-aware through the unified job API and returns the full
+/// report (with history), used by the Figure 3 and ablation binaries.
 pub fn run_hyperpraw(
     hg: &Hypergraph,
     cost: CostMatrix,
     config: HyperPrawConfig,
-) -> PartitionResult {
-    HyperPraw::new(config, cost).partition(hg)
+) -> PartitionReport {
+    PartitionJob::new(Algorithm::HyperPrawAware)
+        .cost(cost)
+        .hyperpraw_config(config)
+        .run(hg)
+        .expect("valid bench configuration")
 }
 
 /// One row of the Figure 4 quality comparison.
@@ -420,12 +427,18 @@ pub fn quality_experiment(cfg: &ExperimentConfig, instances: &[PaperInstance]) -
     for inst in instances {
         let hg = cfg.instance(*inst);
         for strategy in Strategy::all() {
-            let part = strategy.partition(&hg, &testbed, cfg.procs, cfg.seed);
-            let quality = QualityReport::compute(&hg, &part, &testbed.cost);
+            // The job evaluates every strategy against the same profiled
+            // cost matrix, so the report's metrics are the Figure 4 rows.
+            let report = strategy.run(&hg, &testbed, cfg.procs, cfg.seed);
             rows.push(QualityRow {
                 instance: inst.paper_name().to_string(),
                 strategy: strategy.name(),
-                quality,
+                quality: QualityReport {
+                    hyperedge_cut: report.hyperedge_cut.unwrap_or(0),
+                    soed: report.soed.unwrap_or(0),
+                    comm_cost: report.comm_cost.unwrap_or(f64::NAN),
+                    imbalance: report.imbalance,
+                },
             });
         }
     }

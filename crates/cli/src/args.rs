@@ -1,75 +1,14 @@
 //! Hand-rolled command-line argument parsing for the `hyperpraw` tool.
+//!
+//! Algorithm and connectivity selection parse straight into the facade's
+//! [`Algorithm`] and [`Connectivity`] types — the CLI owns no partitioner
+//! enums of its own.
 
 use std::fmt;
 use std::path::PathBuf;
 
-/// Partitioning algorithm selectable from the command line.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Algorithm {
-    /// HyperPRAW with a profiled (architecture-aware) cost matrix.
-    Aware,
-    /// HyperPRAW with a uniform cost matrix.
-    Basic,
-    /// Multilevel recursive bisection (Zoltan-like baseline).
-    Multilevel,
-    /// Round-robin assignment (naive baseline).
-    RoundRobin,
-}
-
-impl Algorithm {
-    fn parse(s: &str) -> Result<Self, ParseError> {
-        match s {
-            "aware" | "hyperpraw-aware" => Ok(Self::Aware),
-            "basic" | "hyperpraw-basic" => Ok(Self::Basic),
-            "multilevel" | "zoltan" => Ok(Self::Multilevel),
-            "round-robin" | "rr" => Ok(Self::RoundRobin),
-            other => Err(ParseError::InvalidValue {
-                option: "--algorithm".into(),
-                value: other.into(),
-                expected: "aware | basic | multilevel | round-robin".into(),
-            }),
-        }
-    }
-
-    /// Name as printed in reports.
-    pub fn name(&self) -> &'static str {
-        match self {
-            Self::Aware => "hyperpraw-aware",
-            Self::Basic => "hyperpraw-basic",
-            Self::Multilevel => "multilevel",
-            Self::RoundRobin => "round-robin",
-        }
-    }
-}
-
-/// In-memory connectivity provider selectable from the command line
-/// (HyperPRAW algorithms only; quality-neutral, see
-/// `hyperpraw_core::Connectivity`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
-pub enum ConnectivityChoice {
-    /// Epoch-marked CSR traversal (no precomputation).
-    Csr,
-    /// Precomputed dedup adjacency with unbounded flat lists.
-    Adjacency,
-    /// Precomputed adjacency under the automatic memory budget (default).
-    #[default]
-    Auto,
-}
-
-impl ConnectivityChoice {
-    fn parse(s: &str) -> Result<Self, ParseError> {
-        match s {
-            "csr" => Ok(Self::Csr),
-            "adjacency" | "adj" => Ok(Self::Adjacency),
-            "auto" => Ok(Self::Auto),
-            other => Err(ParseError::InvalidValue {
-                option: "--connectivity".into(),
-                value: other.into(),
-                expected: "csr | adjacency | auto".into(),
-            }),
-        }
-    }
-}
+use hyperpraw::api::Algorithm;
+use hyperpraw::core::Connectivity;
 
 /// Machine model preset selectable from the command line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -143,6 +82,11 @@ pub enum Command {
         seed: u64,
         /// Where to write the assignment (one partition id per line).
         output: Option<PathBuf>,
+        /// Emit the `PartitionReport` as JSON on stdout instead of the
+        /// text summary.
+        json: bool,
+        /// Also write the JSON report to this path.
+        json_out: Option<PathBuf>,
     },
     /// Partition a hypergraph file.
     Partition {
@@ -150,7 +94,7 @@ pub enum Command {
         input: PathBuf,
         /// Number of partitions (compute units).
         parts: u32,
-        /// Algorithm to use.
+        /// Algorithm to use (any facade [`Algorithm`]).
         algorithm: Algorithm,
         /// Machine preset used to derive the cost matrix (aware) and the
         /// benchmark link model.
@@ -159,12 +103,20 @@ pub enum Command {
         imbalance: f64,
         /// Connectivity provider for the HyperPRAW algorithms (ignored by
         /// the multilevel and round-robin baselines).
-        connectivity: ConnectivityChoice,
+        connectivity: Connectivity,
+        /// Worker threads for the parallel algorithms (`None` keeps each
+        /// driver's default).
+        threads: Option<usize>,
         /// RNG seed.
         seed: u64,
         /// Where to write the assignment (one partition id per line); stdout
         /// summary only when absent.
         output: Option<PathBuf>,
+        /// Emit the `PartitionReport` as JSON on stdout instead of the
+        /// text summary.
+        json: bool,
+        /// Also write the JSON report to this path.
+        json_out: Option<PathBuf>,
     },
     /// Profile a machine preset and write its bandwidth matrix as CSV.
     Profile {
@@ -245,15 +197,20 @@ pub fn usage() -> String {
      \n\
      USAGE:\n\
        hyperpraw stats     <input>\n\
-       hyperpraw partition <input> --parts N [--algorithm aware|basic|multilevel|round-robin]\n\
+       hyperpraw partition <input> --parts N\n\
+                           [--algorithm aware|basic|parallel|parallel-basic|lowmem|lowmem-exact|multilevel|round-robin]\n\
                            [--machine archer|cluster|cloud|flat] [--imbalance 1.1]\n\
-                           [--connectivity csr|adjacency|auto] [--seed N] [--output assignment.txt]\n\
+                           [--connectivity csr|adjacency|auto] [--threads N] [--seed N]\n\
+                           [--output assignment.txt] [--json] [--json-out report.json]\n\
        hyperpraw lowmem    <input> --parts N [--budget-mib 64] [--exact] [--restream K]\n\
                            [--passes N] [--rebuild-sketches] [--threads N]\n\
-                           [--machine archer|cluster|cloud|flat] [--seed N] [--output assignment.txt]\n\
+                           [--machine archer|cluster|cloud|flat] [--seed N]\n\
+                           [--output assignment.txt] [--json] [--json-out report.json]\n\
        hyperpraw profile   --machine archer|cluster|cloud|flat --procs N [--output bw.csv]\n\
        hyperpraw benchmark <input> <assignment> [--machine archer|...] [--bytes 1024] [--supersteps 1]\n\
      \n\
+     All algorithms dispatch through the facade's unified PartitionJob API; --json emits the\n\
+     common PartitionReport as machine-readable JSON.\n\
      Input formats: hMetis .hgr, MatrixMarket .mtx (row-net model), anything else is read\n\
      as a whitespace edge list (one hyperedge per line, 0-based vertex ids)."
         .to_string()
@@ -265,6 +222,22 @@ fn parse_number<T: std::str::FromStr>(option: &str, value: &str) -> Result<T, Pa
         option: option.into(),
         value: value.into(),
         expected: "a number".into(),
+    })
+}
+
+fn parse_algorithm(value: &str) -> Result<Algorithm, ParseError> {
+    Algorithm::parse(value).map_err(|_| ParseError::InvalidValue {
+        option: "--algorithm".into(),
+        value: value.into(),
+        expected: Algorithm::expected_names().into(),
+    })
+}
+
+fn parse_connectivity(value: &str) -> Result<Connectivity, ParseError> {
+    Connectivity::parse(value).map_err(|_| ParseError::InvalidValue {
+        option: "--connectivity".into(),
+        value: value.into(),
+        expected: Connectivity::expected_names().into(),
     })
 }
 
@@ -290,12 +263,15 @@ impl Cli {
             "partition" => {
                 let input = positional(&rest, 0, "input")?;
                 let mut parts: Option<u32> = None;
-                let mut algorithm = Algorithm::Aware;
+                let mut algorithm = Algorithm::HyperPrawAware;
                 let mut machine = MachinePreset::Archer;
                 let mut imbalance = 1.1f64;
-                let mut connectivity = ConnectivityChoice::default();
+                let mut connectivity = Connectivity::default();
+                let mut threads: Option<usize> = None;
                 let mut seed = 2019u64;
                 let mut output = None;
+                let mut json = false;
+                let mut json_out = None;
                 let mut i = 1;
                 while i < rest.len() {
                     let opt = rest[i].as_str();
@@ -304,7 +280,7 @@ impl Cli {
                             parts = Some(parse_number(opt, value(&rest, &mut i)?)?);
                         }
                         "--algorithm" | "-a" => {
-                            algorithm = Algorithm::parse(value(&rest, &mut i)?)?;
+                            algorithm = parse_algorithm(value(&rest, &mut i)?)?;
                         }
                         "--machine" | "-m" => {
                             machine = MachinePreset::parse(value(&rest, &mut i)?)?;
@@ -313,13 +289,22 @@ impl Cli {
                             imbalance = parse_number(opt, value(&rest, &mut i)?)?;
                         }
                         "--connectivity" | "-c" => {
-                            connectivity = ConnectivityChoice::parse(value(&rest, &mut i)?)?;
+                            connectivity = parse_connectivity(value(&rest, &mut i)?)?;
+                        }
+                        "--threads" | "-t" => {
+                            threads = Some(parse_number(opt, value(&rest, &mut i)?)?);
                         }
                         "--seed" => {
                             seed = parse_number(opt, value(&rest, &mut i)?)?;
                         }
                         "--output" | "-o" => {
                             output = Some(PathBuf::from(value(&rest, &mut i)?));
+                        }
+                        "--json" => {
+                            json = true;
+                        }
+                        "--json-out" => {
+                            json_out = Some(PathBuf::from(value(&rest, &mut i)?));
                         }
                         other => return Err(ParseError::UnknownOption(other.into())),
                     }
@@ -333,8 +318,11 @@ impl Cli {
                         machine,
                         imbalance,
                         connectivity,
+                        threads,
                         seed,
                         output,
+                        json,
+                        json_out,
                     },
                 })
             }
@@ -350,6 +338,8 @@ impl Cli {
                 let mut machine = MachinePreset::Archer;
                 let mut seed = 2019u64;
                 let mut output = None;
+                let mut json = false;
+                let mut json_out = None;
                 let mut i = 1;
                 while i < rest.len() {
                     let opt = rest[i].as_str();
@@ -384,23 +374,15 @@ impl Cli {
                         "--output" | "-o" => {
                             output = Some(PathBuf::from(value(&rest, &mut i)?));
                         }
+                        "--json" => {
+                            json = true;
+                        }
+                        "--json-out" => {
+                            json_out = Some(PathBuf::from(value(&rest, &mut i)?));
+                        }
                         other => return Err(ParseError::UnknownOption(other.into())),
                     }
                     i += 1;
-                }
-                if passes == 0 {
-                    return Err(ParseError::InvalidValue {
-                        option: "--passes".into(),
-                        value: "0".into(),
-                        expected: "at least one streaming pass".into(),
-                    });
-                }
-                if threads == 0 {
-                    return Err(ParseError::InvalidValue {
-                        option: "--threads".into(),
-                        value: "0".into(),
-                        expected: "at least one worker thread".into(),
-                    });
                 }
                 Ok(Self {
                     command: Command::LowMem {
@@ -415,6 +397,8 @@ impl Cli {
                         machine,
                         seed,
                         output,
+                        json,
+                        json_out,
                     },
                 })
             }
@@ -523,7 +507,7 @@ mod tests {
     fn parses_partition_with_defaults_and_overrides() {
         let cli = Cli::parse(argv(
             "partition app.hgr --parts 96 -a multilevel -m cloud --imbalance 1.05 \
-             --connectivity csr --seed 7 -o out.txt",
+             --connectivity csr --threads 3 --seed 7 -o out.txt --json --json-out r.json",
         ))
         .unwrap();
         match cli.command {
@@ -534,19 +518,36 @@ mod tests {
                 machine,
                 imbalance,
                 connectivity,
+                threads,
                 seed,
                 output,
+                json,
+                json_out,
             } => {
                 assert_eq!(input, PathBuf::from("app.hgr"));
                 assert_eq!(parts, 96);
-                assert_eq!(algorithm, Algorithm::Multilevel);
+                assert_eq!(algorithm, Algorithm::MultilevelBaseline);
                 assert_eq!(machine, MachinePreset::Cloud);
                 assert!((imbalance - 1.05).abs() < 1e-12);
-                assert_eq!(connectivity, ConnectivityChoice::Csr);
+                assert_eq!(connectivity, Connectivity::Csr);
+                assert_eq!(threads, Some(3));
                 assert_eq!(seed, 7);
                 assert_eq!(output, Some(PathBuf::from("out.txt")));
+                assert!(json);
+                assert_eq!(json_out, Some(PathBuf::from("r.json")));
             }
             other => panic!("wrong command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_facade_algorithm_is_reachable_from_the_command_line() {
+        for algorithm in Algorithm::all() {
+            let line = format!("partition app.hgr --parts 8 -a {}", algorithm.name());
+            match Cli::parse(argv(&line)).unwrap().command {
+                Command::Partition { algorithm: got, .. } => assert_eq!(got, algorithm),
+                other => panic!("wrong command {other:?}"),
+            }
         }
     }
 
@@ -554,15 +555,22 @@ mod tests {
     fn connectivity_defaults_to_auto_and_rejects_unknown_values() {
         let cli = Cli::parse(argv("partition app.hgr --parts 8")).unwrap();
         match cli.command {
-            Command::Partition { connectivity, .. } => {
-                assert_eq!(connectivity, ConnectivityChoice::Auto);
+            Command::Partition {
+                connectivity,
+                algorithm,
+                json,
+                ..
+            } => {
+                assert_eq!(connectivity, Connectivity::Auto);
+                assert_eq!(algorithm, Algorithm::HyperPrawAware);
+                assert!(!json);
             }
             other => panic!("wrong command {other:?}"),
         }
         let cli = Cli::parse(argv("partition app.hgr --parts 8 -c adj")).unwrap();
         match cli.command {
             Command::Partition { connectivity, .. } => {
-                assert_eq!(connectivity, ConnectivityChoice::Adjacency);
+                assert_eq!(connectivity, Connectivity::Adjacency);
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -590,6 +598,7 @@ mod tests {
                 passes,
                 rebuild_sketches,
                 threads,
+                json,
                 ..
             } => {
                 assert_eq!(parts, 32);
@@ -599,12 +608,13 @@ mod tests {
                 assert_eq!(passes, 1);
                 assert!(!rebuild_sketches);
                 assert_eq!(threads, 1);
+                assert!(!json);
             }
             other => panic!("wrong command {other:?}"),
         }
         let cli = Cli::parse(argv(
             "lowmem big.hgr -p 8 -b 16 --exact --restream 500 --passes 3 --rebuild-sketches \
-             --threads 4 -m flat --seed 3 -o out.txt",
+             --threads 4 -m flat --seed 3 -o out.txt --json",
         ))
         .unwrap();
         match cli.command {
@@ -618,6 +628,7 @@ mod tests {
                 machine,
                 seed,
                 output,
+                json,
                 ..
             } => {
                 assert_eq!(budget_mib, 16);
@@ -629,20 +640,13 @@ mod tests {
                 assert_eq!(machine, MachinePreset::Flat);
                 assert_eq!(seed, 3);
                 assert_eq!(output, Some(PathBuf::from("out.txt")));
+                assert!(json);
             }
             other => panic!("wrong command {other:?}"),
         }
         assert!(matches!(
             Cli::parse(argv("lowmem big.hgr")).unwrap_err(),
             ParseError::MissingValue(_)
-        ));
-        assert!(matches!(
-            Cli::parse(argv("lowmem big.hgr --parts 8 --passes 0")).unwrap_err(),
-            ParseError::InvalidValue { .. }
-        ));
-        assert!(matches!(
-            Cli::parse(argv("lowmem big.hgr --parts 8 --threads 0")).unwrap_err(),
-            ParseError::InvalidValue { .. }
         ));
     }
 
@@ -702,16 +706,6 @@ mod tests {
             ParseError::HelpRequested
         );
         assert!(usage().contains("USAGE"));
-    }
-
-    #[test]
-    fn algorithm_aliases_are_accepted() {
-        assert_eq!(Algorithm::parse("zoltan").unwrap(), Algorithm::Multilevel);
-        assert_eq!(Algorithm::parse("rr").unwrap(), Algorithm::RoundRobin);
-        assert_eq!(
-            Algorithm::parse("hyperpraw-aware").unwrap(),
-            Algorithm::Aware
-        );
-        assert_eq!(Algorithm::Aware.name(), "hyperpraw-aware");
+        assert!(usage().contains("--json"));
     }
 }

@@ -1,31 +1,29 @@
 //! Implementations of the `hyperpraw` subcommands.
+//!
+//! Both partitioning subcommands (`partition`, `lowmem`) dispatch through
+//! the facade's unified [`PartitionJob`] API — the CLI contains no
+//! per-driver wiring of its own — and can emit the common
+//! [`hyperpraw::report::PartitionReport`] as JSON (`--json` /
+//! `--json-out`).
 
 use std::fmt;
 use std::fs;
 use std::path::Path;
 
-use hyperpraw_core::metrics::QualityReport;
-use hyperpraw_core::{baselines, Connectivity, CostMatrix, HyperPraw, HyperPrawConfig};
-use hyperpraw_hypergraph::io::stream::{
+use hyperpraw::api::{Algorithm, PartitionError, PartitionJob};
+use hyperpraw::core::metrics::QualityReport;
+use hyperpraw::core::CostMatrix;
+use hyperpraw::hypergraph::io::stream::{
     read_hgr_header, stream_edgelist_file, stream_hgr_file, StreamOptions, VertexStream,
 };
-use hyperpraw_hypergraph::io::{edgelist, hmetis, matrix_market, IoError};
-use hyperpraw_hypergraph::{Hypergraph, HypergraphStats, Partition};
-use hyperpraw_lowmem::{quality, IndexKind, LowMemConfig, LowMemPartitioner, MemoryBudget};
-use hyperpraw_multilevel::{MultilevelConfig, MultilevelPartitioner};
-use hyperpraw_netsim::{BenchmarkConfig, LinkModel, RingProfiler, SyntheticBenchmark};
-use hyperpraw_topology::MachineModel;
+use hyperpraw::hypergraph::io::{edgelist, hmetis, matrix_market, IoError};
+use hyperpraw::hypergraph::{Hypergraph, HypergraphStats, Partition};
+use hyperpraw::lowmem::{quality, MemoryBudget};
+use hyperpraw::netsim::{BenchmarkConfig, LinkModel, RingProfiler, SyntheticBenchmark};
+use hyperpraw::report::PartitionReport;
+use hyperpraw::topology::MachineModel;
 
-use crate::args::{Algorithm, Cli, Command, ConnectivityChoice, MachinePreset};
-
-/// Maps the CLI connectivity choice onto the core configuration axis.
-fn connectivity_of(choice: ConnectivityChoice) -> Connectivity {
-    match choice {
-        ConnectivityChoice::Csr => Connectivity::Csr,
-        ConnectivityChoice::Adjacency => Connectivity::Adjacency,
-        ConnectivityChoice::Auto => Connectivity::Auto,
-    }
-}
+use crate::args::{Cli, Command, MachinePreset};
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -55,6 +53,15 @@ impl From<IoError> for CommandError {
 impl From<std::io::Error> for CommandError {
     fn from(e: std::io::Error) -> Self {
         Self::Io(e.to_string())
+    }
+}
+
+impl From<PartitionError> for CommandError {
+    fn from(e: PartitionError) -> Self {
+        match e {
+            PartitionError::Io(m) => Self::Io(m),
+            other => Self::Invalid(other.to_string()),
+        }
     }
 }
 
@@ -139,6 +146,37 @@ pub fn write_assignment(path: &Path, partition: &Partition) -> Result<(), Comman
     Ok(())
 }
 
+/// Shared report output of the partitioning subcommands: JSON to stdout
+/// and/or file when requested, text summary otherwise, plus the optional
+/// assignment file.
+fn emit_report(
+    report: &PartitionReport,
+    header: &str,
+    json: bool,
+    json_out: Option<&Path>,
+    output: Option<&Path>,
+) -> Result<(), CommandError> {
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        println!("{header}");
+        print!("{}", report.text_summary());
+    }
+    if let Some(path) = json_out {
+        fs::write(path, report.to_json())?;
+        if !json {
+            println!("json report      : {}", path.display());
+        }
+    }
+    if let Some(path) = output {
+        write_assignment(path, &report.partition)?;
+        if !json {
+            println!("assignment       : {}", path.display());
+        }
+    }
+    Ok(())
+}
+
 /// Executes a parsed invocation.
 pub fn execute(cli: &Cli) -> Result<(), CommandError> {
     match &cli.command {
@@ -157,52 +195,40 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             machine,
             imbalance,
             connectivity,
+            threads,
             seed,
             output,
+            json,
+            json_out,
         } => {
             let hg = load_hypergraph(input)?;
             if *parts < 2 {
                 return Err(CommandError::Invalid("--parts must be at least 2".into()));
             }
-            if (*parts as usize) > hg.num_vertices() {
-                return Err(CommandError::Invalid(format!(
-                    "cannot split {} vertices into {parts} parts",
-                    hg.num_vertices()
-                )));
-            }
             let (_, cost) = profile(*machine, *parts as usize, *seed);
-            let config = HyperPrawConfig::default()
-                .with_imbalance_tolerance(*imbalance)
-                .with_seed(*seed)
-                .with_connectivity(connectivity_of(*connectivity));
-            let partition = match algorithm {
-                Algorithm::Aware => {
-                    HyperPraw::aware(config, cost.clone())
-                        .partition(&hg)
-                        .partition
+            let mut job = PartitionJob::new(*algorithm)
+                .partitions(*parts)
+                .cost(cost)
+                .seed(*seed)
+                .imbalance_tolerance(*imbalance)
+                .connectivity(*connectivity);
+            if let Some(t) = threads {
+                if !algorithm.supports_threads() {
+                    return Err(CommandError::Invalid(format!(
+                        "--threads does not apply to {}; pick a parallel or lowmem algorithm",
+                        algorithm.name()
+                    )));
                 }
-                Algorithm::Basic => HyperPraw::basic(config, *parts).partition(&hg).partition,
-                Algorithm::Multilevel => MultilevelPartitioner::new(
-                    MultilevelConfig::default()
-                        .with_imbalance_tolerance(*imbalance)
-                        .with_seed(*seed),
-                )
-                .partition(&hg, *parts),
-                Algorithm::RoundRobin => baselines::round_robin(&hg, *parts),
-            };
-            let quality = QualityReport::compute(&hg, &partition, &cost);
-            println!("algorithm        : {}", algorithm.name());
-            println!("hypergraph       : {hg}");
-            println!("partitions       : {}", partition.num_parts());
-            println!("hyperedge cut    : {}", quality.hyperedge_cut);
-            println!("SOED             : {}", quality.soed);
-            println!("comm cost        : {:.1}", quality.comm_cost);
-            println!("imbalance        : {:.4}", quality.imbalance);
-            if let Some(path) = output {
-                write_assignment(path, &partition)?;
-                println!("assignment       : {}", path.display());
+                job = job.threads(*t);
             }
-            Ok(())
+            let report = job.run(&hg)?;
+            emit_report(
+                &report,
+                &format!("hypergraph       : {hg}"),
+                *json,
+                json_out.as_deref(),
+                output.as_deref(),
+            )
         }
         Command::LowMem {
             input,
@@ -216,6 +242,8 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             machine,
             seed,
             output,
+            json,
+            json_out,
         } => {
             if *parts < 2 {
                 return Err(CommandError::Invalid("--parts must be at least 2".into()));
@@ -235,22 +263,23 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                     "MatrixMarket files are not streamable; convert to .hgr first".into(),
                 ));
             }
-            let budget = MemoryBudget::mebibytes((*budget_mib).max(1));
-            let config = LowMemConfig {
-                budget,
-                index: if *exact {
-                    IndexKind::Exact
-                } else {
-                    IndexKind::Sketched
-                },
-                restream_capacity: *restream,
-                passes: *passes,
-                rebuild_sketches: *rebuild_sketches,
-                threads: *threads,
-                seed: *seed,
-                ..LowMemConfig::default()
+            let algorithm = if *exact {
+                Algorithm::LowMemExact
+            } else {
+                Algorithm::LowMemSketched
             };
+            let budget = MemoryBudget::mebibytes((*budget_mib).max(1));
             let (_, cost) = profile(*machine, *parts as usize, *seed);
+            let job = PartitionJob::new(algorithm)
+                .partitions(*parts)
+                .cost(cost)
+                .memory_budget(budget)
+                .restream_capacity(*restream)
+                .passes(*passes)
+                .rebuild_sketches(*rebuild_sketches)
+                .threads(*threads)
+                .seed(*seed);
+            job.validate()?;
             let options = StreamOptions {
                 buffer_bytes: budget.plan(*parts as usize, 0).transpose_buffer_bytes,
                 spill_dir: None,
@@ -272,57 +301,29 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             } else {
                 stream_edgelist_file(input, &options)?
             };
-            if (*parts as usize) > stream.num_vertices() {
-                return Err(CommandError::Invalid(format!(
-                    "cannot split {} vertices into {parts} parts",
-                    stream.num_vertices()
-                )));
-            }
-            let result = LowMemPartitioner::new(config, cost).partition(&mut stream)?;
+            let mut report = job.run_stream(&mut stream)?;
             let streamed = if is_hgr {
-                quality::evaluate_hgr_file(input, &result.partition)?
+                quality::evaluate_hgr_file(input, &report.partition)?
             } else {
-                quality::evaluate_edgelist_file(input, &result.partition)?
+                quality::evaluate_edgelist_file(input, &report.partition)?
             };
-            println!(
-                "algorithm        : lowmem-{}{}",
-                if *exact { "exact" } else { "sketched" },
-                if *threads > 1 { "-bsp" } else { "" }
-            );
-            println!(
-                "execution        : {} pass(es) ({} run), {} thread(s){}",
-                passes,
-                result.passes,
-                threads,
-                if *rebuild_sketches {
-                    ", rebuilding sketches between passes"
-                } else {
-                    ""
-                }
-            );
-            println!(
-                "hypergraph       : {} (|V|={}, |E|={}, pins={})",
-                input.display(),
-                stream.num_vertices(),
-                stream.num_nets(),
-                stream.num_pins()
-            );
-            println!("partitions       : {}", result.partition.num_parts());
-            println!("memory budget    : {budget}");
-            println!("index memory     : {} B", result.index_memory_bytes);
-            println!("transpose peak   : {} B", stream.peak_loaded_bytes());
-            println!(
-                "restreamed       : {} ({} moved)",
-                result.restreamed, result.moved_in_restream
-            );
-            println!("hyperedge cut    : {}", streamed.hyperedge_cut);
-            println!("SOED             : {}", streamed.soed);
-            println!("imbalance        : {:.4}", streamed.imbalance);
-            if let Some(path) = output {
-                write_assignment(path, &result.partition)?;
-                println!("assignment       : {}", path.display());
-            }
-            Ok(())
+            report.attach_streamed_quality(&streamed);
+            emit_report(
+                &report,
+                &format!(
+                    "hypergraph       : {} (|V|={}, |E|={}, pins={})\n\
+                     memory budget    : {budget}\n\
+                     transpose peak   : {} B",
+                    input.display(),
+                    stream.num_vertices(),
+                    stream.num_nets(),
+                    stream.num_pins(),
+                    stream.peak_loaded_bytes()
+                ),
+                *json,
+                json_out.as_deref(),
+                output.as_deref(),
+            )
         }
         Command::Profile {
             machine,
@@ -402,7 +403,8 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyperpraw_hypergraph::HypergraphBuilder;
+    use hyperpraw::core::Connectivity;
+    use hyperpraw::hypergraph::HypergraphBuilder;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("hyperpraw_cli_{}_{name}", std::process::id()))
@@ -417,6 +419,47 @@ mod tests {
         b.add_hyperedge([0u32, 7]);
         hmetis::write_hgr_file(&b.build(), &path).unwrap();
         path
+    }
+
+    /// Builder for `Command::Partition` literals in tests.
+    struct PartitionArgs {
+        input: std::path::PathBuf,
+        parts: u32,
+        algorithm: Algorithm,
+        connectivity: Connectivity,
+        seed: u64,
+        output: Option<std::path::PathBuf>,
+        json_out: Option<std::path::PathBuf>,
+    }
+
+    impl PartitionArgs {
+        fn new(input: std::path::PathBuf, parts: u32) -> Self {
+            Self {
+                input,
+                parts,
+                algorithm: Algorithm::HyperPrawBasic,
+                connectivity: Connectivity::Auto,
+                seed: 1,
+                output: None,
+                json_out: None,
+            }
+        }
+
+        fn command(self) -> Command {
+            Command::Partition {
+                input: self.input,
+                parts: self.parts,
+                algorithm: self.algorithm,
+                machine: MachinePreset::Flat,
+                imbalance: 1.2,
+                connectivity: self.connectivity,
+                threads: None,
+                seed: self.seed,
+                output: self.output,
+                json: false,
+                json_out: self.json_out,
+            }
+        }
     }
 
     #[test]
@@ -453,16 +496,11 @@ mod tests {
         let input = sample_hgr();
         let output = temp_path("out_assignment.txt");
         let cli = Cli {
-            command: Command::Partition {
-                input: input.clone(),
-                parts: 2,
-                algorithm: Algorithm::Basic,
-                machine: MachinePreset::Flat,
-                imbalance: 1.2,
-                connectivity: ConnectivityChoice::Auto,
-                seed: 1,
+            command: PartitionArgs {
                 output: Some(output.clone()),
-            },
+                ..PartitionArgs::new(input.clone(), 2)
+            }
+            .command(),
         };
         execute(&cli).unwrap();
         let hg = load_hypergraph(&input).unwrap();
@@ -473,6 +511,42 @@ mod tests {
     }
 
     #[test]
+    fn every_algorithm_dispatches_through_the_partition_command() {
+        let input = sample_hgr();
+        for algorithm in Algorithm::all() {
+            execute(&Cli {
+                command: PartitionArgs {
+                    algorithm,
+                    ..PartitionArgs::new(input.clone(), 2)
+                }
+                .command(),
+            })
+            .unwrap_or_else(|e| panic!("{}: {e}", algorithm.name()));
+        }
+        fs::remove_file(input).ok();
+    }
+
+    #[test]
+    fn json_out_writes_a_partition_report() {
+        let input = sample_hgr();
+        let json_out = temp_path("report.json");
+        execute(&Cli {
+            command: PartitionArgs {
+                json_out: Some(json_out.clone()),
+                ..PartitionArgs::new(input.clone(), 2)
+            }
+            .command(),
+        })
+        .unwrap();
+        let json = fs::read_to_string(&json_out).unwrap();
+        assert!(json.contains("\"algorithm\": \"hyperpraw-basic\""));
+        assert!(json.contains("\"metrics\""));
+        assert!(json.contains("\"config\""));
+        fs::remove_file(input).ok();
+        fs::remove_file(json_out).ok();
+    }
+
+    #[test]
     fn partition_command_is_identical_across_connectivity_providers() {
         // The provider axis must be quality-neutral all the way through the
         // CLI: the same invocation with --connectivity csr/adjacency/auto
@@ -480,22 +554,19 @@ mod tests {
         let input = sample_hgr();
         let mut assignments = Vec::new();
         for choice in [
-            ConnectivityChoice::Csr,
-            ConnectivityChoice::Adjacency,
-            ConnectivityChoice::Auto,
+            Connectivity::Csr,
+            Connectivity::Adjacency,
+            Connectivity::Auto,
         ] {
             let output = temp_path(&format!("conn_{choice:?}.txt"));
             execute(&Cli {
-                command: Command::Partition {
-                    input: input.clone(),
-                    parts: 2,
-                    algorithm: Algorithm::Basic,
-                    machine: MachinePreset::Flat,
-                    imbalance: 1.2,
+                command: PartitionArgs {
                     connectivity: choice,
                     seed: 3,
                     output: Some(output.clone()),
-                },
+                    ..PartitionArgs::new(input.clone(), 2)
+                }
+                .command(),
             })
             .unwrap();
             assignments.push(fs::read_to_string(&output).unwrap());
@@ -518,6 +589,7 @@ mod tests {
         threads: usize,
         seed: u64,
         output: Option<std::path::PathBuf>,
+        json_out: Option<std::path::PathBuf>,
     }
 
     impl LowMemArgs {
@@ -532,6 +604,7 @@ mod tests {
                 threads: 1,
                 seed: 0,
                 output: None,
+                json_out: None,
             }
         }
 
@@ -548,6 +621,8 @@ mod tests {
                 machine: MachinePreset::Flat,
                 seed: self.seed,
                 output: self.output,
+                json: false,
+                json_out: self.json_out,
             }
         }
     }
@@ -583,6 +658,7 @@ mod tests {
         // restreaming and sketch rebuilds, straight from the CLI.
         let input = sample_hgr();
         let output = temp_path("lowmem_bsp_assignment.txt");
+        let json_out = temp_path("lowmem_bsp_report.json");
         execute(&Cli {
             command: LowMemArgs {
                 passes: 2,
@@ -590,6 +666,7 @@ mod tests {
                 threads: 3,
                 seed: 7,
                 output: Some(output.clone()),
+                json_out: Some(json_out.clone()),
                 ..LowMemArgs::new(input.clone(), 2)
             }
             .command(),
@@ -598,8 +675,14 @@ mod tests {
         let hg = load_hypergraph(&input).unwrap();
         let part = read_assignment(&output, hg.num_vertices()).unwrap();
         assert!(part.num_parts() <= 2);
+        let json = fs::read_to_string(&json_out).unwrap();
+        assert!(json.contains("\"algorithm\": \"lowmem-sketched\""));
+        assert!(json.contains("\"lowmem\": {"));
+        // The streamed quality evaluation back-fills the cut metrics.
+        assert!(!json.contains("\"hyperedge_cut\": null"));
         fs::remove_file(input).ok();
         fs::remove_file(output).ok();
+        fs::remove_file(json_out).ok();
     }
 
     #[test]
@@ -628,6 +711,33 @@ mod tests {
         .unwrap_err();
         fs::remove_file(input).ok();
         assert!(err.to_string().contains("rebuild-sketches"));
+    }
+
+    #[test]
+    fn invalid_job_configs_surface_as_errors_not_panics() {
+        let input = sample_hgr();
+        // Zero lowmem passes reach the job API and come back as
+        // InvalidConfig, not a panic or an infinite loop.
+        let err = execute(&Cli {
+            command: LowMemArgs {
+                passes: 0,
+                ..LowMemArgs::new(input.clone(), 2)
+            }
+            .command(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("streaming pass"));
+        // Zero-thread BSP likewise.
+        let err = execute(&Cli {
+            command: LowMemArgs {
+                threads: 0,
+                ..LowMemArgs::new(input.clone(), 2)
+            }
+            .command(),
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("worker thread"));
+        fs::remove_file(input).ok();
     }
 
     #[test]
@@ -684,16 +794,11 @@ mod tests {
         let too_many_parts = {
             let input = sample_hgr();
             let r = execute(&Cli {
-                command: Command::Partition {
-                    input: input.clone(),
-                    parts: 1000,
+                command: PartitionArgs {
                     algorithm: Algorithm::RoundRobin,
-                    machine: MachinePreset::Flat,
-                    imbalance: 1.1,
-                    connectivity: ConnectivityChoice::Auto,
-                    seed: 0,
-                    output: None,
-                },
+                    ..PartitionArgs::new(input.clone(), 1000)
+                }
+                .command(),
             });
             fs::remove_file(input).ok();
             r

@@ -11,7 +11,10 @@
 //! ```
 //!
 //! Argument parsing is hand-rolled (no external dependencies) and lives in
-//! [`args`]; the subcommand implementations live in [`commands`].
+//! [`args`]; the subcommand implementations live in [`commands`]. Every
+//! partitioning invocation dispatches through the facade's unified
+//! [`hyperpraw::api::PartitionJob`] — the CLI carries no per-driver
+//! wiring of its own.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -19,7 +22,8 @@
 pub mod args;
 pub mod commands;
 
-pub use args::{Algorithm, Cli, Command, MachinePreset, ParseError};
+pub use args::{Cli, Command, MachinePreset, ParseError};
+pub use hyperpraw::api::Algorithm;
 
 /// Entry point shared by the binary and the integration tests: parses the
 /// arguments and runs the selected subcommand, returning a process exit

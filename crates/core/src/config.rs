@@ -45,6 +45,26 @@ impl Connectivity {
             Connectivity::Auto => "auto",
         }
     }
+
+    /// The accepted `parse` spellings, for error messages and CLI usage
+    /// text — one definition so the two cannot drift apart.
+    pub fn expected_names() -> &'static str {
+        "csr | adjacency | auto"
+    }
+
+    /// Parses the names accepted by [`Connectivity::name`] (plus the `adj`
+    /// shorthand), as used by the CLI and the facade job API.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "csr" => Ok(Connectivity::Csr),
+            "adjacency" | "adj" => Ok(Connectivity::Adjacency),
+            "auto" => Ok(Connectivity::Auto),
+            other => Err(format!(
+                "unknown connectivity provider '{other}' (expected {})",
+                Self::expected_names()
+            )),
+        }
+    }
 }
 
 /// What happens once the workload imbalance drops below the tolerance
@@ -79,6 +99,17 @@ pub enum StreamOrder {
     Random,
     /// Decreasing vertex degree (high-impact vertices placed first).
     DegreeDescending,
+}
+
+impl StreamOrder {
+    /// Name as printed in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamOrder::Natural => "natural",
+            StreamOrder::Random => "random",
+            StreamOrder::DegreeDescending => "degree-descending",
+        }
+    }
 }
 
 /// Tuning parameters of HyperPRAW (Algorithm 1 in the paper).

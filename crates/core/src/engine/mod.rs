@@ -94,6 +94,17 @@ pub enum StopReason {
     MaxIterations,
 }
 
+impl StopReason {
+    /// Name as printed in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StopReason::ToleranceReached => "tolerance-reached",
+            StopReason::CommCostConverged => "comm-cost-converged",
+            StopReason::MaxIterations => "max-iterations",
+        }
+    }
+}
+
 /// How the engine executes one stream over the vertices.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecutionStrategy {

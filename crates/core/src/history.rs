@@ -9,6 +9,16 @@ pub enum StreamPhase {
     Refinement,
 }
 
+impl StreamPhase {
+    /// Name as printed in reports and CSV/JSON serialisations.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StreamPhase::Tempering => "tempering",
+            StreamPhase::Refinement => "refinement",
+        }
+    }
+}
+
 /// Measurements taken after one complete stream over all vertices.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct IterationRecord {
@@ -97,10 +107,7 @@ impl PartitionHistory {
     pub fn to_csv(&self) -> String {
         let mut out = String::new();
         for r in &self.records {
-            let phase = match r.phase {
-                StreamPhase::Tempering => "tempering",
-                StreamPhase::Refinement => "refinement",
-            };
+            let phase = r.phase.name();
             out.push_str(&format!(
                 "{},{},{:.6},{:.6},{:.6},{}\n",
                 r.iteration, phase, r.alpha, r.imbalance, r.comm_cost, r.moved_vertices

@@ -64,6 +64,18 @@ impl ParallelConfig {
             ..Self::default()
         }
     }
+
+    /// Validates parameter ranges, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_threads == 0 {
+            return Err("need at least one worker thread".into());
+        }
+        if self.sync_interval == 0 {
+            return Err("synchronisation interval must be at least 1 vertex".into());
+        }
+        Ok(())
+    }
 }
 
 /// The parallel (bulk-synchronous) restreaming partitioner.
@@ -89,7 +101,9 @@ impl ParallelHyperPraw {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid HyperPRAW configuration: {e}"));
-        assert!(parallel.num_threads > 0, "need at least one worker thread");
+        parallel
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid parallel configuration: {e}"));
         Self {
             config,
             parallel,

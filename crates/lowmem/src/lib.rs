@@ -62,7 +62,9 @@ pub use budget::{MemoryBudget, SketchPlan};
 pub use index::{ConnectivityIndex, ExactIndex, SketchIndex};
 pub use partitioner::{IndexKind, LowMemConfig, LowMemPartitioner, LowMemResult};
 pub use provider::IndexProvider;
-pub use quality::{evaluate_edgelist_file, evaluate_hgr_file, StreamedQuality};
+pub use quality::{
+    evaluate_edgelist_file, evaluate_hgr_file, unweighted_imbalance, StreamedQuality,
+};
 
 // Re-export so downstream users do not need to depend on the topology
 // crate for the common case, mirroring `hyperpraw-core`.

@@ -29,6 +29,16 @@ pub enum IndexKind {
     Exact,
 }
 
+impl IndexKind {
+    /// Name as printed in reports and bench ids.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IndexKind::Sketched => "sketched",
+            IndexKind::Exact => "exact",
+        }
+    }
+}
+
 /// Configuration of the streaming partitioner.
 #[derive(Clone, Debug)]
 pub struct LowMemConfig {
@@ -97,6 +107,40 @@ impl Default for LowMemConfig {
     }
 }
 
+impl LowMemConfig {
+    /// Validates parameter ranges, returning a description of the first
+    /// problem found — the same conditions [`LowMemPartitioner::new`]
+    /// panics on, surfaced as a `Result` for callers (the facade job API)
+    /// that report configuration errors instead of aborting.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.budget.bytes == 0 {
+            return Err("memory budget must be at least one byte".into());
+        }
+        if self.passes == 0 {
+            return Err("need at least one streaming pass".into());
+        }
+        if self.threads == 0 {
+            return Err("need at least one worker thread".into());
+        }
+        if self.sync_interval == 0 {
+            return Err("synchronisation interval must be at least 1 vertex".into());
+        }
+        if self.round_robin_prior && self.index == IndexKind::Sketched {
+            return Err(
+                "round_robin_prior requires an index that can forget assignments; \
+                 use IndexKind::Exact"
+                    .into(),
+            );
+        }
+        if let Some(a) = self.alpha {
+            if !(a.is_finite() && a > 0.0) {
+                return Err("alpha must be positive and finite".into());
+            }
+        }
+        Ok(())
+    }
+}
+
 /// The output of a streaming-partitioner run.
 #[derive(Clone, Debug)]
 pub struct LowMemResult {
@@ -154,12 +198,9 @@ impl LowMemPartitioner {
             cost.num_units() > 0,
             "cost matrix must cover at least one unit"
         );
-        assert!(
-            !(config.round_robin_prior && config.index == IndexKind::Sketched),
-            "round_robin_prior requires an index that can forget assignments; use IndexKind::Exact"
-        );
-        assert!(config.passes >= 1, "need at least one streaming pass");
-        assert!(config.threads >= 1, "need at least one worker thread");
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid lowmem configuration: {e}"));
         Self { config, cost }
     }
 

@@ -66,14 +66,17 @@ where
         hyperedge_cut: cut,
         soed,
         connectivity_minus_one: conn,
-        imbalance: imbalance(partition),
+        imbalance: unweighted_imbalance(partition),
     })
 }
 
-fn imbalance(partition: &Partition) -> f64 {
+/// `max_k |V_k| / avg_k |V_k|` from the partition's part sizes — the only
+/// imbalance a pure stream consumer can compute after the fact, without
+/// per-vertex weights (1.0 for an empty partition).
+pub fn unweighted_imbalance(partition: &Partition) -> f64 {
     let sizes = partition.part_sizes();
     let total: usize = sizes.iter().sum();
-    if total == 0 {
+    if total == 0 || sizes.is_empty() {
         return 1.0;
     }
     let avg = total as f64 / sizes.len() as f64;
@@ -82,7 +85,7 @@ fn imbalance(partition: &Partition) -> f64 {
 
 fn weighted_imbalance(partition: &Partition, weights: &[f64]) -> f64 {
     if weights.len() != partition.num_vertices() {
-        return imbalance(partition);
+        return unweighted_imbalance(partition);
     }
     let mut loads = vec![0.0f64; partition.num_parts() as usize];
     for v in 0..partition.num_vertices() as u32 {

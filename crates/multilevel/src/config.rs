@@ -57,6 +57,21 @@ impl MultilevelConfig {
     pub fn max_part_weight(&self, total: f64, fraction: f64) -> f64 {
         self.imbalance_tolerance * fraction * total
     }
+
+    /// Validates parameter ranges, returning a description of the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.imbalance_tolerance < 1.0 {
+            return Err("imbalance tolerance below 1.0 is unsatisfiable".into());
+        }
+        if self.coarsen_until == 0 {
+            return Err("coarsening must stop at a non-empty hypergraph".into());
+        }
+        if self.initial_trials == 0 {
+            return Err("need at least one initial-partitioning trial".into());
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -85,11 +85,17 @@ fn main() {
             ..BenchmarkConfig::default()
         },
     );
-    let basic = HyperPraw::basic(HyperPrawConfig::default(), procs as u32)
-        .partition(&hg)
+    // Both variants go through the unified job API; only the algorithm and
+    // the cost matrix differ.
+    let basic = PartitionJob::new(Algorithm::HyperPrawBasic)
+        .partitions(procs as u32)
+        .run(&hg)
+        .expect("valid configuration")
         .partition;
-    let aware1 = HyperPraw::aware(HyperPrawConfig::default(), cost1.clone())
-        .partition(&hg)
+    let aware1 = PartitionJob::new(Algorithm::HyperPrawAware)
+        .cost(cost1.clone())
+        .run(&hg)
+        .expect("valid configuration")
         .partition;
     let t_basic = bench1.run(&hg, &basic).total_time_us;
     let t_aware = bench1.run(&hg, &aware1).total_time_us;
@@ -114,8 +120,10 @@ fn main() {
     );
     // Re-profile and re-partition (what the paper recommends per job) vs
     // reusing the stale cost matrix from allocation #1.
-    let aware_fresh = HyperPraw::aware(HyperPrawConfig::default(), cost2)
-        .partition(&hg)
+    let aware_fresh = PartitionJob::new(Algorithm::HyperPrawAware)
+        .cost(cost2)
+        .run(&hg)
+        .expect("valid configuration")
         .partition;
     let t_stale = bench2.run(&hg, &aware1).total_time_us;
     let t_fresh = bench2.run(&hg, &aware_fresh).total_time_us;

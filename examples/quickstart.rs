@@ -1,5 +1,5 @@
-//! Quickstart: partition a hypergraph for a heterogeneous machine and see
-//! why architecture-awareness matters.
+//! Quickstart: partition a hypergraph for a heterogeneous machine through
+//! the unified job API and see why architecture-awareness matters.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -9,17 +9,19 @@
 //! hypergraph and a 48-core ARCHER-like machine:
 //!
 //! 1. profile the machine's peer-to-peer bandwidth (mpiGraph substitute),
-//! 2. partition with three strategies — the Zoltan-like multilevel baseline,
-//!    HyperPRAW-basic (uniform costs) and HyperPRAW-aware (profiled costs),
-//! 3. compare partition quality (hyperedge cut, SOED, partitioning
-//!    communication cost) and the simulated runtime of the paper's
-//!    synthetic communication-bound benchmark.
+//! 2. partition with several strategies through the **one front door** —
+//!    `PartitionJob::new(algorithm) … .run(&hg)` — from the Zoltan-like
+//!    multilevel baseline to HyperPRAW-aware (profiled costs),
+//! 3. compare the common `PartitionReport` each run returns (hyperedge
+//!    cut, SOED, partitioning communication cost, imbalance, wall-clock)
+//!    and the simulated runtime of the paper's synthetic
+//!    communication-bound benchmark.
 
 use hyperpraw::hypergraph::generators::{sat_hypergraph, SatConfig};
 use hyperpraw::prelude::*;
 
 fn main() {
-    let cores = 96;
+    let cores = 48;
     println!("== HyperPRAW quickstart ==\n");
 
     // A communication-bound application modelled as a hypergraph: the dual
@@ -42,15 +44,24 @@ fn main() {
         bandwidth.max_off_diagonal()
     );
 
-    // Three partitioning strategies.
-    let zoltan =
-        MultilevelPartitioner::new(MultilevelConfig::default()).partition(&hg, cores as u32);
-    let basic = HyperPraw::basic(HyperPrawConfig::default(), cores as u32)
-        .partition(&hg)
-        .partition;
-    let aware = HyperPraw::aware(HyperPrawConfig::default(), cost.clone())
-        .partition(&hg)
-        .partition;
+    // Every strategy is one PartitionJob away: same builder, same report.
+    // The oblivious algorithms ignore the cost matrix for partitioning but
+    // are evaluated against it, exactly as the paper scores Figure 4C.
+    let strategies = [
+        Algorithm::MultilevelBaseline,
+        Algorithm::HyperPrawBasic,
+        Algorithm::HyperPrawAware,
+    ];
+    let reports: Vec<PartitionReport> = strategies
+        .iter()
+        .map(|&algorithm| {
+            PartitionJob::new(algorithm)
+                .cost(cost.clone())
+                .seed(42)
+                .run(&hg)
+                .expect("valid quickstart configuration")
+        })
+        .collect();
 
     // The synthetic benchmark: every cut hyperedge exchanges messages between
     // its pins each superstep.
@@ -61,13 +72,8 @@ fn main() {
         "strategy", "cut", "SOED", "comm cost", "imbalance", "sim time (ms)"
     );
     let mut baseline_time = None;
-    for (name, part) in [
-        ("zoltan-like", &zoltan),
-        ("hyperpraw-basic", &basic),
-        ("hyperpraw-aware", &aware),
-    ] {
-        let quality = QualityReport::compute(&hg, part, &cost);
-        let runtime = bench.run(&hg, part);
+    for report in &reports {
+        let runtime = bench.run(&hg, &report.partition);
         let ms = runtime.total_time_us / 1e3;
         let speedup = match baseline_time {
             None => {
@@ -78,15 +84,27 @@ fn main() {
         };
         println!(
             "{:<18} {:>10} {:>10} {:>14.1} {:>10.3} {:>10.2} ({})",
-            name,
-            quality.hyperedge_cut,
-            quality.soed,
-            quality.comm_cost,
-            quality.imbalance,
+            report.algorithm.name(),
+            report.hyperedge_cut.unwrap_or(0),
+            report.soed.unwrap_or(0),
+            report.comm_cost.unwrap_or(f64::NAN),
+            report.imbalance,
             ms,
             speedup
         );
     }
+
+    // Machine-readable results fall out of the same report.
+    let aware = reports.last().expect("three strategies ran");
+    println!(
+        "\nJSON report of the aware run (first lines):\n{}",
+        aware
+            .to_json()
+            .lines()
+            .take(7)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 
     println!(
         "\nHyperPRAW's restreaming finds placements whose traffic matches the machine: the aware\n\

@@ -90,32 +90,25 @@ fn main() {
     // streams cluster rows by their stencil neighbourhood first and restore
     // balance in the later, tempered streams — the tuning knob the library
     // exposes for such workloads.
-    let spmv_config = HyperPrawConfig {
-        initial_alpha: Some(
-            HyperPrawConfig::fennel_alpha(procs as u32, hg.num_vertices(), hg.num_hyperedges())
-                / 20.0,
-        ),
-        ..HyperPrawConfig::default()
-    };
-    let partitions = [
-        ("round-robin", baselines::round_robin(&hg, procs as u32)),
-        (
-            "zoltan-like",
-            MultilevelPartitioner::new(MultilevelConfig::default()).partition(&hg, procs as u32),
-        ),
-        (
-            "hyperpraw-basic",
-            HyperPraw::basic(spmv_config, procs as u32)
-                .partition(&hg)
-                .partition,
-        ),
-        (
-            "hyperpraw-aware",
-            HyperPraw::aware(spmv_config, cost.clone())
-                .partition(&hg)
-                .partition,
-        ),
-    ];
+    let spmv_alpha =
+        HyperPrawConfig::fennel_alpha(procs as u32, hg.num_vertices(), hg.num_hyperedges()) / 20.0;
+    // One job per strategy; the initial-α tuning applies only to the
+    // HyperPRAW variants (the builder setter is a no-op for the others).
+    let reports: Vec<PartitionReport> = [
+        Algorithm::RoundRobin,
+        Algorithm::MultilevelBaseline,
+        Algorithm::HyperPrawBasic,
+        Algorithm::HyperPrawAware,
+    ]
+    .into_iter()
+    .map(|algorithm| {
+        PartitionJob::new(algorithm)
+            .cost(cost.clone())
+            .initial_alpha(spmv_alpha)
+            .run(&hg)
+            .expect("valid configuration")
+    })
+    .collect();
 
     // Each solver iteration performs one SpMV: remote vector entries are
     // fetched for every cut hyperedge.
@@ -133,9 +126,8 @@ fn main() {
         "partitioner", "cut", "comm cost", "imbalance", "50-iteration time (ms)"
     );
     let mut first = None;
-    for (name, part) in &partitions {
-        let quality = QualityReport::compute(&hg, part, &cost);
-        let run = bench.run(&hg, part);
+    for report in &reports {
+        let run = bench.run(&hg, &report.partition);
         let ms = run.total_time_us / 1e3;
         let speedup = match first {
             None => {
@@ -146,7 +138,12 @@ fn main() {
         };
         println!(
             "{:<16} {:>10} {:>14.0} {:>12.3} {:>14.2} ({})",
-            name, quality.hyperedge_cut, quality.comm_cost, quality.imbalance, ms, speedup
+            report.algorithm.name(),
+            report.hyperedge_cut.unwrap_or(0),
+            report.comm_cost.unwrap_or(f64::NAN),
+            report.imbalance,
+            ms,
+            speedup
         );
     }
 

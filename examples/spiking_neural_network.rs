@@ -73,16 +73,22 @@ fn main() {
     let bandwidth = RingProfiler::default().profile(&link);
     let cost = CostMatrix::from_bandwidth(&bandwidth);
 
-    // Candidate distributions of neurons over the 48 processes.
-    let round_robin = baselines::round_robin(&hg, procs as u32);
-    let zoltan =
-        MultilevelPartitioner::new(MultilevelConfig::default()).partition(&hg, procs as u32);
-    let basic = HyperPraw::basic(HyperPrawConfig::default(), procs as u32)
-        .partition(&hg)
-        .partition;
-    let aware = HyperPraw::aware(HyperPrawConfig::default(), cost.clone())
-        .partition(&hg)
-        .partition;
+    // Candidate distributions of neurons over the 48 processes — one
+    // PartitionJob per strategy, all sharing the profiled cost matrix.
+    let reports: Vec<PartitionReport> = [
+        Algorithm::RoundRobin,
+        Algorithm::MultilevelBaseline,
+        Algorithm::HyperPrawBasic,
+        Algorithm::HyperPrawAware,
+    ]
+    .into_iter()
+    .map(|algorithm| {
+        PartitionJob::new(algorithm)
+            .cost(cost.clone())
+            .run(&hg)
+            .expect("valid configuration")
+    })
+    .collect();
 
     // Each simulated timestep, every spike crosses partition boundaries to
     // reach remote targets: the synthetic benchmark with several supersteps
@@ -100,20 +106,14 @@ fn main() {
         "{:<16} {:>12} {:>14} {:>12} {:>16}",
         "placement", "SOED", "comm cost", "imbalance", "10-step time (ms)"
     );
-    for (name, part) in [
-        ("round-robin", &round_robin),
-        ("zoltan-like", &zoltan),
-        ("hyperpraw-basic", &basic),
-        ("hyperpraw-aware", &aware),
-    ] {
-        let quality = QualityReport::compute(&hg, part, &cost);
-        let run = bench.run(&hg, part);
+    for report in &reports {
+        let run = bench.run(&hg, &report.partition);
         println!(
             "{:<16} {:>12} {:>14.0} {:>12.3} {:>16.2}",
-            name,
-            quality.soed,
-            quality.comm_cost,
-            quality.imbalance,
+            report.algorithm.name(),
+            report.soed.unwrap_or(0),
+            report.comm_cost.unwrap_or(f64::NAN),
+            report.imbalance,
             run.total_time_us / 1e3
         );
     }

@@ -1,0 +1,849 @@
+//! The one front door: a unified, builder-first partitioning API.
+//!
+//! Every partitioning driver in the workspace — sequential and
+//! bulk-synchronous HyperPRAW, the memory-bounded streaming partitioners
+//! and the multilevel baseline — is dispatchable through a single
+//! [`PartitionJob`], selected by an [`Algorithm`] value. The job validates
+//! its inputs up front (returning [`PartitionError::InvalidConfig`]
+//! instead of panicking), runs against either an in-memory
+//! [`Hypergraph`] or any [`VertexStream`], and always returns the common
+//! [`PartitionReport`]. The partitions themselves are **bit-identical**
+//! to calling the underlying drivers directly (pinned by
+//! `tests/api_equivalence.rs`): the job is a facade over the same thin
+//! drivers, not a fifth implementation.
+//!
+//! ```
+//! use hyperpraw::api::{Algorithm, PartitionJob};
+//! use hyperpraw::hypergraph::generators::{mesh_hypergraph, MeshConfig};
+//!
+//! let hg = mesh_hypergraph(&MeshConfig::new(400, 8));
+//! let report = PartitionJob::new(Algorithm::HyperPrawBasic)
+//!     .partitions(8)
+//!     .seed(7)
+//!     .run(&hg)
+//!     .unwrap();
+//! assert_eq!(report.partition.num_parts(), 8);
+//! assert!(report.to_json().contains("\"algorithm\": \"hyperpraw-basic\""));
+//! ```
+
+use std::fmt;
+use std::time::Instant;
+
+use hyperpraw_core::metrics::QualityReport;
+use hyperpraw_core::{
+    baselines, Connectivity, CostMatrix, HyperPraw, HyperPrawConfig, ParallelConfig,
+    ParallelHyperPraw, PartitionHistory, RefinementPolicy, StreamOrder,
+};
+use hyperpraw_hypergraph::io::stream::VertexStream;
+use hyperpraw_hypergraph::io::IoError;
+use hyperpraw_hypergraph::Hypergraph;
+use hyperpraw_lowmem::{
+    unweighted_imbalance, IndexKind, LowMemConfig, LowMemPartitioner, MemoryBudget,
+};
+use hyperpraw_multilevel::{MultilevelConfig, MultilevelPartitioner};
+
+use crate::report::{EffectiveConfig, LowMemStats, PartitionReport, PhaseTimings};
+
+/// Every partitioning algorithm dispatchable through a [`PartitionJob`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Sequential HyperPRAW restreaming with a uniform cost matrix
+    /// (architecture-oblivious).
+    HyperPrawBasic,
+    /// Sequential HyperPRAW restreaming with a profiled cost matrix.
+    HyperPrawAware,
+    /// Bulk-synchronous multi-threaded HyperPRAW, uniform cost matrix.
+    ParallelBasic,
+    /// Bulk-synchronous multi-threaded HyperPRAW, profiled cost matrix.
+    ParallelAware,
+    /// Memory-bounded streaming partitioner with the exact (unbounded
+    /// memory) connectivity index. Runs in-memory or over a
+    /// [`VertexStream`].
+    LowMemExact,
+    /// Memory-bounded streaming partitioner with Bloom/MinHash sketches
+    /// sized by the memory budget. Runs in-memory or over a
+    /// [`VertexStream`].
+    LowMemSketched,
+    /// Multilevel recursive bisection (the Zoltan-like baseline).
+    MultilevelBaseline,
+    /// Round-robin assignment (the naive baseline).
+    RoundRobin,
+}
+
+impl Algorithm {
+    /// Every algorithm, in the order the evaluation tables list them.
+    pub fn all() -> [Algorithm; 8] {
+        [
+            Algorithm::RoundRobin,
+            Algorithm::MultilevelBaseline,
+            Algorithm::HyperPrawBasic,
+            Algorithm::HyperPrawAware,
+            Algorithm::ParallelBasic,
+            Algorithm::ParallelAware,
+            Algorithm::LowMemExact,
+            Algorithm::LowMemSketched,
+        ]
+    }
+
+    /// Name as printed in reports, CSVs and the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::HyperPrawBasic => "hyperpraw-basic",
+            Algorithm::HyperPrawAware => "hyperpraw-aware",
+            Algorithm::ParallelBasic => "parallel-basic",
+            Algorithm::ParallelAware => "parallel-aware",
+            Algorithm::LowMemExact => "lowmem-exact",
+            Algorithm::LowMemSketched => "lowmem-sketched",
+            Algorithm::MultilevelBaseline => "multilevel",
+            Algorithm::RoundRobin => "round-robin",
+        }
+    }
+
+    /// The accepted `parse` spellings, for error messages and CLI usage
+    /// text — one definition so the two cannot drift apart.
+    pub fn expected_names() -> &'static str {
+        "aware | basic | parallel[-basic] | lowmem[-exact] | multilevel | round-robin"
+    }
+
+    /// Parses the names printed by [`Algorithm::name`] plus the historical
+    /// CLI aliases (`aware`, `basic`, `zoltan`, `rr`, ...).
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "aware" | "hyperpraw-aware" => Ok(Algorithm::HyperPrawAware),
+            "basic" | "hyperpraw-basic" => Ok(Algorithm::HyperPrawBasic),
+            "parallel" | "parallel-aware" => Ok(Algorithm::ParallelAware),
+            "parallel-basic" => Ok(Algorithm::ParallelBasic),
+            "lowmem" | "lowmem-sketched" => Ok(Algorithm::LowMemSketched),
+            "lowmem-exact" => Ok(Algorithm::LowMemExact),
+            "multilevel" | "zoltan" => Ok(Algorithm::MultilevelBaseline),
+            "round-robin" | "rr" => Ok(Algorithm::RoundRobin),
+            other => Err(format!(
+                "unknown algorithm '{other}' (expected {})",
+                Self::expected_names()
+            )),
+        }
+    }
+
+    /// `true` for the variants that require a profiled cost matrix (the
+    /// architecture-aware algorithms).
+    pub fn requires_cost_matrix(&self) -> bool {
+        matches!(self, Algorithm::HyperPrawAware | Algorithm::ParallelAware)
+    }
+
+    /// `true` for the algorithms that can run over a [`VertexStream`]
+    /// without materialising the hypergraph in memory.
+    pub fn supports_streams(&self) -> bool {
+        matches!(self, Algorithm::LowMemExact | Algorithm::LowMemSketched)
+    }
+
+    /// `true` for the algorithms that run worker threads (the
+    /// bulk-synchronous drivers); [`PartitionJob::threads`] has no effect
+    /// on the others.
+    pub fn supports_threads(&self) -> bool {
+        matches!(
+            self,
+            Algorithm::ParallelBasic
+                | Algorithm::ParallelAware
+                | Algorithm::LowMemExact
+                | Algorithm::LowMemSketched
+        )
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Errors returned by the job API — the replacement for the drivers' mix
+/// of panics and `io::Result`s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PartitionError {
+    /// The job's configuration is invalid (bad parameter ranges, missing
+    /// cost matrix, more partitions than vertices, ...).
+    InvalidConfig(String),
+    /// An IO problem while reading a vertex stream.
+    Io(String),
+    /// The requested combination is not supported (e.g. streaming an
+    /// in-memory-only algorithm).
+    Unsupported(String),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            PartitionError::Io(m) => write!(f, "io error: {m}"),
+            PartitionError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+impl From<IoError> for PartitionError {
+    fn from(e: IoError) -> Self {
+        PartitionError::Io(e.to_string())
+    }
+}
+
+/// A fluent, validated partitioning job.
+///
+/// Construct with [`PartitionJob::new`], set the shared knobs (partitions
+/// or a cost matrix, seed, tolerance, threads, budget, ...) through the
+/// builder methods, then [`run`](PartitionJob::run) it on an in-memory
+/// hypergraph or [`run_stream`](PartitionJob::run_stream) it over an
+/// on-disk vertex stream. Builder setters never panic; all range checking
+/// happens in [`validate`](PartitionJob::validate) / the run methods and
+/// surfaces as [`PartitionError::InvalidConfig`].
+#[derive(Clone, Debug)]
+pub struct PartitionJob {
+    algorithm: Algorithm,
+    partitions: Option<u32>,
+    cost: Option<CostMatrix>,
+    hyperpraw: HyperPrawConfig,
+    parallel: ParallelConfig,
+    lowmem: LowMemConfig,
+    multilevel: MultilevelConfig,
+}
+
+impl PartitionJob {
+    /// Creates a job for `algorithm` with every driver configuration at
+    /// its crate default.
+    pub fn new(algorithm: Algorithm) -> Self {
+        Self {
+            algorithm,
+            partitions: None,
+            cost: None,
+            hyperpraw: HyperPrawConfig::default(),
+            parallel: ParallelConfig::default(),
+            lowmem: LowMemConfig::default(),
+            multilevel: MultilevelConfig::default(),
+        }
+    }
+
+    /// The algorithm this job dispatches to.
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Sets the number of partitions (compute units). Redundant — but
+    /// cross-checked — when a cost matrix is supplied.
+    pub fn partitions(mut self, p: u32) -> Self {
+        self.partitions = Some(p);
+        self
+    }
+
+    /// Supplies the communication-cost matrix. Required by the
+    /// architecture-aware algorithms (which partition *with* it); the
+    /// oblivious algorithms ignore it for partitioning but evaluate the
+    /// report's `comm_cost` against it, the way the paper's Figure 4C
+    /// scores every strategy on the real machine. Implies the partition
+    /// count when [`PartitionJob::partitions`] is not called.
+    pub fn cost(mut self, cost: CostMatrix) -> Self {
+        self.cost = Some(cost);
+        self
+    }
+
+    /// Sets the RNG seed of every driver configuration.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.hyperpraw.seed = seed;
+        self.lowmem.seed = seed;
+        self.multilevel.seed = seed;
+        self
+    }
+
+    /// Sets the imbalance tolerance of the restreaming and multilevel
+    /// drivers.
+    pub fn imbalance_tolerance(mut self, tol: f64) -> Self {
+        self.hyperpraw.imbalance_tolerance = tol;
+        self.multilevel.imbalance_tolerance = tol;
+        self
+    }
+
+    /// Sets the in-memory connectivity provider (HyperPRAW drivers).
+    pub fn connectivity(mut self, connectivity: Connectivity) -> Self {
+        self.hyperpraw.connectivity = connectivity;
+        self
+    }
+
+    /// Sets the refinement policy (HyperPRAW drivers).
+    pub fn refinement(mut self, refinement: RefinementPolicy) -> Self {
+        self.hyperpraw.refinement = refinement;
+        self
+    }
+
+    /// Sets the maximum number of streams/passes.
+    pub fn max_iterations(mut self, n: usize) -> Self {
+        self.hyperpraw.max_iterations = n;
+        self.lowmem.passes = n;
+        self
+    }
+
+    /// Sets the vertex visit order (in-memory HyperPRAW drivers).
+    pub fn stream_order(mut self, order: StreamOrder) -> Self {
+        self.hyperpraw.stream_order = order;
+        self
+    }
+
+    /// Pins the initial `α` instead of the FENNEL-derived default.
+    pub fn initial_alpha(mut self, alpha: f64) -> Self {
+        self.hyperpraw.initial_alpha = Some(alpha);
+        self.lowmem.alpha = Some(alpha);
+        self
+    }
+
+    /// Enables or disables per-stream history tracking.
+    pub fn track_history(mut self, track: bool) -> Self {
+        self.hyperpraw.track_history = track;
+        self
+    }
+
+    /// Sets the worker-thread count of the bulk-synchronous drivers.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.parallel.num_threads = threads;
+        self.lowmem.threads = threads;
+        self
+    }
+
+    /// Sets the synchronisation window of the bulk-synchronous drivers.
+    pub fn sync_interval(mut self, interval: usize) -> Self {
+        self.parallel.sync_interval = interval;
+        self.lowmem.sync_interval = interval;
+        self
+    }
+
+    /// Sets the memory budget of the lowmem drivers.
+    pub fn memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.lowmem.budget = budget;
+        self
+    }
+
+    /// Sets the number of streaming passes of the lowmem drivers.
+    pub fn passes(mut self, passes: usize) -> Self {
+        self.lowmem.passes = passes;
+        self
+    }
+
+    /// Rebuild sketches between lowmem passes to shed staleness.
+    pub fn rebuild_sketches(mut self, rebuild: bool) -> Self {
+        self.lowmem.rebuild_sketches = rebuild;
+        self
+    }
+
+    /// Sets the lowmem low-confidence revisit capacity (`None` derives it
+    /// from the budget).
+    pub fn restream_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.lowmem.restream_capacity = capacity;
+        self
+    }
+
+    /// Replaces the full HyperPRAW configuration (in-memory drivers).
+    pub fn hyperpraw_config(mut self, config: HyperPrawConfig) -> Self {
+        self.hyperpraw = config;
+        self
+    }
+
+    /// Replaces the full parallel-driver configuration.
+    pub fn parallel_config(mut self, config: ParallelConfig) -> Self {
+        self.parallel = config;
+        self
+    }
+
+    /// Replaces the full lowmem configuration (the job still overrides
+    /// `index` from the [`Algorithm`] variant at dispatch).
+    pub fn lowmem_config(mut self, config: LowMemConfig) -> Self {
+        self.lowmem = config;
+        self
+    }
+
+    /// Replaces the full multilevel configuration.
+    pub fn multilevel_config(mut self, config: MultilevelConfig) -> Self {
+        self.multilevel = config;
+        self
+    }
+
+    /// Validates the job without running it: partition count resolvable
+    /// and consistent with the cost matrix, cost matrix present for the
+    /// aware algorithms, and the dispatched driver's configuration within
+    /// range.
+    pub fn validate(&self) -> Result<(), PartitionError> {
+        self.resolved_partitions()?;
+        if self.algorithm.requires_cost_matrix() && self.cost.is_none() {
+            return Err(PartitionError::InvalidConfig(format!(
+                "{} requires a profiled cost matrix; call .cost(..) or use the basic variant",
+                self.algorithm
+            )));
+        }
+        let invalid = PartitionError::InvalidConfig;
+        match self.algorithm {
+            Algorithm::HyperPrawBasic | Algorithm::HyperPrawAware => {
+                self.hyperpraw.validate().map_err(invalid)?;
+            }
+            Algorithm::ParallelBasic | Algorithm::ParallelAware => {
+                self.hyperpraw.validate().map_err(invalid)?;
+                self.parallel.validate().map_err(invalid)?;
+            }
+            Algorithm::LowMemExact | Algorithm::LowMemSketched => {
+                self.lowmem_with_index().validate().map_err(invalid)?;
+            }
+            Algorithm::MultilevelBaseline => {
+                self.multilevel.validate().map_err(invalid)?;
+            }
+            Algorithm::RoundRobin => {}
+        }
+        Ok(())
+    }
+
+    /// Runs the job on an in-memory hypergraph.
+    pub fn run(&self, hg: &Hypergraph) -> Result<PartitionReport, PartitionError> {
+        self.validate()?;
+        let p = self.resolved_partitions()?;
+        self.check_vertex_count(hg.num_vertices(), p)?;
+
+        let started = Instant::now();
+        let (partition, history, stop_reason, iterations, final_alpha, lowmem) = match self
+            .algorithm
+        {
+            Algorithm::HyperPrawBasic | Algorithm::HyperPrawAware => {
+                let result = HyperPraw::new(self.hyperpraw, self.driver_cost(p)).partition(hg);
+                (
+                    result.partition,
+                    result.history,
+                    Some(result.stop_reason),
+                    result.iterations,
+                    Some(result.final_alpha),
+                    None,
+                )
+            }
+            Algorithm::ParallelBasic | Algorithm::ParallelAware => {
+                let result =
+                    ParallelHyperPraw::new(self.hyperpraw, self.parallel, self.driver_cost(p))
+                        .partition(hg);
+                (
+                    result.partition,
+                    result.history,
+                    Some(result.stop_reason),
+                    result.iterations,
+                    Some(result.final_alpha),
+                    None,
+                )
+            }
+            Algorithm::LowMemExact | Algorithm::LowMemSketched => {
+                let result = LowMemPartitioner::new(self.lowmem_with_index(), self.driver_cost(p))
+                    .partition_hypergraph(hg);
+                let stats = LowMemStats {
+                    alpha: result.alpha,
+                    passes: result.passes,
+                    restreamed: result.restreamed,
+                    moved_in_restream: result.moved_in_restream,
+                    index_memory_bytes: result.index_memory_bytes,
+                };
+                (
+                    result.partition,
+                    PartitionHistory::new(),
+                    None,
+                    result.passes,
+                    Some(result.alpha),
+                    Some(stats),
+                )
+            }
+            Algorithm::MultilevelBaseline => (
+                MultilevelPartitioner::new(self.multilevel).partition(hg, p),
+                PartitionHistory::new(),
+                None,
+                1,
+                None,
+                None,
+            ),
+            Algorithm::RoundRobin => (
+                baselines::round_robin(hg, p),
+                PartitionHistory::new(),
+                None,
+                1,
+                None,
+                None,
+            ),
+        };
+        let partition_secs = started.elapsed().as_secs_f64();
+
+        let evaluating = Instant::now();
+        let quality = QualityReport::compute(hg, &partition, &self.eval_cost(p));
+        let evaluate_secs = evaluating.elapsed().as_secs_f64();
+
+        Ok(PartitionReport {
+            algorithm: self.algorithm,
+            partition,
+            history,
+            stop_reason,
+            iterations,
+            final_alpha,
+            imbalance: quality.imbalance,
+            comm_cost: Some(quality.comm_cost),
+            hyperedge_cut: Some(quality.hyperedge_cut),
+            soed: Some(quality.soed),
+            timings: PhaseTimings {
+                partition_secs,
+                evaluate_secs,
+            },
+            config: self.effective_config(p),
+            lowmem,
+        })
+    }
+
+    /// Runs the job over a vertex stream without materialising the
+    /// hypergraph — only the lowmem algorithms support this; everything
+    /// else returns [`PartitionError::Unsupported`].
+    ///
+    /// The report's cut metrics are `None` (a pure stream run cannot
+    /// afford them) and its imbalance is unweighted; callers that re-read
+    /// the input file edge-major can fill both in through
+    /// [`PartitionReport::attach_streamed_quality`].
+    pub fn run_stream<S: VertexStream>(
+        &self,
+        stream: &mut S,
+    ) -> Result<PartitionReport, PartitionError> {
+        if !self.algorithm.supports_streams() {
+            return Err(PartitionError::Unsupported(format!(
+                "{} cannot run from a vertex stream; load the hypergraph in memory instead",
+                self.algorithm
+            )));
+        }
+        self.validate()?;
+        let p = self.resolved_partitions()?;
+        self.check_vertex_count(stream.num_vertices(), p)?;
+
+        let started = Instant::now();
+        let result = LowMemPartitioner::new(self.lowmem_with_index(), self.driver_cost(p))
+            .partition(stream)
+            .map_err(PartitionError::from)?;
+        let partition_secs = started.elapsed().as_secs_f64();
+
+        let stats = LowMemStats {
+            alpha: result.alpha,
+            passes: result.passes,
+            restreamed: result.restreamed,
+            moved_in_restream: result.moved_in_restream,
+            index_memory_bytes: result.index_memory_bytes,
+        };
+        Ok(PartitionReport {
+            algorithm: self.algorithm,
+            imbalance: unweighted_imbalance(&result.partition),
+            partition: result.partition,
+            history: PartitionHistory::new(),
+            stop_reason: None,
+            iterations: result.passes,
+            final_alpha: Some(result.alpha),
+            comm_cost: None,
+            hyperedge_cut: None,
+            soed: None,
+            timings: PhaseTimings {
+                partition_secs,
+                evaluate_secs: 0.0,
+            },
+            config: self.effective_config(p),
+            lowmem: Some(stats),
+        })
+    }
+
+    /// The partition count this job resolves to: the explicit count, the
+    /// cost matrix's unit count, or an error when neither is available or
+    /// the two disagree.
+    pub fn resolved_partitions(&self) -> Result<u32, PartitionError> {
+        match (self.partitions, &self.cost) {
+            (Some(p), Some(c)) if p as usize != c.num_units() => {
+                Err(PartitionError::InvalidConfig(format!(
+                    "partitions({p}) disagrees with the {}-unit cost matrix",
+                    c.num_units()
+                )))
+            }
+            (Some(0), _) => Err(PartitionError::InvalidConfig(
+                "need at least one partition".into(),
+            )),
+            (Some(p), _) => Ok(p),
+            (None, Some(c)) if c.num_units() > 0 => Ok(c.num_units() as u32),
+            (None, Some(_)) => Err(PartitionError::InvalidConfig(
+                "the cost matrix covers zero units".into(),
+            )),
+            (None, None) => Err(PartitionError::InvalidConfig(
+                "number of partitions not set; call .partitions(p) or .cost(matrix)".into(),
+            )),
+        }
+    }
+
+    fn check_vertex_count(&self, num_vertices: usize, p: u32) -> Result<(), PartitionError> {
+        if (p as usize) > num_vertices {
+            return Err(PartitionError::InvalidConfig(format!(
+                "cannot split {num_vertices} vertices into {p} parts"
+            )));
+        }
+        Ok(())
+    }
+
+    /// The lowmem configuration with the index kind the [`Algorithm`]
+    /// variant selects.
+    fn lowmem_with_index(&self) -> LowMemConfig {
+        let mut config = self.lowmem.clone();
+        config.index = match self.algorithm {
+            Algorithm::LowMemExact => IndexKind::Exact,
+            _ => IndexKind::Sketched,
+        };
+        config
+    }
+
+    /// The cost matrix handed to the dispatched driver: the profiled
+    /// matrix for the aware algorithms (and the lowmem drivers, which are
+    /// architecture-aware whenever a matrix is supplied), uniform
+    /// otherwise.
+    fn driver_cost(&self, p: u32) -> CostMatrix {
+        match self.algorithm {
+            Algorithm::HyperPrawBasic | Algorithm::ParallelBasic => CostMatrix::uniform(p as usize),
+            _ => self
+                .cost
+                .clone()
+                .unwrap_or_else(|| CostMatrix::uniform(p as usize)),
+        }
+    }
+
+    /// The cost matrix the report's `comm_cost` is evaluated against: the
+    /// supplied (architecture) matrix when there is one — every algorithm
+    /// is scored on the same machine, as in the paper's Figure 4C —
+    /// uniform otherwise.
+    fn eval_cost(&self, p: u32) -> CostMatrix {
+        self.cost
+            .clone()
+            .unwrap_or_else(|| CostMatrix::uniform(p as usize))
+    }
+
+    fn effective_config(&self, p: u32) -> EffectiveConfig {
+        let restreaming = matches!(
+            self.algorithm,
+            Algorithm::HyperPrawBasic
+                | Algorithm::HyperPrawAware
+                | Algorithm::ParallelBasic
+                | Algorithm::ParallelAware
+        );
+        let bsp = matches!(
+            self.algorithm,
+            Algorithm::ParallelBasic | Algorithm::ParallelAware
+        );
+        let lowmem = self.algorithm.supports_streams();
+        let architecture_aware = match self.algorithm {
+            Algorithm::HyperPrawBasic
+            | Algorithm::ParallelBasic
+            | Algorithm::MultilevelBaseline
+            | Algorithm::RoundRobin => false,
+            Algorithm::HyperPrawAware | Algorithm::ParallelAware => true,
+            Algorithm::LowMemExact | Algorithm::LowMemSketched => {
+                self.cost.as_ref().is_some_and(|c| !c.is_uniform())
+            }
+        };
+        EffectiveConfig {
+            partitions: p,
+            seed: if lowmem {
+                self.lowmem.seed
+            } else if self.algorithm == Algorithm::MultilevelBaseline {
+                self.multilevel.seed
+            } else {
+                self.hyperpraw.seed
+            },
+            architecture_aware,
+            imbalance_tolerance: if restreaming {
+                Some(self.hyperpraw.imbalance_tolerance)
+            } else if self.algorithm == Algorithm::MultilevelBaseline {
+                Some(self.multilevel.imbalance_tolerance)
+            } else {
+                None
+            },
+            max_iterations: if restreaming {
+                Some(self.hyperpraw.max_iterations)
+            } else if lowmem {
+                Some(self.lowmem.passes)
+            } else {
+                None
+            },
+            tempering_factor: restreaming.then_some(self.hyperpraw.tempering_factor),
+            refinement_factor: if restreaming {
+                match self.hyperpraw.refinement {
+                    RefinementPolicy::Factor(f) => Some(f),
+                    RefinementPolicy::None => None,
+                }
+            } else {
+                None
+            },
+            initial_alpha: if restreaming {
+                self.hyperpraw.initial_alpha
+            } else if lowmem {
+                self.lowmem.alpha
+            } else {
+                None
+            },
+            connectivity: restreaming.then(|| self.hyperpraw.connectivity.name()),
+            stream_order: restreaming.then(|| self.hyperpraw.stream_order.name()),
+            threads: if bsp {
+                self.parallel.num_threads
+            } else if lowmem {
+                self.lowmem.threads
+            } else {
+                1
+            },
+            sync_interval: if bsp {
+                Some(self.parallel.sync_interval)
+            } else if lowmem && self.lowmem.threads > 1 {
+                Some(self.lowmem.sync_interval)
+            } else {
+                None
+            },
+            index: lowmem.then(|| self.lowmem_with_index().index.name()),
+            budget_bytes: lowmem.then_some(self.lowmem.budget.bytes),
+            rebuild_sketches: lowmem.then_some(self.lowmem.rebuild_sketches),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for algorithm in Algorithm::all() {
+            assert_eq!(Algorithm::parse(algorithm.name()).unwrap(), algorithm);
+        }
+        assert_eq!(
+            Algorithm::parse("zoltan").unwrap(),
+            Algorithm::MultilevelBaseline
+        );
+        assert_eq!(Algorithm::parse("rr").unwrap(), Algorithm::RoundRobin);
+        assert!(Algorithm::parse("quantum").is_err());
+    }
+
+    #[test]
+    fn missing_partition_count_is_rejected_up_front() {
+        let err = PartitionJob::new(Algorithm::HyperPrawBasic)
+            .validate()
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn cost_matrix_mismatch_is_rejected() {
+        let err = PartitionJob::new(Algorithm::HyperPrawAware)
+            .partitions(8)
+            .cost(CostMatrix::uniform(4))
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("disagrees"));
+    }
+
+    #[test]
+    fn aware_without_cost_matrix_is_rejected() {
+        let err = PartitionJob::new(Algorithm::HyperPrawAware)
+            .partitions(8)
+            .validate()
+            .unwrap_err();
+        assert!(err.to_string().contains("cost matrix"));
+    }
+
+    #[test]
+    fn invalid_driver_configs_error_instead_of_panicking() {
+        let hg = mesh_hypergraph(&MeshConfig::new(50, 4));
+        // tempering_factor <= 1.0
+        let bad = HyperPrawConfig {
+            tempering_factor: 0.9,
+            ..HyperPrawConfig::default()
+        };
+        assert!(matches!(
+            PartitionJob::new(Algorithm::HyperPrawBasic)
+                .partitions(4)
+                .hyperpraw_config(bad)
+                .run(&hg),
+            Err(PartitionError::InvalidConfig(_))
+        ));
+        // imbalance tolerance < 1.0
+        assert!(matches!(
+            PartitionJob::new(Algorithm::HyperPrawBasic)
+                .partitions(4)
+                .imbalance_tolerance(0.5)
+                .run(&hg),
+            Err(PartitionError::InvalidConfig(_))
+        ));
+        // max_iterations = 0
+        assert!(matches!(
+            PartitionJob::new(Algorithm::HyperPrawBasic)
+                .partitions(4)
+                .max_iterations(0)
+                .run(&hg),
+            Err(PartitionError::InvalidConfig(_))
+        ));
+        // zero-thread BSP
+        assert!(matches!(
+            PartitionJob::new(Algorithm::ParallelBasic)
+                .partitions(4)
+                .threads(0)
+                .run(&hg),
+            Err(PartitionError::InvalidConfig(_))
+        ));
+        // zero lowmem passes
+        assert!(matches!(
+            PartitionJob::new(Algorithm::LowMemSketched)
+                .partitions(4)
+                .passes(0)
+                .run(&hg),
+            Err(PartitionError::InvalidConfig(_))
+        ));
+        // p = 0
+        assert!(matches!(
+            PartitionJob::new(Algorithm::RoundRobin)
+                .partitions(0)
+                .run(&hg),
+            Err(PartitionError::InvalidConfig(_))
+        ));
+        // more parts than vertices
+        assert!(matches!(
+            PartitionJob::new(Algorithm::RoundRobin)
+                .partitions(100)
+                .run(&hg),
+            Err(PartitionError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn streaming_an_in_memory_algorithm_is_unsupported() {
+        let hg = mesh_hypergraph(&MeshConfig::new(50, 4));
+        let mut stream = hyperpraw_hypergraph::io::stream::InMemoryVertexStream::new(&hg);
+        let err = PartitionJob::new(Algorithm::MultilevelBaseline)
+            .partitions(4)
+            .run_stream(&mut stream)
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::Unsupported(_)));
+    }
+
+    #[test]
+    fn every_algorithm_runs_in_memory_and_reports_metrics() {
+        let hg = mesh_hypergraph(&MeshConfig::new(200, 6));
+        let cost = CostMatrix::uniform(4);
+        for algorithm in Algorithm::all() {
+            let report = PartitionJob::new(algorithm)
+                .cost(cost.clone())
+                .seed(1)
+                .run(&hg)
+                .unwrap_or_else(|e| panic!("{algorithm}: {e}"));
+            assert_eq!(report.partition.num_parts(), 4, "{algorithm}");
+            assert_eq!(report.partition.num_vertices(), 200, "{algorithm}");
+            assert!(report.imbalance.is_finite(), "{algorithm}");
+            assert!(report.comm_cost.is_some(), "{algorithm}");
+            assert!(report.hyperedge_cut.is_some(), "{algorithm}");
+            assert!(report.iterations >= 1, "{algorithm}");
+            assert_eq!(report.config.partitions, 4, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn partition_count_resolves_from_the_cost_matrix() {
+        let job = PartitionJob::new(Algorithm::HyperPrawBasic).cost(CostMatrix::uniform(6));
+        assert_eq!(job.resolved_partitions().unwrap(), 6);
+    }
+}

@@ -8,16 +8,21 @@
 //! discrete-event message-passing simulator standing in for MPI-on-ARCHER,
 //! and a multilevel recursive-bisection baseline standing in for Zoltan.
 //!
-//! This crate is a thin facade: it re-exports the six member crates under
-//! stable module names and provides a [`prelude`].
+//! This crate is the **one front door** to the workspace: the [`api`]
+//! module dispatches every partitioning driver through a single
+//! builder-first [`api::PartitionJob`] selected by an [`api::Algorithm`],
+//! and every run returns the common [`report::PartitionReport`] (with a
+//! dependency-free JSON serialisation). The member crates remain available
+//! under stable module names for direct, low-level use.
 //!
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
+//! | [`api`] / [`report`] | (this crate) | the unified `PartitionJob` front door, `Algorithm` dispatch, `PartitionError`, `PartitionReport` + JSON |
 //! | [`hypergraph`] | `hyperpraw-hypergraph` | CSR hypergraphs, builders, generators, IO (including streaming vertex readers), cut metrics |
 //! | [`topology`] | `hyperpraw-topology` | machine models, bandwidth matrices, cost matrices |
 //! | [`netsim`] | `hyperpraw-netsim` | event-driven network simulator, ring profiler, synthetic benchmark |
 //! | [`multilevel`] | `hyperpraw-multilevel` | Zoltan-like multilevel recursive bisection baseline |
-//! | [`core`] | `hyperpraw-core` | the HyperPRAW restreaming partitioner itself |
+//! | [`core`] | `hyperpraw-core` | the HyperPRAW restreaming engine and its thin drivers |
 //! | [`lowmem`] | `hyperpraw-lowmem` | memory-bounded one-pass streaming partitioner over on-disk vertex streams, with Bloom/MinHash connectivity sketches |
 //!
 //! ## End-to-end flow
@@ -36,17 +41,34 @@
 //! let bandwidth = RingProfiler::default().profile(&link);
 //! let cost = CostMatrix::from_bandwidth(&bandwidth);
 //!
-//! // 3. Partition with HyperPRAW-aware.
-//! let result = HyperPraw::aware(HyperPrawConfig::default(), cost).partition(&hg);
+//! // 3. Partition with HyperPRAW-aware through the job API.
+//! let report = PartitionJob::new(Algorithm::HyperPrawAware)
+//!     .cost(cost)
+//!     .seed(7)
+//!     .run(&hg)
+//!     .unwrap();
+//! assert_eq!(report.partition.num_parts(), 16);
 //!
 //! // 4. Run the synthetic benchmark under that placement.
 //! let bench = SyntheticBenchmark::new(link, BenchmarkConfig::default());
-//! let outcome = bench.run(&hg, &result.partition);
+//! let outcome = bench.run(&hg, &report.partition);
 //! assert!(outcome.total_time_us >= 0.0);
+//!
+//! // 5. Machine-readable results for sweeps.
+//! assert!(report.to_json().contains("\"algorithm\": \"hyperpraw-aware\""));
 //! ```
+//!
+//! Swapping the algorithm — `Algorithm::{HyperPrawBasic, ParallelAware,
+//! LowMemSketched, MultilevelBaseline, ...}` — changes nothing else about
+//! the flow; the lowmem variants additionally accept an on-disk
+//! [`hypergraph::io::stream::VertexStream`] through
+//! [`api::PartitionJob::run_stream`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod api;
+pub mod report;
 
 pub use hyperpraw_core as core;
 pub use hyperpraw_hypergraph as hypergraph;
@@ -55,8 +77,13 @@ pub use hyperpraw_multilevel as multilevel;
 pub use hyperpraw_netsim as netsim;
 pub use hyperpraw_topology as topology;
 
+pub use api::{Algorithm, PartitionError, PartitionJob};
+pub use report::PartitionReport;
+
 /// The most commonly used types from every layer, re-exported flat.
 pub mod prelude {
+    pub use crate::api::{Algorithm, PartitionError, PartitionJob};
+    pub use crate::report::{EffectiveConfig, LowMemStats, PartitionReport, PhaseTimings};
     pub use hyperpraw_core::{
         baselines, metrics::partitioning_communication_cost, metrics::QualityReport, CostMatrix,
         HyperPraw, HyperPrawConfig, ParallelConfig, ParallelHyperPraw, PartitionResult,

@@ -1,6 +1,7 @@
 //! End-to-end integration tests: the full pipeline from hypergraph
-//! generation through profiling, partitioning and the synthetic benchmark,
-//! asserting the *shape* of the paper's headline results.
+//! generation through profiling, partitioning (through the unified
+//! `PartitionJob` API) and the synthetic benchmark, asserting the *shape*
+//! of the paper's headline results.
 
 use hyperpraw::hypergraph::generators::suite::{PaperInstance, SuiteConfig};
 use hyperpraw::prelude::*;
@@ -14,22 +15,31 @@ fn testbed(procs: usize, seed: u64) -> (LinkModel, CostMatrix) {
     (link, cost)
 }
 
+/// Dispatches `algorithm` on the testbed's cost matrix through the front
+/// door.
+fn run(algorithm: Algorithm, hg: &Hypergraph, cost: &CostMatrix) -> PartitionReport {
+    PartitionJob::new(algorithm)
+        .cost(cost.clone())
+        .run(hg)
+        .expect("valid end-to-end configuration")
+}
+
 #[test]
 fn full_pipeline_runs_for_a_suite_instance() {
     let procs = 24usize;
     let (link, cost) = testbed(procs, 1);
     let hg = PaperInstance::TwoCubesSphere.generate(&SuiteConfig::scaled(0.01));
 
-    let result = HyperPraw::aware(HyperPrawConfig::default(), cost.clone()).partition(&hg);
-    assert_eq!(result.partition.num_parts() as usize, procs);
-    assert!(result.imbalance <= 1.1 + 1e-9);
+    let report = run(Algorithm::HyperPrawAware, &hg, &cost);
+    assert_eq!(report.partition.num_parts() as usize, procs);
+    assert!(report.imbalance <= 1.1 + 1e-9);
 
     let bench = SyntheticBenchmark::new(link, BenchmarkConfig::default());
-    let run = bench.run(&hg, &result.partition);
-    assert!(run.total_time_us.is_finite());
-    assert!(run.total_time_us >= 0.0);
+    let outcome = bench.run(&hg, &report.partition);
+    assert!(outcome.total_time_us.is_finite());
+    assert!(outcome.total_time_us >= 0.0);
     // The traffic matrix covers exactly the remote bytes of the benchmark.
-    assert_eq!(run.traffic.remote_bytes(), run.remote_bytes);
+    assert_eq!(outcome.traffic.remote_bytes(), outcome.remote_bytes);
 }
 
 #[test]
@@ -38,19 +48,19 @@ fn aware_beats_naive_placements_on_comm_cost_and_runtime() {
     let (link, cost) = testbed(procs, 3);
     let hg = PaperInstance::TwoCubesSphere.generate(&SuiteConfig::scaled(0.02));
 
-    let aware = HyperPraw::aware(HyperPrawConfig::default(), cost.clone())
-        .partition(&hg)
-        .partition;
-    let round_robin = baselines::round_robin(&hg, procs as u32);
+    // Every strategy through the same job API; the report's comm cost is
+    // evaluated against the shared architecture matrix for all of them.
+    let aware = run(Algorithm::HyperPrawAware, &hg, &cost);
+    let round_robin = run(Algorithm::RoundRobin, &hg, &cost);
     let random = baselines::random(&hg, procs as u32, 1);
 
-    let pc = |p: &Partition| partitioning_communication_cost(&hg, p, &cost);
+    let pc = |r: &PartitionReport| r.comm_cost.unwrap();
     assert!(pc(&aware) < pc(&round_robin));
-    assert!(pc(&aware) < pc(&random));
+    assert!(pc(&aware) < partitioning_communication_cost(&hg, &random, &cost));
 
     let bench = SyntheticBenchmark::new(link, BenchmarkConfig::default());
-    let t_aware = bench.run(&hg, &aware).total_time_us;
-    let t_rr = bench.run(&hg, &round_robin).total_time_us;
+    let t_aware = bench.run(&hg, &aware.partition).total_time_us;
+    let t_rr = bench.run(&hg, &round_robin.partition).total_time_us;
     assert!(
         t_aware < t_rr,
         "aware {t_aware} should beat round robin {t_rr}"
@@ -65,17 +75,16 @@ fn aware_beats_basic_which_matches_or_beats_zoltan_comm_cost() {
     let (_, cost) = testbed(procs, 5);
     let hg = PaperInstance::AbacusShellHd.generate(&SuiteConfig::scaled(0.05));
 
-    let aware = HyperPraw::aware(HyperPrawConfig::default(), cost.clone())
-        .partition(&hg)
-        .partition;
-    let basic = HyperPraw::basic(HyperPrawConfig::default(), procs as u32)
-        .partition(&hg)
-        .partition;
-    let zoltan =
-        MultilevelPartitioner::new(MultilevelConfig::default()).partition(&hg, procs as u32);
+    let a = run(Algorithm::HyperPrawAware, &hg, &cost)
+        .comm_cost
+        .unwrap();
+    let b = run(Algorithm::HyperPrawBasic, &hg, &cost)
+        .comm_cost
+        .unwrap();
+    let z = run(Algorithm::MultilevelBaseline, &hg, &cost)
+        .comm_cost
+        .unwrap();
 
-    let pc = |p: &Partition| partitioning_communication_cost(&hg, p, &cost);
-    let (a, b, z) = (pc(&aware), pc(&basic), pc(&zoltan));
     assert!(a <= b * 1.05, "aware {a} should not lose to basic {b}");
     assert!(a < z, "aware {a} should beat the multilevel baseline {z}");
 }
@@ -86,14 +95,9 @@ fn benchmark_runtime_ranks_the_three_strategies_like_figure_5() {
     let (link, cost) = testbed(procs, 10);
     let hg = PaperInstance::TwoCubesSphere.generate(&SuiteConfig::scaled(0.02));
 
-    let aware = HyperPraw::aware(HyperPrawConfig::default(), cost.clone())
-        .partition(&hg)
-        .partition;
-    let basic = HyperPraw::basic(HyperPrawConfig::default(), procs as u32)
-        .partition(&hg)
-        .partition;
-    let zoltan =
-        MultilevelPartitioner::new(MultilevelConfig::default()).partition(&hg, procs as u32);
+    let aware = run(Algorithm::HyperPrawAware, &hg, &cost).partition;
+    let basic = run(Algorithm::HyperPrawBasic, &hg, &cost).partition;
+    let zoltan = run(Algorithm::MultilevelBaseline, &hg, &cost).partition;
 
     let bench = SyntheticBenchmark::new(link, BenchmarkConfig::default());
     let t_aware = bench.run(&hg, &aware).total_time_us;
@@ -116,18 +120,22 @@ fn benchmark_runtime_ranks_the_three_strategies_like_figure_5() {
 }
 
 #[test]
-fn quality_report_is_consistent_across_crates() {
+fn report_metrics_are_consistent_across_crates() {
     let procs = 16usize;
     let (_, cost) = testbed(procs, 11);
     let hg = PaperInstance::Webbase1M.generate(&SuiteConfig::scaled(0.002));
-    let part = HyperPraw::aware(HyperPrawConfig::default(), cost.clone())
-        .partition(&hg)
-        .partition;
-    let report = QualityReport::compute(&hg, &part, &cost);
-    assert_eq!(report.hyperedge_cut, hyperedge_cut(&hg, &part));
-    assert_eq!(report.soed, soed(&hg, &part));
-    assert!((report.imbalance - part.imbalance(&hg).unwrap()).abs() < 1e-12);
-    assert!(report.comm_cost >= 0.0);
+    let report = run(Algorithm::HyperPrawAware, &hg, &cost);
+    // The report's metrics agree with the low-level metric functions.
+    assert_eq!(
+        report.hyperedge_cut,
+        Some(hyperedge_cut(&hg, &report.partition))
+    );
+    assert_eq!(report.soed, Some(soed(&hg, &report.partition)));
+    assert!((report.imbalance - report.partition.imbalance(&hg).unwrap()).abs() < 1e-12);
+    assert!(report.comm_cost.unwrap() >= 0.0);
+    // And with an independently computed QualityReport.
+    let quality = QualityReport::compute(&hg, &report.partition, &cost);
+    assert_eq!(report.comm_cost, Some(quality.comm_cost));
 }
 
 #[test]
@@ -144,7 +152,7 @@ fn flat_machines_make_aware_equivalent_to_basic() {
     let cost = CostMatrix::from_bandwidth(&profiled);
     assert!(cost.is_uniform());
     let hg = PaperInstance::AbacusShellHd.generate(&SuiteConfig::scaled(0.02));
-    let aware = HyperPraw::aware(HyperPrawConfig::default(), cost).partition(&hg);
-    let basic = HyperPraw::basic(HyperPrawConfig::default(), procs as u32).partition(&hg);
+    let aware = run(Algorithm::HyperPrawAware, &hg, &cost);
+    let basic = run(Algorithm::HyperPrawBasic, &hg, &cost);
     assert_eq!(aware.partition, basic.partition);
 }

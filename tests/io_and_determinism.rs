@@ -19,8 +19,9 @@ fn suite_instance_round_trips_through_hgr_and_partitions_identically() {
     // Partitioning the re-read hypergraph gives the same result as the
     // original: the partitioner only depends on the structure.
     let p = 8u32;
-    let a = HyperPraw::basic(HyperPrawConfig::default(), p).partition(&hg);
-    let b = HyperPraw::basic(HyperPrawConfig::default(), p).partition(&reread);
+    let job = PartitionJob::new(Algorithm::HyperPrawBasic).partitions(p);
+    let a = job.run(&hg).unwrap();
+    let b = job.run(&reread).unwrap();
     assert_eq!(a.partition, b.partition);
     assert_eq!(
         hyperedge_cut(&hg, &a.partition),
@@ -64,8 +65,11 @@ fn whole_pipeline_is_deterministic_for_fixed_seeds() {
         let link = LinkModel::from_machine(&machine, 0.05, 9);
         let bw = RingProfiler::default().profile(&link);
         let cost = CostMatrix::from_bandwidth(&bw);
-        let part = HyperPraw::aware(HyperPrawConfig::default().with_seed(5), cost)
-            .partition(&hg)
+        let part = PartitionJob::new(Algorithm::HyperPrawAware)
+            .cost(cost)
+            .seed(5)
+            .run(&hg)
+            .unwrap()
             .partition;
         let bench = SyntheticBenchmark::new(link, BenchmarkConfig::default());
         let result = bench.run(&hg, &part);

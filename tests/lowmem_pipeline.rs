@@ -1,13 +1,14 @@
 //! End-to-end out-of-core pipeline: write a suite instance to disk as
 //! hMETIS, transpose it into a vertex stream, partition it under a tight
-//! memory budget, and evaluate the result by streaming the file again —
-//! the CSR hypergraph is only ever built to cross-check the answers.
+//! memory budget through `PartitionJob::run_stream`, and evaluate the
+//! result by streaming the file again — the CSR hypergraph is only ever
+//! built to cross-check the answers.
 
 use hyperpraw::hypergraph::generators::suite::{PaperInstance, SuiteConfig};
 use hyperpraw::hypergraph::io::hmetis;
 use hyperpraw::hypergraph::io::stream::{stream_hgr_file, StreamOptions, VertexStream};
 use hyperpraw::hypergraph::metrics;
-use hyperpraw::lowmem::{evaluate_hgr_file, IndexKind, LowMemConfig, LowMemPartitioner};
+use hyperpraw::lowmem::evaluate_hgr_file;
 use hyperpraw::prelude::*;
 
 #[test]
@@ -30,13 +31,10 @@ fn disk_stream_partitioning_respects_the_budget_and_beats_round_robin() {
     assert_eq!(stream.num_vertices(), hg.num_vertices());
     assert_eq!(stream.num_nets(), hg.num_hyperedges());
 
-    let config = LowMemConfig {
-        budget,
-        index: IndexKind::Sketched,
-        ..LowMemConfig::default()
-    };
-    let result = LowMemPartitioner::basic(config, p)
-        .partition(&mut stream)
+    let mut report = PartitionJob::new(Algorithm::LowMemSketched)
+        .partitions(p)
+        .memory_budget(budget)
+        .run_stream(&mut stream)
         .unwrap();
 
     // Peak memory is bounded by the budget on both sides of the pipeline.
@@ -46,20 +44,24 @@ fn disk_stream_partitioning_respects_the_budget_and_beats_round_robin() {
         stream.peak_loaded_bytes(),
         plan.transpose_buffer_bytes
     );
+    let stats = report.lowmem.expect("stream runs report lowmem stats");
     assert!(
-        result.index_memory_bytes <= budget.bytes,
+        stats.index_memory_bytes <= budget.bytes,
         "index memory {} exceeds budget {}",
-        result.index_memory_bytes,
+        stats.index_memory_bytes,
         budget.bytes
     );
 
-    // The streamed quality evaluation agrees with the in-memory metrics.
-    let streamed = evaluate_hgr_file(&path, &result.partition).unwrap();
+    // The streamed quality evaluation agrees with the in-memory metrics,
+    // and back-fills the report's cut fields.
+    assert_eq!(report.hyperedge_cut, None);
+    let streamed = evaluate_hgr_file(&path, &report.partition).unwrap();
+    report.attach_streamed_quality(&streamed);
     assert_eq!(
-        streamed.hyperedge_cut,
-        metrics::hyperedge_cut(&hg, &result.partition)
+        report.hyperedge_cut,
+        Some(metrics::hyperedge_cut(&hg, &report.partition))
     );
-    assert_eq!(streamed.soed, metrics::soed(&hg, &result.partition));
+    assert_eq!(report.soed, Some(metrics::soed(&hg, &report.partition)));
 
     // One bounded-memory pass still beats the naive baseline.
     let rr = Partition::round_robin(hg.num_vertices(), p);
@@ -78,7 +80,7 @@ fn bsp_multi_pass_out_of_core_restreaming_runs_from_a_disk_stream() {
     // The engine combination none of the pre-refactor drivers could
     // express: bulk-synchronous worker threads scoring a frozen sketched
     // connectivity index over an on-disk vertex stream, restreamed for
-    // several passes with the sketches rebuilt in between.
+    // several passes with the sketches rebuilt in between — one job away.
     let hg = PaperInstance::TwoCubesSphere.generate(&SuiteConfig::scaled(0.02));
     let path = std::env::temp_dir().join(format!(
         "hyperpraw_lowmem_bsp_pipeline_{}.hgr",
@@ -95,29 +97,28 @@ fn bsp_multi_pass_out_of_core_restreaming_runs_from_a_disk_stream() {
         spill_dir: None,
     };
     let mut stream = stream_hgr_file(&path, &options).unwrap();
-    let config = LowMemConfig {
-        budget,
-        index: IndexKind::Sketched,
-        passes: 2,
-        rebuild_sketches: true,
-        threads: 4,
-        sync_interval: 256,
-        ..LowMemConfig::default()
-    };
-    let result = LowMemPartitioner::basic(config, p)
-        .partition(&mut stream)
+    let report = PartitionJob::new(Algorithm::LowMemSketched)
+        .partitions(p)
+        .memory_budget(budget)
+        .passes(2)
+        .rebuild_sketches(true)
+        .threads(4)
+        .sync_interval(256)
+        .run_stream(&mut stream)
         .unwrap();
 
-    assert_eq!(result.partition.num_vertices(), hg.num_vertices());
-    assert!(result.passes >= 1 && result.passes <= 2);
+    assert_eq!(report.partition.num_vertices(), hg.num_vertices());
+    let stats = report.lowmem.unwrap();
+    assert!(stats.passes >= 1 && stats.passes <= 2);
+    assert_eq!(report.iterations, stats.passes);
     // The double-buffered index pair still fits the budget.
     assert!(
-        result.index_memory_bytes <= budget.bytes,
+        stats.index_memory_bytes <= budget.bytes,
         "index pair {} exceeds budget {}",
-        result.index_memory_bytes,
+        stats.index_memory_bytes,
         budget.bytes
     );
-    let streamed = evaluate_hgr_file(&path, &result.partition).unwrap();
+    let streamed = evaluate_hgr_file(&path, &report.partition).unwrap();
     let rr = Partition::round_robin(hg.num_vertices(), p);
     assert!(
         streamed.soed < metrics::soed(&hg, &rr),
@@ -140,28 +141,28 @@ fn prior_mode_tracks_in_memory_hyperpraw_on_a_single_stream() {
     let p = 6u32;
     let alpha = HyperPrawConfig::fennel_alpha(p, hg.num_vertices(), hg.num_hyperedges());
 
-    let core = HyperPraw::basic(
-        HyperPrawConfig {
+    let core = PartitionJob::new(Algorithm::HyperPrawBasic)
+        .partitions(p)
+        .hyperpraw_config(HyperPrawConfig {
             initial_alpha: Some(alpha),
             max_iterations: 1,
             refinement: RefinementPolicy::None,
             imbalance_tolerance: f64::from(u32::MAX),
             ..HyperPrawConfig::default()
-        },
-        p,
-    )
-    .partition(&hg);
+        })
+        .run(&hg)
+        .unwrap();
 
-    let lowmem = LowMemPartitioner::basic(
-        LowMemConfig {
+    let lowmem = PartitionJob::new(Algorithm::LowMemExact)
+        .partitions(p)
+        .lowmem_config(LowMemConfig {
             index: IndexKind::Exact,
             alpha: Some(alpha),
             round_robin_prior: true,
             ..LowMemConfig::default()
-        },
-        p,
-    )
-    .partition_hypergraph(&hg);
+        })
+        .run(&hg)
+        .unwrap();
 
     let core_soed = metrics::soed(&hg, &core.partition) as f64;
     let lowmem_soed = metrics::soed(&hg, &lowmem.partition) as f64;

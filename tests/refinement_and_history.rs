@@ -1,5 +1,6 @@
 //! Integration tests of the restreaming behaviour the paper analyses in
-//! §6.1 / Figure 3: the refinement phase and the partition history.
+//! §6.1 / Figure 3: the refinement phase and the partition history, driven
+//! through the unified `PartitionJob` API.
 
 use hyperpraw::hypergraph::generators::suite::{PaperInstance, SuiteConfig};
 use hyperpraw::prelude::*;
@@ -10,12 +11,12 @@ fn cost_for(procs: usize, seed: u64) -> CostMatrix {
     CostMatrix::from_bandwidth(&RingProfiler::default().profile(&link))
 }
 
-fn run(hg: &Hypergraph, cost: &CostMatrix, policy: RefinementPolicy) -> PartitionResult {
-    HyperPraw::new(
-        HyperPrawConfig::default().with_refinement(policy),
-        cost.clone(),
-    )
-    .partition(hg)
+fn run(hg: &Hypergraph, cost: &CostMatrix, policy: RefinementPolicy) -> PartitionReport {
+    PartitionJob::new(Algorithm::HyperPrawAware)
+        .cost(cost.clone())
+        .refinement(policy)
+        .run(hg)
+        .expect("valid refinement configuration")
 }
 
 #[test]
@@ -29,14 +30,14 @@ fn refinement_runs_longer_and_never_ends_worse_than_no_refinement() {
         assert!(keep.iterations >= none.iterations, "{inst}");
         assert!(relax.iterations >= none.iterations, "{inst}");
         assert!(
-            keep.comm_cost <= none.comm_cost + 1e-9,
-            "{inst}: refinement 1.0 ended worse ({} vs {})",
+            keep.comm_cost.unwrap() <= none.comm_cost.unwrap() + 1e-9,
+            "{inst}: refinement 1.0 ended worse ({:?} vs {:?})",
             keep.comm_cost,
             none.comm_cost
         );
         assert!(
-            relax.comm_cost <= none.comm_cost + 1e-9,
-            "{inst}: refinement 0.95 ended worse ({} vs {})",
+            relax.comm_cost.unwrap() <= none.comm_cost.unwrap() + 1e-9,
+            "{inst}: refinement 0.95 ended worse ({:?} vs {:?})",
             relax.comm_cost,
             none.comm_cost
         );
@@ -66,7 +67,7 @@ fn comm_cost_history_is_monotone_non_increasing_over_the_feasible_prefix() {
         .filter(|r| r.imbalance <= 1.1 + 1e-9)
         .map(|r| r.comm_cost)
         .fold(f64::INFINITY, f64::min);
-    assert!(result.comm_cost <= feasible_min + 1e-6);
+    assert!(result.comm_cost.unwrap() <= feasible_min + 1e-6);
 }
 
 #[test]
@@ -104,7 +105,7 @@ fn tempering_phase_precedes_refinement_phase() {
 }
 
 #[test]
-fn history_csv_round_trips_the_series_lengths() {
+fn history_csv_and_json_round_trip_the_series_lengths() {
     let cost = cost_for(16, 4);
     let hg = PaperInstance::AbacusShellHd.generate(&SuiteConfig::scaled(0.02));
     let result = run(&hg, &cost, RefinementPolicy::Factor(0.95));
@@ -114,6 +115,9 @@ fn history_csv_round_trips_the_series_lengths() {
         result.history.comm_cost_series().len(),
         result.history.len()
     );
+    // The JSON report carries one history object per recorded stream.
+    let json = result.to_json();
+    assert_eq!(json.matches("\"iteration\":").count(), result.history.len());
 }
 
 #[test]
@@ -124,13 +128,15 @@ fn parallel_restreaming_matches_the_sequential_contract() {
     let procs = 16usize;
     let cost = cost_for(procs, 5);
     let hg = PaperInstance::TwoCubesSphere.generate(&SuiteConfig::scaled(0.02));
-    let sequential = HyperPraw::aware(HyperPrawConfig::default(), cost.clone()).partition(&hg);
-    let parallel = ParallelHyperPraw::new(
-        HyperPrawConfig::default(),
-        ParallelConfig::with_threads(4),
-        cost,
-    )
-    .partition(&hg);
+    let sequential = PartitionJob::new(Algorithm::HyperPrawAware)
+        .cost(cost.clone())
+        .run(&hg)
+        .unwrap();
+    let parallel = PartitionJob::new(Algorithm::ParallelAware)
+        .cost(cost)
+        .threads(4)
+        .run(&hg)
+        .unwrap();
     assert_eq!(parallel.partition.num_parts() as usize, procs);
     assert!(parallel.imbalance <= 1.1 + 1e-9);
     let s = soed(&hg, &sequential.partition) as f64;
