@@ -24,7 +24,7 @@ pub enum MachinePreset {
 }
 
 impl MachinePreset {
-    fn parse(s: &str) -> Result<Self, ParseError> {
+    pub(crate) fn parse(s: &str) -> Result<Self, ParseError> {
         match s {
             "archer" => Ok(Self::Archer),
             "cluster" => Ok(Self::Cluster),
@@ -127,6 +127,15 @@ pub enum Command {
         /// Output CSV path (stdout when absent).
         output: Option<PathBuf>,
     },
+    /// Run a long-lived partitioning daemon speaking newline-delimited
+    /// JSON: `partition`, `update`, `lookup`, `report` and `shutdown`
+    /// requests against a resident dynamic session.
+    Serve {
+        /// TCP address to listen on.
+        bind: String,
+        /// Serve a single session over stdin/stdout instead of TCP.
+        stdio: bool,
+    },
     /// Run the synthetic benchmark for an existing assignment.
     Benchmark {
         /// Input hypergraph file.
@@ -208,9 +217,12 @@ pub fn usage() -> String {
                            [--output assignment.txt] [--json] [--json-out report.json]\n\
        hyperpraw profile   --machine archer|cluster|cloud|flat --procs N [--output bw.csv]\n\
        hyperpraw benchmark <input> <assignment> [--machine archer|...] [--bytes 1024] [--supersteps 1]\n\
+       hyperpraw serve     [--bind 127.0.0.1:7700] [--stdio]\n\
      \n\
      All algorithms dispatch through the facade's unified PartitionJob API; --json emits the\n\
      common PartitionReport as machine-readable JSON.\n\
+     serve keeps a dynamic session resident and answers one JSON request per line:\n\
+       {\"op\":\"partition\",...} {\"op\":\"update\",...} {\"op\":\"lookup\",...} {\"op\":\"report\"} {\"op\":\"shutdown\"}\n\
      Input formats: hMetis .hgr, MatrixMarket .mtx (row-net model), anything else is read\n\
      as a whitespace edge list (one hyperedge per line, 0-based vertex ids)."
         .to_string()
@@ -429,6 +441,27 @@ impl Cli {
                         procs: procs.ok_or_else(|| ParseError::MissingValue("--procs".into()))?,
                         output,
                     },
+                })
+            }
+            "serve" => {
+                let mut bind = String::from("127.0.0.1:7700");
+                let mut stdio = false;
+                let mut i = 0;
+                while i < rest.len() {
+                    let opt = rest[i].as_str();
+                    match opt {
+                        "--bind" => {
+                            bind = value(&rest, &mut i)?.to_string();
+                        }
+                        "--stdio" => {
+                            stdio = true;
+                        }
+                        other => return Err(ParseError::UnknownOption(other.into())),
+                    }
+                    i += 1;
+                }
+                Ok(Self {
+                    command: Command::Serve { bind, stdio },
                 })
             }
             "benchmark" => {
@@ -673,6 +706,30 @@ mod tests {
             }
             other => panic!("wrong command {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cli = Cli::parse(argv("serve")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                bind: "127.0.0.1:7700".into(),
+                stdio: false
+            }
+        );
+        let cli = Cli::parse(argv("serve --bind 0.0.0.0:9000 --stdio")).unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Serve {
+                bind: "0.0.0.0:9000".into(),
+                stdio: true
+            }
+        );
+        assert!(matches!(
+            Cli::parse(argv("serve --port 1")).unwrap_err(),
+            ParseError::UnknownOption(_)
+        ));
     }
 
     #[test]

@@ -92,7 +92,7 @@ pub fn build_machine(preset: MachinePreset, procs: usize) -> MachineModel {
 }
 
 /// Profiles a machine preset: link model plus measured bandwidth/cost.
-fn profile(preset: MachinePreset, procs: usize, seed: u64) -> (LinkModel, CostMatrix) {
+pub(crate) fn profile(preset: MachinePreset, procs: usize, seed: u64) -> (LinkModel, CostMatrix) {
     let machine = build_machine(preset, procs);
     let link = LinkModel::from_machine(&machine, 0.05, seed);
     let bandwidth = RingProfiler {
@@ -188,6 +188,7 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             println!("\n{stats}");
             Ok(())
         }
+        Command::Serve { bind, stdio } => crate::serve::serve(bind, *stdio),
         Command::Partition {
             input,
             parts,

@@ -8,6 +8,7 @@
 //! hyperpraw partition  app.hgr --parts 96 --algorithm aware --machine archer -o assignment.txt
 //! hyperpraw profile    --machine archer --procs 144 -o bandwidth.csv
 //! hyperpraw benchmark  app.hgr assignment.txt --machine archer
+//! hyperpraw serve      --stdio
 //! ```
 //!
 //! Argument parsing is hand-rolled (no external dependencies) and lives in
@@ -21,6 +22,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve;
 
 pub use args::{Cli, Command, MachinePreset, ParseError};
 pub use hyperpraw::api::Algorithm;

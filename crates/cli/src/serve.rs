@@ -1,0 +1,423 @@
+//! The `hyperpraw serve` daemon: a resident dynamic-partitioning session
+//! behind a newline-delimited JSON protocol.
+//!
+//! One request per line, one response per line. The daemon holds at most
+//! one [`DynamicSession`] at a time; `partition` (re)creates it, every
+//! other operation queries or mutates it:
+//!
+//! ```text
+//! → {"op": "partition", "parts": 4, "edges": [[0,1,2],[2,3]], "seed": 7}
+//! ← {"ok": true, "report": {...}}
+//! → {"op": "update", "updates": [{"op": "add_vertex"}, {"op": "add_edge", "pins": [4,0]}]}
+//! ← {"ok": true, "update": {...}}
+//! → {"op": "lookup", "vertex": 4}
+//! ← {"ok": true, "vertex": 4, "part": 2}
+//! → {"op": "report"}
+//! ← {"ok": true, "report": {...}}
+//! → {"op": "shutdown"}
+//! ← {"ok": true, "bye": true}
+//! ```
+//!
+//! `partition` takes the hypergraph inline (`"edges"`, optional
+//! `"vertices"` floor) or from disk (`"path"`), plus optional
+//! `"algorithm"` (default `hyperpraw-basic`), `"seed"`, `"imbalance"` and
+//! `"machine"` (profiles a preset into the cost matrix the aware
+//! algorithm needs).
+//!
+//! Responses embed the facade's [`hyperpraw::report::PartitionReport`] /
+//! `UpdateReport` JSON,
+//! compacted onto the line (the report writer escapes every newline inside
+//! strings, so stripping layout whitespace is loss-free). Errors never
+//! kill the session: `{"ok": false, "error": "..."}` and the loop keeps
+//! reading. Transport is TCP ([`std::net::TcpListener`]) or — for tests
+//! and supervisors that prefer pipes — stdin/stdout via `--stdio`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::path::Path;
+
+use hyperpraw::api::{Algorithm, DynamicSession, PartitionJob};
+use hyperpraw::dynamic::GraphUpdate;
+use hyperpraw::hypergraph::HypergraphBuilder;
+use hyperpraw::json::{self, JsonValue};
+
+use crate::args::MachinePreset;
+use crate::commands::{load_hypergraph, profile, CommandError};
+
+/// Runs the daemon until a `shutdown` request (or EOF in `--stdio` mode).
+pub fn serve(bind: &str, stdio: bool) -> Result<(), CommandError> {
+    if stdio {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        session(stdin.lock(), &mut stdout.lock())?;
+        return Ok(());
+    }
+    let listener = TcpListener::bind(bind)
+        .map_err(|e| CommandError::Io(format!("cannot bind {bind}: {e}")))?;
+    let local = listener.local_addr().map(|a| a.to_string());
+    eprintln!(
+        "hyperpraw serve: listening on {}",
+        local.as_deref().unwrap_or(bind)
+    );
+    for stream in listener.incoming() {
+        let stream = stream.map_err(|e| CommandError::Io(e.to_string()))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| CommandError::Io(e.to_string()))?,
+        );
+        let mut writer = stream;
+        // One session per connection, served serially; a shutdown request
+        // stops the whole daemon so it can be driven to completion
+        // remotely.
+        if session(reader, &mut writer)? {
+            break;
+        }
+    }
+    Ok(())
+}
+
+/// Serves one session over any line-oriented transport; returns whether a
+/// `shutdown` request ended it (as opposed to EOF).
+pub fn session<R: BufRead, W: Write>(input: R, out: &mut W) -> Result<bool, CommandError> {
+    let mut state: Option<DynamicSession> = None;
+    for line in input.lines() {
+        let line = line.map_err(|e| CommandError::Io(e.to_string()))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, shutdown) = respond(&line, &mut state);
+        writeln!(out, "{response}").map_err(|e| CommandError::Io(e.to_string()))?;
+        out.flush().map_err(|e| CommandError::Io(e.to_string()))?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Handles one request line; never fails the session (errors become
+/// `{"ok": false, ...}` responses).
+fn respond(line: &str, state: &mut Option<DynamicSession>) -> (String, bool) {
+    match handle(line, state) {
+        Ok(Reply::Payload(body)) => (format!("{{\"ok\": true, {body}}}"), false),
+        Ok(Reply::Shutdown) => ("{\"ok\": true, \"bye\": true}".to_string(), true),
+        Err(message) => (
+            format!("{{\"ok\": false, \"error\": {}}}", escape(&message)),
+            false,
+        ),
+    }
+}
+
+enum Reply {
+    Payload(String),
+    Shutdown,
+}
+
+fn handle(line: &str, state: &mut Option<DynamicSession>) -> Result<Reply, String> {
+    let request = json::parse(line).map_err(|e| format!("bad request: {e}"))?;
+    let op = request
+        .get("op")
+        .and_then(JsonValue::as_str)
+        .ok_or("missing string field 'op'")?;
+    match op {
+        "partition" => {
+            let report = start_session(&request, state)?;
+            Ok(Reply::Payload(format!("\"report\": {report}")))
+        }
+        "update" => {
+            let session = state.as_mut().ok_or("no session: send 'partition' first")?;
+            let updates = parse_updates(&request)?;
+            let update = session.update(&updates).map_err(|e| e.to_string())?;
+            Ok(Reply::Payload(format!(
+                "\"update\": {}",
+                compact(&update.to_json())
+            )))
+        }
+        "lookup" => {
+            let session = state.as_ref().ok_or("no session: send 'partition' first")?;
+            let vertex = field_u64(&request, "vertex")?;
+            let vertex = u32::try_from(vertex).map_err(|_| "'vertex' out of range")?;
+            let part = match session.lookup(vertex) {
+                Some(p) => p.to_string(),
+                None => "null".to_string(),
+            };
+            Ok(Reply::Payload(format!(
+                "\"vertex\": {vertex}, \"part\": {part}"
+            )))
+        }
+        "report" => {
+            let session = state.as_ref().ok_or("no session: send 'partition' first")?;
+            Ok(Reply::Payload(format!(
+                "\"report\": {}",
+                compact(&session.report().to_json())
+            )))
+        }
+        "shutdown" => Ok(Reply::Shutdown),
+        other => Err(format!(
+            "unknown op '{other}' (expected partition | update | lookup | report | shutdown)"
+        )),
+    }
+}
+
+/// Builds the hypergraph named by a `partition` request and starts (or
+/// replaces) the resident session; returns the compacted initial report.
+fn start_session(
+    request: &JsonValue,
+    state: &mut Option<DynamicSession>,
+) -> Result<String, String> {
+    let parts = field_u64(request, "parts")?;
+    let parts = u32::try_from(parts).map_err(|_| "'parts' out of range")?;
+    let hg = match (request.get("edges"), request.get("path")) {
+        (Some(edges), None) => inline_hypergraph(edges, request)?,
+        (None, Some(path)) => {
+            let path = path.as_str().ok_or("'path' must be a string")?;
+            load_hypergraph(Path::new(path)).map_err(|e| e.to_string())?
+        }
+        (Some(_), Some(_)) => return Err("give either 'edges' or 'path', not both".into()),
+        (None, None) => return Err("missing hypergraph: give 'edges' or 'path'".into()),
+    };
+    let algorithm = match request.get("algorithm").map(|v| {
+        v.as_str()
+            .ok_or("'algorithm' must be a string")
+            .and_then(|s| Algorithm::parse(s).map_err(|_| "unknown 'algorithm'"))
+    }) {
+        Some(result) => result.map_err(String::from)?,
+        None => Algorithm::HyperPrawBasic,
+    };
+    let seed = match request.get("seed") {
+        Some(seed) => seed
+            .as_u64()
+            .ok_or("'seed' must be a non-negative integer")?,
+        None => 2019,
+    };
+    let mut job = PartitionJob::new(algorithm).partitions(parts).seed(seed);
+    if let Some(machine) = request.get("machine") {
+        let preset = machine
+            .as_str()
+            .ok_or("'machine' must be a string")
+            .and_then(|s| MachinePreset::parse(s).map_err(|_| "unknown 'machine' preset"))?;
+        let (_, cost) = profile(preset, parts as usize, seed);
+        job = job.cost(cost);
+    }
+    if let Some(tol) = request.get("imbalance") {
+        job = job.imbalance_tolerance(tol.as_f64().ok_or("'imbalance' must be a number")?);
+    }
+    let session = job.run_dynamic(&hg).map_err(|e| e.to_string())?;
+    let report = compact(&session.initial_report().to_json());
+    *state = Some(session);
+    Ok(report)
+}
+
+/// An inline hypergraph: `"edges": [[pins...], ...]` plus an optional
+/// `"vertices": N` floor for trailing isolated vertices.
+fn inline_hypergraph(
+    edges: &JsonValue,
+    request: &JsonValue,
+) -> Result<hyperpraw::hypergraph::Hypergraph, String> {
+    let edges = edges.as_array().ok_or("'edges' must be an array")?;
+    let mut builder = HypergraphBuilder::with_capacity(0, edges.len());
+    builder.name("serve".to_string());
+    for (i, edge) in edges.iter().enumerate() {
+        let pins = edge
+            .as_array()
+            .ok_or_else(|| format!("edge {i} must be an array of vertex ids"))?;
+        let pins: Vec<u32> = pins
+            .iter()
+            .map(|p| {
+                p.as_u64()
+                    .and_then(|v| u32::try_from(v).ok())
+                    .ok_or_else(|| format!("edge {i} holds a non-vertex-id pin"))
+            })
+            .collect::<Result<_, _>>()?;
+        builder.add_hyperedge(pins);
+    }
+    if let Some(n) = request.get("vertices") {
+        let n = n
+            .as_u64()
+            .ok_or("'vertices' must be a non-negative integer")?;
+        builder.ensure_vertices(usize::try_from(n).map_err(|_| "'vertices' out of range")?);
+    }
+    Ok(builder.build())
+}
+
+/// Decodes the `update` request's batch into [`GraphUpdate`]s.
+fn parse_updates(request: &JsonValue) -> Result<Vec<GraphUpdate>, String> {
+    let updates = request
+        .get("updates")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing array field 'updates'")?;
+    updates
+        .iter()
+        .enumerate()
+        .map(|(i, u)| {
+            let op = u
+                .get("op")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| format!("update {i}: missing string field 'op'"))?;
+            let vertex = || -> Result<u32, String> {
+                let v = field_u64(u, "vertex").map_err(|e| format!("update {i}: {e}"))?;
+                u32::try_from(v).map_err(|_| format!("update {i}: 'vertex' out of range"))
+            };
+            let edge = || -> Result<u32, String> {
+                let e = field_u64(u, "edge").map_err(|e| format!("update {i}: {e}"))?;
+                u32::try_from(e).map_err(|_| format!("update {i}: 'edge' out of range"))
+            };
+            let weight = u
+                .get("weight")
+                .map(|w| {
+                    w.as_f64()
+                        .ok_or_else(|| format!("update {i}: 'weight' must be a number"))
+                })
+                .transpose()?
+                .unwrap_or(1.0);
+            match op {
+                "add_vertex" => Ok(GraphUpdate::AddVertex { weight }),
+                "remove_vertex" => Ok(GraphUpdate::RemoveVertex { vertex: vertex()? }),
+                "add_edge" => {
+                    let pins = u
+                        .get("pins")
+                        .and_then(JsonValue::as_array)
+                        .ok_or_else(|| format!("update {i}: missing array field 'pins'"))?
+                        .iter()
+                        .map(|p| {
+                            p.as_u64()
+                                .and_then(|v| u32::try_from(v).ok())
+                                .ok_or_else(|| format!("update {i}: bad pin"))
+                        })
+                        .collect::<Result<Vec<u32>, _>>()?;
+                    Ok(GraphUpdate::AddHyperedge { pins, weight })
+                }
+                "remove_edge" => Ok(GraphUpdate::RemoveHyperedge { edge: edge()? }),
+                "add_pin" => Ok(GraphUpdate::AddPin {
+                    edge: edge()?,
+                    vertex: vertex()?,
+                }),
+                "remove_pin" => Ok(GraphUpdate::RemovePin {
+                    edge: edge()?,
+                    vertex: vertex()?,
+                }),
+                other => Err(format!("update {i}: unknown op '{other}'")),
+            }
+        })
+        .collect()
+}
+
+fn field_u64(value: &JsonValue, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing non-negative integer field '{key}'"))
+}
+
+/// Compacts the pretty-printed report JSON onto one line. The report
+/// writer escapes newlines inside strings, so every raw newline in its
+/// output is layout — dropping the indentation after it cannot corrupt a
+/// value.
+fn compact(pretty: &str) -> String {
+    let mut out = String::with_capacity(pretty.len());
+    for (i, line) in pretty.lines().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(line.trim_start());
+    }
+    out
+}
+
+/// Escapes a message into a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn drive(requests: &str) -> (Vec<String>, bool) {
+        let mut out = Vec::new();
+        let shutdown = session(Cursor::new(requests.to_string()), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        (text.lines().map(|l| l.to_string()).collect(), shutdown)
+    }
+
+    #[test]
+    fn full_round_trip_over_pipes() {
+        let (lines, shutdown) = drive(concat!(
+            "{\"op\": \"partition\", \"parts\": 2, \"seed\": 7, ",
+            "\"edges\": [[0,1,2],[2,3],[3,4,5],[5,0]], \"vertices\": 6}\n",
+            "{\"op\": \"update\", \"updates\": [{\"op\": \"add_vertex\"}, ",
+            "{\"op\": \"add_edge\", \"pins\": [6, 0, 1]}]}\n",
+            "{\"op\": \"lookup\", \"vertex\": 6}\n",
+            "{\"op\": \"report\"}\n",
+            "{\"op\": \"shutdown\"}\n",
+        ));
+        assert!(shutdown);
+        assert_eq!(lines.len(), 5);
+        for line in &lines {
+            // Every response is itself one valid JSON document on one line.
+            hyperpraw::json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+        assert!(lines[0].contains("\"ok\": true") && lines[0].contains("\"report\""));
+        assert!(lines[1].contains("\"update\"") && lines[1].contains("\"migration\""));
+        let lookup = hyperpraw::json::parse(&lines[2]).unwrap();
+        assert_eq!(lookup.get("vertex").and_then(JsonValue::as_u64), Some(6));
+        assert!(lookup.get("part").and_then(JsonValue::as_u64).is_some());
+        assert!(lines[3].contains("\"quality\": \"evaluated\""));
+        assert_eq!(lines[4], "{\"ok\": true, \"bye\": true}");
+    }
+
+    #[test]
+    fn errors_keep_the_session_alive() {
+        let (lines, shutdown) = drive(concat!(
+            "not json\n",
+            "{\"op\": \"lookup\", \"vertex\": 0}\n",
+            "{\"op\": \"mystery\"}\n",
+            "{\"op\": \"partition\", \"parts\": 2, \"edges\": [[0,1],[1,2]]}\n",
+            "{\"op\": \"update\", \"updates\": [{\"op\": \"remove_vertex\", \"vertex\": 99}]}\n",
+            "{\"op\": \"lookup\", \"vertex\": 1}\n",
+        ));
+        assert!(!shutdown, "EOF, not shutdown");
+        assert_eq!(lines.len(), 6);
+        assert!(lines[0].contains("\"ok\": false") && lines[0].contains("bad request"));
+        assert!(lines[1].contains("no session"));
+        assert!(lines[2].contains("unknown op"));
+        assert!(lines[3].contains("\"ok\": true"));
+        assert!(lines[4].contains("\"ok\": false"), "{}", lines[4]);
+        assert!(lines[5].contains("\"part\":"));
+    }
+
+    #[test]
+    fn tombstoned_lookups_answer_null() {
+        let (lines, _) = drive(concat!(
+            "{\"op\": \"partition\", \"parts\": 2, \"edges\": [[0,1,2],[2,3,4],[4,5,0]]}\n",
+            "{\"op\": \"update\", \"updates\": [{\"op\": \"remove_vertex\", \"vertex\": 3}]}\n",
+            "{\"op\": \"lookup\", \"vertex\": 3}\n",
+        ));
+        assert!(lines[2].contains("\"part\": null"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn compacted_reports_stay_valid_json() {
+        let pretty = "{\n  \"a\": \"line\\nbreak\",\n  \"b\": [\n    1,\n    2\n  ]\n}";
+        let compacted = compact(pretty);
+        assert!(!compacted.contains('\n'));
+        let v = json::parse(&compacted).unwrap();
+        assert_eq!(v.get("a").and_then(JsonValue::as_str), Some("line\nbreak"));
+    }
+}

@@ -1,0 +1,59 @@
+//! End-to-end smoke test for `hyperpraw serve --stdio`: spawns the real
+//! binary and drives one partition / update / lookup / report / shutdown
+//! round-trip over its pipes — the same exchange CI replays.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+
+#[test]
+fn serve_stdio_round_trip() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hyperpraw"))
+        .args(["serve", "--stdio"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn hyperpraw serve --stdio");
+
+    let mut stdin = child.stdin.take().unwrap();
+    let stdout = BufReader::new(child.stdout.take().unwrap());
+    let requests = concat!(
+        "{\"op\": \"partition\", \"parts\": 2, \"seed\": 7, ",
+        "\"edges\": [[0,1,2],[2,3],[3,4,5],[5,0],[1,4]], \"vertices\": 6}\n",
+        "{\"op\": \"update\", \"updates\": [{\"op\": \"add_vertex\"}, ",
+        "{\"op\": \"add_edge\", \"pins\": [6, 2, 3]}]}\n",
+        "{\"op\": \"lookup\", \"vertex\": 6}\n",
+        "{\"op\": \"report\"}\n",
+        "{\"op\": \"shutdown\"}\n",
+    );
+    stdin.write_all(requests.as_bytes()).unwrap();
+    stdin.flush().unwrap();
+    drop(stdin);
+
+    let lines: Vec<String> = stdout.lines().map(|l| l.unwrap()).collect();
+    assert_eq!(lines.len(), 5, "one response per request: {lines:#?}");
+    assert!(
+        lines[0].contains("\"ok\": true")
+            && lines[0].contains("\"algorithm\": \"hyperpraw-basic\""),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains("\"update\"") && lines[1].contains("\"vertices_moved\""),
+        "{}",
+        lines[1]
+    );
+    assert!(
+        lines[2].contains("\"vertex\": 6") && lines[2].contains("\"part\": "),
+        "{}",
+        lines[2]
+    );
+    assert!(
+        lines[3].contains("\"quality\": \"evaluated\""),
+        "{}",
+        lines[3]
+    );
+    assert_eq!(lines[4], "{\"ok\": true, \"bye\": true}");
+
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve exited with {status}");
+}

@@ -79,7 +79,7 @@ mod provider;
 mod source;
 
 pub use provider::{AdjProvider, AdjScratch, ConnectivityProvider, CsrProvider};
-pub use source::{stream_order, InMemorySource, StreamSource, VertexSource};
+pub use source::{stream_order, DirtySetSource, InMemorySource, StreamSource, VertexSource};
 
 /// Why the restreaming loop stopped.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -501,6 +501,20 @@ fn place_live<P: ConnectivityProvider>(
     scored
 }
 
+/// A prior assignment handed to [`Engine::run_warm`]: the engine refines
+/// it in place instead of seeding round-robin, so incremental callers can
+/// restream only a dirty subset of vertices against full-graph state.
+#[derive(Clone, Debug)]
+pub struct WarmStart {
+    /// The full-graph assignment to refine. Its part count must match the
+    /// cost matrix and its vertex count must cover every vertex any
+    /// connectivity query can reach.
+    pub partition: Partition,
+    /// Per-part vertex weight of `partition` (one entry per part) — the
+    /// balance state the value function scores against from pass one.
+    pub loads: Vec<f64>,
+}
+
 /// The generic restreaming engine. See the [module docs](self) for the
 /// architecture; [`Engine::run`] is the single implementation of the
 /// restreaming loop every driver delegates to.
@@ -556,13 +570,94 @@ impl Engine {
             loads: vec![0.0f64; p],
             expected: vec![expected_load; p],
         };
-        let mut assigned = match config.initial {
+        let assigned = match config.initial {
             InitialAssignment::RoundRobin => {
                 self.seed_round_robin(source, provider, &mut state)?;
                 true
             }
             InitialAssignment::Unassigned => false,
         };
+        self.run_loop(cost, source, provider, cost_model, state, assigned, n, e)
+    }
+
+    /// Runs the restreaming loop warm-started from an existing assignment
+    /// instead of a fresh seed pass — the entry point of the dynamic
+    /// repartitioning layer. `source` supplies the vertex stream to
+    /// revisit, which may cover only part of the graph (a dirty set);
+    /// `warm.partition` must still cover the *full* graph so connectivity
+    /// counts against untouched vertices stay exact, and `warm.loads` must
+    /// be that full assignment's per-part vertex weights. No seed pass
+    /// runs, so providers must already answer for the current graph (the
+    /// precomputed-adjacency and CSR providers both do).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cost matrix is empty or `warm`'s part count or load
+    /// vector length disagree with it.
+    pub fn run_warm<S, P, C>(
+        &self,
+        cost: &CostMatrix,
+        source: &mut S,
+        provider: &mut P,
+        cost_model: &mut C,
+        warm: WarmStart,
+    ) -> IoResult<EngineRun>
+    where
+        S: VertexSource,
+        P: ConnectivityProvider,
+        C: CommCostModel,
+    {
+        let p = cost.num_units();
+        assert!(p > 0, "cost matrix must cover at least one compute unit");
+        assert_eq!(
+            warm.partition.num_parts() as usize,
+            p,
+            "warm-start partition must match the cost matrix"
+        );
+        assert_eq!(
+            warm.loads.len(),
+            p,
+            "warm-start loads must cover every part"
+        );
+        source.set_nets_enabled(provider.needs_nets() || self.config.doubts.capacity > 0);
+
+        // α is sized from the full graph, not the dirty subset: the value
+        // function balances against full-graph loads, so the tempering
+        // scale must match what a cold run over the whole instance uses.
+        let n = warm.partition.num_vertices();
+        let e = source.num_nets();
+        let total_weight: f64 = warm.loads.iter().sum();
+        let expected_load = (total_weight / p as f64).max(f64::MIN_POSITIVE);
+        let state = EngineState {
+            partition: warm.partition,
+            loads: warm.loads,
+            expected: vec![expected_load; p],
+        };
+        self.run_loop(cost, source, provider, cost_model, state, true, n, e)
+    }
+
+    /// The shared restreaming loop behind [`Engine::run`] and
+    /// [`Engine::run_warm`]: α tempering until the tolerance is met, then
+    /// refinement with comm-cost rollback, then the doubt revisit.
+    #[allow(clippy::too_many_arguments)] // one state bundle, two public entries
+    fn run_loop<S, P, C>(
+        &self,
+        cost: &CostMatrix,
+        source: &mut S,
+        provider: &mut P,
+        cost_model: &mut C,
+        mut state: EngineState,
+        mut assigned: bool,
+        n: usize,
+        e: usize,
+    ) -> IoResult<EngineRun>
+    where
+        S: VertexSource,
+        P: ConnectivityProvider,
+        C: CommCostModel,
+    {
+        let p = state.loads.len();
+        let config = &self.config;
 
         let mut alpha = config
             .initial_alpha

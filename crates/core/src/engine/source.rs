@@ -165,6 +165,82 @@ impl VertexSource for InMemorySource<'_> {
     }
 }
 
+/// [`VertexSource`] over an explicit subset of an in-memory
+/// [`Hypergraph`]'s vertices — the *dirty set* an incremental
+/// repartitioner wants to restream after a batch of graph updates, in the
+/// (typically sorted) order given.
+///
+/// Intended for [`crate::engine::Engine::run_warm`] only: `num_vertices`
+/// and `total_vertex_weight` describe the *subset*, so a cold
+/// [`crate::engine::Engine::run`] would size its initial partition and
+/// expected loads from the dirty set rather than the full graph.
+#[derive(Clone, Debug)]
+pub struct DirtySetSource<'a> {
+    hg: &'a Hypergraph,
+    dirty: Vec<VertexId>,
+    cursor: usize,
+    nets_enabled: bool,
+}
+
+impl<'a> DirtySetSource<'a> {
+    /// Creates a source yielding exactly `dirty` (ids into `hg`), in the
+    /// given order, once per pass.
+    pub fn new(hg: &'a Hypergraph, dirty: Vec<VertexId>) -> Self {
+        debug_assert!(
+            dirty.iter().all(|&v| (v as usize) < hg.num_vertices()),
+            "dirty ids must be vertices of the hypergraph"
+        );
+        Self {
+            hg,
+            dirty,
+            cursor: 0,
+            nets_enabled: true,
+        }
+    }
+
+    /// The dirty vertex ids this source yields per pass.
+    pub fn dirty(&self) -> &[VertexId] {
+        &self.dirty
+    }
+}
+
+impl VertexSource for DirtySetSource<'_> {
+    fn num_vertices(&self) -> usize {
+        self.dirty.len()
+    }
+
+    fn num_nets(&self) -> usize {
+        self.hg.num_hyperedges()
+    }
+
+    fn next_into(&mut self, record: &mut VertexRecord) -> IoResult<bool> {
+        let Some(&v) = self.dirty.get(self.cursor) else {
+            return Ok(false);
+        };
+        self.cursor += 1;
+        record.vertex = v;
+        record.weight = self.hg.vertex_weight(v);
+        record.nets.clear();
+        if self.nets_enabled {
+            record.nets.extend_from_slice(self.hg.incident_edges(v));
+        }
+        Ok(true)
+    }
+
+    fn reset(&mut self) -> IoResult<()> {
+        self.cursor = 0;
+        Ok(())
+    }
+
+    fn total_vertex_weight(&self) -> Option<f64> {
+        Some(self.dirty.iter().map(|&v| self.hg.vertex_weight(v)).sum())
+    }
+
+    fn set_nets_enabled(&mut self, enabled: bool) {
+        self.nets_enabled = enabled;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +314,31 @@ mod tests {
         source.reset().unwrap();
         stream.reset().unwrap();
         assert_eq!(collect(&mut source), collect(&mut stream));
+    }
+
+    #[test]
+    fn dirty_set_source_yields_exactly_the_subset_per_pass() {
+        let mut b = HypergraphBuilder::new(6);
+        b.add_hyperedge([0u32, 1, 2]);
+        b.add_hyperedge([2u32, 3]);
+        b.add_hyperedge([0u32, 3, 4]);
+        let hg = b.build();
+        let mut source = DirtySetSource::new(&hg, vec![1, 3, 4]);
+        assert_eq!(source.num_vertices(), 3);
+        assert_eq!(source.num_nets(), 3);
+        assert_eq!(source.total_vertex_weight(), Some(3.0));
+        let records = collect(&mut source);
+        assert_eq!(
+            records.iter().map(|r| r.vertex).collect::<Vec<_>>(),
+            vec![1, 3, 4]
+        );
+        assert_eq!(records[1].nets, vec![1, 2]); // vertex 3's incidence
+                                                 // Reset rewinds for the next pass; nets can be skipped.
+        source.reset().unwrap();
+        source.set_nets_enabled(false);
+        let records = collect(&mut source);
+        assert_eq!(records.len(), 3);
+        assert!(records.iter().all(|r| r.nets.is_empty()));
     }
 
     #[test]

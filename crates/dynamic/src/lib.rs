@@ -1,0 +1,44 @@
+//! Incremental repartitioning for HyperPRAW.
+//!
+//! The static drivers answer one question — *given this hypergraph, where
+//! does every vertex go?* — and forget everything afterwards. This crate
+//! answers the production follow-up: the hypergraph just changed a little,
+//! and repartitioning from scratch would both waste work and wreck data
+//! locality by moving vertices that had no reason to move.
+//!
+//! [`DynamicPartitioner`] stays resident. It owns a
+//! [`MutableHypergraph`](hyperpraw_hypergraph::MutableHypergraph), the
+//! current assignment with its per-part load accounting, and the
+//! precomputed
+//! [`NeighborAdjacency`](hyperpraw_hypergraph::NeighborAdjacency). Each
+//! call to [`DynamicPartitioner::apply`] takes a batch of [`GraphUpdate`]s
+//! and:
+//!
+//! 1. applies the mutations (atomically — a bad update rejects the whole
+//!    batch),
+//! 2. patches the adjacency entries of every touched vertex in place,
+//!    falling back to a full rebuild once the patched fraction passes the
+//!    configured staleness threshold,
+//! 3. computes the **dirty set** — the touched vertices plus their
+//!    distinct-neighbour ring — and restreams *only* that set through the
+//!    shared restreaming engine
+//!    ([`Engine::run_warm`](hyperpraw_core::engine::Engine::run_warm)),
+//!    warm-started from the current assignment under the same α-tempering,
+//!    tolerance and comm-cost stopping rules as a cold run,
+//! 4. reports what it did as an [`UpdateOutcome`], including the paper's
+//!    architecture-aware migration cost: vertices moved and
+//!    cost-matrix-weighted bytes moved.
+//!
+//! Untouched vertices are never revisited, so an update batch touching 1%
+//! of the graph costs a small fraction of a full repartition (see
+//! `benches/dynamic.rs`) while the partition keeps the same quality
+//! guarantees on the region that changed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod partitioner;
+mod update;
+
+pub use partitioner::{DynamicConfig, DynamicPartitioner, MigrationStats, UpdateOutcome};
+pub use update::{DynamicError, GraphUpdate};

@@ -14,6 +14,9 @@
 //!   representation storing both directions (hyperedge → pins and
 //!   vertex → incident hyperedges),
 //! * [`HypergraphBuilder`] — an incremental builder,
+//! * [`MutableHypergraph`] — an editable adjacency-list twin of
+//!   [`Hypergraph`] supporting batched vertex/hyperedge/pin updates with
+//!   stable ids, for the dynamic repartitioning layer,
 //! * [`Partition`] — a vertex → partition assignment with load/imbalance
 //!   accounting,
 //! * [`metrics`] — hyperedge cut, sum of external degrees (SOED),
@@ -54,11 +57,13 @@ pub mod adjacency;
 pub mod generators;
 pub mod io;
 pub mod metrics;
+pub mod mutable;
 pub mod traversal;
 
 pub use adjacency::{AdjacencyBudget, NeighborAdjacency};
 pub use builder::HypergraphBuilder;
 pub use hypergraph::{HyperedgeId, Hypergraph, VertexId};
+pub use mutable::{MutableHypergraph, MutationError};
 pub use partition::{Partition, PartitionError};
 pub use stats::HypergraphStats;
 
@@ -66,5 +71,8 @@ pub use stats::HypergraphStats;
 pub mod prelude {
     pub use crate::generators::suite::{PaperInstance, SuiteConfig};
     pub use crate::metrics::{hyperedge_cut, soed};
-    pub use crate::{Hypergraph, HypergraphBuilder, HypergraphStats, Partition, PartitionError};
+    pub use crate::{
+        Hypergraph, HypergraphBuilder, HypergraphStats, MutableHypergraph, Partition,
+        PartitionError,
+    };
 }

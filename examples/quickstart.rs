@@ -97,7 +97,7 @@ fn main() {
     // Machine-readable results fall out of the same report.
     let aware = reports.last().expect("three strategies ran");
     println!(
-        "\nJSON report of the aware run (first lines):\n{}",
+        "\nJSON report of the aware run (first lines):\n{}\n  ...",
         aware
             .to_json()
             .lines()

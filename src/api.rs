@@ -34,15 +34,19 @@ use hyperpraw_core::{
     baselines, Connectivity, CostMatrix, HyperPraw, HyperPrawConfig, ParallelConfig,
     ParallelHyperPraw, PartitionHistory, RefinementPolicy, StreamOrder,
 };
+use hyperpraw_dynamic::{DynamicConfig, DynamicError, DynamicPartitioner, GraphUpdate};
 use hyperpraw_hypergraph::io::stream::VertexStream;
 use hyperpraw_hypergraph::io::IoError;
-use hyperpraw_hypergraph::Hypergraph;
+use hyperpraw_hypergraph::{Hypergraph, Partition, VertexId};
 use hyperpraw_lowmem::{
     unweighted_imbalance, IndexKind, LowMemConfig, LowMemPartitioner, MemoryBudget,
 };
 use hyperpraw_multilevel::{MultilevelConfig, MultilevelPartitioner};
 
-use crate::report::{EffectiveConfig, LowMemStats, PartitionReport, PhaseTimings};
+use crate::report::{
+    EffectiveConfig, LowMemStats, MigrationReport, PartitionReport, PhaseTimings, QualityStatus,
+    UpdateReport,
+};
 
 /// Every partitioning algorithm dispatchable through a [`PartitionJob`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -483,6 +487,7 @@ impl PartitionJob {
             comm_cost: Some(quality.comm_cost),
             hyperedge_cut: Some(quality.hyperedge_cut),
             soed: Some(quality.soed),
+            quality: QualityStatus::Evaluated,
             timings: PhaseTimings {
                 partition_secs,
                 evaluate_secs,
@@ -538,12 +543,45 @@ impl PartitionJob {
             comm_cost: None,
             hyperedge_cut: None,
             soed: None,
+            quality: QualityStatus::Deferred,
             timings: PhaseTimings {
                 partition_secs,
                 evaluate_secs: 0.0,
             },
             config: self.effective_config(p),
             lowmem: Some(stats),
+        })
+    }
+
+    /// Runs the job once on `hg`, then keeps the result live as a
+    /// [`DynamicSession`] that absorbs [`GraphUpdate`] batches by
+    /// restreaming only the dirty region (the `hyperpraw-dynamic` crate).
+    /// Only the sequential restreaming algorithms can warm-start the
+    /// engine, so every other [`Algorithm`] returns
+    /// [`PartitionError::Unsupported`].
+    pub fn run_dynamic(&self, hg: &Hypergraph) -> Result<DynamicSession, PartitionError> {
+        if !matches!(
+            self.algorithm,
+            Algorithm::HyperPrawBasic | Algorithm::HyperPrawAware
+        ) {
+            return Err(PartitionError::Unsupported(format!(
+                "{} cannot drive a dynamic session; use hyperpraw-basic or hyperpraw-aware",
+                self.algorithm
+            )));
+        }
+        let initial = self.run(hg)?;
+        let p = self.resolved_partitions()?;
+        let cfg = DynamicConfig {
+            config: self.hyperpraw,
+            ..DynamicConfig::default()
+        };
+        let partitioner =
+            DynamicPartitioner::new(hg, initial.partition.clone(), self.driver_cost(p), cfg)
+                .map_err(|e| PartitionError::InvalidConfig(e.to_string()))?;
+        Ok(DynamicSession {
+            partitioner,
+            job: self.clone(),
+            initial,
         })
     }
 
@@ -702,6 +740,116 @@ impl PartitionJob {
     }
 }
 
+/// A resident partitioning session: the live state behind
+/// [`PartitionJob::run_dynamic`] and the `hyperpraw serve` daemon.
+///
+/// The session owns a [`DynamicPartitioner`] (mutable hypergraph,
+/// neighbour adjacency, assignment and load counters) plus the job that
+/// spawned it, so every [`update`](DynamicSession::update) re-evaluates
+/// quality under the same cost matrix and reports through the same
+/// [`UpdateReport`] JSON machinery as a one-shot run.
+#[derive(Clone, Debug)]
+pub struct DynamicSession {
+    partitioner: DynamicPartitioner,
+    job: PartitionJob,
+    initial: PartitionReport,
+}
+
+impl DynamicSession {
+    /// The report from the initial (cold) run that seeded this session.
+    pub fn initial_report(&self) -> &PartitionReport {
+        &self.initial
+    }
+
+    /// The current assignment.
+    pub fn partition(&self) -> &Partition {
+        self.partitioner.partition()
+    }
+
+    /// The current hypergraph snapshot (tombstoned ids appear as isolated
+    /// zero-weight vertices / empty hyperedges).
+    pub fn hypergraph(&self) -> &Hypergraph {
+        self.partitioner.hypergraph()
+    }
+
+    /// The partition currently holding `vertex`, or `None` when the id is
+    /// out of range or tombstoned.
+    pub fn lookup(&self, vertex: VertexId) -> Option<u32> {
+        self.partitioner.lookup(vertex)
+    }
+
+    /// Applies one batch of updates atomically and restreams the dirty
+    /// set; on error the session is unchanged.
+    pub fn update(&mut self, updates: &[GraphUpdate]) -> Result<UpdateReport, PartitionError> {
+        let started = Instant::now();
+        let outcome = self.partitioner.apply(updates).map_err(|e| match e {
+            DynamicError::Invalid(msg) => PartitionError::InvalidConfig(msg),
+            DynamicError::Mutation(m) => PartitionError::InvalidConfig(m.to_string()),
+        })?;
+        let partition_secs = started.elapsed().as_secs_f64();
+        let report = self.report_with(
+            outcome.history,
+            outcome.stop_reason,
+            outcome.iterations,
+            outcome.final_alpha,
+            partition_secs,
+        );
+        Ok(UpdateReport {
+            report,
+            new_vertices: outcome.new_vertices,
+            dirty_vertices: outcome.dirty_vertices,
+            rebuilt_adjacency: outcome.rebuilt_adjacency,
+            migration: MigrationReport {
+                vertices_moved: outcome.migration.vertices_moved,
+                moved_fraction: outcome.migration.moved_fraction,
+                bytes_moved: outcome.migration.bytes_moved,
+            },
+        })
+    }
+
+    /// A fresh [`PartitionReport`] for the session's current state,
+    /// quality re-evaluated in memory (the serve daemon's `report` op).
+    pub fn report(&self) -> PartitionReport {
+        self.report_with(PartitionHistory::default(), None, 0, None, 0.0)
+    }
+
+    fn report_with(
+        &self,
+        history: PartitionHistory,
+        stop_reason: Option<hyperpraw_core::StopReason>,
+        iterations: usize,
+        final_alpha: Option<f64>,
+        partition_secs: f64,
+    ) -> PartitionReport {
+        let p = self.partitioner.partition().num_parts();
+        let evaluating = Instant::now();
+        let quality = QualityReport::compute(
+            self.partitioner.hypergraph(),
+            self.partitioner.partition(),
+            &self.job.eval_cost(p),
+        );
+        PartitionReport {
+            algorithm: self.job.algorithm,
+            partition: self.partitioner.partition().clone(),
+            history,
+            stop_reason,
+            iterations,
+            final_alpha,
+            imbalance: quality.imbalance,
+            comm_cost: Some(quality.comm_cost),
+            hyperedge_cut: Some(quality.hyperedge_cut),
+            soed: Some(quality.soed),
+            quality: QualityStatus::Evaluated,
+            timings: PhaseTimings {
+                partition_secs,
+                evaluate_secs: evaluating.elapsed().as_secs_f64(),
+            },
+            config: self.job.effective_config(p),
+            lowmem: None,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -845,5 +993,53 @@ mod tests {
     fn partition_count_resolves_from_the_cost_matrix() {
         let job = PartitionJob::new(Algorithm::HyperPrawBasic).cost(CostMatrix::uniform(6));
         assert_eq!(job.resolved_partitions().unwrap(), 6);
+    }
+
+    #[test]
+    fn dynamic_sessions_partition_update_and_lookup() {
+        let hg = mesh_hypergraph(&MeshConfig::new(300, 8));
+        let mut session = PartitionJob::new(Algorithm::HyperPrawBasic)
+            .partitions(4)
+            .seed(11)
+            .run_dynamic(&hg)
+            .unwrap();
+        assert_eq!(session.initial_report().partition.num_vertices(), 300);
+        assert_eq!(session.lookup(0), Some(session.partition().part_of(0)));
+
+        let update = session
+            .update(&[
+                GraphUpdate::AddVertex { weight: 1.0 },
+                GraphUpdate::AddHyperedge {
+                    pins: vec![300, 0, 1],
+                    weight: 1.0,
+                },
+            ])
+            .unwrap();
+        assert_eq!(update.new_vertices, vec![300]);
+        assert!(update.dirty_vertices >= 3);
+        assert_eq!(update.report.quality, QualityStatus::Evaluated);
+        assert!(update.report.comm_cost.is_some());
+        assert!(session.lookup(300).is_some());
+        let json = update.to_json();
+        assert!(json.contains("\"update\""), "{json}");
+        assert!(json.contains("\"migration\""), "{json}");
+
+        // Tombstoned vertices disappear from lookups; the session report
+        // re-evaluates the mutated state.
+        session
+            .update(&[GraphUpdate::RemoveVertex { vertex: 5 }])
+            .unwrap();
+        assert_eq!(session.lookup(5), None);
+        assert_eq!(session.report().quality, QualityStatus::Evaluated);
+    }
+
+    #[test]
+    fn dynamic_sessions_require_a_restreaming_algorithm() {
+        let hg = mesh_hypergraph(&MeshConfig::new(50, 4));
+        let err = PartitionJob::new(Algorithm::RoundRobin)
+            .partitions(4)
+            .run_dynamic(&hg)
+            .unwrap_err();
+        assert!(matches!(err, PartitionError::Unsupported(_)));
     }
 }

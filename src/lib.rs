@@ -24,6 +24,8 @@
 //! | [`multilevel`] | `hyperpraw-multilevel` | Zoltan-like multilevel recursive bisection baseline |
 //! | [`core`] | `hyperpraw-core` | the HyperPRAW restreaming engine and its thin drivers |
 //! | [`lowmem`] | `hyperpraw-lowmem` | memory-bounded one-pass streaming partitioner over on-disk vertex streams, with Bloom/MinHash connectivity sketches |
+//! | [`dynamic`] | `hyperpraw-dynamic` | incremental repartitioning: batched graph updates, dirty-set restreaming, migration accounting |
+//! | [`json`] | (this crate) | dependency-free JSON parser for the `hyperpraw serve` newline-delimited protocol |
 //!
 //! ## End-to-end flow
 //!
@@ -63,14 +65,25 @@
 //! the flow; the lowmem variants additionally accept an on-disk
 //! [`hypergraph::io::stream::VertexStream`] through
 //! [`api::PartitionJob::run_stream`].
+//!
+//! For workloads that evolve after the initial placement,
+//! [`api::PartitionJob::run_dynamic`] keeps the result resident as an
+//! [`api::DynamicSession`]: batched [`dynamic::GraphUpdate`]s mutate the
+//! hypergraph in place and restream only the dirty neighbourhood,
+//! reporting migration cost through [`report::UpdateReport`]. The same
+//! session backs the long-lived `hyperpraw serve` daemon, which speaks
+//! newline-delimited JSON (`partition` / `update` / `lookup` / `report` /
+//! `shutdown`) over TCP or stdio.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod api;
+pub mod json;
 pub mod report;
 
 pub use hyperpraw_core as core;
+pub use hyperpraw_dynamic as dynamic;
 pub use hyperpraw_hypergraph as hypergraph;
 pub use hyperpraw_lowmem as lowmem;
 pub use hyperpraw_multilevel as multilevel;
@@ -82,12 +95,18 @@ pub use report::PartitionReport;
 
 /// The most commonly used types from every layer, re-exported flat.
 pub mod prelude {
-    pub use crate::api::{Algorithm, PartitionError, PartitionJob};
-    pub use crate::report::{EffectiveConfig, LowMemStats, PartitionReport, PhaseTimings};
+    pub use crate::api::{Algorithm, DynamicSession, PartitionError, PartitionJob};
+    pub use crate::report::{
+        EffectiveConfig, LowMemStats, MigrationReport, PartitionReport, PhaseTimings,
+        QualityStatus, UpdateReport,
+    };
     pub use hyperpraw_core::{
         baselines, metrics::partitioning_communication_cost, metrics::QualityReport, CostMatrix,
         HyperPraw, HyperPrawConfig, ParallelConfig, ParallelHyperPraw, PartitionResult,
         RefinementPolicy, StopReason, StreamOrder,
+    };
+    pub use hyperpraw_dynamic::{
+        DynamicConfig, DynamicError, DynamicPartitioner, GraphUpdate, UpdateOutcome,
     };
     pub use hyperpraw_hypergraph::prelude::*;
     pub use hyperpraw_lowmem::{

@@ -13,6 +13,34 @@ use hyperpraw_lowmem::StreamedQuality;
 
 use crate::api::Algorithm;
 
+/// Where a report's quality metrics stand. Stream runs cannot afford an
+/// in-memory evaluation, so their cut metrics start out deferred rather
+/// than silently absent; the JSON carries this status explicitly so
+/// consumers can tell "not evaluated yet" from "evaluated to null".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QualityStatus {
+    /// The metrics were computed in memory as part of the run.
+    Evaluated,
+    /// The run skipped evaluation (out-of-core stream); the cut metrics
+    /// are `null` until back-filled through
+    /// [`PartitionReport::attach_streamed_quality`].
+    Deferred,
+    /// Deferred metrics were back-filled by a streamed (edge-major
+    /// re-read) evaluation.
+    Streamed,
+}
+
+impl QualityStatus {
+    /// Stable lowercase identifier used in JSON.
+    pub fn name(&self) -> &'static str {
+        match self {
+            QualityStatus::Evaluated => "evaluated",
+            QualityStatus::Deferred => "deferred",
+            QualityStatus::Streamed => "streamed",
+        }
+    }
+}
+
 /// Wall-clock seconds spent in each phase of a job run.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PhaseTimings {
@@ -109,6 +137,9 @@ pub struct PartitionReport {
     pub hyperedge_cut: Option<u64>,
     /// Sum of external degrees over cut hyperedges.
     pub soed: Option<u64>,
+    /// Whether the quality metrics were evaluated, deferred, or
+    /// back-filled by a streamed evaluation.
+    pub quality: QualityStatus,
     /// Per-phase wall-clock timings.
     pub timings: PhaseTimings,
     /// The resolved effective configuration.
@@ -125,6 +156,7 @@ impl PartitionReport {
         self.hyperedge_cut = Some(quality.hyperedge_cut);
         self.soed = Some(quality.soed);
         self.imbalance = quality.imbalance;
+        self.quality = QualityStatus::Streamed;
     }
 
     /// Serialises the report as a JSON object, without the per-vertex
@@ -166,6 +198,7 @@ impl PartitionReport {
         field(&mut out, "final_alpha", json_opt_f64(self.final_alpha));
 
         out.push_str("  \"metrics\": {\n");
+        subfield(&mut out, "quality", json_str(self.quality.name()));
         subfield(&mut out, "imbalance", json_f64(self.imbalance));
         subfield(&mut out, "comm_cost", json_opt_f64(self.comm_cost));
         subfield(&mut out, "hyperedge_cut", json_opt_u64(self.hyperedge_cut));
@@ -324,6 +357,117 @@ impl PartitionReport {
     }
 }
 
+/// Migration cost of one dynamic update batch, in the paper's
+/// architecture-aware terms (moving a vertex costs its weight times the
+/// cost-matrix entry of the link it crosses).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MigrationReport {
+    /// Pre-existing vertices whose assignment changed.
+    pub vertices_moved: usize,
+    /// `vertices_moved` over the live vertex count.
+    pub moved_fraction: f64,
+    /// Σ weight(v) · cost(old part, new part) over the moved vertices.
+    pub bytes_moved: f64,
+}
+
+/// The result of one dynamic update batch: a full [`PartitionReport`] for
+/// the post-update assignment, extended with what the batch touched and
+/// what migrating to the new assignment costs.
+#[derive(Clone, Debug)]
+pub struct UpdateReport {
+    /// The post-update partition report (quality re-evaluated in memory).
+    pub report: PartitionReport,
+    /// Ids assigned to `add_vertex` updates, in batch order.
+    pub new_vertices: Vec<u32>,
+    /// Size of the restreamed dirty set (touched vertices plus their
+    /// distinct-neighbour ring).
+    pub dirty_vertices: usize,
+    /// Whether the batch crossed the staleness threshold and rebuilt the
+    /// adjacency instead of patching it.
+    pub rebuilt_adjacency: bool,
+    /// Migration cost of this batch.
+    pub migration: MigrationReport,
+}
+
+impl UpdateReport {
+    /// Serialises the update report as a JSON object with the underlying
+    /// [`PartitionReport`] embedded under `"report"`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1536);
+        out.push_str("{\n");
+        out.push_str("  \"update\": {\n");
+        subfield(&mut out, "dirty_vertices", self.dirty_vertices.to_string());
+        subfield(
+            &mut out,
+            "rebuilt_adjacency",
+            self.rebuilt_adjacency.to_string(),
+        );
+        let ids: Vec<String> = self.new_vertices.iter().map(|v| v.to_string()).collect();
+        last_subfield(&mut out, "new_vertices", format!("[{}]", ids.join(",")));
+        out.push_str("  },\n");
+        out.push_str("  \"migration\": {\n");
+        subfield(
+            &mut out,
+            "vertices_moved",
+            self.migration.vertices_moved.to_string(),
+        );
+        subfield(
+            &mut out,
+            "moved_fraction",
+            json_f64(self.migration.moved_fraction),
+        );
+        last_subfield(
+            &mut out,
+            "bytes_moved",
+            json_f64(self.migration.bytes_moved),
+        );
+        out.push_str("  },\n");
+        // Embed the report, re-indented two spaces. Safe to do per line:
+        // the writer escapes newlines inside strings, so every literal
+        // '\n' in the JSON is structural.
+        out.push_str("  \"report\": ");
+        for (i, line) in self.report.to_json().trim_end().lines().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(line);
+            out.push('\n');
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn text_summary(&self) -> String {
+        let mut out = String::new();
+        let mut line = |k: &str, v: String| {
+            out.push_str(&format!("{k:<17}: {v}\n"));
+        };
+        line("dirty vertices", self.dirty_vertices.to_string());
+        line("adjacency", {
+            if self.rebuilt_adjacency {
+                "rebuilt".to_string()
+            } else {
+                "patched".to_string()
+            }
+        });
+        if !self.new_vertices.is_empty() {
+            line("new vertices", format!("{:?}", self.new_vertices));
+        }
+        line(
+            "migrated",
+            format!(
+                "{} vertices ({:.2}%, {:.1} cost-bytes)",
+                self.migration.vertices_moved,
+                self.migration.moved_fraction * 100.0,
+                self.migration.bytes_moved
+            ),
+        );
+        out.push_str(&self.report.text_summary());
+        out
+    }
+}
+
 fn field(out: &mut String, key: &str, value: String) {
     out.push_str(&format!("  \"{key}\": {value},\n"));
 }
@@ -381,10 +525,10 @@ fn json_opt_str(v: Option<&'static str>) -> String {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
-    fn sample_report() -> PartitionReport {
+    pub(crate) fn sample_report() -> PartitionReport {
         PartitionReport {
             algorithm: Algorithm::RoundRobin,
             partition: Partition::round_robin(6, 2),
@@ -396,6 +540,7 @@ mod tests {
             comm_cost: Some(12.5),
             hyperedge_cut: Some(3),
             soed: Some(7),
+            quality: QualityStatus::Evaluated,
             timings: PhaseTimings::default(),
             config: EffectiveConfig {
                 partitions: 2,
@@ -475,5 +620,71 @@ mod tests {
         assert_eq!(report.hyperedge_cut, Some(9));
         assert_eq!(report.soed, Some(21));
         assert_eq!(report.imbalance, 1.25);
+        assert_eq!(report.quality, QualityStatus::Streamed);
+    }
+
+    #[test]
+    fn deferred_quality_is_explicit_and_backfill_round_trips_through_json() {
+        // Regression: a stream run's JSON must say its metrics are
+        // deferred rather than leaving bare nulls to interpretation, and
+        // the streamed back-fill must round-trip through to_json.
+        let mut report = sample_report();
+        report.comm_cost = None;
+        report.hyperedge_cut = None;
+        report.soed = None;
+        report.quality = QualityStatus::Deferred;
+        let deferred = report.to_json();
+        assert!(deferred.contains("\"quality\": \"deferred\""));
+        assert!(deferred.contains("\"hyperedge_cut\": null"));
+
+        report.attach_streamed_quality(&StreamedQuality {
+            hyperedge_cut: 9,
+            soed: 21,
+            connectivity_minus_one: 12.0,
+            imbalance: 1.25,
+        });
+        let streamed = report.to_json();
+        assert!(streamed.contains("\"quality\": \"streamed\""));
+        assert!(streamed.contains("\"hyperedge_cut\": 9"));
+        assert!(streamed.contains("\"soed\": 21"));
+        assert!(streamed.contains("\"imbalance\": 1.25"));
+        assert!(!streamed.contains("\"hyperedge_cut\": null"));
+    }
+
+    #[test]
+    fn update_report_embeds_the_partition_report() {
+        let update = UpdateReport {
+            report: sample_report(),
+            new_vertices: vec![6, 7],
+            dirty_vertices: 11,
+            rebuilt_adjacency: false,
+            migration: MigrationReport {
+                vertices_moved: 3,
+                moved_fraction: 0.5,
+                bytes_moved: 4.25,
+            },
+        };
+        let json = update.to_json();
+        for needle in [
+            "\"update\"",
+            "\"dirty_vertices\": 11",
+            "\"rebuilt_adjacency\": false",
+            "\"new_vertices\": [6,7]",
+            "\"migration\"",
+            "\"vertices_moved\": 3",
+            "\"bytes_moved\": 4.25",
+            "\"report\": {",
+            "\"algorithm\": \"round-robin\"",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in\n{json}");
+        }
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        let text = update.text_summary();
+        assert!(text.contains("dirty vertices"));
+        assert!(text.contains("algorithm"));
     }
 }
