@@ -1,0 +1,136 @@
+//! Criterion benchmarks of the block-compressed `.hpz` storage crate:
+//! raw block-decode throughput and the prefetch-overlap win when the
+//! lowmem engine partitions straight off a compressed file instead of
+//! re-parsing the textual transpose on every pass.
+//!
+//! The shimmed criterion records peak RSS (`VmHWM`) next to every median
+//! in `BENCH_storage.json`, so the out-of-core claim — compressed
+//! streaming does not drag the whole hypergraph into memory — is pinned
+//! together with the timing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
+use hyperpraw_hypergraph::io::hmetis;
+use hyperpraw_hypergraph::io::stream::{stream_hgr_file, StreamOptions, VertexStream};
+use hyperpraw_lowmem::{IndexKind, LowMemConfig, LowMemPartitioner, MemoryBudget};
+use hyperpraw_storage::{convert_file, CompressedReader, ReadMode, DEFAULT_BLOCK_TARGET_BYTES};
+
+use std::path::PathBuf;
+
+/// The card-16 mesh instance both groups run over, staged once on disk in
+/// both formats.
+struct Fixture {
+    dir: PathBuf,
+    hgr: PathBuf,
+    hpz: PathBuf,
+    pins: usize,
+}
+
+impl Fixture {
+    fn stage() -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("hyperpraw-bench-storage-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+        let hg = mesh_hypergraph(&MeshConfig::new(20_000, 16));
+        let hgr = dir.join("mesh16.hgr");
+        hmetis::write_hgr_file(&hg, &hgr).expect("write transpose");
+        let hpz = dir.join("mesh16.hpz");
+        convert_file(
+            &hgr,
+            &hpz,
+            DEFAULT_BLOCK_TARGET_BYTES,
+            &StreamOptions::default(),
+        )
+        .expect("convert to compressed CSR");
+        Fixture {
+            dir,
+            hgr,
+            hpz,
+            pins: hg.num_pins(),
+        }
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.dir).ok();
+    }
+}
+
+/// Fully drains a vertex stream, returning the pin count so the loop
+/// cannot be optimised away. Pins/median gives decode throughput.
+fn drain<S: VertexStream>(stream: &mut S) -> usize {
+    let mut record = Default::default();
+    let mut pins = 0usize;
+    while stream.next_into(&mut record).expect("stream must decode") {
+        pins += record.nets.len();
+    }
+    pins
+}
+
+fn bench_decode_throughput(c: &mut Criterion) {
+    let fixture = Fixture::stage();
+    let mut group = c.benchmark_group("storage_decode");
+    group.sample_size(10);
+    let reader = CompressedReader::open_file(&fixture.hpz).expect("open compressed file");
+    for (name, mode) in [("sync", ReadMode::Sync), ("prefetch", ReadMode::Prefetch)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut stream = reader.stream(mode);
+                let pins = drain(&mut stream);
+                assert_eq!(pins, fixture.pins);
+                pins
+            })
+        });
+    }
+    group.bench_function(BenchmarkId::from_parameter("transpose_text"), |b| {
+        b.iter(|| {
+            let mut stream =
+                stream_hgr_file(&fixture.hgr, &StreamOptions::default()).expect("open transpose");
+            let pins = drain(&mut stream);
+            assert_eq!(pins, fixture.pins);
+            pins
+        })
+    });
+    group.finish();
+}
+
+fn bench_partition_prefetch_overlap(c: &mut Criterion) {
+    let fixture = Fixture::stage();
+    let mut group = c.benchmark_group("storage_partition");
+    group.sample_size(10);
+    let config = LowMemConfig {
+        budget: MemoryBudget::mebibytes(8),
+        index: IndexKind::Exact,
+        ..LowMemConfig::default()
+    };
+    let partitioner = LowMemPartitioner::basic(config, 16);
+    group.bench_function(BenchmarkId::from_parameter("transpose_sync"), |b| {
+        b.iter(|| {
+            let mut stream =
+                stream_hgr_file(&fixture.hgr, &StreamOptions::default()).expect("open transpose");
+            partitioner.partition(&mut stream).expect("partition")
+        })
+    });
+    let reader = CompressedReader::open_file(&fixture.hpz).expect("open compressed file");
+    for (name, mode) in [
+        ("compressed_sync", ReadMode::Sync),
+        ("compressed_prefetch", ReadMode::Prefetch),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let mut stream = reader.stream(mode);
+                partitioner.partition(&mut stream).expect("partition")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_decode_throughput,
+    bench_partition_prefetch_overlap
+);
+criterion_main!(benches);

@@ -39,6 +39,34 @@ impl MachinePreset {
     }
 }
 
+/// How the `lowmem` subcommand reads its input stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamFormat {
+    /// Sniff the file: compressed when it carries the `.hpz` magic,
+    /// the on-disk transpose reader otherwise.
+    Auto,
+    /// Force the uncompressed transpose reader (`.hgr` / edge list).
+    Transpose,
+    /// Force the block-compressed CSR reader; `.hgr` / edge-list inputs
+    /// are converted to a temporary compressed file first.
+    Compressed,
+}
+
+impl StreamFormat {
+    pub(crate) fn parse(s: &str) -> Result<Self, ParseError> {
+        match s {
+            "auto" => Ok(Self::Auto),
+            "transpose" => Ok(Self::Transpose),
+            "compressed" => Ok(Self::Compressed),
+            other => Err(ParseError::InvalidValue {
+                option: "--format".into(),
+                value: other.into(),
+                expected: "auto | transpose | compressed".into(),
+            }),
+        }
+    }
+}
+
 /// A parsed invocation.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Cli {
@@ -87,6 +115,30 @@ pub enum Command {
         json: bool,
         /// Also write the JSON report to this path.
         json_out: Option<PathBuf>,
+        /// How to read the input stream (transpose vs compressed CSR).
+        format: StreamFormat,
+        /// Disable background block prefetch on the compressed path.
+        no_prefetch: bool,
+    },
+    /// Convert a hypergraph file to the block-compressed CSR format.
+    Convert {
+        /// Input file (`.hgr` or edge list).
+        input: PathBuf,
+        /// Output `.hpz` path.
+        output: PathBuf,
+        /// Target encoded bytes per block.
+        block_bytes: u32,
+    },
+    /// Generate a synthetic mesh hypergraph and write it as `.hgr`.
+    Generate {
+        /// Output `.hgr` path.
+        output: PathBuf,
+        /// Number of vertices.
+        vertices: usize,
+        /// Target hyperedge cardinality.
+        cardinality: usize,
+        /// RNG seed.
+        seed: u64,
     },
     /// Partition a hypergraph file.
     Partition {
@@ -214,7 +266,10 @@ pub fn usage() -> String {
        hyperpraw lowmem    <input> --parts N [--budget-mib 64] [--exact] [--restream K]\n\
                            [--passes N] [--rebuild-sketches] [--threads N]\n\
                            [--machine archer|cluster|cloud|flat] [--seed N]\n\
+                           [--format auto|transpose|compressed] [--no-prefetch]\n\
                            [--output assignment.txt] [--json] [--json-out report.json]\n\
+       hyperpraw convert   <input> <output.hpz> [--block-bytes 65536]\n\
+       hyperpraw generate  <output.hgr> [--vertices 10000] [--cardinality 16] [--seed N]\n\
        hyperpraw profile   --machine archer|cluster|cloud|flat --procs N [--output bw.csv]\n\
        hyperpraw benchmark <input> <assignment> [--machine archer|...] [--bytes 1024] [--supersteps 1]\n\
        hyperpraw serve     [--bind 127.0.0.1:7700] [--stdio]\n\
@@ -224,7 +279,10 @@ pub fn usage() -> String {
      serve keeps a dynamic session resident and answers one JSON request per line:\n\
        {\"op\":\"partition\",...} {\"op\":\"update\",...} {\"op\":\"lookup\",...} {\"op\":\"report\"} {\"op\":\"shutdown\"}\n\
      Input formats: hMetis .hgr, MatrixMarket .mtx (row-net model), anything else is read\n\
-     as a whitespace edge list (one hyperedge per line, 0-based vertex ids)."
+     as a whitespace edge list (one hyperedge per line, 0-based vertex ids).\n\
+     convert writes the block-compressed vertex-major CSR (.hpz); lowmem streams it directly\n\
+     (--format auto sniffs the magic) with a background prefetch thread decoding the next\n\
+     block while the engine consumes the current one."
         .to_string()
 }
 
@@ -352,12 +410,20 @@ impl Cli {
                 let mut output = None;
                 let mut json = false;
                 let mut json_out = None;
+                let mut format = StreamFormat::Auto;
+                let mut no_prefetch = false;
                 let mut i = 1;
                 while i < rest.len() {
                     let opt = rest[i].as_str();
                     match opt {
                         "--parts" | "-p" => {
                             parts = Some(parse_number(opt, value(&rest, &mut i)?)?);
+                        }
+                        "--format" | "-f" => {
+                            format = StreamFormat::parse(value(&rest, &mut i)?)?;
+                        }
+                        "--no-prefetch" => {
+                            no_prefetch = true;
                         }
                         "--budget-mib" | "-b" => {
                             budget_mib = parse_number(opt, value(&rest, &mut i)?)?;
@@ -411,6 +477,62 @@ impl Cli {
                         output,
                         json,
                         json_out,
+                        format,
+                        no_prefetch,
+                    },
+                })
+            }
+            "convert" => {
+                let input = positional(&rest, 0, "input")?;
+                let output = positional(&rest, 1, "output")?;
+                let mut block_bytes = 64 * 1024u32;
+                let mut i = 2;
+                while i < rest.len() {
+                    let opt = rest[i].as_str();
+                    match opt {
+                        "--block-bytes" => {
+                            block_bytes = parse_number(opt, value(&rest, &mut i)?)?;
+                        }
+                        other => return Err(ParseError::UnknownOption(other.into())),
+                    }
+                    i += 1;
+                }
+                Ok(Self {
+                    command: Command::Convert {
+                        input: PathBuf::from(input),
+                        output: PathBuf::from(output),
+                        block_bytes,
+                    },
+                })
+            }
+            "generate" => {
+                let output = positional(&rest, 0, "output")?;
+                let mut vertices = 10_000usize;
+                let mut cardinality = 16usize;
+                let mut seed = 2019u64;
+                let mut i = 1;
+                while i < rest.len() {
+                    let opt = rest[i].as_str();
+                    match opt {
+                        "--vertices" | "-n" => {
+                            vertices = parse_number(opt, value(&rest, &mut i)?)?;
+                        }
+                        "--cardinality" | "-c" => {
+                            cardinality = parse_number(opt, value(&rest, &mut i)?)?;
+                        }
+                        "--seed" => {
+                            seed = parse_number(opt, value(&rest, &mut i)?)?;
+                        }
+                        other => return Err(ParseError::UnknownOption(other.into())),
+                    }
+                    i += 1;
+                }
+                Ok(Self {
+                    command: Command::Generate {
+                        output: PathBuf::from(output),
+                        vertices,
+                        cardinality,
+                        seed,
                     },
                 })
             }
@@ -681,6 +803,83 @@ mod tests {
             Cli::parse(argv("lowmem big.hgr")).unwrap_err(),
             ParseError::MissingValue(_)
         ));
+    }
+
+    #[test]
+    fn parses_lowmem_format_and_prefetch_flags() {
+        match Cli::parse(argv("lowmem big.hpz --parts 8"))
+            .unwrap()
+            .command
+        {
+            Command::LowMem {
+                format,
+                no_prefetch,
+                ..
+            } => {
+                assert_eq!(format, StreamFormat::Auto);
+                assert!(!no_prefetch);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match Cli::parse(argv(
+            "lowmem big.hgr -p 8 --format compressed --no-prefetch",
+        ))
+        .unwrap()
+        .command
+        {
+            Command::LowMem {
+                format,
+                no_prefetch,
+                ..
+            } => {
+                assert_eq!(format, StreamFormat::Compressed);
+                assert!(no_prefetch);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(matches!(
+            Cli::parse(argv("lowmem big.hgr -p 8 --format zip")).unwrap_err(),
+            ParseError::InvalidValue { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_convert_and_generate() {
+        assert_eq!(
+            Cli::parse(argv("convert in.hgr out.hpz")).unwrap().command,
+            Command::Convert {
+                input: PathBuf::from("in.hgr"),
+                output: PathBuf::from("out.hpz"),
+                block_bytes: 64 * 1024,
+            }
+        );
+        assert_eq!(
+            Cli::parse(argv("convert in.hgr out.hpz --block-bytes 4096"))
+                .unwrap()
+                .command,
+            Command::Convert {
+                input: PathBuf::from("in.hgr"),
+                output: PathBuf::from("out.hpz"),
+                block_bytes: 4096,
+            }
+        );
+        assert!(matches!(
+            Cli::parse(argv("convert in.hgr")).unwrap_err(),
+            ParseError::MissingArgument(_)
+        ));
+        assert_eq!(
+            Cli::parse(argv(
+                "generate mesh.hgr --vertices 500 --cardinality 8 --seed 3"
+            ))
+            .unwrap()
+            .command,
+            Command::Generate {
+                output: PathBuf::from("mesh.hgr"),
+                vertices: 500,
+                cardinality: 8,
+                seed: 3,
+            }
+        );
     }
 
     #[test]

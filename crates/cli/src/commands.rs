@@ -13,6 +13,7 @@ use std::path::Path;
 use hyperpraw::api::{Algorithm, PartitionError, PartitionJob};
 use hyperpraw::core::metrics::QualityReport;
 use hyperpraw::core::CostMatrix;
+use hyperpraw::hypergraph::generators::{mesh_hypergraph, MeshConfig};
 use hyperpraw::hypergraph::io::stream::{
     read_hgr_header, stream_edgelist_file, stream_hgr_file, StreamOptions, VertexStream,
 };
@@ -21,9 +22,10 @@ use hyperpraw::hypergraph::{Hypergraph, HypergraphStats, Partition};
 use hyperpraw::lowmem::{quality, MemoryBudget};
 use hyperpraw::netsim::{BenchmarkConfig, LinkModel, RingProfiler, SyntheticBenchmark};
 use hyperpraw::report::PartitionReport;
+use hyperpraw::storage;
 use hyperpraw::topology::MachineModel;
 
-use crate::args::{Cli, Command, MachinePreset};
+use crate::args::{Cli, Command, MachinePreset, StreamFormat};
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -245,6 +247,8 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             output,
             json,
             json_out,
+            format,
+            no_prefetch,
         } => {
             if *parts < 2 {
                 return Err(CommandError::Invalid("--parts must be at least 2".into()));
@@ -254,12 +258,25 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                     "--rebuild-sketches only applies to the sketched index; drop --exact".into(),
                 ));
             }
+            let input_is_compressed = storage::is_compressed_file(input);
+            let use_compressed = match format {
+                StreamFormat::Transpose => {
+                    if input_is_compressed {
+                        return Err(CommandError::Invalid(
+                            "input is a compressed .hpz file; drop --format transpose".into(),
+                        ));
+                    }
+                    false
+                }
+                StreamFormat::Compressed => true,
+                StreamFormat::Auto => input_is_compressed,
+            };
             let ext = input
                 .extension()
                 .and_then(|e| e.to_str())
                 .unwrap_or("")
                 .to_ascii_lowercase();
-            if ext == "mtx" {
+            if ext == "mtx" && !input_is_compressed {
                 return Err(CommandError::Invalid(
                     "MatrixMarket files are not streamable; convert to .hgr first".into(),
                 ));
@@ -279,13 +296,14 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                 .passes(*passes)
                 .rebuild_sketches(*rebuild_sketches)
                 .threads(*threads)
-                .seed(*seed);
+                .seed(*seed)
+                .prefetch(!*no_prefetch);
             job.validate()?;
             let options = StreamOptions {
                 buffer_bytes: budget.plan(*parts as usize, 0).transpose_buffer_bytes,
                 spill_dir: None,
             };
-            let is_hgr = ext == "hgr";
+            let is_hgr = ext == "hgr" && !input_is_compressed;
             if is_hgr {
                 // The header carries the vertex count; reject an oversized
                 // --parts before paying for the on-disk transpose.
@@ -296,6 +314,71 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                         header.num_vertices
                     )));
                 }
+            }
+            if use_compressed {
+                // Run over the block-compressed CSR, converting first when
+                // the input is still an .hgr / edge list.
+                let temp_hpz = if input_is_compressed {
+                    None
+                } else {
+                    let tmp = std::env::temp_dir().join(format!(
+                        "hyperpraw-lowmem-{}-{}.hpz",
+                        std::process::id(),
+                        seed
+                    ));
+                    storage::convert_file(
+                        input,
+                        &tmp,
+                        storage::DEFAULT_BLOCK_TARGET_BYTES,
+                        &options,
+                    )?;
+                    Some(tmp)
+                };
+                let hpz_path = temp_hpz.as_deref().unwrap_or(input.as_path());
+                let reader = storage::CompressedReader::open_file(hpz_path)
+                    .map_err(|e| CommandError::Io(e.to_string()))?;
+                let meta = *reader.meta();
+                if (*parts as u64) > meta.num_vertices {
+                    if let Some(tmp) = &temp_hpz {
+                        fs::remove_file(tmp).ok();
+                    }
+                    return Err(CommandError::Invalid(format!(
+                        "cannot split {} vertices into {parts} parts",
+                        meta.num_vertices
+                    )));
+                }
+                let result = job.run_compressed_file(hpz_path);
+                if let Some(tmp) = &temp_hpz {
+                    fs::remove_file(tmp).ok();
+                }
+                let mut report = result?;
+                // The original edge-major file (when we have one) back-fills
+                // the cut metrics; a bare .hpz leaves quality deferred.
+                if !input_is_compressed {
+                    let streamed = if is_hgr {
+                        quality::evaluate_hgr_file(input, &report.partition)?
+                    } else {
+                        quality::evaluate_edgelist_file(input, &report.partition)?
+                    };
+                    report.attach_streamed_quality(&streamed);
+                }
+                return emit_report(
+                    &report,
+                    &format!(
+                        "hypergraph       : {} (|V|={}, |E|={}, pins={})\n\
+                         memory budget    : {budget}\n\
+                         stream           : compressed CSR, {} block(s), prefetch {}",
+                        input.display(),
+                        meta.num_vertices,
+                        meta.num_nets,
+                        meta.num_pins,
+                        meta.num_blocks,
+                        if *no_prefetch { "off" } else { "on" },
+                    ),
+                    *json,
+                    json_out.as_deref(),
+                    output.as_deref(),
+                );
             }
             let mut stream = if is_hgr {
                 stream_hgr_file(input, &options)?
@@ -325,6 +408,71 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                 json_out.as_deref(),
                 output.as_deref(),
             )
+        }
+        Command::Convert {
+            input,
+            output,
+            block_bytes,
+        } => {
+            let ext = input
+                .extension()
+                .and_then(|e| e.to_str())
+                .unwrap_or("")
+                .to_ascii_lowercase();
+            if ext == "mtx" {
+                return Err(CommandError::Invalid(
+                    "MatrixMarket files are not streamable; convert to .hgr first".into(),
+                ));
+            }
+            if storage::is_compressed_file(input) {
+                return Err(CommandError::Invalid(
+                    "input is already in the compressed format".into(),
+                ));
+            }
+            let meta =
+                storage::convert_file(input, output, *block_bytes, &StreamOptions::default())?;
+            let in_bytes = fs::metadata(input)?.len();
+            let out_bytes = fs::metadata(output)?.len();
+            println!(
+                "converted {} -> {}\n\
+                 |V|={}, |E|={}, pins={}, {} block(s) of ~{} B\n\
+                 {} B -> {} B ({:.2}x)",
+                input.display(),
+                output.display(),
+                meta.num_vertices,
+                meta.num_nets,
+                meta.num_pins,
+                meta.num_blocks,
+                meta.block_target_bytes,
+                in_bytes,
+                out_bytes,
+                in_bytes as f64 / out_bytes.max(1) as f64,
+            );
+            Ok(())
+        }
+        Command::Generate {
+            output,
+            vertices,
+            cardinality,
+            seed,
+        } => {
+            if *vertices == 0 || *cardinality == 0 {
+                return Err(CommandError::Invalid(
+                    "--vertices and --cardinality must be positive".into(),
+                ));
+            }
+            let mut config = MeshConfig::new(*vertices, *cardinality);
+            config.seed = *seed;
+            let hg = mesh_hypergraph(&config);
+            hmetis::write_hgr_file(&hg, output)?;
+            println!(
+                "wrote {} (|V|={}, |E|={}, pins={})",
+                output.display(),
+                hg.num_vertices(),
+                hg.num_hyperedges(),
+                hg.num_pins()
+            );
+            Ok(())
         }
         Command::Profile {
             machine,
@@ -591,6 +739,8 @@ mod tests {
         seed: u64,
         output: Option<std::path::PathBuf>,
         json_out: Option<std::path::PathBuf>,
+        format: StreamFormat,
+        no_prefetch: bool,
     }
 
     impl LowMemArgs {
@@ -606,6 +756,8 @@ mod tests {
                 seed: 0,
                 output: None,
                 json_out: None,
+                format: StreamFormat::Auto,
+                no_prefetch: false,
             }
         }
 
@@ -624,6 +776,8 @@ mod tests {
                 output: self.output,
                 json: false,
                 json_out: self.json_out,
+                format: self.format,
+                no_prefetch: self.no_prefetch,
             }
         }
     }
@@ -650,6 +804,68 @@ mod tests {
         }
         fs::remove_file(input).ok();
         fs::remove_file(output).ok();
+    }
+
+    #[test]
+    fn convert_then_compressed_lowmem_matches_the_transpose_path() {
+        // The CI pipeline scenario: generate -> convert -> partition the
+        // compressed file, diff against the uncompressed stream path.
+        let input = sample_hgr();
+        let hpz = temp_path("sample.hpz");
+        execute(&Cli {
+            command: Command::Convert {
+                input: input.clone(),
+                output: hpz.clone(),
+                block_bytes: 128,
+            },
+        })
+        .unwrap();
+        assert!(storage::is_compressed_file(&hpz));
+
+        let from_transpose = temp_path("assignment_transpose.txt");
+        let from_compressed = temp_path("assignment_compressed.txt");
+        let from_hpz = temp_path("assignment_hpz.txt");
+        // Uncompressed baseline.
+        execute(&Cli {
+            command: LowMemArgs {
+                seed: 5,
+                output: Some(from_transpose.clone()),
+                format: StreamFormat::Transpose,
+                ..LowMemArgs::new(input.clone(), 2)
+            }
+            .command(),
+        })
+        .unwrap();
+        // Same .hgr forced through the compressed reader (converted to a
+        // temporary .hpz internally).
+        execute(&Cli {
+            command: LowMemArgs {
+                seed: 5,
+                output: Some(from_compressed.clone()),
+                format: StreamFormat::Compressed,
+                ..LowMemArgs::new(input.clone(), 2)
+            }
+            .command(),
+        })
+        .unwrap();
+        // The pre-converted .hpz picked up by the auto sniff, prefetch off.
+        execute(&Cli {
+            command: LowMemArgs {
+                seed: 5,
+                output: Some(from_hpz.clone()),
+                no_prefetch: true,
+                ..LowMemArgs::new(hpz.clone(), 2)
+            }
+            .command(),
+        })
+        .unwrap();
+
+        let baseline = fs::read_to_string(&from_transpose).unwrap();
+        assert_eq!(baseline, fs::read_to_string(&from_compressed).unwrap());
+        assert_eq!(baseline, fs::read_to_string(&from_hpz).unwrap());
+        for p in [&input, &hpz, &from_transpose, &from_compressed, &from_hpz] {
+            fs::remove_file(p).ok();
+        }
     }
 
     #[test]

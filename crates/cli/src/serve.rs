@@ -28,9 +28,13 @@
 //! `UpdateReport` JSON,
 //! compacted onto the line (the report writer escapes every newline inside
 //! strings, so stripping layout whitespace is loss-free). Errors never
-//! kill the session: `{"ok": false, "error": "..."}` and the loop keeps
-//! reading. Transport is TCP ([`std::net::TcpListener`]) or — for tests
-//! and supervisors that prefer pipes — stdin/stdout via `--stdio`.
+//! kill the session: every failure answers a structured
+//! `{"ok": false, "error": {"message": "...", "offset": N}}` object —
+//! `offset` is the parser's byte offset into the request line when the
+//! line itself was malformed (invalid JSON, or not UTF-8 at all), and is
+//! omitted for semantic errors — and the loop keeps reading. Transport is
+//! TCP ([`std::net::TcpListener`]) or — for tests and supervisors that
+//! prefer pipes — stdin/stdout via `--stdio`.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
@@ -79,21 +83,39 @@ pub fn serve(bind: &str, stdio: bool) -> Result<(), CommandError> {
 
 /// Serves one session over any line-oriented transport; returns whether a
 /// `shutdown` request ended it (as opposed to EOF).
-pub fn session<R: BufRead, W: Write>(input: R, out: &mut W) -> Result<bool, CommandError> {
+///
+/// Lines are read as raw bytes, so a request that is not valid UTF-8 gets
+/// a structured error response (with the byte offset where the encoding
+/// broke) instead of tearing down the whole connection; only transport
+/// I/O failures end the session.
+pub fn session<R: BufRead, W: Write>(mut input: R, out: &mut W) -> Result<bool, CommandError> {
     let mut state: Option<DynamicSession> = None;
-    for line in input.lines() {
-        let line = line.map_err(|e| CommandError::Io(e.to_string()))?;
-        if line.trim().is_empty() {
-            continue;
+    let mut buf = Vec::new();
+    loop {
+        buf.clear();
+        let n = input
+            .read_until(b'\n', &mut buf)
+            .map_err(|e| CommandError::Io(e.to_string()))?;
+        if n == 0 {
+            return Ok(false);
         }
-        let (response, shutdown) = respond(&line, &mut state);
+        let (response, shutdown) = match std::str::from_utf8(&buf) {
+            Ok(line) if line.trim().is_empty() => continue,
+            Ok(line) => respond(line, &mut state),
+            Err(e) => (
+                error_response(&ServeError {
+                    message: "bad request: line is not valid UTF-8".to_string(),
+                    offset: Some(e.valid_up_to()),
+                }),
+                false,
+            ),
+        };
         writeln!(out, "{response}").map_err(|e| CommandError::Io(e.to_string()))?;
         out.flush().map_err(|e| CommandError::Io(e.to_string()))?;
         if shutdown {
             return Ok(true);
         }
     }
-    Ok(false)
 }
 
 /// Handles one request line; never fails the session (errors become
@@ -102,11 +124,45 @@ fn respond(line: &str, state: &mut Option<DynamicSession>) -> (String, bool) {
     match handle(line, state) {
         Ok(Reply::Payload(body)) => (format!("{{\"ok\": true, {body}}}"), false),
         Ok(Reply::Shutdown) => ("{\"ok\": true, \"bye\": true}".to_string(), true),
-        Err(message) => (
-            format!("{{\"ok\": false, \"error\": {}}}", escape(&message)),
-            false,
-        ),
+        Err(error) => (error_response(&error), false),
     }
+}
+
+/// A request failure: what went wrong, plus — for malformed lines — the
+/// parser's byte offset into the request.
+struct ServeError {
+    message: String,
+    offset: Option<usize>,
+}
+
+impl From<String> for ServeError {
+    fn from(message: String) -> Self {
+        ServeError {
+            message,
+            offset: None,
+        }
+    }
+}
+
+impl From<&str> for ServeError {
+    fn from(message: &str) -> Self {
+        ServeError::from(message.to_string())
+    }
+}
+
+/// Serialises a [`ServeError`] into the protocol's structured error
+/// object; `offset` appears only when the request line itself failed to
+/// parse.
+fn error_response(error: &ServeError) -> String {
+    let mut out = format!(
+        "{{\"ok\": false, \"error\": {{\"message\": {}",
+        escape(&error.message)
+    );
+    if let Some(offset) = error.offset {
+        out.push_str(&format!(", \"offset\": {offset}"));
+    }
+    out.push_str("}}");
+    out
 }
 
 enum Reply {
@@ -114,8 +170,11 @@ enum Reply {
     Shutdown,
 }
 
-fn handle(line: &str, state: &mut Option<DynamicSession>) -> Result<Reply, String> {
-    let request = json::parse(line).map_err(|e| format!("bad request: {e}"))?;
+fn handle(line: &str, state: &mut Option<DynamicSession>) -> Result<Reply, ServeError> {
+    let request = json::parse(line).map_err(|e| ServeError {
+        message: format!("bad request: {}", e.message),
+        offset: Some(e.offset),
+    })?;
     let op = request
         .get("op")
         .and_then(JsonValue::as_str)
@@ -156,7 +215,8 @@ fn handle(line: &str, state: &mut Option<DynamicSession>) -> Result<Reply, Strin
         "shutdown" => Ok(Reply::Shutdown),
         other => Err(format!(
             "unknown op '{other}' (expected partition | update | lookup | report | shutdown)"
-        )),
+        )
+        .into()),
     }
 }
 
@@ -350,8 +410,12 @@ mod tests {
     use std::io::Cursor;
 
     fn drive(requests: &str) -> (Vec<String>, bool) {
+        drive_bytes(requests.as_bytes())
+    }
+
+    fn drive_bytes(requests: &[u8]) -> (Vec<String>, bool) {
         let mut out = Vec::new();
-        let shutdown = session(Cursor::new(requests.to_string()), &mut out).unwrap();
+        let shutdown = session(Cursor::new(requests.to_vec()), &mut out).unwrap();
         let text = String::from_utf8(out).unwrap();
         (text.lines().map(|l| l.to_string()).collect(), shutdown)
     }
@@ -400,6 +464,53 @@ mod tests {
         assert!(lines[3].contains("\"ok\": true"));
         assert!(lines[4].contains("\"ok\": false"), "{}", lines[4]);
         assert!(lines[5].contains("\"part\":"));
+    }
+
+    #[test]
+    fn malformed_lines_answer_structured_errors_with_offsets() {
+        let mut requests = Vec::new();
+        requests.extend_from_slice(b"[true, fals]\n");
+        requests.extend_from_slice(b"{\"op\": \xff\xfe}\n"); // not UTF-8 at byte 7
+        requests.extend_from_slice(b"{\"op\": \"shutdown\"}\n");
+        let (lines, shutdown) = drive_bytes(&requests);
+        assert!(
+            shutdown,
+            "garbage must not tear down the session: {lines:#?}"
+        );
+        assert_eq!(lines.len(), 3);
+
+        let bad_json = json::parse(&lines[0]).unwrap();
+        assert_eq!(bad_json.get("ok").and_then(JsonValue::as_bool), Some(false));
+        let error = bad_json.get("error").expect("structured error object");
+        let message = error.get("message").and_then(JsonValue::as_str).unwrap();
+        assert!(message.contains("bad request"), "{message}");
+        let offset = error.get("offset").and_then(JsonValue::as_u64).unwrap();
+        assert!(offset >= 7, "offset {offset} points at the bad token");
+
+        let bad_utf8 = json::parse(&lines[1]).unwrap();
+        let error = bad_utf8.get("error").expect("structured error object");
+        let message = error.get("message").and_then(JsonValue::as_str).unwrap();
+        assert!(message.contains("UTF-8"), "{message}");
+        assert_eq!(
+            error.get("offset").and_then(JsonValue::as_u64),
+            Some(7),
+            "offset is where the encoding broke"
+        );
+
+        assert_eq!(lines[2], "{\"ok\": true, \"bye\": true}");
+    }
+
+    #[test]
+    fn semantic_errors_carry_no_offset() {
+        let (lines, _) = drive("{\"op\": \"lookup\", \"vertex\": 0}\n");
+        let v = json::parse(&lines[0]).unwrap();
+        let error = v.get("error").expect("structured error object");
+        assert!(error
+            .get("message")
+            .and_then(JsonValue::as_str)
+            .unwrap()
+            .contains("no session"));
+        assert_eq!(error.get("offset"), None);
     }
 
     #[test]

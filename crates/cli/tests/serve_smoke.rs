@@ -57,3 +57,50 @@ fn serve_stdio_round_trip() {
     let status = child.wait().unwrap();
     assert!(status.success(), "serve exited with {status}");
 }
+
+/// Malformed request lines — broken JSON and raw non-UTF-8 bytes — must
+/// answer a structured `{"error": {"message", "offset"}}` object and leave
+/// the session serving; only `shutdown`/EOF may end it.
+#[test]
+fn serve_stdio_survives_malformed_lines_with_structured_errors() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hyperpraw"))
+        .args(["serve", "--stdio"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn hyperpraw serve --stdio");
+
+    let mut stdin = child.stdin.take().unwrap();
+    let stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut requests: Vec<u8> = Vec::new();
+    requests.extend_from_slice(b"{\"op\": \"partition\" \"parts\": 2}\n"); // missing comma
+    requests.extend_from_slice(b"\xc3\x28 not utf-8\n"); // overlong sequence at byte 0
+    requests
+        .extend_from_slice(b"{\"op\": \"partition\", \"parts\": 2, \"edges\": [[0,1],[1,2]]}\n");
+    requests.extend_from_slice(b"{\"op\": \"lookup\", \"vertex\": 1}\n");
+    requests.extend_from_slice(b"{\"op\": \"shutdown\"}\n");
+    stdin.write_all(&requests).unwrap();
+    stdin.flush().unwrap();
+    drop(stdin);
+
+    let lines: Vec<String> = stdout.lines().map(|l| l.unwrap()).collect();
+    assert_eq!(lines.len(), 5, "one response per request: {lines:#?}");
+    assert!(
+        lines[0].contains("\"ok\": false")
+            && lines[0].contains("\"message\"")
+            && lines[0].contains("\"offset\""),
+        "{}",
+        lines[0]
+    );
+    assert!(
+        lines[1].contains("UTF-8") && lines[1].contains("\"offset\": 0"),
+        "{}",
+        lines[1]
+    );
+    assert!(lines[2].contains("\"ok\": true"), "{}", lines[2]);
+    assert!(lines[3].contains("\"part\":"), "{}", lines[3]);
+    assert_eq!(lines[4], "{\"ok\": true, \"bye\": true}");
+
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve exited with {status}");
+}

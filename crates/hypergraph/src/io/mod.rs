@@ -12,6 +12,24 @@
 //!
 //! All readers are generic over [`std::io::BufRead`] so tests can use
 //! in-memory cursors, with `*_file` convenience wrappers for paths.
+//!
+//! # Beyond text formats: the block-compressed CSR
+//!
+//! [`stream::VertexStream`] is deliberately the *only* contract the
+//! streaming engines know about, so vertex records can come from more than
+//! a local text transpose. The `hyperpraw-storage` crate implements the
+//! other end of that contract: a block-compressed vertex-major CSR file
+//! format (`.hpz`, delta-varint pin lists in independently decodable
+//! fixed-target-size blocks behind a footer index — the full byte-level
+//! layout diagram lives in that crate's docs), read through a pluggable
+//! `ByteSource` trait (anything offering ranged byte reads: a local file,
+//! an in-memory buffer, a chunk-granular caching wrapper) and surfaced
+//! back here as a `VertexStream`. Its prefetching mode decodes block
+//! `N + 1` on a background thread into a double buffer while the consumer
+//! drains block `N`, and honours this module's reset contract: after
+//! [`stream::VertexStream::reset`] the stream restarts at vertex 0 and
+//! yields the identical record sequence, so multi-pass restreaming and
+//! BSP drivers work unchanged over compressed files.
 
 use std::fmt;
 use std::io;

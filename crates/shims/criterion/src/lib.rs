@@ -15,11 +15,16 @@
 //! once without timing, mirroring criterion's smoke-test mode.
 //!
 //! On top of the console report, every bench binary writes a
-//! machine-readable artefact `BENCH_<bench>.json` (benchmark id → median
-//! milliseconds) so the perf trajectory can be tracked across PRs instead
-//! of living only in commit messages. The output directory defaults to
-//! `target/` and is overridable via `HYPERPRAW_BENCH_JSON_DIR`; nothing is
-//! written in `--test` mode (single untimed runs are not measurements).
+//! machine-readable artefact `BENCH_<bench>.json` (benchmark id →
+//! `{"median_ms": …, "peak_rss_kib": …}`) so the perf trajectory — time
+//! *and* memory — can be tracked across PRs instead of living only in
+//! commit messages. `peak_rss_kib` is the process high-water mark
+//! (`VmHWM` from `/proc/self/status`) observed right after the benchmark
+//! ran, letting the out-of-core benches pin peak memory alongside the
+//! median; the key is omitted on platforms without procfs. The output
+//! directory defaults to `target/` and is overridable via
+//! `HYPERPRAW_BENCH_JSON_DIR`; nothing is written in `--test` mode
+//! (single untimed runs are not measurements).
 //!
 //! [`criterion`]: https://crates.io/crates/criterion
 
@@ -36,11 +41,34 @@ use std::time::{Duration, Instant};
 /// Maximum wall-clock time spent measuring one benchmark.
 const TIME_BUDGET: Duration = Duration::from_secs(2);
 
-/// Process-wide registry of measured medians (benchmark id → ms), flushed
+/// One measurement recorded for the JSON report.
+#[derive(Clone, Copy, Debug)]
+struct BenchRecord {
+    /// Median wall-clock time in milliseconds.
+    median_ms: f64,
+    /// Process peak RSS (`VmHWM`) in KiB right after the benchmark ran;
+    /// `None` where procfs is unavailable.
+    peak_rss_kib: Option<u64>,
+}
+
+/// Process-wide registry of measurements (benchmark id → record), flushed
 /// to `BENCH_<bench>.json` by [`write_json_report`].
-fn registry() -> &'static Mutex<BTreeMap<String, f64>> {
-    static REGISTRY: OnceLock<Mutex<BTreeMap<String, f64>>> = OnceLock::new();
+fn registry() -> &'static Mutex<BTreeMap<String, BenchRecord>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<String, BenchRecord>>> = OnceLock::new();
     REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The process peak resident set size in KiB: `VmHWM` from
+/// `/proc/self/status`. `None` on platforms without procfs.
+pub fn peak_rss_kib() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.strip_prefix("VmHWM:")?
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()
 }
 
 /// The stem of the running bench binary with cargo's `-<hash>` suffix
@@ -73,10 +101,11 @@ fn default_json_dir() -> PathBuf {
         .unwrap_or_else(|| PathBuf::from("target"))
 }
 
-/// Writes the collected medians as `BENCH_<bench>.json` (benchmark id →
-/// median milliseconds, sorted by id) into `HYPERPRAW_BENCH_JSON_DIR`
-/// (default `target/`). Called by [`criterion_main!`] after every group
-/// has run; a no-op when nothing was measured (e.g. `--test` mode).
+/// Writes the collected measurements as `BENCH_<bench>.json` (benchmark
+/// id → `{"median_ms": …, "peak_rss_kib": …}`, sorted by id) into
+/// `HYPERPRAW_BENCH_JSON_DIR` (default `target/`). Called by
+/// [`criterion_main!`] after every group has run; a no-op when nothing
+/// was measured (e.g. `--test` mode).
 pub fn write_json_report() {
     let results = registry().lock().expect("bench registry poisoned");
     if results.is_empty() {
@@ -87,11 +116,18 @@ pub fn write_json_report() {
         .unwrap_or_else(default_json_dir);
     let path = dir.join(format!("BENCH_{}.json", bench_stem()));
     let mut json = String::from("{\n");
-    for (i, (id, ms)) in results.iter().enumerate() {
+    for (i, (id, record)) in results.iter().enumerate() {
         if i > 0 {
             json.push_str(",\n");
         }
-        json.push_str(&format!("  \"{id}\": {ms:.3}"));
+        json.push_str(&format!(
+            "  \"{id}\": {{\"median_ms\": {:.3}",
+            record.median_ms
+        ));
+        if let Some(kib) = record.peak_rss_kib {
+            json.push_str(&format!(", \"peak_rss_kib\": {kib}"));
+        }
+        json.push('}');
     }
     json.push_str("\n}\n");
     if std::fs::create_dir_all(&dir)
@@ -233,7 +269,10 @@ impl BenchmarkGroup<'_> {
         if !self.test_mode {
             registry().lock().expect("bench registry poisoned").insert(
                 format!("{}/{}", self.name, id.id),
-                median.as_secs_f64() * 1e3,
+                BenchRecord {
+                    median_ms: median.as_secs_f64() * 1e3,
+                    peak_rss_kib: peak_rss_kib(),
+                },
             );
         }
     }
@@ -322,10 +361,14 @@ mod tests {
         });
         group.finish();
         let reg = registry().lock().unwrap();
-        let median = reg
+        let record = reg
             .get("shim_json/registered")
             .expect("median must be registered outside test mode");
-        assert!(*median > 0.0);
+        assert!(record.median_ms > 0.0);
+        // Linux always exposes VmHWM; elsewhere the field is simply absent.
+        if cfg!(target_os = "linux") {
+            assert!(record.peak_rss_kib.is_some());
+        }
     }
 
     #[test]

@@ -1,0 +1,214 @@
+//! Writing the compressed format: encode any [`VertexStream`] (or an
+//! in-memory [`Hypergraph`]) into block-compressed CSR, plus file-level
+//! conversion from `.hgr` / edge-list inputs via the existing
+//! out-of-core transpose readers.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use hyperpraw_hypergraph::io::stream::{
+    stream_edgelist_file, stream_hgr_file, StreamOptions, VertexRecord, VertexStream,
+};
+use hyperpraw_hypergraph::io::IoResult;
+use hyperpraw_hypergraph::Hypergraph;
+
+use crate::format::{self, BlockEntry, FileMeta, HEADER_LEN, MAGIC_HEADER};
+use crate::varint::encode_u64;
+
+/// Default writer block target: 64 KiB of encoded pins per block.
+pub const DEFAULT_BLOCK_TARGET_BYTES: u32 = 64 * 1024;
+
+/// Encodes every vertex of `stream` (which must yield natural order
+/// `0..num_vertices`, the contract of the transpose readers and
+/// [`hyperpraw_hypergraph::io::stream::InMemoryVertexStream`]) into the
+/// compressed format. Returns the metadata of the written file.
+///
+/// The writer holds one encoded block, the weight vector, and the block
+/// index in memory — O(num_vertices + block size), never O(num_pins).
+pub fn write_from_stream<S: VertexStream, W: Write + Seek>(
+    stream: &mut S,
+    out: &mut W,
+    block_target_bytes: u32,
+) -> IoResult<FileMeta> {
+    let block_target = block_target_bytes.max(16) as usize;
+    let num_vertices = stream.num_vertices() as u64;
+    let num_nets = stream.num_nets() as u64;
+
+    // Placeholder header; patched once pin/weight totals are known.
+    out.write_all(&[0u8; HEADER_LEN as usize])
+        .map_err(io_to_stream_err)?;
+
+    let mut record = VertexRecord::default();
+    let mut scratch: Vec<u64> = Vec::new();
+    let mut block = Vec::with_capacity(block_target + 64);
+    let mut blocks: Vec<BlockEntry> = Vec::new();
+    let mut weights: Vec<f64> = Vec::with_capacity(num_vertices as usize);
+    let mut num_pins = 0u64;
+    let mut next_offset = HEADER_LEN;
+    let mut block_first = 0u64;
+    let mut expected = 0u64;
+
+    while stream.next_into(&mut record)? {
+        if u64::from(record.vertex) != expected {
+            return Err(stream_order_err(expected, u64::from(record.vertex)));
+        }
+        expected += 1;
+        weights.push(record.weight);
+
+        scratch.clear();
+        scratch.extend(record.nets.iter().map(|&n| u64::from(n)));
+        if !scratch.is_sorted() {
+            scratch.sort_unstable();
+        }
+        scratch.dedup();
+        num_pins += scratch.len() as u64;
+
+        encode_u64(scratch.len() as u64, &mut block);
+        let mut prev = 0u64;
+        for (i, &pin) in scratch.iter().enumerate() {
+            encode_u64(if i == 0 { pin } else { pin - prev }, &mut block);
+            prev = pin;
+        }
+
+        if block.len() >= block_target {
+            flush_block(out, &mut block, &mut blocks, &mut next_offset, block_first)?;
+            block_first = expected;
+        }
+    }
+    if expected != num_vertices {
+        return Err(stream_order_err(num_vertices, expected));
+    }
+    if !block.is_empty() {
+        flush_block(out, &mut block, &mut blocks, &mut next_offset, block_first)?;
+    }
+
+    let has_weights = weights.iter().any(|&w| w != 1.0);
+    let weights_offset = if has_weights {
+        let at = next_offset;
+        for &w in &weights {
+            out.write_all(&w.to_le_bytes()).map_err(io_to_stream_err)?;
+        }
+        next_offset += weights.len() as u64 * 8;
+        at
+    } else {
+        0
+    };
+
+    let index_offset = next_offset;
+    for entry in &blocks {
+        let mut buf = Vec::with_capacity(24);
+        format::write_u64(&mut buf, entry.first_vertex);
+        format::write_u64(&mut buf, entry.offset);
+        format::write_u64(&mut buf, entry.len);
+        out.write_all(&buf).map_err(io_to_stream_err)?;
+    }
+    out.write_all(&format::encode_trailer(
+        blocks.len() as u64,
+        index_offset,
+        weights_offset,
+    ))
+    .map_err(io_to_stream_err)?;
+
+    out.seek(SeekFrom::Start(0)).map_err(io_to_stream_err)?;
+    out.write_all(&format::encode_header(
+        num_vertices,
+        num_nets,
+        num_pins,
+        block_target_bytes,
+        has_weights,
+    ))
+    .map_err(io_to_stream_err)?;
+    out.seek(SeekFrom::End(0)).map_err(io_to_stream_err)?;
+    out.flush().map_err(io_to_stream_err)?;
+
+    Ok(FileMeta {
+        num_vertices,
+        num_nets,
+        num_pins,
+        block_target_bytes,
+        has_weights,
+        num_blocks: blocks.len() as u64,
+        index_offset,
+        weights_offset,
+    })
+}
+
+fn flush_block<W: Write>(
+    out: &mut W,
+    block: &mut Vec<u8>,
+    blocks: &mut Vec<BlockEntry>,
+    next_offset: &mut u64,
+    first_vertex: u64,
+) -> IoResult<()> {
+    out.write_all(block).map_err(io_to_stream_err)?;
+    blocks.push(BlockEntry {
+        first_vertex,
+        offset: *next_offset,
+        len: block.len() as u64,
+    });
+    *next_offset += block.len() as u64;
+    block.clear();
+    Ok(())
+}
+
+fn io_to_stream_err(e: io::Error) -> hyperpraw_hypergraph::io::IoError {
+    hyperpraw_hypergraph::io::IoError::Io(e)
+}
+
+fn stream_order_err(expected: u64, got: u64) -> hyperpraw_hypergraph::io::IoError {
+    hyperpraw_hypergraph::io::IoError::parse(
+        0,
+        format!("stream must yield natural vertex order: expected vertex {expected}, got {got}"),
+    )
+}
+
+/// Encodes an in-memory hypergraph (vertex-major transpose of its CSR).
+pub fn write_hypergraph<W: Write + Seek>(
+    hg: &Hypergraph,
+    out: &mut W,
+    block_target_bytes: u32,
+) -> IoResult<FileMeta> {
+    let mut stream = hyperpraw_hypergraph::io::stream::InMemoryVertexStream::new(hg);
+    write_from_stream(&mut stream, out, block_target_bytes)
+}
+
+/// Converts an `.hgr` or edge-list file to the compressed format using
+/// the out-of-core transpose readers (so the input never has to fit in
+/// memory). The input format is chosen by extension, mirroring the CLI:
+/// `.hgr` → hMETIS, anything else → edge list.
+pub fn convert_file(
+    input: impl AsRef<Path>,
+    output: impl AsRef<Path>,
+    block_target_bytes: u32,
+    options: &StreamOptions,
+) -> IoResult<FileMeta> {
+    let input = input.as_ref();
+    let ext = input
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+        .to_ascii_lowercase();
+    let mut stream = match ext.as_str() {
+        "hgr" => stream_hgr_file(input, options)?,
+        _ => stream_edgelist_file(input, options)?,
+    };
+    let file = File::create(output.as_ref()).map_err(io_to_stream_err)?;
+    let mut writer = BufWriter::new(file);
+    let meta = write_from_stream(&mut stream, &mut writer, block_target_bytes)?;
+    writer
+        .into_inner()
+        .map_err(|e| io_to_stream_err(e.into_error()))?
+        .sync_all()
+        .map_err(io_to_stream_err)?;
+    Ok(meta)
+}
+
+/// Sniffs whether `path` starts with the compressed-format magic.
+pub fn is_compressed_file(path: impl AsRef<Path>) -> bool {
+    let mut magic = [0u8; 8];
+    match File::open(path.as_ref()).and_then(|mut f| f.read_exact(&mut magic)) {
+        Ok(()) => &magic == MAGIC_HEADER,
+        Err(_) => false,
+    }
+}

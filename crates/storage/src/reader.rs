@@ -1,0 +1,391 @@
+//! Decoding side of the compressed format: [`CompressedReader`] parses
+//! the footer index and decodes individual blocks; [`CompressedVertexStream`]
+//! lifts a reader into a [`VertexStream`], either decoding on the caller's
+//! thread ([`ReadMode::Sync`]) or overlapping IO + decode with engine
+//! compute on a background thread ([`ReadMode::Prefetch`]).
+
+use std::path::Path;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use hyperpraw_hypergraph::io::stream::{VertexRecord, VertexStream};
+use hyperpraw_hypergraph::io::{IoError, IoResult};
+use hyperpraw_hypergraph::VertexId;
+
+use crate::format::{
+    self, BlockEntry, FileMeta, FormatError, HEADER_LEN, INDEX_ENTRY_LEN, TRAILER_LEN,
+};
+use crate::source::{ByteSource, FileSource};
+use crate::varint::decode_u64;
+
+/// How a [`CompressedVertexStream`] schedules block decode work.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Decode block N when the consumer first asks for a vertex in it.
+    Sync,
+    /// A background thread reads and decodes block N+1 into a double
+    /// buffer while the consumer drains block N.
+    Prefetch,
+}
+
+/// One decoded block: a contiguous vertex range with per-vertex pin
+/// slices in a flat arena.
+#[derive(Clone, Debug, Default)]
+pub struct DecodedBlock {
+    /// First vertex id in the block.
+    pub first_vertex: u64,
+    /// Prefix offsets into `nets`; vertex `first_vertex + i` owns
+    /// `nets[offsets[i]..offsets[i + 1]]`. Length = vertex count + 1.
+    pub offsets: Vec<u32>,
+    /// Concatenated incident-net ids, ascending within each vertex.
+    pub nets: Vec<VertexId>,
+}
+
+impl DecodedBlock {
+    /// Number of vertices in the block.
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Whether the block holds no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A parsed compressed file: metadata, block index, and (when present)
+/// the weight section, all resident; block payloads decode on demand.
+///
+/// Cloning is cheap — the index and weights are shared `Arc`s — so one
+/// reader can back many concurrent streams.
+#[derive(Clone)]
+pub struct CompressedReader {
+    source: Arc<dyn ByteSource>,
+    meta: FileMeta,
+    blocks: Arc<[BlockEntry]>,
+    weights: Option<Arc<[f64]>>,
+    total_weight: f64,
+}
+
+impl CompressedReader {
+    /// Opens a local compressed file via [`FileSource`].
+    pub fn open_file(path: impl AsRef<Path>) -> Result<Self, FormatError> {
+        Self::open(FileSource::open(path)?)
+    }
+
+    /// Parses header, trailer, block index, and weights from `source`.
+    pub fn open<S: ByteSource + 'static>(source: S) -> Result<Self, FormatError> {
+        let source: Arc<dyn ByteSource> = Arc::new(source);
+        let file_len = source.len();
+        if file_len < HEADER_LEN + TRAILER_LEN {
+            return Err(FormatError::corrupt("file shorter than header + trailer"));
+        }
+        let mut header = [0u8; HEADER_LEN as usize];
+        source.read_at(0, &mut header)?;
+        let mut trailer = [0u8; TRAILER_LEN as usize];
+        source.read_at(file_len - TRAILER_LEN, &mut trailer)?;
+        let meta = format::parse_meta(&header, &trailer, file_len)?;
+        let mut raw_index = vec![0u8; (meta.num_blocks * INDEX_ENTRY_LEN) as usize];
+        source.read_at(meta.index_offset, &mut raw_index)?;
+        let blocks: Arc<[BlockEntry]> = format::parse_index(&meta, &raw_index)?.into();
+        let weights = if meta.has_weights {
+            let mut raw = vec![0u8; (meta.num_vertices * 8) as usize];
+            source.read_at(meta.weights_offset, &mut raw)?;
+            let weights: Vec<f64> = raw
+                .chunks_exact(8)
+                .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+                .collect();
+            if weights.iter().any(|w| !w.is_finite()) {
+                return Err(FormatError::corrupt("non-finite vertex weight"));
+            }
+            Some(Arc::<[f64]>::from(weights))
+        } else {
+            None
+        };
+        let total_weight = match &weights {
+            Some(w) => w.iter().sum(),
+            None => meta.num_vertices as f64,
+        };
+        Ok(Self {
+            source,
+            meta,
+            blocks,
+            weights,
+            total_weight,
+        })
+    }
+
+    /// The parsed file metadata.
+    pub fn meta(&self) -> &FileMeta {
+        &self.meta
+    }
+
+    /// Number of blocks in the file.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The footer index entries.
+    pub fn blocks(&self) -> &[BlockEntry] {
+        &self.blocks
+    }
+
+    /// Per-vertex weights when the file carries them.
+    pub fn weights(&self) -> Option<&[f64]> {
+        self.weights.as_deref()
+    }
+
+    /// Vertex range `[lo, hi)` covered by block `b`.
+    pub fn block_range(&self, b: usize) -> (u64, u64) {
+        let lo = self.blocks[b].first_vertex;
+        let hi = self
+            .blocks
+            .get(b + 1)
+            .map_or(self.meta.num_vertices, |e| e.first_vertex);
+        (lo, hi)
+    }
+
+    /// Reads and decodes block `b`, validating degrees, monotone pin
+    /// gaps, and net-id bounds.
+    pub fn decode_block(&self, b: usize) -> Result<DecodedBlock, FormatError> {
+        let entry = self.blocks[b];
+        let (lo, hi) = self.block_range(b);
+        let mut raw = vec![0u8; entry.len as usize];
+        self.source.read_at(entry.offset, &mut raw)?;
+        let count = (hi - lo) as usize;
+        let mut block = DecodedBlock {
+            first_vertex: lo,
+            offsets: Vec::with_capacity(count + 1),
+            nets: Vec::new(),
+        };
+        block.offsets.push(0);
+        let mut pos = 0usize;
+        for v in lo..hi {
+            let degree = decode_u64(&raw, &mut pos)
+                .ok_or_else(|| FormatError::corrupt(format!("truncated degree of vertex {v}")))?;
+            let mut prev: u64 = 0;
+            for i in 0..degree {
+                let delta = decode_u64(&raw, &mut pos).ok_or_else(|| {
+                    FormatError::corrupt(format!("truncated pin list of vertex {v}"))
+                })?;
+                let pin = if i == 0 {
+                    delta
+                } else {
+                    if delta == 0 {
+                        return Err(FormatError::corrupt(format!(
+                            "non-ascending pin list of vertex {v}"
+                        )));
+                    }
+                    prev.checked_add(delta).ok_or_else(|| {
+                        FormatError::corrupt(format!("pin id overflow in vertex {v}"))
+                    })?
+                };
+                if pin >= self.meta.num_nets {
+                    return Err(FormatError::corrupt(format!(
+                        "vertex {v} references net {pin} past the net count {}",
+                        self.meta.num_nets
+                    )));
+                }
+                block.nets.push(pin as VertexId);
+                prev = pin;
+            }
+            let end = u32::try_from(block.nets.len())
+                .map_err(|_| FormatError::corrupt("block pin arena exceeds u32"))?;
+            block.offsets.push(end);
+        }
+        if pos != raw.len() {
+            return Err(FormatError::corrupt(format!(
+                "block {b} has {} trailing bytes",
+                raw.len() - pos
+            )));
+        }
+        Ok(block)
+    }
+
+    /// Creates a [`VertexStream`] over the whole file in natural vertex
+    /// order, positioned at vertex 0.
+    pub fn stream(&self, mode: ReadMode) -> CompressedVertexStream {
+        CompressedVertexStream::new(self.clone(), mode)
+    }
+}
+
+impl std::fmt::Debug for CompressedReader {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressedReader")
+            .field("meta", &self.meta)
+            .field("num_blocks", &self.blocks.len())
+            .finish()
+    }
+}
+
+type BlockResult = Result<DecodedBlock, FormatError>;
+
+struct PrefetchWorker {
+    rx: Receiver<BlockResult>,
+    handle: JoinHandle<()>,
+}
+
+fn spawn_prefetch(reader: &CompressedReader) -> PrefetchWorker {
+    // Capacity 1 is the double buffer: one decoded block parked in the
+    // channel while the consumer drains the previous one and the worker
+    // decodes the next.
+    let (tx, rx): (SyncSender<BlockResult>, Receiver<BlockResult>) = sync_channel(1);
+    let reader = reader.clone();
+    let handle = std::thread::Builder::new()
+        .name("hpz-prefetch".into())
+        .spawn(move || {
+            for b in 0..reader.num_blocks() {
+                let block = reader.decode_block(b);
+                let failed = block.is_err();
+                // The consumer dropping its receiver (reset / drop) is
+                // the normal shutdown signal.
+                if tx.send(block).is_err() || failed {
+                    return;
+                }
+            }
+        })
+        .expect("spawn prefetch thread");
+    PrefetchWorker { rx, handle }
+}
+
+/// [`VertexStream`] over a [`CompressedReader`] in natural vertex order.
+///
+/// In [`ReadMode::Prefetch`] a background thread stays exactly one
+/// decoded block ahead; `reset()` tears it down and respawns at block 0
+/// so every pass yields the identical sequence. Decode failures surface
+/// as `Err` from [`VertexStream::next_into`] on the consumer thread.
+pub struct CompressedVertexStream {
+    reader: CompressedReader,
+    mode: ReadMode,
+    next_block: usize,
+    current: DecodedBlock,
+    cursor: usize,
+    worker: Option<PrefetchWorker>,
+    finished: bool,
+}
+
+impl CompressedVertexStream {
+    fn new(reader: CompressedReader, mode: ReadMode) -> Self {
+        let mut stream = Self {
+            reader,
+            mode,
+            next_block: 0,
+            current: DecodedBlock::default(),
+            cursor: 0,
+            worker: None,
+            finished: false,
+        };
+        if stream.mode == ReadMode::Prefetch {
+            stream.worker = Some(spawn_prefetch(&stream.reader));
+        }
+        stream
+    }
+
+    /// The reader this stream decodes from.
+    pub fn reader(&self) -> &CompressedReader {
+        &self.reader
+    }
+
+    fn stop_worker(&mut self) {
+        if let Some(worker) = self.worker.take() {
+            // Dropping the receiver makes the worker's next send fail.
+            drop(worker.rx);
+            let _ = worker.handle.join();
+        }
+    }
+
+    /// Pulls the next decoded block into `current`. Returns `false`
+    /// when the file is exhausted.
+    fn advance_block(&mut self) -> IoResult<bool> {
+        if self.next_block >= self.reader.num_blocks() {
+            self.finished = true;
+            return Ok(false);
+        }
+        let block = match &self.worker {
+            Some(worker) => worker
+                .rx
+                .recv()
+                .map_err(|_| IoError::parse(0, "prefetch worker exited early".to_string()))?
+                .map_err(format_to_io)?,
+            None => self
+                .reader
+                .decode_block(self.next_block)
+                .map_err(format_to_io)?,
+        };
+        debug_assert_eq!(
+            block.first_vertex,
+            self.reader.blocks()[self.next_block].first_vertex
+        );
+        self.current = block;
+        self.cursor = 0;
+        self.next_block += 1;
+        Ok(true)
+    }
+}
+
+fn format_to_io(e: FormatError) -> IoError {
+    match e {
+        FormatError::Io(inner) => IoError::Io(inner),
+        FormatError::Corrupt(m) => IoError::parse(0, m),
+    }
+}
+
+impl VertexStream for CompressedVertexStream {
+    fn num_vertices(&self) -> usize {
+        self.reader.meta().num_vertices as usize
+    }
+
+    fn num_nets(&self) -> usize {
+        self.reader.meta().num_nets as usize
+    }
+
+    fn next_into(&mut self, record: &mut VertexRecord) -> IoResult<bool> {
+        while self.cursor >= self.current.len() {
+            if self.finished || !self.advance_block()? {
+                return Ok(false);
+            }
+        }
+        let v = self.current.first_vertex + self.cursor as u64;
+        let lo = self.current.offsets[self.cursor] as usize;
+        let hi = self.current.offsets[self.cursor + 1] as usize;
+        record.vertex = v as VertexId;
+        record.weight = self.reader.weights().map_or(1.0, |w| w[v as usize]);
+        record.nets.clear();
+        record.nets.extend_from_slice(&self.current.nets[lo..hi]);
+        self.cursor += 1;
+        Ok(true)
+    }
+
+    fn reset(&mut self) -> IoResult<()> {
+        self.stop_worker();
+        self.next_block = 0;
+        self.current = DecodedBlock::default();
+        self.cursor = 0;
+        self.finished = false;
+        if self.mode == ReadMode::Prefetch {
+            self.worker = Some(spawn_prefetch(&self.reader));
+        }
+        Ok(())
+    }
+
+    fn total_vertex_weight(&self) -> Option<f64> {
+        Some(self.reader.total_weight)
+    }
+}
+
+impl Drop for CompressedVertexStream {
+    fn drop(&mut self) {
+        self.stop_worker();
+    }
+}
+
+impl std::fmt::Debug for CompressedVertexStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressedVertexStream")
+            .field("mode", &self.mode)
+            .field("next_block", &self.next_block)
+            .field("cursor", &self.cursor)
+            .finish()
+    }
+}

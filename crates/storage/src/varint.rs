@@ -1,0 +1,102 @@
+//! LEB128 unsigned varints — the integer encoding for degrees and pin
+//! deltas inside compressed blocks. Low 7 bits per byte, continuation
+//! bit 0x80, at most 10 bytes for a `u64`.
+
+/// Appends the LEB128 encoding of `value` to `out` and returns the
+/// number of bytes written.
+pub fn encode_u64(mut value: u64, out: &mut Vec<u8>) -> usize {
+    let mut written = 0;
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        written += 1;
+        if value == 0 {
+            out.push(byte);
+            return written;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Decodes one LEB128 value from `buf[*pos..]`, advancing `*pos` past
+/// it. Returns `None` on truncation, overlong encodings past 10 bytes,
+/// or overflow of `u64`.
+pub fn decode_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && byte > 1 {
+            // 10th byte may only contribute the final bit.
+            return None;
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_boundary_values() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            16383,
+            16384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &cases {
+            buf.clear();
+            let n = encode_u64(v, &mut buf);
+            assert_eq!(n, buf.len());
+            let mut pos = 0;
+            assert_eq!(decode_u64(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn rejects_truncated_and_overlong() {
+        let mut pos = 0;
+        assert_eq!(decode_u64(&[0x80], &mut pos), None);
+        let mut pos = 0;
+        assert_eq!(decode_u64(&[], &mut pos), None);
+        // 11 continuation bytes: too long for a u64.
+        let overlong = [0x80u8; 10];
+        let mut with_tail = overlong.to_vec();
+        with_tail.push(0x01);
+        let mut pos = 0;
+        assert_eq!(decode_u64(&with_tail, &mut pos), None);
+        // 10th byte with more than the final bit set overflows.
+        let mut overflow = vec![0xffu8; 9];
+        overflow.push(0x02);
+        let mut pos = 0;
+        assert_eq!(decode_u64(&overflow, &mut pos), None);
+    }
+
+    #[test]
+    fn decodes_back_to_back_values() {
+        let mut buf = Vec::new();
+        encode_u64(300, &mut buf);
+        encode_u64(7, &mut buf);
+        let mut pos = 0;
+        assert_eq!(decode_u64(&buf, &mut pos), Some(300));
+        assert_eq!(decode_u64(&buf, &mut pos), Some(7));
+        assert_eq!(pos, buf.len());
+    }
+}

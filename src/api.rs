@@ -210,6 +210,7 @@ pub struct PartitionJob {
     parallel: ParallelConfig,
     lowmem: LowMemConfig,
     multilevel: MultilevelConfig,
+    prefetch: bool,
 }
 
 impl PartitionJob {
@@ -224,6 +225,7 @@ impl PartitionJob {
             parallel: ParallelConfig::default(),
             lowmem: LowMemConfig::default(),
             multilevel: MultilevelConfig::default(),
+            prefetch: true,
         }
     }
 
@@ -365,6 +367,18 @@ impl PartitionJob {
     /// Replaces the full multilevel configuration.
     pub fn multilevel_config(mut self, config: MultilevelConfig) -> Self {
         self.multilevel = config;
+        self
+    }
+
+    /// Enables or disables background block prefetch when the job runs
+    /// over a compressed file
+    /// ([`run_compressed_file`](PartitionJob::run_compressed_file)).
+    /// On by default: a worker thread decodes block N+1 while the engine
+    /// consumes block N. Disable to decode synchronously on the engine
+    /// thread (same results bit for bit — useful for debugging and for
+    /// measuring the overlap win).
+    pub fn prefetch(mut self, prefetch: bool) -> Self {
+        self.prefetch = prefetch;
         self
     }
 
@@ -551,6 +565,29 @@ impl PartitionJob {
             config: self.effective_config(p),
             lowmem: Some(stats),
         })
+    }
+
+    /// Runs the job over a block-compressed CSR file (the `.hpz` format
+    /// of `hyperpraw-storage`, produced by `hyperpraw convert`) without
+    /// materialising the hypergraph. Only the lowmem algorithms support
+    /// streaming; see [`run_stream`](PartitionJob::run_stream) for the
+    /// quality-reporting contract. Honours the
+    /// [`prefetch`](PartitionJob::prefetch) knob: by default a background
+    /// thread decodes the next block while the engine consumes the
+    /// current one.
+    pub fn run_compressed_file(
+        &self,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<PartitionReport, PartitionError> {
+        let reader = hyperpraw_storage::CompressedReader::open_file(path)
+            .map_err(|e| PartitionError::Io(e.to_string()))?;
+        let mode = if self.prefetch {
+            hyperpraw_storage::ReadMode::Prefetch
+        } else {
+            hyperpraw_storage::ReadMode::Sync
+        };
+        let mut stream = reader.stream(mode);
+        self.run_stream(&mut stream)
     }
 
     /// Runs the job once on `hg`, then keeps the result live as a

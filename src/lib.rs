@@ -25,6 +25,7 @@
 //! | [`core`] | `hyperpraw-core` | the HyperPRAW restreaming engine and its thin drivers |
 //! | [`lowmem`] | `hyperpraw-lowmem` | memory-bounded one-pass streaming partitioner over on-disk vertex streams, with Bloom/MinHash connectivity sketches |
 //! | [`dynamic`] | `hyperpraw-dynamic` | incremental repartitioning: batched graph updates, dirty-set restreaming, migration accounting |
+//! | [`storage`] | `hyperpraw-storage` | block-compressed out-of-core CSR (`.hpz`): delta-varint pin blocks, pluggable `ByteSource`s, prefetching chunk reader |
 //! | [`json`] | (this crate) | dependency-free JSON parser for the `hyperpraw serve` newline-delimited protocol |
 //!
 //! ## End-to-end flow
@@ -88,6 +89,7 @@ pub use hyperpraw_hypergraph as hypergraph;
 pub use hyperpraw_lowmem as lowmem;
 pub use hyperpraw_multilevel as multilevel;
 pub use hyperpraw_netsim as netsim;
+pub use hyperpraw_storage as storage;
 pub use hyperpraw_topology as topology;
 
 pub use api::{Algorithm, PartitionError, PartitionJob};

@@ -1,0 +1,72 @@
+//! End-to-end compressed data path through the facade: `.hgr` →
+//! `convert_file` → [`PartitionJob::run_compressed_file`] must place
+//! every vertex exactly like the in-memory driver and the uncompressed
+//! transpose stream, with and without prefetch.
+
+use hyperpraw::api::{Algorithm, PartitionJob};
+use hyperpraw::hypergraph::generators::{mesh_hypergraph, MeshConfig};
+use hyperpraw::hypergraph::io::hmetis;
+use hyperpraw::hypergraph::io::stream::{stream_hgr_file, StreamOptions};
+use hyperpraw::storage::{convert_file, is_compressed_file};
+
+const P: u32 = 10;
+const SEED: u64 = 31;
+
+#[test]
+fn run_compressed_file_matches_in_memory_and_transpose_paths() {
+    let hg = mesh_hypergraph(&MeshConfig::new(500, 8));
+    let dir = std::env::temp_dir().join(format!("hpz-pipeline-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let hgr = dir.join("mesh.hgr");
+    hmetis::write_hgr_file(&hg, &hgr).unwrap();
+    let hpz = dir.join("mesh.hpz");
+    let meta = convert_file(&hgr, &hpz, 8 * 1024, &StreamOptions::default()).unwrap();
+    assert_eq!(meta.num_vertices as usize, hg.num_vertices());
+    assert_eq!(meta.num_pins as usize, hg.num_pins());
+    assert!(is_compressed_file(&hpz));
+
+    for algorithm in [Algorithm::LowMemExact, Algorithm::LowMemSketched] {
+        let job = PartitionJob::new(algorithm).partitions(P).seed(SEED);
+
+        let in_memory = job.run(&hg).unwrap();
+        let mut transpose = stream_hgr_file(&hgr, &StreamOptions::default()).unwrap();
+        let streamed = job.run_stream(&mut transpose).unwrap();
+        let compressed = job.run_compressed_file(&hpz).unwrap();
+        let compressed_sync = job
+            .clone()
+            .prefetch(false)
+            .run_compressed_file(&hpz)
+            .unwrap();
+
+        assert_eq!(
+            compressed.partition, in_memory.partition,
+            "{algorithm:?}: compressed prefetch vs in-memory"
+        );
+        assert_eq!(
+            compressed.partition, streamed.partition,
+            "{algorithm:?}: compressed prefetch vs transpose stream"
+        );
+        assert_eq!(
+            compressed_sync.partition, compressed.partition,
+            "{algorithm:?}: sync vs prefetch"
+        );
+    }
+
+    // Non-streaming algorithms refuse the compressed path with a clear error.
+    let err = PartitionJob::new(Algorithm::HyperPrawBasic)
+        .partitions(P)
+        .run_compressed_file(&hpz)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        hyperpraw::api::PartitionError::Unsupported(_)
+    ));
+
+    // A non-compressed input errors instead of misparsing.
+    assert!(PartitionJob::new(Algorithm::LowMemExact)
+        .partitions(P)
+        .run_compressed_file(&hgr)
+        .is_err());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
