@@ -10,10 +10,12 @@
 //! driver's cost model), the `…_adj` ids answer from the precomputed
 //! dedup adjacency (`Connectivity::Auto`, the new default) — same
 //! partitions bit for bit, so the ratio between the two ids is pure
-//! provider speedup. The `lowmem_bsp_sketched` entries time the engine
-//! combination none of the pre-engine drivers could express:
-//! bulk-synchronous workers over the sketched out-of-core connectivity
-//! provider. Medians land in `target/BENCH_partitioners.json`.
+//! provider speedup. The `hyperpraw_steal` entries sweep the work-stealing
+//! strategy over a thread ladder (1 is the sequential-dispatch floor). The
+//! `lowmem_bsp_sketched` entries time the engine combination none of the
+//! pre-engine drivers could express: bulk-synchronous workers over the
+//! sketched out-of-core connectivity provider. Medians land in
+//! `target/BENCH_partitioners.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
@@ -71,7 +73,22 @@ fn bench_partitioners(c: &mut Criterion) {
             })
         });
     }
-    for threads in [1usize, 4] {
+    // The work-stealing strategy swept over a thread ladder: the 1-thread
+    // point is the sequential-dispatch floor, and the ratio steal/N over
+    // steal/1 is the strategy's own scaling (no BSP barriers to hide in).
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("hyperpraw_steal", threads), |b| {
+            b.iter(|| {
+                ParallelHyperPraw::new(
+                    HyperPrawConfig::default(),
+                    ParallelConfig::stealing(threads),
+                    testbed.cost.clone(),
+                )
+                .partition(&hg)
+            })
+        });
+    }
+    for threads in [1usize, 2, 4, 8] {
         group.bench_function(BenchmarkId::new("lowmem_bsp_sketched", threads), |b| {
             b.iter(|| {
                 LowMemPartitioner::new(

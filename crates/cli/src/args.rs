@@ -8,7 +8,7 @@ use std::fmt;
 use std::path::PathBuf;
 
 use hyperpraw::api::Algorithm;
-use hyperpraw::core::Connectivity;
+use hyperpraw::core::{Connectivity, ParallelMode};
 
 /// Machine model preset selectable from the command line.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -102,8 +102,12 @@ pub enum Command {
         passes: usize,
         /// Rebuild the sketches between passes to shed staleness.
         rebuild_sketches: bool,
-        /// Worker threads for bulk-synchronous streaming (1 = sequential).
+        /// Worker threads for parallel streaming (1 = sequential, 0 =
+        /// auto-detect the machine parallelism).
         threads: usize,
+        /// Worker scheduling: deterministic BSP windows or lock-free work
+        /// stealing.
+        parallel_mode: ParallelMode,
         /// Machine preset used to derive the cost matrix.
         machine: MachinePreset,
         /// RNG seed.
@@ -157,8 +161,11 @@ pub enum Command {
         /// the multilevel and round-robin baselines).
         connectivity: Connectivity,
         /// Worker threads for the parallel algorithms (`None` keeps each
-        /// driver's default).
+        /// driver's default; `0` auto-detects the machine parallelism).
         threads: Option<usize>,
+        /// Worker scheduling of the parallel algorithms: deterministic BSP
+        /// windows or lock-free work stealing.
+        parallel_mode: ParallelMode,
         /// RNG seed.
         seed: u64,
         /// Where to write the assignment (one partition id per line); stdout
@@ -261,10 +268,12 @@ pub fn usage() -> String {
        hyperpraw partition <input> --parts N\n\
                            [--algorithm aware|basic|parallel|parallel-basic|lowmem|lowmem-exact|multilevel|round-robin]\n\
                            [--machine archer|cluster|cloud|flat] [--imbalance 1.1]\n\
-                           [--connectivity csr|adjacency|auto] [--threads N] [--seed N]\n\
+                           [--connectivity csr|adjacency|auto] [--threads N|0=auto]\n\
+                           [--parallel-mode bsp|steal] [--seed N]\n\
                            [--output assignment.txt] [--json] [--json-out report.json]\n\
        hyperpraw lowmem    <input> --parts N [--budget-mib 64] [--exact] [--restream K]\n\
-                           [--passes N] [--rebuild-sketches] [--threads N]\n\
+                           [--passes N] [--rebuild-sketches] [--threads N|0=auto]\n\
+                           [--parallel-mode bsp|steal]\n\
                            [--machine archer|cluster|cloud|flat] [--seed N]\n\
                            [--format auto|transpose|compressed] [--no-prefetch]\n\
                            [--output assignment.txt] [--json] [--json-out report.json]\n\
@@ -311,6 +320,14 @@ fn parse_connectivity(value: &str) -> Result<Connectivity, ParseError> {
     })
 }
 
+fn parse_parallel_mode(value: &str) -> Result<ParallelMode, ParseError> {
+    ParallelMode::parse(value).ok_or_else(|| ParseError::InvalidValue {
+        option: "--parallel-mode".into(),
+        value: value.into(),
+        expected: "bsp | steal".into(),
+    })
+}
+
 impl Cli {
     /// Parses an argument vector (excluding the program name).
     pub fn parse<I: IntoIterator<Item = String>>(argv: I) -> Result<Self, ParseError> {
@@ -338,6 +355,7 @@ impl Cli {
                 let mut imbalance = 1.1f64;
                 let mut connectivity = Connectivity::default();
                 let mut threads: Option<usize> = None;
+                let mut parallel_mode = ParallelMode::Bsp;
                 let mut seed = 2019u64;
                 let mut output = None;
                 let mut json = false;
@@ -364,6 +382,9 @@ impl Cli {
                         "--threads" | "-t" => {
                             threads = Some(parse_number(opt, value(&rest, &mut i)?)?);
                         }
+                        "--parallel-mode" => {
+                            parallel_mode = parse_parallel_mode(value(&rest, &mut i)?)?;
+                        }
                         "--seed" => {
                             seed = parse_number(opt, value(&rest, &mut i)?)?;
                         }
@@ -389,6 +410,7 @@ impl Cli {
                         imbalance,
                         connectivity,
                         threads,
+                        parallel_mode,
                         seed,
                         output,
                         json,
@@ -405,6 +427,7 @@ impl Cli {
                 let mut passes = 1usize;
                 let mut rebuild_sketches = false;
                 let mut threads = 1usize;
+                let mut parallel_mode = ParallelMode::Bsp;
                 let mut machine = MachinePreset::Archer;
                 let mut seed = 2019u64;
                 let mut output = None;
@@ -443,6 +466,9 @@ impl Cli {
                         "--threads" | "-t" => {
                             threads = parse_number(opt, value(&rest, &mut i)?)?;
                         }
+                        "--parallel-mode" => {
+                            parallel_mode = parse_parallel_mode(value(&rest, &mut i)?)?;
+                        }
                         "--machine" | "-m" => {
                             machine = MachinePreset::parse(value(&rest, &mut i)?)?;
                         }
@@ -472,6 +498,7 @@ impl Cli {
                         passes,
                         rebuild_sketches,
                         threads,
+                        parallel_mode,
                         machine,
                         seed,
                         output,
@@ -674,6 +701,7 @@ mod tests {
                 imbalance,
                 connectivity,
                 threads,
+                parallel_mode,
                 seed,
                 output,
                 json,
@@ -686,6 +714,7 @@ mod tests {
                 assert!((imbalance - 1.05).abs() < 1e-12);
                 assert_eq!(connectivity, Connectivity::Csr);
                 assert_eq!(threads, Some(3));
+                assert_eq!(parallel_mode, ParallelMode::Bsp);
                 assert_eq!(seed, 7);
                 assert_eq!(output, Some(PathBuf::from("out.txt")));
                 assert!(json);
@@ -731,6 +760,50 @@ mod tests {
         }
         assert!(matches!(
             Cli::parse(argv("partition app.hgr --parts 8 --connectivity hashmap")).unwrap_err(),
+            ParseError::InvalidValue { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_parallel_mode_on_partition_and_lowmem() {
+        match Cli::parse(argv(
+            "partition app.hgr --parts 8 -a parallel-basic --threads 4 --parallel-mode steal",
+        ))
+        .unwrap()
+        .command
+        {
+            Command::Partition { parallel_mode, .. } => {
+                assert_eq!(parallel_mode, ParallelMode::WorkStealing);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match Cli::parse(argv(
+            "lowmem big.hgr --parts 8 --threads 0 --parallel-mode steal",
+        ))
+        .unwrap()
+        .command
+        {
+            Command::LowMem {
+                parallel_mode,
+                threads,
+                ..
+            } => {
+                assert_eq!(parallel_mode, ParallelMode::WorkStealing);
+                assert_eq!(threads, 0, "0 reaches the facade's auto-detect");
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        match Cli::parse(argv("lowmem big.hgr --parts 8"))
+            .unwrap()
+            .command
+        {
+            Command::LowMem { parallel_mode, .. } => {
+                assert_eq!(parallel_mode, ParallelMode::Bsp);
+            }
+            other => panic!("wrong command {other:?}"),
+        }
+        assert!(matches!(
+            Cli::parse(argv("partition app.hgr --parts 8 --parallel-mode chaotic")).unwrap_err(),
             ParseError::InvalidValue { .. }
         ));
     }

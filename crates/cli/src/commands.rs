@@ -199,6 +199,7 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             imbalance,
             connectivity,
             threads,
+            parallel_mode,
             seed,
             output,
             json,
@@ -214,7 +215,8 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                 .cost(cost)
                 .seed(*seed)
                 .imbalance_tolerance(*imbalance)
-                .connectivity(*connectivity);
+                .connectivity(*connectivity)
+                .parallel_mode(*parallel_mode);
             if let Some(t) = threads {
                 if !algorithm.supports_threads() {
                     return Err(CommandError::Invalid(format!(
@@ -242,6 +244,7 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             passes,
             rebuild_sketches,
             threads,
+            parallel_mode,
             machine,
             seed,
             output,
@@ -296,6 +299,7 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                 .passes(*passes)
                 .rebuild_sketches(*rebuild_sketches)
                 .threads(*threads)
+                .parallel_mode(*parallel_mode)
                 .seed(*seed)
                 .prefetch(!*no_prefetch);
             job.validate()?;
@@ -552,7 +556,7 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyperpraw::core::Connectivity;
+    use hyperpraw::core::{Connectivity, ParallelMode};
     use hyperpraw::hypergraph::HypergraphBuilder;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
@@ -576,6 +580,8 @@ mod tests {
         parts: u32,
         algorithm: Algorithm,
         connectivity: Connectivity,
+        threads: Option<usize>,
+        parallel_mode: ParallelMode,
         seed: u64,
         output: Option<std::path::PathBuf>,
         json_out: Option<std::path::PathBuf>,
@@ -588,6 +594,8 @@ mod tests {
                 parts,
                 algorithm: Algorithm::HyperPrawBasic,
                 connectivity: Connectivity::Auto,
+                threads: None,
+                parallel_mode: ParallelMode::Bsp,
                 seed: 1,
                 output: None,
                 json_out: None,
@@ -602,7 +610,8 @@ mod tests {
                 machine: MachinePreset::Flat,
                 imbalance: 1.2,
                 connectivity: self.connectivity,
-                threads: None,
+                threads: self.threads,
+                parallel_mode: self.parallel_mode,
                 seed: self.seed,
                 output: self.output,
                 json: false,
@@ -736,6 +745,7 @@ mod tests {
         passes: usize,
         rebuild_sketches: bool,
         threads: usize,
+        parallel_mode: ParallelMode,
         seed: u64,
         output: Option<std::path::PathBuf>,
         json_out: Option<std::path::PathBuf>,
@@ -753,6 +763,7 @@ mod tests {
                 passes: 1,
                 rebuild_sketches: false,
                 threads: 1,
+                parallel_mode: ParallelMode::Bsp,
                 seed: 0,
                 output: None,
                 json_out: None,
@@ -771,6 +782,7 @@ mod tests {
                 passes: self.passes,
                 rebuild_sketches: self.rebuild_sketches,
                 threads: self.threads,
+                parallel_mode: self.parallel_mode,
                 machine: MachinePreset::Flat,
                 seed: self.seed,
                 output: self.output,
@@ -944,17 +956,52 @@ mod tests {
         })
         .unwrap_err();
         assert!(err.to_string().contains("streaming pass"));
-        // Zero-thread BSP likewise.
-        let err = execute(&Cli {
+        fs::remove_file(input).ok();
+    }
+
+    #[test]
+    fn zero_threads_auto_detects_instead_of_erroring() {
+        // `--threads 0` used to be an InvalidConfig; it now resolves to
+        // the machine's available parallelism inside the job API.
+        let input = sample_hgr();
+        let output = temp_path("lowmem_auto_threads.txt");
+        execute(&Cli {
             command: LowMemArgs {
                 threads: 0,
+                output: Some(output.clone()),
                 ..LowMemArgs::new(input.clone(), 2)
             }
             .command(),
         })
-        .unwrap_err();
-        assert!(err.to_string().contains("worker thread"));
+        .unwrap();
+        let hg = load_hypergraph(&input).unwrap();
+        let part = read_assignment(&output, hg.num_vertices()).unwrap();
+        assert!(part.num_parts() <= 2);
         fs::remove_file(input).ok();
+        fs::remove_file(output).ok();
+    }
+
+    #[test]
+    fn partition_command_runs_the_work_stealing_mode_end_to_end() {
+        let input = sample_hgr();
+        let json_out = temp_path("steal_report.json");
+        execute(&Cli {
+            command: PartitionArgs {
+                algorithm: Algorithm::ParallelBasic,
+                threads: Some(4),
+                parallel_mode: ParallelMode::WorkStealing,
+                json_out: Some(json_out.clone()),
+                ..PartitionArgs::new(input.clone(), 2)
+            }
+            .command(),
+        })
+        .unwrap();
+        let json = fs::read_to_string(&json_out).unwrap();
+        assert!(json.contains("\"parallel_mode\": \"steal\""));
+        assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"sync_interval\": null"));
+        fs::remove_file(input).ok();
+        fs::remove_file(json_out).ok();
     }
 
     #[test]

@@ -24,18 +24,30 @@
 //!   "which vertex next?"     "who are its neighbours?"   "who decides when?"
 //!   ├ InMemorySource         ├ AdjProvider (default:     ├ Sequential
 //!   │  (natural/shuffled/    │   precomputed dedup CSR,  │   (fresh info per
-//!   │   degree order)        │   flat scan; budgeted,    │    vertex)
-//!   └ StreamSource over any  │   hubs fall back to       └ Chunked BSP
-//!      io::stream source     │   epoch traversal)            (frozen snapshot
-//!      (on-disk transpose,   ├ CsrProvider (epoch           + local load
-//!       InMemoryVertexStream)│   scratch over the CSR)      deltas, apply at
-//!                            ├ lowmem ExactIndex            sync points)
-//!                            │   (hash maps, exact,
-//!                            │    reversible)
-//!                            └ lowmem SketchIndex
-//!                                (Bloom + MinHash,
-//!                                 budget-bounded)
+//!   │   degree order)        │   flat scan; budgeted,    │    vertex,
+//!   └ StreamSource over any  │   hubs fall back to       │    deterministic)
+//!      io::stream source     │   epoch traversal)        ├ Chunked BSP
+//!      (on-disk transpose,   ├ CsrProvider (epoch        │   (frozen snapshot
+//!       InMemoryVertexStream)│   scratch over the CSR)   │    + local deltas,
+//!                            ├ lowmem ExactIndex         │    deterministic)
+//!                            │   (hash maps, exact,      └ WorkStealing
+//!                            │    reversible)                (atomic cursor,
+//!                            └ lowmem SketchIndex            live shared
+//!                                (Bloom + MinHash,           state, bounded
+//!                                 budget-bounded)            staleness, fast)
 //! ```
+//!
+//! The three strategies trade information freshness against wall-clock:
+//! **Sequential** is the paper's Algorithm 1 and the determinism anchor;
+//! **Chunked** (bulk-synchronous) keeps bit-reproducible parallel results
+//! by scoring frozen snapshots and applying at window boundaries;
+//! **WorkStealing** drops the barrier entirely — one thread team per
+//! batch claims fixed-size vertex chunks off a shared atomic cursor
+//! ([`hyperpraw_hypergraph::ChunkCursor`]) and scores against *live*
+//! shared state (the assignment as an atomic slice, per-part loads as
+//! fixed-point atomics), accepting bounded staleness in exchange for
+//! near-linear scaling. Both parallel strategies degenerate to the exact
+//! sequential placement loop at one worker.
 //!
 //! Every combination is valid: [`crate::HyperPraw`] is
 //! `InMemorySource × AdjProvider × Sequential` (the
@@ -63,11 +75,14 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicI64, AtomicU32, Ordering as AtomicOrdering};
 use std::thread;
 
 use hyperpraw_hypergraph::io::stream::VertexRecord;
 use hyperpraw_hypergraph::io::IoResult;
-use hyperpraw_hypergraph::{HyperedgeId, Hypergraph, NeighborAdjacency, Partition, VertexId};
+use hyperpraw_hypergraph::{
+    AssignmentRef, ChunkCursor, HyperedgeId, Hypergraph, NeighborAdjacency, Partition, VertexId,
+};
 use hyperpraw_topology::CostMatrix;
 
 use crate::history::{IterationRecord, PartitionHistory, StreamPhase};
@@ -126,7 +141,29 @@ pub enum ExecutionStrategy {
         /// fresher information at the price of synchronisation overhead.
         sync_interval: usize,
     },
+    /// Lock-free work-stealing streaming: one thread team per batch claims
+    /// fixed-size vertex chunks off a shared atomic cursor and scores
+    /// against *live* shared state — the assignment as an `AtomicU32`
+    /// slice, per-part loads as fixed-point `AtomicI64` counters — with
+    /// bounded staleness instead of full synchronisation windows. Fast and
+    /// valid at any thread count, but (unlike [`ExecutionStrategy::Chunked`])
+    /// not bit-reproducible across runs for more than one worker; a single
+    /// worker degenerates to [`ExecutionStrategy::Sequential`] exactly.
+    WorkStealing {
+        /// Number of worker threads.
+        num_threads: usize,
+        /// Vertices per claimed chunk — the staleness granularity of the
+        /// *provider* state (the atomic assignment and load views are
+        /// updated per vertex). [`DEFAULT_STEAL_CHUNK`] suits most runs.
+        chunk: usize,
+    },
 }
+
+/// Default vertex-chunk size claimed per cursor hit by
+/// [`ExecutionStrategy::WorkStealing`] workers: small enough to
+/// self-balance across heterogeneous vertex degrees, large enough that the
+/// claim `fetch_add` never shows up in a profile.
+pub const DEFAULT_STEAL_CHUNK: usize = 64;
 
 /// How the partition is initialised before the first stream.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -256,9 +293,20 @@ impl EngineConfig {
                 return Err(format!("refinement factor {f} out of (0, 1.5]"));
             }
         }
-        if let ExecutionStrategy::Chunked { num_threads, .. } = self.strategy {
-            if num_threads == 0 {
-                return Err("need at least one worker thread".into());
+        match self.strategy {
+            ExecutionStrategy::Sequential => {}
+            ExecutionStrategy::Chunked { num_threads, .. } => {
+                if num_threads == 0 {
+                    return Err("need at least one worker thread".into());
+                }
+            }
+            ExecutionStrategy::WorkStealing { num_threads, chunk } => {
+                if num_threads == 0 {
+                    return Err("need at least one worker thread".into());
+                }
+                if chunk == 0 {
+                    return Err("work-stealing chunk must be at least 1".into());
+                }
             }
         }
         Ok(())
@@ -707,6 +755,32 @@ impl Engine {
                     &mut slots,
                     &mut window,
                 )?,
+                // A single stealing worker has nobody to race: run the
+                // live sequential loop so the result is bit-identical to
+                // `Sequential` (the n=1 determinism anchor).
+                ExecutionStrategy::WorkStealing { num_threads: 1, .. } => self.sequential_pass(
+                    cost,
+                    source,
+                    provider,
+                    &mut state,
+                    alpha,
+                    assigned,
+                    &mut doubts,
+                    &mut record,
+                )?,
+                ExecutionStrategy::WorkStealing { num_threads, chunk } => self.steal_pass(
+                    cost,
+                    source,
+                    provider,
+                    &mut state,
+                    alpha,
+                    assigned,
+                    num_threads,
+                    chunk,
+                    &mut doubts,
+                    &mut slots,
+                    &mut window,
+                )?,
             };
             assigned = true;
 
@@ -1078,4 +1152,249 @@ impl Engine {
         }
         Ok(moved)
     }
+
+    /// One lock-free work-stealing stream: the engine thread fills a large
+    /// batch of records, a thread team spawned **once per batch** claims
+    /// fixed-size chunks of it off a shared [`ChunkCursor`], and every
+    /// worker scores against *live* shared state — the full assignment as
+    /// an atomic slice, the per-part loads as fixed-point atomics — so
+    /// placements become visible to peers per vertex instead of per
+    /// synchronisation window. Provider mutation, authoritative `f64` load
+    /// accounting, move counting and doubt collection happen on the engine
+    /// thread at the batch boundary (the bounded-staleness window for
+    /// index-backed providers). Returns the number of moved vertices.
+    #[allow(clippy::too_many_arguments)] // the engine's hot path shares one state bundle
+    fn steal_pass<S, P>(
+        &self,
+        cost: &CostMatrix,
+        source: &mut S,
+        provider: &mut P,
+        state: &mut EngineState,
+        alpha: f64,
+        assigned: bool,
+        num_threads: usize,
+        chunk: usize,
+        doubts: &mut DoubtBuffer,
+        slots: &mut Vec<WorkerSlot<P::Scratch>>,
+        batch: &mut Vec<VertexRecord>,
+    ) -> IoResult<usize>
+    where
+        S: VertexSource,
+        P: ConnectivityProvider,
+    {
+        let p = state.loads.len();
+        while slots.len() < num_threads {
+            slots.push(WorkerSlot {
+                scratch: provider.new_scratch(),
+                counts: Vec::with_capacity(p),
+                value: ValueScratch::new(),
+                delta: vec![0.0f64; p],
+                loads_view: Vec::with_capacity(p),
+            });
+        }
+        // The live assignment view covers the *full* graph — connectivity
+        // counts read arbitrary neighbours, not just batch members.
+        let view = AtomicAssignment::from_partition(&state.partition);
+        let shared_loads: Vec<AtomicI64> = state
+            .loads
+            .iter()
+            .map(|&load| AtomicI64::new(to_fixed(load)))
+            .collect();
+        // Stream sources stay memory-bounded: a batch holds at most this
+        // many records. Providers whose counts track the live atomic
+        // assignment can take huge batches — in-memory sources usually fit
+        // in one, so the thread team is spawned once per pass. Providers
+        // answering from internal state only mutated at batch boundaries
+        // (the lowmem indices) get small batches instead, bounding how far
+        // their counts lag behind the stream.
+        let batch_cap = if provider.live_counts() {
+            (chunk * num_threads * 16).max(8192)
+        } else {
+            (chunk * num_threads).max(256)
+        };
+        let mut moved = 0usize;
+        let mut proposals: Vec<(u32, f64)> = Vec::new();
+
+        loop {
+            // Fill the batch on the engine thread (reusing allocations) so
+            // IO errors surface before any worker is spawned.
+            let mut len = 0usize;
+            while len < batch_cap {
+                if batch.len() == len {
+                    batch.push(VertexRecord::default());
+                }
+                if !source.next_into(&mut batch[len])? {
+                    break;
+                }
+                len += 1;
+            }
+            if len == 0 {
+                break;
+            }
+            let records = &batch[..len];
+            let workers = num_threads.min(len.div_ceil(chunk)).max(1);
+
+            // Re-sync the fixed-point counters from the authoritative f64
+            // loads so rounding drift cannot accumulate across batches.
+            for (shared, &load) in shared_loads.iter().zip(&state.loads) {
+                shared.store(to_fixed(load), AtomicOrdering::Relaxed);
+            }
+
+            {
+                let cursor = ChunkCursor::new(len, chunk);
+                let cursor = &cursor;
+                let view = &view;
+                let shared = &shared_loads[..];
+                let expected = &state.expected[..];
+                let provider_ref: &P = provider;
+
+                let run_worker =
+                    |slot: &mut WorkerSlot<P::Scratch>, out: &mut Vec<(usize, u32, f64)>| {
+                        slot.loads_view.clear();
+                        slot.loads_view.resize(p, 0.0);
+                        while let Some(range) = cursor.claim() {
+                            out.reserve(range.len());
+                            for i in range {
+                                let record = &records[i];
+                                let w = to_fixed(record.weight);
+                                if assigned {
+                                    let old = view.part_of(record.vertex) as usize;
+                                    shared[old].fetch_sub(w, AtomicOrdering::Relaxed);
+                                }
+                                for (local, counter) in slot.loads_view.iter_mut().zip(shared) {
+                                    *local = from_fixed(counter.load(AtomicOrdering::Relaxed));
+                                }
+                                provider_ref.count(
+                                    record,
+                                    view,
+                                    &mut slot.scratch,
+                                    &mut slot.counts,
+                                );
+                                let scored = best_partition_in(
+                                    &slot.counts,
+                                    cost,
+                                    alpha,
+                                    &slot.loads_view,
+                                    expected,
+                                    &mut slot.value,
+                                );
+                                shared[scored.part as usize].fetch_add(w, AtomicOrdering::Relaxed);
+                                view.set(record.vertex, scored.part);
+                                out.push((i, scored.part, scored.margin));
+                            }
+                        }
+                    };
+
+                // Spawn the team once per batch: workers 1.. on scoped
+                // threads, worker 0 on the engine thread itself.
+                let mut outs: Vec<Vec<(usize, u32, f64)>> =
+                    (0..workers).map(|_| Vec::new()).collect();
+                if workers == 1 {
+                    run_worker(&mut slots[0], &mut outs[0]);
+                } else {
+                    let (first_slot, rest_slots) = slots.split_at_mut(1);
+                    let (first_out, rest_outs) = outs.split_at_mut(1);
+                    thread::scope(|scope| {
+                        let handles: Vec<_> = rest_slots
+                            .iter_mut()
+                            .take(workers - 1)
+                            .zip(rest_outs.iter_mut())
+                            .map(|(slot, out)| {
+                                let run_worker = &run_worker;
+                                scope.spawn(move || run_worker(slot, out))
+                            })
+                            .collect();
+                        run_worker(&mut first_slot[0], &mut first_out[0]);
+                        handles
+                            .into_iter()
+                            .for_each(|h| h.join().expect("engine worker panicked"));
+                    });
+                }
+
+                // Merge the per-worker proposals back into batch order —
+                // every index was claimed exactly once, so this is a
+                // scatter, not a sort.
+                proposals.clear();
+                proposals.resize(len, (0u32, 0.0));
+                for out in &outs {
+                    for &(i, part, margin) in out {
+                        proposals[i] = (part, margin);
+                    }
+                }
+            }
+
+            // Apply at the batch boundary, in batch order: provider
+            // detach/attach, authoritative f64 loads, move accounting and
+            // doubt collection all run on the engine thread.
+            for (record, &(target, margin)) in records.iter().zip(&proposals) {
+                let v = record.vertex;
+                let w = record.weight;
+                let current = assigned.then(|| state.partition.part_of(v));
+                if let Some(cur) = current {
+                    state.loads[cur as usize] -= w;
+                    provider.detach(record, cur);
+                }
+                state.partition.set(v, target);
+                state.loads[target as usize] += w;
+                provider.attach(record, target);
+                if current != Some(target) {
+                    moved += 1;
+                }
+                doubts.offer(&self.config.doubts, provider, record, target, margin);
+            }
+        }
+        Ok(moved)
+    }
+}
+
+/// The work-stealing strategy's live shared assignment: one `AtomicU32`
+/// per vertex, read by worker-side connectivity counts (through
+/// [`AssignmentRef`]) and updated per placement with relaxed ordering —
+/// workers tolerate reading a peer's placement a few instructions late,
+/// which is exactly the bounded staleness the strategy trades for the
+/// missing barrier.
+struct AtomicAssignment {
+    parts: Vec<AtomicU32>,
+    num_parts: u32,
+}
+
+impl AtomicAssignment {
+    fn from_partition(partition: &Partition) -> Self {
+        Self {
+            parts: partition
+                .assignment()
+                .iter()
+                .map(|&part| AtomicU32::new(part))
+                .collect(),
+            num_parts: Partition::num_parts(partition),
+        }
+    }
+
+    fn set(&self, v: VertexId, part: u32) {
+        self.parts[v as usize].store(part, AtomicOrdering::Relaxed);
+    }
+}
+
+impl AssignmentRef for AtomicAssignment {
+    fn part_of(&self, v: VertexId) -> u32 {
+        self.parts[v as usize].load(AtomicOrdering::Relaxed)
+    }
+
+    fn num_parts(&self) -> u32 {
+        self.num_parts
+    }
+}
+
+/// Fractional bits of the shared fixed-point load counters: resolution
+/// `2^-24` is far below any weight difference the value function can
+/// distinguish, while the `2^39` integer range is far above any total
+/// weight that fits in memory.
+const LOAD_FRACTION_BITS: u32 = 24;
+
+fn to_fixed(load: f64) -> i64 {
+    (load * (1i64 << LOAD_FRACTION_BITS) as f64).round() as i64
+}
+
+fn from_fixed(load: i64) -> f64 {
+    load as f64 / (1i64 << LOAD_FRACTION_BITS) as f64
 }

@@ -32,7 +32,7 @@
 
 use hyperpraw_hypergraph::io::stream::VertexRecord;
 use hyperpraw_hypergraph::traversal::NeighborScratch;
-use hyperpraw_hypergraph::{AdjacencyBudget, Hypergraph, NeighborAdjacency, Partition};
+use hyperpraw_hypergraph::{AdjacencyBudget, AssignmentRef, Hypergraph, NeighborAdjacency};
 
 /// Supplies neighbour-partition counts to the restreaming engine and
 /// tracks assignment changes, when the implementation keeps its own
@@ -53,6 +53,18 @@ pub trait ConnectivityProvider: Sync {
         true
     }
 
+    /// Whether [`ConnectivityProvider::count`] reads the `assignment`
+    /// argument (true for the in-memory providers, whose counts therefore
+    /// track the work-stealing strategy's live atomic view), or answers
+    /// from internal state that only changes at
+    /// [`ConnectivityProvider::attach`]/[`ConnectivityProvider::detach`]
+    /// (the index providers). The work-stealing strategy keeps its batches
+    /// small for non-live providers so that state never falls more than a
+    /// bounded window behind the stream.
+    fn live_counts(&self) -> bool {
+        true
+    }
+
     /// Called once at the start of every stream. `rebuild` asks the
     /// provider to drop accumulated state it cannot forget incrementally
     /// (sketch staleness shedding); providers with exact, reversible state
@@ -64,13 +76,16 @@ pub trait ConnectivityProvider: Sync {
     /// Writes the neighbour-partition counts `X_j(v)` for `record` into
     /// `counts` (cleared and resized), evaluated against `assignment` —
     /// the live assignment in sequential execution, a frozen snapshot in
-    /// bulk-synchronous execution. The vertex's own contribution must be
-    /// excluded when the provider can tell (CSR traversal excludes the
-    /// vertex itself; index providers rely on the engine detaching first).
-    fn count(
+    /// bulk-synchronous execution, or a live atomic view (with bounded
+    /// staleness) in work-stealing execution, which is why the parameter
+    /// is any [`AssignmentRef`] rather than a concrete `Partition`. The
+    /// vertex's own contribution must be excluded when the provider can
+    /// tell (CSR traversal excludes the vertex itself; index providers
+    /// rely on the engine detaching first).
+    fn count<A: AssignmentRef>(
         &self,
         record: &VertexRecord,
-        assignment: &Partition,
+        assignment: &A,
         scratch: &mut Self::Scratch,
         counts: &mut Vec<u32>,
     );
@@ -125,10 +140,10 @@ impl ConnectivityProvider for CsrProvider<'_> {
         false
     }
 
-    fn count(
+    fn count<A: AssignmentRef>(
         &self,
         record: &VertexRecord,
-        assignment: &Partition,
+        assignment: &A,
         scratch: &mut Self::Scratch,
         counts: &mut Vec<u32>,
     ) {
@@ -201,10 +216,10 @@ impl ConnectivityProvider for AdjProvider<'_> {
         false
     }
 
-    fn count(
+    fn count<A: AssignmentRef>(
         &self,
         record: &VertexRecord,
-        assignment: &Partition,
+        assignment: &A,
         scratch: &mut Self::Scratch,
         counts: &mut Vec<u32>,
     ) {
@@ -221,7 +236,7 @@ impl ConnectivityProvider for AdjProvider<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hyperpraw_hypergraph::HypergraphBuilder;
+    use hyperpraw_hypergraph::{HypergraphBuilder, Partition};
 
     #[test]
     fn csr_provider_counts_distinct_neighbours_excluding_self() {

@@ -42,14 +42,17 @@
 //!   budget-bounded exact/sketched connectivity indices — the in-memory
 //!   providers are interchangeable bit for bit;
 //! * **execution strategy** ([`engine::ExecutionStrategy`]) — sequential
-//!   decisions with fresh information, or bulk-synchronous windows scored
-//!   by worker threads against a frozen snapshot.
+//!   decisions with fresh information, deterministic bulk-synchronous
+//!   windows scored by worker threads against a frozen snapshot, or
+//!   lock-free work stealing against live atomic shared state with
+//!   bounded staleness (the fast mode).
 //!
 //! [`HyperPraw`] is `InMemorySource × AdjProvider × Sequential`,
-//! [`ParallelHyperPraw`] swaps in the chunked strategy, and the
-//! `hyperpraw-lowmem` crate instantiates the streamed source with the
-//! sketched providers — in either strategy, which yields parallel
-//! out-of-core partitioning without a fourth copy of the loop.
+//! [`ParallelHyperPraw`] swaps in the chunked or work-stealing strategy
+//! (selected by [`ParallelMode`]), and the `hyperpraw-lowmem` crate
+//! instantiates the streamed source with the sketched providers — in any
+//! strategy, which yields parallel out-of-core partitioning without a
+//! fourth copy of the loop.
 //!
 //! ```
 //! use hyperpraw_core::{HyperPraw, HyperPrawConfig};
@@ -82,7 +85,7 @@ pub mod value;
 
 pub use config::{Connectivity, HyperPrawConfig, RefinementPolicy, StreamOrder};
 pub use history::{IterationRecord, PartitionHistory, StreamPhase};
-pub use parallel::{ParallelConfig, ParallelHyperPraw};
+pub use parallel::{ParallelConfig, ParallelHyperPraw, ParallelMode};
 pub use restream::{HyperPraw, PartitionResult, StopReason};
 
 // Re-export the cost matrix type so downstream users do not need to depend

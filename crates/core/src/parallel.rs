@@ -30,9 +30,59 @@
 use hyperpraw_hypergraph::Hypergraph;
 use hyperpraw_topology::CostMatrix;
 
-use crate::engine::{Engine, EngineConfig, ExecutionStrategy};
+use crate::engine::{Engine, EngineConfig, ExecutionStrategy, DEFAULT_STEAL_CHUNK};
 use crate::restream::run_in_memory;
 use crate::{HyperPrawConfig, PartitionResult};
+
+/// How the parallel drivers schedule their worker threads.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ParallelMode {
+    /// Bulk-synchronous windows against frozen snapshots
+    /// ([`ExecutionStrategy::Chunked`]): deterministic for any thread
+    /// count, the reproducibility mode.
+    #[default]
+    Bsp,
+    /// Lock-free chunk claiming against live atomic state
+    /// ([`ExecutionStrategy::WorkStealing`]): near-linear scaling, valid
+    /// at any thread count, but not bit-reproducible above one worker —
+    /// the throughput mode.
+    WorkStealing,
+}
+
+impl ParallelMode {
+    /// Name as written on the command line and in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ParallelMode::Bsp => "bsp",
+            ParallelMode::WorkStealing => "steal",
+        }
+    }
+
+    /// Parses a command-line spelling (`bsp` | `steal`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "bsp" => Some(ParallelMode::Bsp),
+            "steal" | "work-stealing" | "worksteal" => Some(ParallelMode::WorkStealing),
+            _ => None,
+        }
+    }
+
+    /// The engine strategy this mode selects at `num_threads` workers
+    /// synchronising every `sync_interval` vertices (BSP only; the
+    /// stealing strategy claims [`DEFAULT_STEAL_CHUNK`]-vertex chunks).
+    pub fn strategy(&self, num_threads: usize, sync_interval: usize) -> ExecutionStrategy {
+        match self {
+            ParallelMode::Bsp => ExecutionStrategy::Chunked {
+                num_threads,
+                sync_interval,
+            },
+            ParallelMode::WorkStealing => ExecutionStrategy::WorkStealing {
+                num_threads,
+                chunk: DEFAULT_STEAL_CHUNK,
+            },
+        }
+    }
+}
 
 /// Configuration of the parallel driver.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,8 +93,13 @@ pub struct ParallelConfig {
     /// How many vertices are processed between global synchronisations.
     /// Smaller intervals give fresher information (quality closer to the
     /// sequential stream) at the price of more synchronisation overhead —
-    /// the knob GraSP calls the synchronisation period.
+    /// the knob GraSP calls the synchronisation period. Ignored by
+    /// [`ParallelMode::WorkStealing`], which has no synchronisation
+    /// windows.
     pub sync_interval: usize,
+    /// Worker scheduling: deterministic bulk-synchronous windows or
+    /// lock-free work stealing.
+    pub mode: ParallelMode,
 }
 
 impl Default for ParallelConfig {
@@ -52,6 +107,7 @@ impl Default for ParallelConfig {
         Self {
             num_threads: 4,
             sync_interval: 512,
+            mode: ParallelMode::Bsp,
         }
     }
 }
@@ -61,6 +117,15 @@ impl ParallelConfig {
     pub fn with_threads(num_threads: usize) -> Self {
         Self {
             num_threads,
+            ..Self::default()
+        }
+    }
+
+    /// Convenience constructor for the work-stealing mode.
+    pub fn stealing(num_threads: usize) -> Self {
+        Self {
+            num_threads,
+            mode: ParallelMode::WorkStealing,
             ..Self::default()
         }
     }
@@ -118,12 +183,13 @@ impl ParallelHyperPraw {
 
     /// Runs the parallel restreaming algorithm.
     pub fn partition(&self, hg: &Hypergraph) -> PartitionResult {
-        let engine = Engine::new(EngineConfig::restreaming(&self.config).with_strategy(
-            ExecutionStrategy::Chunked {
-                num_threads: self.parallel.num_threads,
-                sync_interval: self.parallel.sync_interval,
-            },
-        ));
+        let engine = Engine::new(
+            EngineConfig::restreaming(&self.config).with_strategy(
+                self.parallel
+                    .mode
+                    .strategy(self.parallel.num_threads, self.parallel.sync_interval),
+            ),
+        );
         run_in_memory(&engine, hg, &self.config, &self.cost)
     }
 }
@@ -214,6 +280,7 @@ mod tests {
             ParallelConfig {
                 num_threads: 4,
                 sync_interval: 300,
+                mode: ParallelMode::Bsp,
             },
             CostMatrix::uniform(6),
         );
@@ -268,5 +335,64 @@ mod tests {
             ParallelConfig::with_threads(0),
             CostMatrix::uniform(4),
         );
+    }
+
+    #[test]
+    fn single_stealing_worker_reproduces_the_sequential_driver_exactly() {
+        // The work-stealing strategy at one worker runs the live
+        // sequential loop: bit-identical partitions, iterations and
+        // history against HyperPraw — the determinism anchor of the
+        // three-strategy split.
+        let hg = mesh_hypergraph(&MeshConfig::new(400, 8));
+        let praw = ParallelHyperPraw::new(
+            HyperPrawConfig::default(),
+            ParallelConfig::stealing(1),
+            CostMatrix::uniform(4),
+        );
+        let a = praw.partition(&hg);
+        let seq = HyperPraw::basic(HyperPrawConfig::default(), 4).partition(&hg);
+        assert_eq!(a.partition, seq.partition);
+        assert_eq!(a.iterations, seq.iterations);
+        assert_eq!(a.history, seq.history);
+    }
+
+    #[test]
+    fn stealing_partition_is_valid_and_balanced_at_any_thread_count() {
+        let hg = mesh_hypergraph(&MeshConfig::new(900, 8));
+        for threads in [2usize, 4, 8] {
+            let praw = ParallelHyperPraw::new(
+                HyperPrawConfig::default(),
+                ParallelConfig::stealing(threads),
+                CostMatrix::uniform(8),
+            );
+            let result = praw.partition(&hg);
+            assert_eq!(result.partition.num_parts(), 8);
+            assert_eq!(result.partition.num_vertices(), 900);
+            assert!(
+                result.imbalance <= 1.1 + 1e-9,
+                "threads {threads}: imbalance {}",
+                result.imbalance
+            );
+            // The loads the stopping rule tracked must agree exactly with
+            // a recount from the returned assignment.
+            let recomputed = result.partition.imbalance(&hg).unwrap();
+            assert!(
+                (result.imbalance - recomputed).abs() < 1e-9,
+                "threads {threads}: tracked {} vs recomputed {recomputed}",
+                result.imbalance
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_mode_round_trips_names() {
+        for mode in [ParallelMode::Bsp, ParallelMode::WorkStealing] {
+            assert_eq!(ParallelMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(
+            ParallelMode::parse("work-stealing"),
+            Some(ParallelMode::WorkStealing)
+        );
+        assert_eq!(ParallelMode::parse("nope"), None);
     }
 }

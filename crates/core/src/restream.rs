@@ -122,7 +122,8 @@ pub(crate) fn run_in_memory(
             // bulk-synchronous driver never exceeds its worker count.
             let max_threads = match engine.config().strategy {
                 ExecutionStrategy::Sequential => 1,
-                ExecutionStrategy::Chunked { num_threads, .. } => num_threads,
+                ExecutionStrategy::Chunked { num_threads, .. }
+                | ExecutionStrategy::WorkStealing { num_threads, .. } => num_threads,
             };
             let adj = NeighborAdjacency::build_with_threads(hg, budget, max_threads);
             engine.run(

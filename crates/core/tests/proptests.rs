@@ -3,7 +3,10 @@
 use proptest::prelude::*;
 
 use hyperpraw_core::metrics::partitioning_communication_cost;
-use hyperpraw_core::{CostMatrix, HyperPraw, HyperPrawConfig, RefinementPolicy, StreamOrder};
+use hyperpraw_core::{
+    CostMatrix, HyperPraw, HyperPrawConfig, ParallelConfig, ParallelHyperPraw, RefinementPolicy,
+    StreamOrder,
+};
 use hyperpraw_hypergraph::generators::{random_hypergraph, CardinalityDist, RandomConfig};
 use hyperpraw_hypergraph::{metrics, Hypergraph};
 use hyperpraw_topology::{BandwidthMatrix, MachineModel};
@@ -154,6 +157,42 @@ proptest! {
             prop_assert!(praw <= rnd + (0.15 * rnd as f64) as u64 + 2,
                 "HyperPRAW SOED {} much worse than random {}", praw, rnd);
         }
+    }
+
+    #[test]
+    fn work_stealing_is_valid_at_any_thread_count(
+        hg in arb_hypergraph(),
+        p in 2u32..8,
+        threads in 1usize..9,
+        seed in 0u64..10,
+    ) {
+        // The work-stealing strategy races workers over live shared state,
+        // so the *partition* is not reproducible above one thread — but it
+        // must always be a complete, consistently-bookkept partition.
+        let result = ParallelHyperPraw::new(
+            quick_config(seed),
+            ParallelConfig::stealing(threads),
+            CostMatrix::uniform(p as usize),
+        )
+        .partition(&hg);
+        // Every vertex assigned, every part id in range.
+        prop_assert_eq!(result.partition.num_vertices(), hg.num_vertices());
+        prop_assert_eq!(result.partition.num_parts(), p);
+        prop_assert!(result.partition.assignment().iter().all(|&x| x < p));
+        // Per-part sizes exactly equal a from-scratch recount.
+        let mut recount = vec![0usize; p as usize];
+        for &x in result.partition.assignment() {
+            recount[x as usize] += 1;
+        }
+        prop_assert_eq!(result.partition.part_sizes(), recount);
+        // Imbalance bookkeeping survives the concurrent load updates.
+        let imbalance = result.partition.imbalance(&hg).unwrap();
+        prop_assert!((result.imbalance - imbalance).abs() < 1e-9,
+            "reported imbalance {} drifted from recomputed {}", result.imbalance, imbalance);
+        // Reported comm cost matches a recomputation on the final partition.
+        let recomputed = partitioning_communication_cost(
+            &hg, &result.partition, &CostMatrix::uniform(p as usize));
+        prop_assert!((result.comm_cost - recomputed).abs() < 1e-6);
     }
 
     #[test]

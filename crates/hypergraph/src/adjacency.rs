@@ -38,8 +38,9 @@
 use std::collections::HashMap;
 use std::thread;
 
+use crate::partition::AssignmentRef;
 use crate::traversal::NeighborScratch;
-use crate::{Hypergraph, Partition, VertexId};
+use crate::{Hypergraph, VertexId};
 
 /// Memory policy for the flat neighbour lists of a [`NeighborAdjacency`].
 ///
@@ -414,10 +415,10 @@ impl NeighborAdjacency {
     /// created on first use so callers that never meet a hub stay O(1).
     /// Either path produces counts bit-identical to
     /// [`NeighborScratch::neighbor_partition_counts`].
-    pub fn neighbor_partition_counts(
+    pub fn neighbor_partition_counts<A: AssignmentRef>(
         &self,
         hg: &Hypergraph,
-        partition: &Partition,
+        partition: &A,
         v: VertexId,
         fallback: &mut Option<NeighborScratch>,
         counts: &mut Vec<u32>,
@@ -467,7 +468,7 @@ fn cutoff_for_cap(distinct_degrees: &[u32], cap: usize) -> usize {
 mod tests {
     use super::*;
     use crate::generators::{mesh_hypergraph, powerlaw_hypergraph, MeshConfig, PowerLawConfig};
-    use crate::HypergraphBuilder;
+    use crate::{HypergraphBuilder, Partition};
 
     /// e0 = {0,1,2}, e1 = {2,3}, isolated vertex 4, e2 = {5,6}
     fn sample() -> Hypergraph {

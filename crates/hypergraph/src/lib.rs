@@ -58,13 +58,15 @@ pub mod generators;
 pub mod io;
 pub mod metrics;
 pub mod mutable;
+pub mod pool;
 pub mod traversal;
 
 pub use adjacency::{AdjacencyBudget, NeighborAdjacency};
 pub use builder::HypergraphBuilder;
 pub use hypergraph::{HyperedgeId, Hypergraph, VertexId};
 pub use mutable::{MutableHypergraph, MutationError};
-pub use partition::{Partition, PartitionError};
+pub use partition::{AssignmentRef, Partition, PartitionError};
+pub use pool::{run_on_workers, ChunkCursor};
 pub use stats::HypergraphStats;
 
 /// Commonly used items, re-exported for glob import.

@@ -49,6 +49,43 @@ impl fmt::Display for PartitionError {
 
 impl std::error::Error for PartitionError {}
 
+/// A read-only view of a vertex → partition assignment.
+///
+/// Neighbourhood-counting helpers ([`crate::traversal::NeighborScratch`],
+/// [`crate::NeighborAdjacency`]) and the restreaming engine's connectivity
+/// providers are generic over this trait so the same counting code can run
+/// against a plain [`Partition`] (the sequential and bulk-synchronous
+/// drivers) or against a shared atomic assignment that other worker threads
+/// mutate concurrently (the work-stealing driver, which tolerates bounded
+/// staleness in the counts it reads).
+pub trait AssignmentRef {
+    /// The partition vertex `v` currently lives in.
+    fn part_of(&self, v: VertexId) -> u32;
+
+    /// Number of partitions `p`.
+    fn num_parts(&self) -> u32;
+}
+
+impl AssignmentRef for Partition {
+    fn part_of(&self, v: VertexId) -> u32 {
+        Partition::part_of(self, v)
+    }
+
+    fn num_parts(&self) -> u32 {
+        Partition::num_parts(self)
+    }
+}
+
+impl<A: AssignmentRef + ?Sized> AssignmentRef for &A {
+    fn part_of(&self, v: VertexId) -> u32 {
+        (**self).part_of(v)
+    }
+
+    fn num_parts(&self) -> u32 {
+        (**self).num_parts()
+    }
+}
+
 /// A complete assignment of vertices to `num_parts` partitions.
 ///
 /// In the HyperPRAW setting each partition corresponds to one compute unit

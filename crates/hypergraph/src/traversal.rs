@@ -7,7 +7,7 @@
 //! efficiently and without per-vertex allocation is the job of
 //! [`NeighborScratch`].
 
-use crate::{Hypergraph, Partition, VertexId};
+use crate::{AssignmentRef, Hypergraph, VertexId};
 
 /// Reusable scratch space for neighbourhood queries.
 ///
@@ -60,10 +60,13 @@ impl NeighborScratch {
     /// Counts, for every partition `j`, the number of *distinct* neighbours of
     /// `v` currently assigned to `j` — the paper's `X_j(v)`. The counts are
     /// written into `counts` (resized/cleared to `partition.num_parts()`).
-    pub fn neighbor_partition_counts(
+    ///
+    /// Generic over [`AssignmentRef`] so the same traversal serves both a
+    /// plain [`crate::Partition`] and a live atomic assignment view.
+    pub fn neighbor_partition_counts<A: AssignmentRef>(
         &mut self,
         hg: &Hypergraph,
-        partition: &Partition,
+        partition: &A,
         v: VertexId,
         counts: &mut Vec<u32>,
     ) {
@@ -135,7 +138,7 @@ pub fn num_connected_components(hg: &Hypergraph) -> usize {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::HypergraphBuilder;
+    use crate::{HypergraphBuilder, Partition};
 
     /// e0 = {0,1,2}, e1 = {2,3}, isolated vertex 4, e2 = {5,6}
     fn sample() -> Hypergraph {

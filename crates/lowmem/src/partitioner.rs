@@ -5,10 +5,9 @@
 //! execution strategy.
 
 use hyperpraw_core::engine::{
-    DoubtConfig, Engine, EngineConfig, ExecutionStrategy, InitialAssignment, NoCommCost,
-    StreamSource,
+    DoubtConfig, Engine, EngineConfig, InitialAssignment, NoCommCost, StreamSource,
 };
-use hyperpraw_core::{CostMatrix, HyperPrawConfig};
+use hyperpraw_core::{CostMatrix, HyperPrawConfig, ParallelMode};
 use hyperpraw_hypergraph::io::stream::VertexStream;
 use hyperpraw_hypergraph::io::IoResult;
 use hyperpraw_hypergraph::{Hypergraph, Partition};
@@ -79,13 +78,20 @@ pub struct LowMemConfig {
     /// vertices move (the Taşyaran-style rebuild). Ignored by
     /// [`IndexKind::Exact`], whose state is never stale.
     pub rebuild_sketches: bool,
-    /// Worker threads for the bulk-synchronous execution strategy. `1`
-    /// streams sequentially; larger values score synchronisation windows
-    /// in parallel against the frozen index — parallel out-of-core
-    /// partitioning.
+    /// Worker threads for the parallel execution strategies. `1` streams
+    /// sequentially; larger values score vertices in parallel against the
+    /// shared index — parallel out-of-core partitioning.
     pub threads: usize,
-    /// Vertices per synchronisation window when `threads > 1`.
+    /// Vertices per synchronisation window when `threads > 1` and
+    /// [`LowMemConfig::mode`] is [`ParallelMode::Bsp`]; ignored by
+    /// [`ParallelMode::WorkStealing`].
     pub sync_interval: usize,
+    /// How the worker threads divide the stream: deterministic
+    /// bulk-synchronous windows over a frozen index snapshot
+    /// ([`ParallelMode::Bsp`], the default), or lock-free work stealing
+    /// against live shared loads ([`ParallelMode::WorkStealing`], faster
+    /// but non-deterministic above one thread).
+    pub mode: ParallelMode,
     /// Seed of the MinHash hash family.
     pub seed: u64,
 }
@@ -102,6 +108,7 @@ impl Default for LowMemConfig {
             rebuild_sketches: false,
             threads: 1,
             sync_interval: 4096,
+            mode: ParallelMode::Bsp,
             seed: 0,
         }
     }
@@ -268,10 +275,10 @@ impl LowMemPartitioner {
             byte_bound: plan.restream_bytes,
         };
         if self.config.threads > 1 {
-            engine_config.strategy = ExecutionStrategy::Chunked {
-                num_threads: self.config.threads,
-                sync_interval: self.config.sync_interval,
-            };
+            engine_config.strategy = self
+                .config
+                .mode
+                .strategy(self.config.threads, self.config.sync_interval);
         }
 
         let run = Engine::new(engine_config).run(
@@ -552,6 +559,50 @@ mod tests {
         assert_eq!(a.partition.num_vertices(), 900);
         let rr = Partition::round_robin(hg.num_vertices(), 6);
         assert!(metrics::soed(&hg, &a.partition) < metrics::soed(&hg, &rr));
+    }
+
+    #[test]
+    fn work_stealing_threads_produce_valid_partitions() {
+        let hg = mesh_hypergraph(&MeshConfig::new(900, 8));
+        for threads in [2usize, 8] {
+            // Two passes: a racing first pass over a cold sketch index may
+            // land anywhere, but the restream scores against a populated
+            // index, so quality beats round-robin for every interleaving.
+            let result = LowMemPartitioner::basic(
+                LowMemConfig {
+                    threads,
+                    passes: 2,
+                    mode: ParallelMode::WorkStealing,
+                    ..config(IndexKind::Sketched)
+                },
+                6,
+            )
+            .partition_hypergraph(&hg);
+            assert_eq!(result.partition.num_vertices(), 900);
+            assert_eq!(result.partition.num_parts(), 6);
+            assert!(result.partition.assignment().iter().all(|&x| x < 6));
+            let rr = Partition::round_robin(hg.num_vertices(), 6);
+            assert!(metrics::soed(&hg, &result.partition) < metrics::soed(&hg, &rr));
+        }
+    }
+
+    #[test]
+    fn single_stealing_thread_matches_the_sequential_stream() {
+        // `threads: 1` never engages a parallel strategy, so the mode must
+        // be irrelevant; pin the work-stealing config to the sequential
+        // result bit for bit.
+        let hg = mesh_hypergraph(&MeshConfig::new(400, 8));
+        let sequential =
+            LowMemPartitioner::basic(config(IndexKind::Sketched), 6).partition_hypergraph(&hg);
+        let stealing = LowMemPartitioner::basic(
+            LowMemConfig {
+                mode: ParallelMode::WorkStealing,
+                ..config(IndexKind::Sketched)
+            },
+            6,
+        )
+        .partition_hypergraph(&hg);
+        assert_eq!(sequential.partition, stealing.partition);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 
 use hyperpraw_core::engine::ConnectivityProvider;
 use hyperpraw_hypergraph::io::stream::VertexRecord;
-use hyperpraw_hypergraph::Partition;
+use hyperpraw_hypergraph::AssignmentRef;
 
 use crate::index::ConnectivityIndex;
 
@@ -63,6 +63,13 @@ impl ConnectivityProvider for IndexProvider {
         true
     }
 
+    fn live_counts(&self) -> bool {
+        // Counts come from the index, which only changes at attach/detach
+        // on the engine thread — the work-stealing strategy must bound its
+        // batches so the index never lags far behind the stream.
+        false
+    }
+
     fn begin_pass(&mut self, _pass: usize, rebuild: bool) {
         // A rebuild buffer filled by the previous pass holds exactly that
         // pass's placements — promote it, shedding everything older.
@@ -77,10 +84,10 @@ impl ConnectivityProvider for IndexProvider {
         }
     }
 
-    fn count(
+    fn count<A: AssignmentRef>(
         &self,
         record: &VertexRecord,
-        _assignment: &Partition,
+        _assignment: &A,
         _scratch: &mut Self::Scratch,
         counts: &mut Vec<u32>,
     ) {
@@ -124,6 +131,7 @@ mod tests {
     use super::*;
     use crate::budget::MemoryBudget;
     use crate::index::{ExactIndex, SketchIndex};
+    use hyperpraw_hypergraph::Partition;
 
     fn record(vertex: u32, nets: &[u32]) -> VertexRecord {
         VertexRecord {

@@ -4,10 +4,16 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
 
-use hyperpraw_hypergraph::{Hypergraph, HypergraphBuilder, VertexId};
+use hyperpraw_hypergraph::{run_on_workers, ChunkCursor, Hypergraph, HypergraphBuilder, VertexId};
 
 use crate::MultilevelConfig;
+
+const UNMATCHED: u32 = u32::MAX;
+
+/// Vertices handed out per claim when matching in parallel.
+const MATCH_CHUNK: usize = 128;
 
 /// One coarsening step: the contracted hypergraph plus the projection map.
 #[derive(Clone, Debug)]
@@ -28,11 +34,8 @@ pub struct CoarseLevel {
 /// paired with its best unmatched neighbour.
 pub fn coarsen_once(hg: &Hypergraph, seed: u64) -> CoarseLevel {
     let n = hg.num_vertices();
-    const UNMATCHED: u32 = u32::MAX;
     let mut mate = vec![UNMATCHED; n];
-    let mut order: Vec<u32> = (0..n as u32).collect();
-    let mut rng = StdRng::seed_from_u64(seed);
-    order.shuffle(&mut rng);
+    let order = shuffled_order(n, seed);
 
     // Scratch accumulation of connectivity scores keyed by neighbour.
     let mut score_epoch = vec![0u32; n];
@@ -89,6 +92,107 @@ pub fn coarsen_once(hg: &Hypergraph, seed: u64) -> CoarseLevel {
         }
     }
 
+    contract(hg, &mate)
+}
+
+/// Like [`coarsen_once`], but the matching loop runs on `threads` workers
+/// claiming chunks of the shuffled visit order from a shared cursor.
+///
+/// Workers race to pair vertices through compare-and-swap on an atomic mate
+/// array: a vertex first claims *itself* (so no one else can grab it), then
+/// tries its candidate partners best-score-first; the first partner whose
+/// slot it wins becomes its mate, and a vertex that wins no partner stays a
+/// singleton. The contraction that follows the matching is identical to the
+/// sequential path. At `threads <= 1` this *is* [`coarsen_once`] —
+/// bit-identical output — since a single worker can never lose a race.
+pub fn coarsen_once_parallel(hg: &Hypergraph, seed: u64, threads: usize) -> CoarseLevel {
+    if threads <= 1 {
+        return coarsen_once(hg, seed);
+    }
+    let n = hg.num_vertices();
+    let order = shuffled_order(n, seed);
+    let mate: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNMATCHED)).collect();
+    let cursor = ChunkCursor::new(n, MATCH_CHUNK);
+
+    run_on_workers(threads, |_worker| {
+        // Per-worker scratch, mirroring the sequential epoch trick.
+        let mut score_epoch = vec![0u32; n];
+        let mut score_val = vec![0.0f64; n];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut epoch = 0u32;
+        while let Some(range) = cursor.claim() {
+            for i in range {
+                let v = order[i];
+                if mate[v as usize].load(Ordering::Relaxed) != UNMATCHED {
+                    continue;
+                }
+                epoch += 1;
+                touched.clear();
+                for &e in hg.incident_edges(v) {
+                    let card = hg.cardinality(e);
+                    if card < 2 {
+                        continue;
+                    }
+                    let w = hg.edge_weight(e) / (card as f64 - 1.0);
+                    for &u in hg.pins(e) {
+                        if u == v || mate[u as usize].load(Ordering::Relaxed) != UNMATCHED {
+                            continue;
+                        }
+                        if score_epoch[u as usize] != epoch {
+                            score_epoch[u as usize] = epoch;
+                            score_val[u as usize] = 0.0;
+                            touched.push(u);
+                        }
+                        score_val[u as usize] += w;
+                    }
+                }
+                // Claim v for ourselves; if that fails another worker just
+                // matched it and we move on.
+                if mate[v as usize]
+                    .compare_exchange(UNMATCHED, v, Ordering::Relaxed, Ordering::Relaxed)
+                    .is_err()
+                {
+                    continue;
+                }
+                // Try partners best-first. Pairing finalises only when we
+                // also win the partner's slot, so the mate array is always
+                // symmetric-or-singleton once the workers join.
+                touched.sort_unstable_by(|&a, &b| {
+                    score_val[b as usize]
+                        .partial_cmp(&score_val[a as usize])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                });
+                for &u in &touched {
+                    if mate[u as usize]
+                        .compare_exchange(UNMATCHED, v, Ordering::Relaxed, Ordering::Relaxed)
+                        .is_ok()
+                    {
+                        mate[v as usize].store(u, Ordering::Relaxed);
+                        break;
+                    }
+                }
+                // All candidates lost: mate[v] still holds v — a singleton.
+            }
+        }
+    });
+
+    let mate: Vec<u32> = mate.into_iter().map(AtomicU32::into_inner).collect();
+    contract(hg, &mate)
+}
+
+/// Deterministic shuffled visit order shared by both matching paths.
+fn shuffled_order(n: usize, seed: u64) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    order
+}
+
+/// Contracts `hg` along a complete mate array (every entry a symmetric pair
+/// or a self-loop singleton) into the next coarser level.
+fn contract(hg: &Hypergraph, mate: &[u32]) -> CoarseLevel {
+    let n = hg.num_vertices();
     // Assign coarse ids: one per matched pair / singleton, in vertex order.
     let mut fine_to_coarse = vec![UNMATCHED; n];
     let mut next = 0u32;
@@ -155,7 +259,11 @@ pub fn coarsen_hierarchy(hg: &Hypergraph, config: &MultilevelConfig) -> Vec<Coar
         if current.num_vertices() <= config.coarsen_until {
             break;
         }
-        let next = coarsen_once(&current, config.seed.wrapping_add(level as u64));
+        let next = coarsen_once_parallel(
+            &current,
+            config.seed.wrapping_add(level as u64),
+            config.threads,
+        );
         let shrink = next.hypergraph.num_vertices() as f64 / current.num_vertices() as f64;
         let done = shrink > 0.95;
         current = next.hypergraph.clone();
@@ -297,6 +405,58 @@ mod tests {
         let b = coarsen_once(&hg, 9);
         assert_eq!(a.hypergraph, b.hypergraph);
         assert_eq!(a.fine_to_coarse, b.fine_to_coarse);
+    }
+
+    #[test]
+    fn one_parallel_matching_thread_reproduces_the_sequential_result_exactly() {
+        let hg = mesh(600);
+        let seq = coarsen_once(&hg, 13);
+        let par = coarsen_once_parallel(&hg, 13, 1);
+        assert_eq!(seq.hypergraph, par.hypergraph);
+        assert_eq!(seq.fine_to_coarse, par.fine_to_coarse);
+    }
+
+    #[test]
+    fn parallel_matching_contracts_validly_at_any_thread_count() {
+        let hg = mesh(800);
+        for threads in [2usize, 4, 8] {
+            let level = coarsen_once_parallel(&hg, 21, threads);
+            level.hypergraph.validate().unwrap();
+            let cn = level.hypergraph.num_vertices() as u32;
+            assert!(
+                (cn as usize) < hg.num_vertices(),
+                "{threads} threads did not contract"
+            );
+            // Valid surjection onto the coarse ids, at most two fine
+            // vertices per coarse vertex.
+            let mut counts = vec![0usize; cn as usize];
+            for &cv in &level.fine_to_coarse {
+                assert!(cv < cn);
+                counts[cv as usize] += 1;
+            }
+            assert!(counts.iter().all(|&c| (1..=2).contains(&c)));
+            // Total vertex weight survives the contraction.
+            assert!(
+                (level.hypergraph.total_vertex_weight() - hg.total_vertex_weight()).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn hierarchy_honours_the_configured_thread_count() {
+        let hg = mesh(1500);
+        let config = MultilevelConfig {
+            coarsen_until: 100,
+            threads: 4,
+            ..MultilevelConfig::default()
+        };
+        let levels = coarsen_hierarchy(&hg, &config);
+        assert!(!levels.is_empty());
+        let coarsest = &levels.last().unwrap().hypergraph;
+        assert!(coarsest.num_vertices() <= 200);
+        for l in &levels {
+            l.hypergraph.validate().unwrap();
+        }
     }
 
     use hyperpraw_hypergraph::HypergraphBuilder;

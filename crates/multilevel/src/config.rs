@@ -18,6 +18,11 @@ pub struct MultilevelConfig {
     pub fm_passes: usize,
     /// RNG seed (the partitioner is deterministic for a given seed).
     pub seed: u64,
+    /// Worker threads for the coarsening matching loop. At `1` the matching
+    /// is sequential and deterministic per seed; above `1` vertices race to
+    /// claim partners through atomic compare-and-swap, which is faster but
+    /// may pair vertices differently from run to run.
+    pub threads: usize,
 }
 
 impl Default for MultilevelConfig {
@@ -29,6 +34,7 @@ impl Default for MultilevelConfig {
             initial_trials: 8,
             fm_passes: 4,
             seed: 0,
+            threads: 1,
         }
     }
 }
@@ -44,6 +50,13 @@ impl MultilevelConfig {
     pub fn with_imbalance_tolerance(mut self, tol: f64) -> Self {
         assert!(tol >= 1.0, "imbalance tolerance must be >= 1.0");
         self.imbalance_tolerance = tol;
+        self
+    }
+
+    /// Overrides the coarsening worker-thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one coarsening thread");
+        self.threads = threads;
         self
     }
 
@@ -69,6 +82,9 @@ impl MultilevelConfig {
         }
         if self.initial_trials == 0 {
             return Err("need at least one initial-partitioning trial".into());
+        }
+        if self.threads == 0 {
+            return Err("need at least one coarsening thread".into());
         }
         Ok(())
     }
@@ -109,5 +125,16 @@ mod tests {
     #[should_panic(expected = ">= 1.0")]
     fn tolerance_below_one_is_rejected() {
         MultilevelConfig::default().with_imbalance_tolerance(0.9);
+    }
+
+    #[test]
+    fn zero_coarsening_threads_fail_validation() {
+        assert!(MultilevelConfig::default().validate().is_ok());
+        let c = MultilevelConfig {
+            threads: 0,
+            ..MultilevelConfig::default()
+        };
+        assert!(c.validate().is_err());
+        assert_eq!(MultilevelConfig::default().with_threads(4).threads, 4);
     }
 }

@@ -26,13 +26,14 @@
 //! assert!(report.to_json().contains("\"algorithm\": \"hyperpraw-basic\""));
 //! ```
 
+use std::borrow::Cow;
 use std::fmt;
 use std::time::Instant;
 
 use hyperpraw_core::metrics::QualityReport;
 use hyperpraw_core::{
     baselines, Connectivity, CostMatrix, HyperPraw, HyperPrawConfig, ParallelConfig,
-    ParallelHyperPraw, PartitionHistory, RefinementPolicy, StreamOrder,
+    ParallelHyperPraw, ParallelMode, PartitionHistory, RefinementPolicy, StreamOrder,
 };
 use hyperpraw_dynamic::{DynamicConfig, DynamicError, DynamicPartitioner, GraphUpdate};
 use hyperpraw_hypergraph::io::stream::VertexStream;
@@ -306,7 +307,11 @@ impl PartitionJob {
         self
     }
 
-    /// Sets the worker-thread count of the bulk-synchronous drivers.
+    /// Sets the worker-thread count of the parallel drivers. `0`
+    /// auto-detects the machine's available parallelism
+    /// ([`std::thread::available_parallelism`], falling back to 1 when the
+    /// platform cannot report one); the resolved count is what the
+    /// report's [`EffectiveConfig::threads`] records.
     pub fn threads(mut self, threads: usize) -> Self {
         self.parallel.num_threads = threads;
         self.lowmem.threads = threads;
@@ -317,6 +322,17 @@ impl PartitionJob {
     pub fn sync_interval(mut self, interval: usize) -> Self {
         self.parallel.sync_interval = interval;
         self.lowmem.sync_interval = interval;
+        self
+    }
+
+    /// Selects how the parallel drivers' worker threads divide the
+    /// stream: deterministic bulk-synchronous windows
+    /// ([`ParallelMode::Bsp`], the default) or lock-free work stealing
+    /// against live shared state ([`ParallelMode::WorkStealing`], faster
+    /// but not bit-reproducible above one thread).
+    pub fn parallel_mode(mut self, mode: ParallelMode) -> Self {
+        self.parallel.mode = mode;
+        self.lowmem.mode = mode;
         self
     }
 
@@ -382,11 +398,34 @@ impl PartitionJob {
         self
     }
 
+    /// The job with `threads(0)` auto-detection applied: every run and
+    /// validation path goes through this first, so the drivers and the
+    /// report's [`EffectiveConfig`] always see the real thread count.
+    fn resolved_job(&self) -> Cow<'_, Self> {
+        if self.parallel.num_threads > 0 && self.lowmem.threads > 0 {
+            return Cow::Borrowed(self);
+        }
+        let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut job = self.clone();
+        if job.parallel.num_threads == 0 {
+            job.parallel.num_threads = auto;
+        }
+        if job.lowmem.threads == 0 {
+            job.lowmem.threads = auto;
+        }
+        Cow::Owned(job)
+    }
+
     /// Validates the job without running it: partition count resolvable
     /// and consistent with the cost matrix, cost matrix present for the
     /// aware algorithms, and the dispatched driver's configuration within
-    /// range.
+    /// range. A thread count of `0` is not an error — it resolves to the
+    /// machine's available parallelism (see [`PartitionJob::threads`]).
     pub fn validate(&self) -> Result<(), PartitionError> {
+        self.resolved_job().validate_resolved()
+    }
+
+    fn validate_resolved(&self) -> Result<(), PartitionError> {
         self.resolved_partitions()?;
         if self.algorithm.requires_cost_matrix() && self.cost.is_none() {
             return Err(PartitionError::InvalidConfig(format!(
@@ -416,7 +455,11 @@ impl PartitionJob {
 
     /// Runs the job on an in-memory hypergraph.
     pub fn run(&self, hg: &Hypergraph) -> Result<PartitionReport, PartitionError> {
-        self.validate()?;
+        self.resolved_job().run_resolved(hg)
+    }
+
+    fn run_resolved(&self, hg: &Hypergraph) -> Result<PartitionReport, PartitionError> {
+        self.validate_resolved()?;
         let p = self.resolved_partitions()?;
         self.check_vertex_count(hg.num_vertices(), p)?;
 
@@ -523,13 +566,20 @@ impl PartitionJob {
         &self,
         stream: &mut S,
     ) -> Result<PartitionReport, PartitionError> {
+        self.resolved_job().run_stream_resolved(stream)
+    }
+
+    fn run_stream_resolved<S: VertexStream>(
+        &self,
+        stream: &mut S,
+    ) -> Result<PartitionReport, PartitionError> {
         if !self.algorithm.supports_streams() {
             return Err(PartitionError::Unsupported(format!(
                 "{} cannot run from a vertex stream; load the hypergraph in memory instead",
                 self.algorithm
             )));
         }
-        self.validate()?;
+        self.validate_resolved()?;
         let p = self.resolved_partitions()?;
         self.check_vertex_count(stream.num_vertices(), p)?;
 
@@ -763,9 +813,16 @@ impl PartitionJob {
             } else {
                 1
             },
-            sync_interval: if bsp {
-                Some(self.parallel.sync_interval)
+            parallel_mode: if bsp {
+                Some(self.parallel.mode.name())
             } else if lowmem && self.lowmem.threads > 1 {
+                Some(self.lowmem.mode.name())
+            } else {
+                None
+            },
+            sync_interval: if bsp && self.parallel.mode == ParallelMode::Bsp {
+                Some(self.parallel.sync_interval)
+            } else if lowmem && self.lowmem.threads > 1 && self.lowmem.mode == ParallelMode::Bsp {
                 Some(self.lowmem.sync_interval)
             } else {
                 None
@@ -963,11 +1020,11 @@ mod tests {
                 .run(&hg),
             Err(PartitionError::InvalidConfig(_))
         ));
-        // zero-thread BSP
+        // zero-vertex synchronisation window
         assert!(matches!(
             PartitionJob::new(Algorithm::ParallelBasic)
                 .partitions(4)
-                .threads(0)
+                .sync_interval(0)
                 .run(&hg),
             Err(PartitionError::InvalidConfig(_))
         ));
@@ -1024,6 +1081,51 @@ mod tests {
             assert!(report.iterations >= 1, "{algorithm}");
             assert_eq!(report.config.partitions, 4, "{algorithm}");
         }
+    }
+
+    #[test]
+    fn zero_threads_auto_detects_the_machine_parallelism() {
+        let hg = mesh_hypergraph(&MeshConfig::new(200, 6));
+        let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+        for algorithm in [Algorithm::ParallelBasic, Algorithm::LowMemSketched] {
+            let job = PartitionJob::new(algorithm).partitions(4).threads(0);
+            job.validate().unwrap();
+            let report = job.run(&hg).unwrap();
+            assert_eq!(report.config.threads, auto, "{algorithm}");
+            assert_eq!(report.partition.num_parts(), 4, "{algorithm}");
+        }
+    }
+
+    #[test]
+    fn parallel_mode_lands_in_the_effective_config_and_json() {
+        let hg = mesh_hypergraph(&MeshConfig::new(200, 6));
+        let bsp = PartitionJob::new(Algorithm::ParallelBasic)
+            .partitions(4)
+            .threads(2)
+            .run(&hg)
+            .unwrap();
+        assert_eq!(bsp.config.parallel_mode, Some("bsp"));
+        assert!(bsp.config.sync_interval.is_some());
+
+        let steal = PartitionJob::new(Algorithm::ParallelBasic)
+            .partitions(4)
+            .threads(2)
+            .parallel_mode(ParallelMode::WorkStealing)
+            .run(&hg)
+            .unwrap();
+        assert_eq!(steal.config.parallel_mode, Some("steal"));
+        assert_eq!(
+            steal.config.sync_interval, None,
+            "work stealing has no synchronisation windows"
+        );
+        assert!(steal.to_json().contains("\"parallel_mode\": \"steal\""));
+        assert_eq!(steal.partition.num_parts(), 4);
+
+        let sequential = PartitionJob::new(Algorithm::HyperPrawBasic)
+            .partitions(4)
+            .run(&hg)
+            .unwrap();
+        assert_eq!(sequential.config.parallel_mode, None);
     }
 
     #[test]

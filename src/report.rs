@@ -93,9 +93,15 @@ pub struct EffectiveConfig {
     pub connectivity: Option<&'static str>,
     /// Stream order name (in-memory HyperPRAW drivers).
     pub stream_order: Option<&'static str>,
-    /// Worker threads (1 = sequential).
+    /// Worker threads (1 = sequential); a `threads(0)` auto-detect request
+    /// is resolved to the real machine parallelism before it lands here.
     pub threads: usize,
-    /// Vertices per synchronisation window (bulk-synchronous drivers).
+    /// Worker scheduling of the parallel drivers: `"bsp"` (deterministic
+    /// bulk-synchronous windows) or `"steal"` (lock-free work stealing).
+    /// `None` for single-threaded and non-parallel drivers.
+    pub parallel_mode: Option<&'static str>,
+    /// Vertices per synchronisation window (bulk-synchronous mode only —
+    /// work stealing has no windows).
     pub sync_interval: Option<usize>,
     /// Connectivity index kind (lowmem drivers).
     pub index: Option<&'static str>,
@@ -247,6 +253,7 @@ impl PartitionReport {
         subfield(&mut out, "connectivity", json_opt_str(c.connectivity));
         subfield(&mut out, "stream_order", json_opt_str(c.stream_order));
         subfield(&mut out, "threads", c.threads.to_string());
+        subfield(&mut out, "parallel_mode", json_opt_str(c.parallel_mode));
         subfield(&mut out, "sync_interval", json_opt_usize(c.sync_interval));
         subfield(&mut out, "index", json_opt_str(c.index));
         subfield(&mut out, "budget_bytes", json_opt_usize(c.budget_bytes));
@@ -554,6 +561,7 @@ pub(crate) mod tests {
                 connectivity: None,
                 stream_order: None,
                 threads: 1,
+                parallel_mode: None,
                 sync_interval: None,
                 index: None,
                 budget_bytes: None,

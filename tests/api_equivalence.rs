@@ -69,6 +69,7 @@ fn parallel_variants_match_the_direct_driver_bit_for_bit() {
             ParallelConfig {
                 num_threads: 3,
                 sync_interval: 256,
+                mode: ParallelMode::Bsp,
             },
             driver_cost,
         )
