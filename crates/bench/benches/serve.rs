@@ -1,0 +1,158 @@
+//! Request latency of the `hyperpraw serve` TCP daemon under concurrent
+//! clients.
+//!
+//! Boots the real daemon loop (`serve_on`) on an ephemeral port, primes
+//! one resident session, then hammers it with `CLIENTS` concurrent
+//! connections each issuing a stream of `lookup` requests — the cheapest
+//! op, so the numbers measure the serving machinery (accept queue, worker
+//! hand-off, session lock, line framing), not partitioning work. Client-side
+//! round-trip latencies are aggregated across all connections into p50 /
+//! p95 / p99 and recorded to `target/BENCH_serve.json` via the harness's
+//! `record_metric`, alongside the total throughput. A mixed id stirs
+//! `update` batches in from one of the clients, showing how much write
+//! traffic (and, in daemons with `--state-dir`, journal fsyncs) stretches
+//! the read tail.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+
+use criterion::record_metric;
+use hyperpraw_cli::serve::{serve_on, ServeOptions};
+
+const CLIENTS: usize = 4;
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// One request, one response, one timing.
+fn timed_request(
+    stream: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    line: &str,
+) -> Duration {
+    let started = Instant::now();
+    writeln!(stream, "{line}").unwrap();
+    stream.flush().unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    assert!(
+        response.contains("\"ok\": true"),
+        "request failed: {line} -> {response}"
+    );
+    started.elapsed()
+}
+
+fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let reader = BufReader::new(stream.try_clone().unwrap());
+    (stream, reader)
+}
+
+fn run_load(requests_per_client: usize, updates: bool) -> (Vec<Duration>, Duration) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let opts = ServeOptions {
+        read_timeout_secs: 1,
+        ..ServeOptions::default()
+    };
+    let server = std::thread::spawn(move || serve_on(listener, &opts).unwrap());
+
+    // Prime the shared session: a 2 000-vertex ring of triangles.
+    let edges: Vec<String> = (0..2_000u32)
+        .map(|i| format!("[{},{},{}]", i, (i + 1) % 2_000, (i + 7) % 2_000))
+        .collect();
+    {
+        let (mut prime, mut prime_reader) = connect(addr);
+        timed_request(
+            &mut prime,
+            &mut prime_reader,
+            &format!(
+                "{{\"op\": \"partition\", \"parts\": 8, \"seed\": 2019, \"edges\": [{}]}}",
+                edges.join(",")
+            ),
+        );
+        // Close the priming connection so every pool worker is free for
+        // the measured clients.
+    }
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let (mut stream, mut reader) = connect(addr);
+                let mut latencies = Vec::with_capacity(requests_per_client);
+                for i in 0..requests_per_client {
+                    let line = if updates && c == 0 && i % 10 == 5 {
+                        // One writer client stirs small update batches in.
+                        format!(
+                            "{{\"op\": \"update\", \"updates\": [{{\"op\": \"add_vertex\"}}, \
+                             {{\"op\": \"add_edge\", \"pins\": [{}, {}]}}]}}",
+                            2_000 + (i / 10),
+                            (c * 977 + i * 131) % 2_000,
+                        )
+                    } else {
+                        format!(
+                            "{{\"op\": \"lookup\", \"vertex\": {}}}",
+                            (c * 499 + i * 241) % 2_000
+                        )
+                    };
+                    latencies.push(timed_request(&mut stream, &mut reader, &line));
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = workers
+        .into_iter()
+        .flat_map(|w| w.join().unwrap())
+        .collect();
+    let wall = started.elapsed();
+
+    let (mut closer, mut closer_reader) = connect(addr);
+    let mut bye = String::new();
+    writeln!(closer, "{{\"op\": \"shutdown\"}}").unwrap();
+    closer.flush().unwrap();
+    closer_reader.read_line(&mut bye).unwrap();
+    assert!(bye.contains("\"bye\""), "{bye}");
+    server.join().unwrap();
+
+    latencies.sort_unstable();
+    (latencies, wall)
+}
+
+fn report(id: &str, latencies: &[Duration], wall: Duration) {
+    let total = latencies.len();
+    let p50 = percentile(latencies, 0.50);
+    let p95 = percentile(latencies, 0.95);
+    let p99 = percentile(latencies, 0.99);
+    println!(
+        "serve_load/{id}: {total} requests over {CLIENTS} connections in {wall:?} \
+         (p50 {p50:?}, p95 {p95:?}, p99 {p99:?})"
+    );
+    record_metric(format!("serve_load/{id}/p50"), p50.as_secs_f64() * 1e3);
+    record_metric(format!("serve_load/{id}/p95"), p95.as_secs_f64() * 1e3);
+    record_metric(format!("serve_load/{id}/p99"), p99.as_secs_f64() * 1e3);
+    record_metric(
+        format!("serve_load/{id}/wall_per_1k_requests"),
+        wall.as_secs_f64() * 1e3 / (total as f64 / 1e3),
+    );
+}
+
+fn main() {
+    // `cargo test --benches` smoke-runs with `--test`: keep it tiny
+    // (record_metric is a no-op there anyway).
+    let test_mode = std::env::args().any(|a| a == "--test");
+    let per_client = if test_mode { 20 } else { 500 };
+
+    let (latencies, wall) = run_load(per_client, false);
+    report("lookup", &latencies, wall);
+
+    let (latencies, wall) = run_load(per_client, true);
+    report("mixed_with_updates", &latencies, wall);
+
+    criterion::write_json_report();
+}

@@ -194,6 +194,15 @@ pub enum Command {
         bind: String,
         /// Serve a single session over stdin/stdout instead of TCP.
         stdio: bool,
+        /// Snapshot + write-ahead-journal directory for crash-safe
+        /// sessions (in-memory only when absent).
+        state_dir: Option<PathBuf>,
+        /// Maximum accepted request-line size in bytes.
+        max_line_bytes: usize,
+        /// Per-connection read timeout in seconds.
+        read_timeout_secs: u64,
+        /// Fold the journal into a fresh snapshot every N batches.
+        snapshot_every: u64,
     },
     /// Run the synthetic benchmark for an existing assignment.
     Benchmark {
@@ -281,12 +290,16 @@ pub fn usage() -> String {
        hyperpraw generate  <output.hgr> [--vertices 10000] [--cardinality 16] [--seed N]\n\
        hyperpraw profile   --machine archer|cluster|cloud|flat --procs N [--output bw.csv]\n\
        hyperpraw benchmark <input> <assignment> [--machine archer|...] [--bytes 1024] [--supersteps 1]\n\
-       hyperpraw serve     [--bind 127.0.0.1:7700] [--stdio]\n\
+       hyperpraw serve     [--bind 127.0.0.1:7700] [--stdio] [--state-dir DIR]\n\
+                           [--max-line-bytes N] [--read-timeout-secs N] [--snapshot-every N]\n\
      \n\
      All algorithms dispatch through the facade's unified PartitionJob API; --json emits the\n\
      common PartitionReport as machine-readable JSON.\n\
      serve keeps a dynamic session resident and answers one JSON request per line:\n\
        {\"op\":\"partition\",...} {\"op\":\"update\",...} {\"op\":\"lookup\",...} {\"op\":\"report\"} {\"op\":\"shutdown\"}\n\
+     With --state-dir every accepted update batch is journaled (fsynced) before it is\n\
+     acknowledged and snapshots fold the journal in; on restart the daemon recovers the\n\
+     session bit-identically, truncating any torn journal tail.\n\
      Input formats: hMetis .hgr, MatrixMarket .mtx (row-net model), anything else is read\n\
      as a whitespace edge list (one hyperedge per line, 0-based vertex ids).\n\
      convert writes the block-compressed vertex-major CSR (.hpz); lowmem streams it directly\n\
@@ -595,6 +608,10 @@ impl Cli {
             "serve" => {
                 let mut bind = String::from("127.0.0.1:7700");
                 let mut stdio = false;
+                let mut state_dir = None;
+                let mut max_line_bytes = 16 * 1024 * 1024;
+                let mut read_timeout_secs = 30;
+                let mut snapshot_every = 64;
                 let mut i = 0;
                 while i < rest.len() {
                     let opt = rest[i].as_str();
@@ -605,12 +622,34 @@ impl Cli {
                         "--stdio" => {
                             stdio = true;
                         }
+                        "--state-dir" => {
+                            state_dir = Some(PathBuf::from(value(&rest, &mut i)?));
+                        }
+                        "--max-line-bytes" => {
+                            max_line_bytes =
+                                parse_number("--max-line-bytes", value(&rest, &mut i)?)?;
+                        }
+                        "--read-timeout-secs" => {
+                            read_timeout_secs =
+                                parse_number("--read-timeout-secs", value(&rest, &mut i)?)?;
+                        }
+                        "--snapshot-every" => {
+                            snapshot_every =
+                                parse_number("--snapshot-every", value(&rest, &mut i)?)?;
+                        }
                         other => return Err(ParseError::UnknownOption(other.into())),
                     }
                     i += 1;
                 }
                 Ok(Self {
-                    command: Command::Serve { bind, stdio },
+                    command: Command::Serve {
+                        bind,
+                        stdio,
+                        state_dir,
+                        max_line_bytes,
+                        read_timeout_secs,
+                        snapshot_every,
+                    },
                 })
             }
             "benchmark" => {
@@ -987,20 +1026,36 @@ mod tests {
             cli.command,
             Command::Serve {
                 bind: "127.0.0.1:7700".into(),
-                stdio: false
+                stdio: false,
+                state_dir: None,
+                max_line_bytes: 16 * 1024 * 1024,
+                read_timeout_secs: 30,
+                snapshot_every: 64,
             }
         );
-        let cli = Cli::parse(argv("serve --bind 0.0.0.0:9000 --stdio")).unwrap();
+        let cli = Cli::parse(argv(
+            "serve --bind 0.0.0.0:9000 --stdio --state-dir /tmp/hp-state \
+             --max-line-bytes 1024 --read-timeout-secs 5 --snapshot-every 8",
+        ))
+        .unwrap();
         assert_eq!(
             cli.command,
             Command::Serve {
                 bind: "0.0.0.0:9000".into(),
-                stdio: true
+                stdio: true,
+                state_dir: Some(PathBuf::from("/tmp/hp-state")),
+                max_line_bytes: 1024,
+                read_timeout_secs: 5,
+                snapshot_every: 8,
             }
         );
         assert!(matches!(
             Cli::parse(argv("serve --port 1")).unwrap_err(),
             ParseError::UnknownOption(_)
+        ));
+        assert!(matches!(
+            Cli::parse(argv("serve --max-line-bytes lots")).unwrap_err(),
+            ParseError::InvalidValue { .. }
         ));
     }
 

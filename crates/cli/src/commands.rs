@@ -190,7 +190,21 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             println!("\n{stats}");
             Ok(())
         }
-        Command::Serve { bind, stdio } => crate::serve::serve(bind, *stdio),
+        Command::Serve {
+            bind,
+            stdio,
+            state_dir,
+            max_line_bytes,
+            read_timeout_secs,
+            snapshot_every,
+        } => crate::serve::serve(&crate::serve::ServeOptions {
+            bind: bind.clone(),
+            stdio: *stdio,
+            state_dir: state_dir.clone(),
+            max_line_bytes: *max_line_bytes,
+            read_timeout_secs: *read_timeout_secs,
+            snapshot_every: *snapshot_every,
+        }),
         Command::Partition {
             input,
             parts,

@@ -1,5 +1,6 @@
 //! The `hyperpraw serve` daemon: a resident dynamic-partitioning session
-//! behind a newline-delimited JSON protocol.
+//! behind a newline-delimited JSON protocol, with optional crash-safe
+//! persistence and a concurrent TCP front end.
 //!
 //! One request per line, one response per line. The daemon holds at most
 //! one [`DynamicSession`] at a time; `partition` (re)creates it, every
@@ -24,6 +25,36 @@
 //! `"machine"` (profiles a preset into the cost matrix the aware
 //! algorithm needs).
 //!
+//! # Durability (`--state-dir`)
+//!
+//! With `--state-dir DIR` the daemon keeps its session crash-safe via
+//! [`hyperpraw::dynamic::StateDir`]: `partition` writes a full
+//! binary snapshot, every accepted `update` batch is appended to a
+//! write-ahead journal and fsynced *before* the response is sent, and a
+//! fresh snapshot folds the journal in every `--snapshot-every` batches
+//! (and on shutdown). On restart the daemon loads the latest valid
+//! snapshot, replays the journal tail — truncating a torn or corrupt
+//! final record rather than replaying it — and resumes with a
+//! bit-identical assignment. The `report` op then carries a
+//! `"recovery"` object with the replay stats. Persistence failures never
+//! kill the daemon: they are logged, surfaced as `"persistence_error"`
+//! in `report`, and serving continues (degraded to in-memory only).
+//!
+//! # Concurrency and robustness (TCP mode)
+//!
+//! The TCP front end accepts connections on a small worker pool
+//! ([`run_on_workers`]); each connection gets its own worker, so an idle
+//! client never blocks an active one, while requests serialise only on
+//! the shared session lock for the duration of one request. A failed
+//! `accept()` is logged and retried with exponential backoff — it does
+//! not tear the daemon down. Per-connection reads carry a timeout
+//! (`--read-timeout-secs`) so workers notice shutdown, and request lines
+//! are capped at `--max-line-bytes` (default 16 MiB): an oversized line
+//! is drained and answered with a structured error, keeping the
+//! connection alive. `shutdown` (from any client) and SIGTERM/SIGINT
+//! both stop the daemon after flushing the journal and writing a final
+//! snapshot.
+//!
 //! Responses embed the facade's [`hyperpraw::report::PartitionReport`] /
 //! `UpdateReport` JSON,
 //! compacted onto the line (the report writer escapes every newline inside
@@ -36,79 +67,352 @@
 //! TCP ([`std::net::TcpListener`]) or — for tests and supervisors that
 //! prefer pipes — stdin/stdout via `--stdio`.
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::TcpListener;
-use std::path::Path;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
 
 use hyperpraw::api::{Algorithm, DynamicSession, PartitionJob};
-use hyperpraw::dynamic::GraphUpdate;
-use hyperpraw::hypergraph::HypergraphBuilder;
+use hyperpraw::dynamic::{GraphUpdate, StateDir};
+use hyperpraw::hypergraph::{run_on_workers, HypergraphBuilder};
 use hyperpraw::json::{self, JsonValue};
+use hyperpraw::report::RecoveryReport;
 
 use crate::args::MachinePreset;
 use crate::commands::{load_hypergraph, profile, CommandError};
 
-/// Runs the daemon until a `shutdown` request (or EOF in `--stdio` mode).
-pub fn serve(bind: &str, stdio: bool) -> Result<(), CommandError> {
-    if stdio {
+/// Worker threads serving TCP connections (plus one acceptor).
+const SERVE_WORKERS: usize = 4;
+
+/// How the daemon runs: transport, durability and robustness knobs.
+#[derive(Clone, Debug)]
+pub struct ServeOptions {
+    /// TCP address to listen on (ignored with `stdio`).
+    pub bind: String,
+    /// Serve a single session over stdin/stdout instead of TCP.
+    pub stdio: bool,
+    /// Directory for the snapshot + write-ahead journal; `None` keeps
+    /// the session in memory only.
+    pub state_dir: Option<PathBuf>,
+    /// Maximum accepted request-line size in bytes; longer lines answer
+    /// a structured error and are drained, keeping the connection.
+    pub max_line_bytes: usize,
+    /// Per-connection read timeout in seconds — how quickly idle
+    /// workers notice a daemon shutdown.
+    pub read_timeout_secs: u64,
+    /// Fold the journal into a fresh snapshot every N accepted batches.
+    pub snapshot_every: u64,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        Self {
+            bind: "127.0.0.1:7700".to_string(),
+            stdio: false,
+            state_dir: None,
+            max_line_bytes: 16 * 1024 * 1024,
+            read_timeout_secs: 30,
+            snapshot_every: 64,
+        }
+    }
+}
+
+/// The daemon's shared mutable state: the resident session plus its
+/// durable home (when `--state-dir` is given).
+struct ServeState {
+    session: Option<DynamicSession>,
+    store: Option<StateDir>,
+    persist_error: Option<String>,
+}
+
+/// Everything the TCP workers share.
+struct Shared {
+    state: Mutex<ServeState>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Set by the SIGTERM/SIGINT handler; polled by every serve loop.
+static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+fn should_stop() -> bool {
+    TERMINATED.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_terminate(_signum: i32) {
+        TERMINATED.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    // SIGTERM = 15, SIGINT = 2 on every unix the toolchain targets.
+    unsafe {
+        signal(15, on_terminate);
+        signal(2, on_terminate);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// A mutex that survives a panicking holder: the state it guards is
+/// repaired or replaced by whoever observes the poison, never abandoned.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Opens (or creates) the state directory and recovers any persisted
+/// session; `None` state dir yields a purely in-memory daemon.
+fn open_state(opts: &ServeOptions) -> Result<ServeState, CommandError> {
+    let mut state = ServeState {
+        session: None,
+        store: None,
+        persist_error: None,
+    };
+    let Some(dir) = &opts.state_dir else {
+        return Ok(state);
+    };
+    let (store, recovered) =
+        StateDir::open(dir).map_err(|e| CommandError::Io(format!("{}: {e}", dir.display())))?;
+    state.store = Some(store);
+    if let Some(rec) = recovered {
+        let report = RecoveryReport::from(rec.stats.clone());
+        let session =
+            DynamicSession::resume(&rec.meta, rec.partitioner, Some(report)).map_err(|e| {
+                CommandError::Io(format!(
+                    "cannot resume the session persisted in {}: {e}",
+                    dir.display()
+                ))
+            })?;
+        eprintln!(
+            "hyperpraw serve: recovered session from {} ({} journal batches replayed{})",
+            dir.display(),
+            rec.stats.batches_replayed,
+            if rec.stats.torn_tail {
+                format!(", {} torn bytes truncated", rec.stats.truncated_bytes)
+            } else {
+                String::new()
+            }
+        );
+        state.session = Some(session);
+    }
+    Ok(state)
+}
+
+/// Writes a final snapshot when the journal holds batches the last
+/// snapshot does not; called on every shutdown path.
+fn persist_final(state: &mut ServeState) {
+    let ServeState { session, store, .. } = state;
+    if let (Some(store), Some(session)) = (store.as_mut(), session.as_ref()) {
+        if store.batches_since_snapshot() > 0 {
+            if let Err(e) = store.write_snapshot(&session.session_meta(), session.partitioner()) {
+                eprintln!("hyperpraw serve: final snapshot failed: {e}");
+            }
+        }
+    }
+}
+
+fn note_persist_error(persist_error: &mut Option<String>, what: &str, e: impl std::fmt::Display) {
+    let message = format!("{what}: {e}");
+    eprintln!("hyperpraw serve: persistence degraded — {message}");
+    *persist_error = Some(message);
+}
+
+/// Runs the daemon until a `shutdown` request, SIGTERM/SIGINT, or EOF in
+/// `--stdio` mode.
+pub fn serve(opts: &ServeOptions) -> Result<(), CommandError> {
+    install_signal_handlers();
+    if opts.stdio {
+        let mut state = open_state(opts)?;
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
-        session(stdin.lock(), &mut stdout.lock())?;
+        let outcome = session_loop(stdin.lock(), &mut stdout.lock(), &mut state, opts);
+        persist_final(&mut state);
+        outcome?;
         return Ok(());
     }
-    let listener = TcpListener::bind(bind)
-        .map_err(|e| CommandError::Io(format!("cannot bind {bind}: {e}")))?;
+    let listener = TcpListener::bind(&opts.bind)
+        .map_err(|e| CommandError::Io(format!("cannot bind {}: {e}", opts.bind)))?;
+    serve_on(listener, opts)
+}
+
+/// Runs the TCP daemon on an already-bound listener (tests and benches
+/// bind port 0 and pass the listener in to learn the actual port).
+pub fn serve_on(listener: TcpListener, opts: &ServeOptions) -> Result<(), CommandError> {
+    let state = open_state(opts)?;
     let local = listener.local_addr().map(|a| a.to_string());
     eprintln!(
         "hyperpraw serve: listening on {}",
-        local.as_deref().unwrap_or(bind)
+        local.as_deref().unwrap_or(&opts.bind)
     );
-    for stream in listener.incoming() {
-        let stream = stream.map_err(|e| CommandError::Io(e.to_string()))?;
-        let reader = BufReader::new(
-            stream
-                .try_clone()
-                .map_err(|e| CommandError::Io(e.to_string()))?,
-        );
-        let mut writer = stream;
-        // One session per connection, served serially; a shutdown request
-        // stops the whole daemon so it can be driven to completion
-        // remotely.
-        if session(reader, &mut writer)? {
-            break;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CommandError::Io(e.to_string()))?;
+    let shared = Shared {
+        state: Mutex::new(state),
+        queue: Mutex::new(VecDeque::new()),
+        available: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+    };
+    run_on_workers(SERVE_WORKERS + 1, |id| {
+        if id == 0 {
+            accept_loop(&listener, &shared, opts);
+        } else {
+            worker_loop(&shared, opts);
         }
-    }
+    });
+    persist_final(&mut lock(&shared.state));
     Ok(())
 }
 
-/// Serves one session over any line-oriented transport; returns whether a
-/// `shutdown` request ended it (as opposed to EOF).
+/// Accepts connections until shutdown. Accept errors are logged and
+/// retried with exponential backoff — one bad `accept()` (fd pressure,
+/// a reset in the backlog) must not kill a daemon holding live state.
+fn accept_loop(listener: &TcpListener, shared: &Shared, opts: &ServeOptions) {
+    let mut backoff = Duration::from_millis(50);
+    while !shared.shutdown.load(Ordering::SeqCst) && !should_stop() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                backoff = Duration::from_millis(50);
+                // One-line requests and responses: Nagle + delayed ACK
+                // would add ~40ms to every round trip.
+                let _ = stream.set_nodelay(true);
+                let _ = stream
+                    .set_read_timeout(Some(Duration::from_secs(opts.read_timeout_secs.max(1))));
+                lock(&shared.queue).push_back(stream);
+                shared.available.notify_one();
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("hyperpraw serve: accept failed: {e}; retrying in {backoff:?}");
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_secs(1));
+            }
+        }
+    }
+    shared.available.notify_all();
+}
+
+/// One worker: pop a connection, serve it to completion, repeat.
+fn worker_loop(shared: &Shared, opts: &ServeOptions) {
+    loop {
+        let stream = {
+            let mut queue = lock(&shared.queue);
+            loop {
+                if let Some(s) = queue.pop_front() {
+                    break Some(s);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) || should_stop() {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0;
+            }
+        };
+        let Some(stream) = stream else { return };
+        if let Err(e) = connection(stream, shared, opts) {
+            eprintln!("hyperpraw serve: connection error: {e}");
+        }
+    }
+}
+
+/// Serves one TCP connection until it closes, the daemon shuts down, or
+/// transport IO fails.
+fn connection(stream: TcpStream, shared: &Shared, opts: &ServeOptions) -> io::Result<()> {
+    let reader = stream.try_clone()?;
+    let mut writer = stream;
+    let mut lines = LineReader::new(BufReader::new(reader), opts.max_line_bytes);
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) || should_stop() {
+            return Ok(());
+        }
+        match lines.next_line() {
+            Line::Eof => return Ok(()),
+            Line::TimedOut => continue,
+            Line::Io(e) => return Err(e),
+            Line::TooLong => {
+                let response = error_response(&ServeError::from(format!(
+                    "request line exceeds {} bytes",
+                    opts.max_line_bytes
+                )));
+                writeln!(writer, "{response}")?;
+                writer.flush()?;
+            }
+            Line::Data(buf) => {
+                let Some((response, shutdown)) =
+                    respond_bytes(&buf, &mut lock(&shared.state), opts)
+                else {
+                    continue;
+                };
+                writeln!(writer, "{response}")?;
+                writer.flush()?;
+                if shutdown {
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    shared.available.notify_all();
+                    return Ok(());
+                }
+            }
+        }
+    }
+}
+
+/// Serves one session over any line-oriented transport with a fresh
+/// in-memory state (the persistence-aware daemon path goes through
+/// [`serve`]); returns whether a `shutdown` request ended it (as opposed
+/// to EOF). Kept for embedding and tests.
+pub fn session<R: BufRead, W: Write>(input: R, out: &mut W) -> Result<bool, CommandError> {
+    let opts = ServeOptions::default();
+    let mut state = ServeState {
+        session: None,
+        store: None,
+        persist_error: None,
+    };
+    session_loop(input, out, &mut state, &opts)
+}
+
+/// The single-transport serve loop (stdio mode and [`session`]).
 ///
 /// Lines are read as raw bytes, so a request that is not valid UTF-8 gets
 /// a structured error response (with the byte offset where the encoding
 /// broke) instead of tearing down the whole connection; only transport
 /// I/O failures end the session.
-pub fn session<R: BufRead, W: Write>(mut input: R, out: &mut W) -> Result<bool, CommandError> {
-    let mut state: Option<DynamicSession> = None;
-    let mut buf = Vec::new();
+fn session_loop<R: BufRead, W: Write>(
+    input: R,
+    out: &mut W,
+    state: &mut ServeState,
+    opts: &ServeOptions,
+) -> Result<bool, CommandError> {
+    let mut lines = LineReader::new(input, opts.max_line_bytes);
     loop {
-        buf.clear();
-        let n = input
-            .read_until(b'\n', &mut buf)
-            .map_err(|e| CommandError::Io(e.to_string()))?;
-        if n == 0 {
+        if should_stop() {
             return Ok(false);
         }
-        let (response, shutdown) = match std::str::from_utf8(&buf) {
-            Ok(line) if line.trim().is_empty() => continue,
-            Ok(line) => respond(line, &mut state),
-            Err(e) => (
-                error_response(&ServeError {
-                    message: "bad request: line is not valid UTF-8".to_string(),
-                    offset: Some(e.valid_up_to()),
-                }),
+        let (response, shutdown) = match lines.next_line() {
+            Line::Eof => return Ok(false),
+            Line::TimedOut => continue,
+            Line::Io(e) => return Err(CommandError::Io(e.to_string())),
+            Line::TooLong => (
+                error_response(&ServeError::from(format!(
+                    "request line exceeds {} bytes",
+                    opts.max_line_bytes
+                ))),
                 false,
             ),
+            Line::Data(buf) => match respond_bytes(&buf, state, opts) {
+                Some(reply) => reply,
+                None => continue,
+            },
         };
         writeln!(out, "{response}").map_err(|e| CommandError::Io(e.to_string()))?;
         out.flush().map_err(|e| CommandError::Io(e.to_string()))?;
@@ -118,10 +422,29 @@ pub fn session<R: BufRead, W: Write>(mut input: R, out: &mut W) -> Result<bool, 
     }
 }
 
+/// Handles one raw request line; `None` for blank lines (no response).
+fn respond_bytes(
+    buf: &[u8],
+    state: &mut ServeState,
+    opts: &ServeOptions,
+) -> Option<(String, bool)> {
+    match std::str::from_utf8(buf) {
+        Ok(line) if line.trim().is_empty() => None,
+        Ok(line) => Some(respond(line, state, opts)),
+        Err(e) => Some((
+            error_response(&ServeError {
+                message: "bad request: line is not valid UTF-8".to_string(),
+                offset: Some(e.valid_up_to()),
+            }),
+            false,
+        )),
+    }
+}
+
 /// Handles one request line; never fails the session (errors become
 /// `{"ok": false, ...}` responses).
-fn respond(line: &str, state: &mut Option<DynamicSession>) -> (String, bool) {
-    match handle(line, state) {
+fn respond(line: &str, state: &mut ServeState, opts: &ServeOptions) -> (String, bool) {
+    match handle(line, state, opts) {
         Ok(Reply::Payload(body)) => (format!("{{\"ok\": true, {body}}}"), false),
         Ok(Reply::Shutdown) => ("{\"ok\": true, \"bye\": true}".to_string(), true),
         Err(error) => (error_response(&error), false),
@@ -170,7 +493,7 @@ enum Reply {
     Shutdown,
 }
 
-fn handle(line: &str, state: &mut Option<DynamicSession>) -> Result<Reply, ServeError> {
+fn handle(line: &str, state: &mut ServeState, opts: &ServeOptions) -> Result<Reply, ServeError> {
     let request = json::parse(line).map_err(|e| ServeError {
         message: format!("bad request: {}", e.message),
         offset: Some(e.offset),
@@ -182,21 +505,64 @@ fn handle(line: &str, state: &mut Option<DynamicSession>) -> Result<Reply, Serve
     match op {
         "partition" => {
             let report = start_session(&request, state)?;
+            let ServeState {
+                session,
+                store,
+                persist_error,
+            } = state;
+            if let (Some(store), Some(session)) = (store.as_mut(), session.as_ref()) {
+                match store.write_snapshot(&session.session_meta(), session.partitioner()) {
+                    Ok(()) => *persist_error = None,
+                    Err(e) => note_persist_error(persist_error, "initial snapshot", e),
+                }
+            }
             Ok(Reply::Payload(format!("\"report\": {report}")))
         }
         "update" => {
-            let session = state.as_mut().ok_or("no session: send 'partition' first")?;
             let updates = parse_updates(&request)?;
+            let ServeState {
+                session,
+                store,
+                persist_error,
+            } = state;
+            let session = session
+                .as_mut()
+                .ok_or("no session: send 'partition' first")?;
             let update = session.update(&updates).map_err(|e| e.to_string())?;
+            if let Some(store) = store.as_mut() {
+                // The batch was accepted: journal it (fsynced) before the
+                // client sees the acknowledgement, folding into a fresh
+                // snapshot once the replay tail gets long.
+                if let Err(e) = store.append(&updates) {
+                    note_persist_error(persist_error, "journal append", e);
+                } else if store.batches_since_snapshot() >= opts.snapshot_every.max(1) {
+                    if let Err(e) =
+                        store.write_snapshot(&session.session_meta(), session.partitioner())
+                    {
+                        note_persist_error(persist_error, "periodic snapshot", e);
+                    }
+                }
+            }
             Ok(Reply::Payload(format!(
                 "\"update\": {}",
                 compact(&update.to_json())
             )))
         }
         "lookup" => {
-            let session = state.as_ref().ok_or("no session: send 'partition' first")?;
+            let session = state
+                .session
+                .as_ref()
+                .ok_or("no session: send 'partition' first")?;
             let vertex = field_u64(&request, "vertex")?;
             let vertex = u32::try_from(vertex).map_err(|_| "'vertex' out of range")?;
+            let known = session.hypergraph().num_vertices();
+            if vertex as usize >= known {
+                return Err(
+                    format!("vertex {vertex} outside the session's id space (0..{known})").into(),
+                );
+            }
+            // In-range but tombstoned ids answer null: the id existed,
+            // its vertex is gone.
             let part = match session.lookup(vertex) {
                 Some(p) => p.to_string(),
                 None => "null".to_string(),
@@ -206,11 +572,18 @@ fn handle(line: &str, state: &mut Option<DynamicSession>) -> Result<Reply, Serve
             )))
         }
         "report" => {
-            let session = state.as_ref().ok_or("no session: send 'partition' first")?;
-            Ok(Reply::Payload(format!(
-                "\"report\": {}",
-                compact(&session.report().to_json())
-            )))
+            let session = state
+                .session
+                .as_ref()
+                .ok_or("no session: send 'partition' first")?;
+            let mut body = format!("\"report\": {}", compact(&session.report().to_json()));
+            if let Some(recovery) = session.recovery() {
+                body.push_str(&format!(", \"recovery\": {}", recovery.to_json()));
+            }
+            if let Some(err) = &state.persist_error {
+                body.push_str(&format!(", \"persistence_error\": {}", escape(err)));
+            }
+            Ok(Reply::Payload(body))
         }
         "shutdown" => Ok(Reply::Shutdown),
         other => Err(format!(
@@ -222,10 +595,7 @@ fn handle(line: &str, state: &mut Option<DynamicSession>) -> Result<Reply, Serve
 
 /// Builds the hypergraph named by a `partition` request and starts (or
 /// replaces) the resident session; returns the compacted initial report.
-fn start_session(
-    request: &JsonValue,
-    state: &mut Option<DynamicSession>,
-) -> Result<String, String> {
+fn start_session(request: &JsonValue, state: &mut ServeState) -> Result<String, String> {
     let parts = field_u64(request, "parts")?;
     let parts = u32::try_from(parts).map_err(|_| "'parts' out of range")?;
     let hg = match (request.get("edges"), request.get("path")) {
@@ -261,11 +631,15 @@ fn start_session(
         job = job.cost(cost);
     }
     if let Some(tol) = request.get("imbalance") {
-        job = job.imbalance_tolerance(tol.as_f64().ok_or("'imbalance' must be a number")?);
+        let tol = tol.as_f64().ok_or("'imbalance' must be a number")?;
+        if !tol.is_finite() || tol < 1.0 {
+            return Err("'imbalance' must be a finite number >= 1.0".into());
+        }
+        job = job.imbalance_tolerance(tol);
     }
     let session = job.run_dynamic(&hg).map_err(|e| e.to_string())?;
     let report = compact(&session.initial_report().to_json());
-    *state = Some(session);
+    state.session = Some(session);
     Ok(report)
 }
 
@@ -296,7 +670,10 @@ fn inline_hypergraph(
         let n = n
             .as_u64()
             .ok_or("'vertices' must be a non-negative integer")?;
-        builder.ensure_vertices(usize::try_from(n).map_err(|_| "'vertices' out of range")?);
+        if n > u64::from(u32::MAX) {
+            return Err("'vertices' out of range (vertex ids are u32)".into());
+        }
+        builder.ensure_vertices(n as usize);
     }
     Ok(builder.build())
 }
@@ -331,6 +708,14 @@ fn parse_updates(request: &JsonValue) -> Result<Vec<GraphUpdate>, String> {
                 })
                 .transpose()?
                 .unwrap_or(1.0);
+            // Non-finite or negative weights would poison the load
+            // accounting and are rejected by the snapshot codec; refuse
+            // them at the door.
+            if !weight.is_finite() || weight < 0.0 {
+                return Err(format!(
+                    "update {i}: 'weight' must be finite and non-negative"
+                ));
+            }
             match op {
                 "add_vertex" => Ok(GraphUpdate::AddVertex { weight }),
                 "remove_vertex" => Ok(GraphUpdate::RemoveVertex { vertex: vertex()? }),
@@ -370,6 +755,115 @@ fn field_u64(value: &JsonValue, key: &str) -> Result<u64, String> {
         .ok_or_else(|| format!("missing non-negative integer field '{key}'"))
 }
 
+// ---------------------------------------------------------------------------
+// Capped, timeout-aware line reading
+// ---------------------------------------------------------------------------
+
+/// One read attempt's outcome.
+enum Line {
+    /// A complete request line (newline stripped).
+    Data(Vec<u8>),
+    /// The line passed the size cap; it has been / is being drained.
+    /// Reported exactly once per oversized line.
+    TooLong,
+    /// The transport timed out (or was interrupted by a signal) with a
+    /// partial line buffered; call again — the partial line is kept.
+    TimedOut,
+    /// Clean end of input.
+    Eof,
+    /// Transport failure.
+    Io(io::Error),
+}
+
+/// A resumable line reader with a hard per-line size cap.
+///
+/// Unlike [`BufRead::read_until`], a read timeout does not lose the
+/// partially received line (it stays buffered for the next call), and a
+/// line over the cap is reported once, then silently drained to its
+/// newline without ever buffering it — a client cannot make the daemon
+/// allocate more than the cap per connection.
+struct LineReader<R> {
+    input: R,
+    buf: Vec<u8>,
+    discarding: bool,
+    max: usize,
+}
+
+impl<R: BufRead> LineReader<R> {
+    fn new(input: R, max: usize) -> Self {
+        Self {
+            input,
+            buf: Vec::new(),
+            discarding: false,
+            max,
+        }
+    }
+
+    fn next_line(&mut self) -> Line {
+        loop {
+            let (consumed, found_newline) = {
+                let available = match self.input.fill_buf() {
+                    Ok(b) => b,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            io::ErrorKind::WouldBlock
+                                | io::ErrorKind::TimedOut
+                                | io::ErrorKind::Interrupted
+                        ) =>
+                    {
+                        return Line::TimedOut
+                    }
+                    Err(e) => return Line::Io(e),
+                };
+                if available.is_empty() {
+                    if self.discarding {
+                        self.discarding = false;
+                        return Line::Eof;
+                    }
+                    if self.buf.is_empty() {
+                        return Line::Eof;
+                    }
+                    // A trailing line without a newline still counts.
+                    return Line::Data(std::mem::take(&mut self.buf));
+                }
+                match available.iter().position(|&b| b == b'\n') {
+                    Some(idx) => {
+                        if !self.discarding {
+                            self.buf.extend_from_slice(&available[..idx]);
+                        }
+                        (idx + 1, true)
+                    }
+                    None => {
+                        if !self.discarding {
+                            self.buf.extend_from_slice(available);
+                        }
+                        (available.len(), false)
+                    }
+                }
+            };
+            self.input.consume(consumed);
+            if found_newline {
+                if self.discarding {
+                    // The oversized line (already reported) just ended.
+                    self.discarding = false;
+                    continue;
+                }
+                if self.buf.len() > self.max {
+                    self.buf.clear();
+                    return Line::TooLong;
+                }
+                return Line::Data(std::mem::take(&mut self.buf));
+            }
+            if !self.discarding && self.buf.len() > self.max {
+                self.discarding = true;
+                self.buf.clear();
+                return Line::TooLong;
+            }
+        }
+    }
+}
+
 /// Compacts the pretty-printed report JSON onto one line. The report
 /// writer escapes newlines inside strings, so every raw newline in its
 /// output is layout — dropping the indentation after it cannot corrupt a
@@ -407,7 +901,8 @@ fn escape(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Cursor;
+    use std::io::{Cursor, Read};
+    use std::net::TcpStream;
 
     fn drive(requests: &str) -> (Vec<String>, bool) {
         drive_bytes(requests.as_bytes())
@@ -521,6 +1016,135 @@ mod tests {
             "{\"op\": \"lookup\", \"vertex\": 3}\n",
         ));
         assert!(lines[2].contains("\"part\": null"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn out_of_range_lookups_answer_structured_errors() {
+        let (lines, _) = drive(concat!(
+            "{\"op\": \"partition\", \"parts\": 2, \"edges\": [[0,1,2],[2,3]]}\n",
+            "{\"op\": \"lookup\", \"vertex\": 4}\n",
+            "{\"op\": \"lookup\", \"vertex\": 4000000000}\n",
+            "{\"op\": \"lookup\", \"vertex\": 3}\n",
+        ));
+        assert!(
+            lines[1].contains("\"ok\": false") && lines[1].contains("outside the session"),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].contains("\"ok\": false"), "{}", lines[2]);
+        assert!(lines[3].contains("\"ok\": true"), "session still live");
+    }
+
+    #[test]
+    fn non_finite_weights_are_rejected() {
+        let (lines, _) = drive(concat!(
+            "{\"op\": \"partition\", \"parts\": 2, \"edges\": [[0,1],[1,2]]}\n",
+            "{\"op\": \"update\", \"updates\": [{\"op\": \"add_vertex\", \"weight\": 1e999}]}\n",
+            "{\"op\": \"update\", \"updates\": [{\"op\": \"add_vertex\", \"weight\": -1}]}\n",
+            "{\"op\": \"lookup\", \"vertex\": 0}\n",
+        ));
+        assert!(lines[1].contains("finite"), "{}", lines[1]);
+        assert!(lines[2].contains("finite"), "{}", lines[2]);
+        assert!(lines[3].contains("\"ok\": true"), "session survives");
+    }
+
+    #[test]
+    fn oversized_lines_answer_an_error_and_keep_the_connection() {
+        let mut requests = Vec::new();
+        requests.extend_from_slice(
+            b"{\"op\": \"partition\", \"parts\": 2, \"edges\": [[0,1],[1,2]]}\n",
+        );
+        requests.extend_from_slice(&vec![b'x'; 4096]);
+        requests.push(b'\n');
+        requests.extend_from_slice(b"{\"op\": \"lookup\", \"vertex\": 0}\n");
+
+        let opts = ServeOptions {
+            max_line_bytes: 1024,
+            ..ServeOptions::default()
+        };
+        let mut state = ServeState {
+            session: None,
+            store: None,
+            persist_error: None,
+        };
+        let mut out = Vec::new();
+        session_loop(Cursor::new(requests), &mut out, &mut state, &opts).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[1].contains("exceeds 1024 bytes"),
+            "one structured error for the oversized line: {}",
+            lines[1]
+        );
+        assert!(
+            lines[2].contains("\"part\":"),
+            "connection kept: {}",
+            lines[2]
+        );
+    }
+
+    #[test]
+    fn line_reader_drains_without_buffering() {
+        // 3 MiB line under a 1 KiB cap through a 64-byte reader: at most
+        // cap+read-chunk bytes may ever be buffered.
+        let mut input = vec![b'a'; 3 << 20];
+        input.push(b'\n');
+        input.extend_from_slice(b"next\n");
+        let mut reader = LineReader::new(BufReader::with_capacity(64, Cursor::new(input)), 1024);
+        assert!(matches!(reader.next_line(), Line::TooLong));
+        assert!(reader.buf.capacity() <= 2048, "drained, not buffered");
+        match reader.next_line() {
+            Line::Data(d) => assert_eq!(d, b"next"),
+            other => panic!("expected the next line, got {}", line_name(&other)),
+        }
+        assert!(matches!(reader.next_line(), Line::Eof));
+    }
+
+    fn line_name(l: &Line) -> &'static str {
+        match l {
+            Line::Data(_) => "Data",
+            Line::TooLong => "TooLong",
+            Line::TimedOut => "TimedOut",
+            Line::Eof => "Eof",
+            Line::Io(_) => "Io",
+        }
+    }
+
+    /// Two clients at once: an idle connection (A) must not block a full
+    /// round trip on another (B) — connections are not served serially.
+    #[test]
+    fn concurrent_clients_are_not_serialised() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let opts = ServeOptions {
+            read_timeout_secs: 1,
+            ..ServeOptions::default()
+        };
+        let server = std::thread::spawn(move || serve_on(listener, &opts));
+
+        // A connects first and stays silent.
+        let idle = TcpStream::connect(addr).unwrap();
+
+        // B completes a full session while A is open.
+        let mut busy = TcpStream::connect(addr).unwrap();
+        busy.write_all(b"{\"op\": \"partition\", \"parts\": 2, \"edges\": [[0,1,2],[2,3]]}\n")
+            .unwrap();
+        busy.write_all(b"{\"op\": \"lookup\", \"vertex\": 1}\n")
+            .unwrap();
+        busy.write_all(b"{\"op\": \"shutdown\"}\n").unwrap();
+        let mut responses = String::new();
+        BufReader::new(&busy)
+            .read_to_string(&mut responses)
+            .unwrap();
+        let lines: Vec<&str> = responses.lines().collect();
+        assert_eq!(lines.len(), 3, "{responses}");
+        assert!(lines[0].contains("\"ok\": true"));
+        assert!(lines[1].contains("\"part\":"));
+        assert!(lines[2].contains("\"bye\""));
+
+        drop(idle);
+        server.join().unwrap().unwrap();
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! Kill-and-recover: SIGKILLs a real `hyperpraw serve --stdio --state-dir`
+//! daemon mid-stream, corrupts the journal tail the way a torn write
+//! would, restarts the binary against the same directory, and checks the
+//! recovered session answers bit-identically to the one that died.
+
+use std::fs;
+use std::fs::OpenOptions;
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+
+fn state_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("hpraw-recovery-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+struct Daemon {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Daemon {
+    fn spawn(dir: &Path) -> Self {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_hyperpraw"))
+            .args([
+                "serve",
+                "--stdio",
+                "--state-dir",
+                dir.to_str().unwrap(),
+                // Keep every batch in the journal so recovery exercises
+                // replay, not just the snapshot.
+                "--snapshot-every",
+                "1000",
+            ])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn hyperpraw serve --stdio --state-dir");
+        let stdin = child.stdin.take().unwrap();
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        Daemon {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    /// One request, one response — the protocol's lockstep.
+    fn request(&mut self, line: &str) -> String {
+        writeln!(self.stdin, "{line}").unwrap();
+        self.stdin.flush().unwrap();
+        let mut response = String::new();
+        self.stdout.read_line(&mut response).unwrap();
+        assert!(
+            response.ends_with('\n'),
+            "daemon hung up mid-request: {response:?}"
+        );
+        response.trim_end().to_string()
+    }
+
+    fn kill(mut self) {
+        // SIGKILL: no flush, no snapshot, no destructors — the only
+        // durability left is what `append` already fsynced.
+        self.child.kill().unwrap();
+        let _ = self.child.wait();
+    }
+
+    fn shutdown(mut self) {
+        assert_eq!(
+            self.request("{\"op\": \"shutdown\"}"),
+            "{\"ok\": true, \"bye\": true}"
+        );
+        let status = self.child.wait().unwrap();
+        assert!(status.success(), "clean exit after shutdown: {status}");
+    }
+}
+
+#[test]
+fn sigkill_mid_stream_recovers_bit_identical_state() {
+    let dir = state_dir("sigkill");
+
+    // --- First life: partition, stream updates, record the truth. ---
+    let mut daemon = Daemon::spawn(&dir);
+    let first = daemon.request(concat!(
+        "{\"op\": \"partition\", \"parts\": 3, \"seed\": 42, ",
+        "\"edges\": [[0,1,2],[2,3,4],[4,5,6],[6,7,0],[1,5],[3,7]], \"vertices\": 9}",
+    ));
+    assert!(first.contains("\"ok\": true"), "{first}");
+
+    let batches = [
+        "{\"op\": \"update\", \"updates\": [{\"op\": \"add_vertex\", \"weight\": 2.0}, {\"op\": \"add_edge\", \"pins\": [9, 0, 4]}]}",
+        "{\"op\": \"update\", \"updates\": [{\"op\": \"remove_vertex\", \"vertex\": 3}]}",
+        "{\"op\": \"update\", \"updates\": [{\"op\": \"add_edge\", \"pins\": [1, 2, 9], \"weight\": 0.5}, {\"op\": \"remove_pin\", \"edge\": 2, \"vertex\": 5}]}",
+    ];
+    for batch in batches {
+        let ack = daemon.request(batch);
+        assert!(ack.contains("\"ok\": true"), "{ack}");
+        // The ack means the batch hit the fsynced journal; it must
+        // survive anything short of losing the disk.
+    }
+
+    let lookups: Vec<String> = (0..10)
+        .map(|v| daemon.request(&format!("{{\"op\": \"lookup\", \"vertex\": {v}}}")))
+        .collect();
+    assert!(
+        lookups[3].contains("\"part\": null"),
+        "vertex 3 was tombstoned: {}",
+        lookups[3]
+    );
+
+    daemon.kill();
+
+    // --- Crash aftermath: a torn final write lands in the journal. ---
+    let journal = dir.join("journal.log");
+    let intact = fs::metadata(&journal).unwrap().len();
+    let mut f = OpenOptions::new().append(true).open(&journal).unwrap();
+    f.write_all(&[0x6b, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe])
+        .unwrap();
+    drop(f);
+
+    // --- Second life: recover and answer identically. ---
+    let mut daemon = Daemon::spawn(&dir);
+    for (v, expected) in lookups.iter().enumerate() {
+        let got = daemon.request(&format!("{{\"op\": \"lookup\", \"vertex\": {v}}}"));
+        assert_eq!(
+            &got, expected,
+            "vertex {v} answered differently after recovery"
+        );
+    }
+
+    let report = daemon.request("{\"op\": \"report\"}");
+    assert!(report.contains("\"recovery\""), "{report}");
+    assert!(
+        report.contains(&format!("\"batches_replayed\": {}", batches.len())),
+        "every acked batch must be replayed: {report}"
+    );
+    assert!(report.contains("\"torn_tail\": true"), "{report}");
+    assert!(report.contains("\"truncated_bytes\": 7"), "{report}");
+
+    // Recovery folded the journal: the torn garbage is gone from disk.
+    let folded = fs::metadata(&journal).unwrap().len();
+    assert!(
+        folded < intact,
+        "journal was rotated clean ({folded} bytes) after folding {intact} bytes"
+    );
+
+    daemon.shutdown();
+
+    // --- Third life: the fold itself persisted. ---
+    let mut daemon = Daemon::spawn(&dir);
+    for (v, expected) in lookups.iter().enumerate() {
+        let got = daemon.request(&format!("{{\"op\": \"lookup\", \"vertex\": {v}}}"));
+        assert_eq!(
+            &got, expected,
+            "vertex {v} answered differently after the fold"
+        );
+    }
+    daemon.shutdown();
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// A corrupt byte *inside* an already-acked record stops replay at the
+/// damage — the prefix before it recovers, nothing after it is applied.
+#[test]
+fn corrupt_journal_byte_truncates_never_replays_garbage() {
+    let dir = state_dir("flip");
+
+    let mut daemon = Daemon::spawn(&dir);
+    let first = daemon.request(
+        "{\"op\": \"partition\", \"parts\": 2, \"seed\": 7, \"edges\": [[0,1,2],[2,3],[3,4,0]]}",
+    );
+    assert!(first.contains("\"ok\": true"), "{first}");
+    let ack = daemon.request(
+        "{\"op\": \"update\", \"updates\": [{\"op\": \"add_vertex\"}, {\"op\": \"add_edge\", \"pins\": [5, 1]}]}",
+    );
+    assert!(ack.contains("\"ok\": true"), "{ack}");
+    let grown = daemon.request("{\"op\": \"lookup\", \"vertex\": 5}");
+    assert!(grown.contains("\"ok\": true"), "{grown}");
+    daemon.kill();
+
+    // Flip one bit inside the record region (past the 16-byte header):
+    // the checksum must catch it and drop the whole record.
+    let journal = dir.join("journal.log");
+    let mut bytes = fs::read(&journal).unwrap();
+    let target = bytes.len() - 3;
+    bytes[target] ^= 0x40;
+    fs::write(&journal, &bytes).unwrap();
+
+    let mut daemon = Daemon::spawn(&dir);
+    let report = daemon.request("{\"op\": \"report\"}");
+    assert!(
+        report.contains("\"batches_replayed\": 0") && report.contains("\"torn_tail\": true"),
+        "the damaged batch must not be replayed: {report}"
+    );
+    // The snapshot-time state (before any update) answers for itself...
+    for v in 0..5 {
+        let got = daemon.request(&format!("{{\"op\": \"lookup\", \"vertex\": {v}}}"));
+        assert!(got.contains("\"ok\": true"), "vertex {v}: {got}");
+    }
+    // ...while the un-replayed vertex 5 does not exist in it.
+    let gone = daemon.request("{\"op\": \"lookup\", \"vertex\": 5}");
+    assert!(
+        gone.contains("\"ok\": false") && gone.contains("outside the session"),
+        "{gone}"
+    );
+    daemon.shutdown();
+
+    let _ = fs::remove_dir_all(&dir);
+}

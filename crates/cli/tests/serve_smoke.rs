@@ -104,3 +104,52 @@ fn serve_stdio_survives_malformed_lines_with_structured_errors() {
     let status = child.wait().unwrap();
     assert!(status.success(), "serve exited with {status}");
 }
+
+/// A lookup above the session's id range is a structured refusal, not a
+/// hedged `"part": null` — and neither it nor an oversized request line
+/// (over `--max-line-bytes`) may end the session.
+#[test]
+fn serve_stdio_bounds_lookups_and_request_lines() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_hyperpraw"))
+        .args(["serve", "--stdio", "--max-line-bytes", "1024"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn hyperpraw serve --stdio");
+
+    let mut stdin = child.stdin.take().unwrap();
+    let stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut requests: Vec<u8> = Vec::new();
+    requests
+        .extend_from_slice(b"{\"op\": \"partition\", \"parts\": 2, \"edges\": [[0,1,2],[2,3]]}\n");
+    requests.extend_from_slice(b"{\"op\": \"lookup\", \"vertex\": 4}\n"); // 4 vertices: 0..4
+    requests.extend_from_slice(&vec![b'{'; 2048]); // 2 KiB line under a 1 KiB cap
+    requests.push(b'\n');
+    requests.extend_from_slice(b"{\"op\": \"lookup\", \"vertex\": 3}\n");
+    requests.extend_from_slice(b"{\"op\": \"shutdown\"}\n");
+    stdin.write_all(&requests).unwrap();
+    stdin.flush().unwrap();
+    drop(stdin);
+
+    let lines: Vec<String> = stdout.lines().map(|l| l.unwrap()).collect();
+    assert_eq!(lines.len(), 5, "one response per request: {lines:#?}");
+    assert!(
+        lines[1].contains("\"ok\": false") && lines[1].contains("outside the session"),
+        "{}",
+        lines[1]
+    );
+    assert!(
+        lines[2].contains("\"ok\": false") && lines[2].contains("exceeds 1024 bytes"),
+        "{}",
+        lines[2]
+    );
+    assert!(
+        lines[3].contains("\"part\":"),
+        "session survived: {}",
+        lines[3]
+    );
+    assert_eq!(lines[4], "{\"ok\": true, \"bye\": true}");
+
+    let status = child.wait().unwrap();
+    assert!(status.success(), "serve exited with {status}");
+}

@@ -37,8 +37,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod journal;
 mod partitioner;
 mod update;
 
+pub use journal::{JournalError, Recovered, RecoveryStats, StateDir};
 pub use partitioner::{DynamicConfig, DynamicPartitioner, MigrationStats, UpdateOutcome};
 pub use update::{DynamicError, GraphUpdate};

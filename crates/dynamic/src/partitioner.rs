@@ -144,6 +144,61 @@ impl DynamicPartitioner {
         })
     }
 
+    /// Rebuilds a partitioner from persisted state: the mutable
+    /// hypergraph (tombstones included) and the assignment it had
+    /// reached, plus the cost matrix and configuration it ran under —
+    /// the recovery path of [`crate::journal`]. The CSR snapshot,
+    /// adjacency and per-part loads are rematerialised deterministically,
+    /// so the resumed instance answers every query and absorbs every
+    /// subsequent batch bit-identically to the instance that was
+    /// serialised.
+    pub fn resume(
+        graph: MutableHypergraph,
+        partition: Partition,
+        cost: CostMatrix,
+        cfg: DynamicConfig,
+    ) -> Result<Self, DynamicError> {
+        let snapshot = graph.to_hypergraph();
+        if partition.num_vertices() != snapshot.num_vertices() {
+            return Err(DynamicError::Invalid(format!(
+                "partition covers {} vertices but the hypergraph has {}",
+                partition.num_vertices(),
+                snapshot.num_vertices()
+            )));
+        }
+        if partition.num_parts() as usize != cost.num_units() {
+            return Err(DynamicError::Invalid(format!(
+                "partition has {} parts but the cost matrix covers {} units",
+                partition.num_parts(),
+                cost.num_units()
+            )));
+        }
+        if !cfg.staleness_threshold.is_finite() || cfg.staleness_threshold < 0.0 {
+            return Err(DynamicError::Invalid(format!(
+                "staleness threshold must be finite and non-negative, got {}",
+                cfg.staleness_threshold
+            )));
+        }
+        let loads = partition
+            .part_loads(&snapshot)
+            .map_err(|e| DynamicError::Invalid(e.to_string()))?;
+        Ok(Self {
+            adj: NeighborAdjacency::build(&snapshot, cfg.budget),
+            graph,
+            snapshot,
+            partition,
+            loads,
+            cost,
+            cfg,
+        })
+    }
+
+    /// The resident mutable hypergraph — the state
+    /// [`crate::journal`] snapshots serialise (liveness flags included).
+    pub fn graph(&self) -> &MutableHypergraph {
+        &self.graph
+    }
+
     /// The current CSR snapshot (tombstones included as weight-0 /
     /// empty-pin ids).
     pub fn hypergraph(&self) -> &Hypergraph {

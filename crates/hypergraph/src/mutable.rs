@@ -113,6 +113,63 @@ impl MutableHypergraph {
         b.build()
     }
 
+    /// Reassembles the mutable form from a CSR snapshot (as produced by
+    /// [`MutableHypergraph::to_hypergraph`]) plus the liveness flags of
+    /// the instance that wrote it — the persistence path of the dynamic
+    /// journal. Tombstone invariants are validated: a dead vertex must
+    /// have weight `0` and no incidences, a dead hyperedge must have an
+    /// empty pin list. On success the result is equal (`PartialEq`) to
+    /// the instance the snapshot and flags were taken from.
+    pub fn from_snapshot(
+        hg: &Hypergraph,
+        vertex_alive: &[bool],
+        edge_alive: &[bool],
+    ) -> Result<Self, String> {
+        if vertex_alive.len() != hg.num_vertices() {
+            return Err(format!(
+                "vertex liveness covers {} ids but the snapshot has {}",
+                vertex_alive.len(),
+                hg.num_vertices()
+            ));
+        }
+        if edge_alive.len() != hg.num_hyperedges() {
+            return Err(format!(
+                "hyperedge liveness covers {} ids but the snapshot has {}",
+                edge_alive.len(),
+                hg.num_hyperedges()
+            ));
+        }
+        for (v, &alive) in vertex_alive.iter().enumerate() {
+            let v = v as VertexId;
+            if !alive && (hg.vertex_weight(v) != 0.0 || !hg.incident_edges(v).is_empty()) {
+                return Err(format!(
+                    "tombstoned vertex {v} still carries weight or pins"
+                ));
+            }
+        }
+        for (e, &alive) in edge_alive.iter().enumerate() {
+            let e = e as HyperedgeId;
+            if !alive && !hg.pins(e).is_empty() {
+                return Err(format!("tombstoned hyperedge {e} still has pins"));
+            }
+        }
+        let mut m = Self::from_hypergraph(hg);
+        m.vertex_alive.copy_from_slice(vertex_alive);
+        m.edge_alive.copy_from_slice(edge_alive);
+        Ok(m)
+    }
+
+    /// Per-id vertex liveness flags (index = vertex id), for persistence.
+    pub fn vertex_alive_flags(&self) -> &[bool] {
+        &self.vertex_alive
+    }
+
+    /// Per-id hyperedge liveness flags (index = hyperedge id), for
+    /// persistence.
+    pub fn edge_alive_flags(&self) -> &[bool] {
+        &self.edge_alive
+    }
+
     /// Number of vertex ids (live and tombstoned).
     pub fn num_vertices(&self) -> usize {
         self.vertex_weights.len()
@@ -364,6 +421,41 @@ mod tests {
         assert_eq!(hg.vertex_weight(5), 2.5);
         assert_eq!(hg.pins(2), &[0, 5]);
         hg.validate().unwrap();
+    }
+
+    #[test]
+    fn snapshot_plus_liveness_flags_round_trips_tombstones() {
+        let mut m = sample();
+        m.remove_vertex(1).unwrap();
+        m.remove_hyperedge(1).unwrap();
+        let v = m.add_vertex(2.5);
+        m.add_hyperedge([0, v], 3.0).unwrap();
+        let rebuilt = MutableHypergraph::from_snapshot(
+            &m.to_hypergraph(),
+            m.vertex_alive_flags(),
+            m.edge_alive_flags(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt, m);
+
+        // Lying flags are rejected: a "dead" vertex that still has pins.
+        let live = sample();
+        let mut flags = live.vertex_alive_flags().to_vec();
+        flags[0] = false;
+        let err = MutableHypergraph::from_snapshot(
+            &live.to_hypergraph(),
+            &flags,
+            live.edge_alive_flags(),
+        )
+        .unwrap_err();
+        assert!(err.contains("tombstoned vertex 0"), "{err}");
+        // Length mismatches are rejected too.
+        assert!(MutableHypergraph::from_snapshot(
+            &live.to_hypergraph(),
+            &[],
+            live.edge_alive_flags()
+        )
+        .is_err());
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! CRC-32 (IEEE 802.3 polynomial) checksums.
+//!
+//! The `.hpz` format detects corruption structurally (magic headers,
+//! strict varint decoding, offset cross-checks); the dynamic journal
+//! needs something stronger — a torn or bit-flipped write-ahead record
+//! must be *provably* bad, not merely likely to fail decoding — so this
+//! module provides the classic reflected CRC-32 with the table computed
+//! at compile time. No dependencies, byte-at-a-time; plenty fast for
+//! journal records, which are small compared to block payloads.
+
+/// The reflected IEEE 802.3 polynomial.
+const POLYNOMIAL: u32 = 0xedb8_8320;
+
+/// The byte-indexed remainder table, computed at compile time.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLYNOMIAL
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 (IEEE) of `data` — the value `cksum`-style tools and zlib's
+/// `crc32()` produce.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &byte in data {
+        let index = ((crc ^ u32::from(byte)) & 0xff) as usize;
+        crc = (crc >> 8) ^ TABLE[index];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_reference_check_value() {
+        // The standard CRC-32 check vector.
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn any_single_bit_flip_changes_the_checksum() {
+        let data = b"hyperpraw journal record payload".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut flipped = data.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), clean, "flip at {byte}:{bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Fault injection for the byte-range IO path.
+//!
+//! [`FaultySource`] wraps any [`ByteSource`] and injects the failure
+//! modes a real storage stack produces — a read that errors outright, a
+//! short read that silently leaves part of the buffer unfilled, and a
+//! bit flip inside an otherwise successful read. Readers above this
+//! layer (the `.hpz` block decoder, the dynamic journal's replay) are
+//! expected to surface every injected fault as a structured error or a
+//! checksum mismatch, never as a panic or silently wrong data; the
+//! storage and journal test suites pin exactly that.
+
+use std::io;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::source::ByteSource;
+
+/// A [`ByteSource`] wrapper that injects read faults at configurable
+/// points. Reads are counted from zero in call order; each configured
+/// fault fires on the read whose index matches.
+///
+/// The *short read* fault deliberately violates the [`ByteSource`]
+/// contract ("short reads are errors"): it fills only the first half of
+/// the requested range and reports success, modelling a lying kernel or
+/// a truncated-but-padded transport. Consumers must catch the resulting
+/// garbage through checksums or strict structural validation.
+#[derive(Debug)]
+pub struct FaultySource<S> {
+    inner: S,
+    reads: AtomicU64,
+    fail_at: Option<u64>,
+    short_at: Option<u64>,
+    flip: Option<(u64, u8)>,
+}
+
+impl<S: ByteSource> FaultySource<S> {
+    /// Wraps `inner` with no faults configured — behaves identically to
+    /// the wrapped source until a fault is armed.
+    pub fn new(inner: S) -> Self {
+        Self {
+            inner,
+            reads: AtomicU64::new(0),
+            fail_at: None,
+            short_at: None,
+            flip: None,
+        }
+    }
+
+    /// Arms an outright failure: the `n`-th `read_at` call (0-based)
+    /// returns an [`io::ErrorKind::Other`] error.
+    pub fn fail_read(mut self, n: u64) -> Self {
+        self.fail_at = Some(n);
+        self
+    }
+
+    /// Arms a short read: the `n`-th `read_at` call fills only the first
+    /// half of the buffer yet still reports success.
+    pub fn short_read(mut self, n: u64) -> Self {
+        self.short_at = Some(n);
+        self
+    }
+
+    /// Arms a bit flip: any read covering absolute byte `offset` has that
+    /// byte XOR-ed with `mask` after the inner read completes.
+    pub fn flip_bits(mut self, offset: u64, mask: u8) -> Self {
+        self.flip = Some((offset, mask));
+        self
+    }
+
+    /// Number of `read_at` calls observed so far.
+    pub fn reads(&self) -> u64 {
+        self.reads.load(Ordering::Relaxed)
+    }
+
+    /// Consumes the wrapper, returning the inner source.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: ByteSource> ByteSource for FaultySource<S> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        let n = self.reads.fetch_add(1, Ordering::Relaxed);
+        if self.fail_at == Some(n) {
+            return Err(io::Error::other(format!(
+                "injected fault: read {n} ({} bytes at {offset}) failed",
+                buf.len()
+            )));
+        }
+        if self.short_at == Some(n) {
+            let half = buf.len() / 2;
+            self.inner.read_at(offset, &mut buf[..half])?;
+            return Ok(()); // the tail of `buf` is left untouched
+        }
+        self.inner.read_at(offset, buf)?;
+        if let Some((flip_offset, mask)) = self.flip {
+            if flip_offset >= offset && flip_offset - offset < buf.len() as u64 {
+                buf[(flip_offset - offset) as usize] ^= mask;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::MemorySource;
+
+    fn source() -> MemorySource {
+        MemorySource::new((0u8..64).collect::<Vec<u8>>())
+    }
+
+    #[test]
+    fn passes_reads_through_until_a_fault_is_armed() {
+        let faulty = FaultySource::new(source());
+        let mut buf = [0u8; 8];
+        faulty.read_at(4, &mut buf).unwrap();
+        assert_eq!(buf, [4, 5, 6, 7, 8, 9, 10, 11]);
+        assert_eq!(faulty.len(), 64);
+        assert_eq!(faulty.reads(), 1);
+    }
+
+    #[test]
+    fn fails_exactly_the_configured_read() {
+        let faulty = FaultySource::new(source()).fail_read(1);
+        let mut buf = [0u8; 4];
+        faulty.read_at(0, &mut buf).unwrap();
+        let err = faulty.read_at(0, &mut buf).unwrap_err();
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        faulty.read_at(0, &mut buf).unwrap();
+        assert_eq!(faulty.reads(), 3);
+    }
+
+    #[test]
+    fn short_reads_fill_half_and_still_report_success() {
+        let faulty = FaultySource::new(source()).short_read(0);
+        let mut buf = [0xaau8; 8];
+        faulty.read_at(0, &mut buf).unwrap();
+        assert_eq!(&buf[..4], &[0, 1, 2, 3]);
+        assert_eq!(&buf[4..], &[0xaa; 4], "tail must stay untouched");
+    }
+
+    #[test]
+    fn bit_flips_hit_only_reads_covering_the_offset() {
+        let faulty = FaultySource::new(source()).flip_bits(10, 0x01);
+        let mut buf = [0u8; 4];
+        faulty.read_at(0, &mut buf).unwrap();
+        assert_eq!(buf, [0, 1, 2, 3], "read not covering offset 10 is clean");
+        faulty.read_at(8, &mut buf).unwrap();
+        assert_eq!(buf, [8, 9, 11, 11], "byte 10 flipped from 10 to 11");
+    }
+}

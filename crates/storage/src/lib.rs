@@ -58,6 +58,10 @@
 //! future remote ranged-fetch source in tests), and [`CachingSource`]
 //! wraps any source with a chunk-granular LRU so repeated passes over
 //! the same blocks — restreaming's normal access pattern — hit memory.
+//! [`FaultySource`] wraps any source with injected read faults (outright
+//! failures, short reads, bit flips) so the decode paths above — block
+//! reads here, journal replay in `hyperpraw-dynamic` — can be tested
+//! against storage that lies.
 //!
 //! # Prefetch contract
 //!
@@ -72,16 +76,20 @@
 //! bit-identical — equivalence tests pin both against the uncompressed
 //! transpose readers.
 
+mod checksum;
 mod convert;
+mod fault;
 mod format;
 mod reader;
 mod source;
 mod varint;
 
+pub use checksum::crc32;
 pub use convert::{
     convert_file, is_compressed_file, write_from_stream, write_hypergraph,
     DEFAULT_BLOCK_TARGET_BYTES,
 };
+pub use fault::FaultySource;
 pub use format::{BlockEntry, FileMeta, FormatError, COMPRESSED_EXTENSION, MAGIC_HEADER};
 pub use reader::{CompressedReader, CompressedVertexStream, DecodedBlock, ReadMode};
 pub use source::{ByteSource, CacheStats, CachingSource, FileSource, MemorySource};

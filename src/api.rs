@@ -44,9 +44,11 @@ use hyperpraw_lowmem::{
 };
 use hyperpraw_multilevel::{MultilevelConfig, MultilevelPartitioner};
 
+use hyperpraw_storage::{decode_u64, encode_u64};
+
 use crate::report::{
     EffectiveConfig, LowMemStats, MigrationReport, PartitionReport, PhaseTimings, QualityStatus,
-    UpdateReport,
+    RecoveryReport, UpdateReport,
 };
 
 /// Every partitioning algorithm dispatchable through a [`PartitionJob`].
@@ -669,6 +671,7 @@ impl PartitionJob {
             partitioner,
             job: self.clone(),
             initial,
+            recovery: None,
         })
     }
 
@@ -847,12 +850,151 @@ pub struct DynamicSession {
     partitioner: DynamicPartitioner,
     job: PartitionJob,
     initial: PartitionReport,
+    recovery: Option<RecoveryReport>,
 }
+
+/// Version byte opening a [`DynamicSession::session_meta`] blob.
+const SESSION_META_VERSION: u8 = 1;
 
 impl DynamicSession {
     /// The report from the initial (cold) run that seeded this session.
     pub fn initial_report(&self) -> &PartitionReport {
         &self.initial
+    }
+
+    /// How this session was recovered from disk, when it was (`None` for
+    /// sessions started fresh by [`PartitionJob::run_dynamic`]).
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
+    /// The underlying partitioner — what the serve daemon hands to
+    /// [`hyperpraw_dynamic::StateDir::write_snapshot`].
+    pub fn partitioner(&self) -> &DynamicPartitioner {
+        &self.partitioner
+    }
+
+    /// Serialises the job-level configuration a snapshot cannot derive
+    /// from the partitioner — the algorithm variant and the evaluation
+    /// cost matrix — as the opaque meta blob stored alongside it.
+    /// [`DynamicSession::resume`] inverts this.
+    pub fn session_meta(&self) -> Vec<u8> {
+        let mut out = vec![SESSION_META_VERSION];
+        // run_dynamic admits only the two sequential restreaming
+        // variants; anything else cannot have built a session.
+        out.push(match self.job.algorithm {
+            Algorithm::HyperPrawAware => 1,
+            _ => 0,
+        });
+        match &self.job.cost {
+            None => out.push(0),
+            Some(cost) => {
+                out.push(1);
+                let units = cost.num_units();
+                encode_u64(units as u64, &mut out);
+                for i in 0..units {
+                    for j in 0..units {
+                        out.extend_from_slice(&cost.get(i, j).to_bits().to_le_bytes());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a session from a recovered partitioner plus the meta
+    /// blob written by [`DynamicSession::session_meta`]. The initial
+    /// report is re-evaluated from the recovered state; `recovery`
+    /// carries the journal-replay stats into
+    /// [`DynamicSession::report`] consumers.
+    pub fn resume(
+        meta: &[u8],
+        partitioner: DynamicPartitioner,
+        recovery: Option<RecoveryReport>,
+    ) -> Result<Self, PartitionError> {
+        let bad = |msg: &str| PartitionError::InvalidConfig(format!("session meta: {msg}"));
+        let mut pos = 0usize;
+        let byte = |pos: &mut usize| -> Result<u8, PartitionError> {
+            let b = *meta.get(*pos).ok_or_else(|| bad("truncated"))?;
+            *pos += 1;
+            Ok(b)
+        };
+        if byte(&mut pos)? != SESSION_META_VERSION {
+            return Err(bad("unsupported version"));
+        }
+        let algorithm = match byte(&mut pos)? {
+            0 => Algorithm::HyperPrawBasic,
+            1 => Algorithm::HyperPrawAware,
+            _ => return Err(bad("unknown algorithm tag")),
+        };
+        let p = partitioner.partition().num_parts();
+        let cost = match byte(&mut pos)? {
+            0 => None,
+            1 => {
+                let units = decode_u64(meta, &mut pos).ok_or_else(|| bad("truncated"))? as usize;
+                if units != p as usize {
+                    return Err(bad(&format!(
+                        "cost matrix covers {units} units but the partition has {p} parts"
+                    )));
+                }
+                let mut data = Vec::with_capacity(units * units);
+                for _ in 0..units * units {
+                    let end = pos + 8;
+                    let bytes = meta.get(pos..end).ok_or_else(|| bad("truncated"))?;
+                    pos = end;
+                    let c = f64::from_bits(u64::from_le_bytes(bytes.try_into().unwrap()));
+                    if !c.is_finite() || c < 0.0 {
+                        return Err(bad("non-finite or negative comm cost"));
+                    }
+                    data.push(c);
+                }
+                Some(CostMatrix::from_raw(units, data))
+            }
+            _ => return Err(bad("unknown cost tag")),
+        };
+        if pos != meta.len() {
+            return Err(bad("trailing bytes"));
+        }
+        if algorithm.requires_cost_matrix() && cost.is_none() {
+            return Err(bad("architecture-aware session without a cost matrix"));
+        }
+
+        let mut job = PartitionJob::new(algorithm)
+            .partitions(p)
+            .hyperpraw_config(partitioner.config().config);
+        if let Some(cost) = cost {
+            job = job.cost(cost);
+        }
+        let quality = QualityReport::compute(
+            partitioner.hypergraph(),
+            partitioner.partition(),
+            &job.eval_cost(p),
+        );
+        let initial = PartitionReport {
+            algorithm,
+            partition: partitioner.partition().clone(),
+            history: PartitionHistory::default(),
+            stop_reason: None,
+            iterations: 0,
+            final_alpha: None,
+            imbalance: quality.imbalance,
+            comm_cost: Some(quality.comm_cost),
+            hyperedge_cut: Some(quality.hyperedge_cut),
+            soed: Some(quality.soed),
+            quality: QualityStatus::Evaluated,
+            timings: PhaseTimings {
+                partition_secs: 0.0,
+                evaluate_secs: 0.0,
+            },
+            config: job.effective_config(p),
+            lowmem: None,
+        };
+        Ok(Self {
+            partitioner,
+            job,
+            initial,
+            recovery,
+        })
     }
 
     /// The current assignment.
@@ -1170,6 +1312,68 @@ mod tests {
             .unwrap();
         assert_eq!(session.lookup(5), None);
         assert_eq!(session.report().quality, QualityStatus::Evaluated);
+    }
+
+    #[test]
+    fn dynamic_sessions_round_trip_through_meta_and_resume() {
+        let hg = mesh_hypergraph(&MeshConfig::new(120, 6));
+        let mut live = PartitionJob::new(Algorithm::HyperPrawAware)
+            .cost(CostMatrix::from_raw(
+                3,
+                vec![0.0, 1.0, 2.0, 1.0, 0.0, 1.5, 2.0, 1.5, 0.0],
+            ))
+            .seed(7)
+            .run_dynamic(&hg)
+            .unwrap();
+        live.update(&[GraphUpdate::AddVertex { weight: 2.0 }])
+            .unwrap();
+
+        // Serialise through the journal's snapshot machinery and resume.
+        let meta = live.session_meta();
+        let bytes = hyperpraw_dynamic::journal::encode_snapshot(1, &meta, live.partitioner());
+        let snap =
+            hyperpraw_dynamic::journal::read_snapshot(&hyperpraw_storage::MemorySource::new(bytes))
+                .unwrap();
+        let stats = RecoveryReport {
+            snapshot_bytes: 0,
+            batches_replayed: 0,
+            truncated_bytes: 0,
+            torn_tail: false,
+        };
+        let mut resumed =
+            DynamicSession::resume(&snap.meta, snap.partitioner, Some(stats)).unwrap();
+        assert_eq!(resumed.recovery(), Some(&stats));
+        assert_eq!(
+            resumed.partition().assignment(),
+            live.partition().assignment()
+        );
+        // The rebuilt job evaluates against the same cost matrix...
+        assert_eq!(
+            resumed.report().comm_cost.unwrap(),
+            live.report().comm_cost.unwrap()
+        );
+        // ...and both absorb the next batch bit-identically.
+        let batch = [GraphUpdate::AddHyperedge {
+            pins: vec![0, 60, 120],
+            weight: 1.0,
+        }];
+        let a = live.update(&batch).unwrap();
+        let b = resumed.update(&batch).unwrap();
+        assert_eq!(
+            a.report.partition.assignment(),
+            b.report.partition.assignment()
+        );
+
+        // Damaged meta is rejected, not misread.
+        assert!(DynamicSession::resume(&meta[..1], snap_partitioner_clone_err(), None).is_err());
+    }
+
+    // resume() consumes a partitioner; tests that only probe meta
+    // validation still need one to hand over.
+    fn snap_partitioner_clone_err() -> DynamicPartitioner {
+        let hg = mesh_hypergraph(&MeshConfig::new(10, 3));
+        let p = Partition::round_robin(10, 2);
+        DynamicPartitioner::new(&hg, p, CostMatrix::uniform(2), DynamicConfig::default()).unwrap()
     }
 
     #[test]

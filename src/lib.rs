@@ -100,7 +100,7 @@ pub mod prelude {
     pub use crate::api::{Algorithm, DynamicSession, PartitionError, PartitionJob};
     pub use crate::report::{
         EffectiveConfig, LowMemStats, MigrationReport, PartitionReport, PhaseTimings,
-        QualityStatus, UpdateReport,
+        QualityStatus, RecoveryReport, UpdateReport,
     };
     pub use hyperpraw_core::{
         baselines, metrics::partitioning_communication_cost, metrics::QualityReport, CostMatrix,
@@ -108,7 +108,8 @@ pub mod prelude {
         PartitionResult, RefinementPolicy, StopReason, StreamOrder,
     };
     pub use hyperpraw_dynamic::{
-        DynamicConfig, DynamicError, DynamicPartitioner, GraphUpdate, UpdateOutcome,
+        DynamicConfig, DynamicError, DynamicPartitioner, GraphUpdate, RecoveryStats, StateDir,
+        UpdateOutcome,
     };
     pub use hyperpraw_hypergraph::prelude::*;
     pub use hyperpraw_lowmem::{

@@ -377,6 +377,43 @@ pub struct MigrationReport {
     pub bytes_moved: f64,
 }
 
+/// What recovery from a serve state directory found and did — surfaced
+/// by the daemon's `report` op so operators can see that (and how) a
+/// session survived a restart. Mirrors
+/// [`hyperpraw_dynamic::RecoveryStats`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Size of the snapshot file the session was loaded from.
+    pub snapshot_bytes: u64,
+    /// Journal batches replayed on top of the snapshot.
+    pub batches_replayed: usize,
+    /// Journal bytes dropped because they were torn or corrupt.
+    pub truncated_bytes: u64,
+    /// Whether a torn/corrupt journal tail was detected (and dropped).
+    pub torn_tail: bool,
+}
+
+impl RecoveryReport {
+    /// Serialises the recovery stats as a compact JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"snapshot_bytes\": {}, \"batches_replayed\": {}, \"truncated_bytes\": {}, \"torn_tail\": {}}}",
+            self.snapshot_bytes, self.batches_replayed, self.truncated_bytes, self.torn_tail
+        )
+    }
+}
+
+impl From<hyperpraw_dynamic::RecoveryStats> for RecoveryReport {
+    fn from(s: hyperpraw_dynamic::RecoveryStats) -> Self {
+        Self {
+            snapshot_bytes: s.snapshot_bytes,
+            batches_replayed: s.batches_replayed,
+            truncated_bytes: s.truncated_bytes,
+            torn_tail: s.torn_tail,
+        }
+    }
+}
+
 /// The result of one dynamic update batch: a full [`PartitionReport`] for
 /// the post-update assignment, extended with what the batch touched and
 /// what migrating to the new assignment costs.
