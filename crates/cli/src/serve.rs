@@ -37,8 +37,12 @@
 //! final record rather than replaying it — and resumes with a
 //! bit-identical assignment. The `report` op then carries a
 //! `"recovery"` object with the replay stats. Persistence failures never
-//! kill the daemon: they are logged, surfaced as `"persistence_error"`
-//! in `report`, and serving continues (degraded to in-memory only).
+//! kill the daemon: they are logged and surfaced as
+//! `"persistence_error"` in `report`, serving continues in memory, and
+//! the journal is *disarmed* — a gapped journal must never be replayed,
+//! so no further batch is appended until a full snapshot (attempted
+//! immediately, then retried on every later update) provably re-syncs
+//! the disk with the live session, at which point the error clears.
 //!
 //! # Concurrency and robustness (TCP mode)
 //!
@@ -48,12 +52,15 @@
 //! the shared session lock for the duration of one request. A failed
 //! `accept()` is logged and retried with exponential backoff — it does
 //! not tear the daemon down. Per-connection reads carry a timeout
-//! (`--read-timeout-secs`) so workers notice shutdown, and request lines
-//! are capped at `--max-line-bytes` (default 16 MiB): an oversized line
-//! is drained and answered with a structured error, keeping the
-//! connection alive. `shutdown` (from any client) and SIGTERM/SIGINT
-//! both stop the daemon after flushing the journal and writing a final
-//! snapshot.
+//! (`--read-timeout-secs`) so workers notice shutdown, and a connection
+//! that stays completely silent for `IDLE_TIMEOUT_STRIKES` consecutive
+//! timeout windows is disconnected — idle (or slow-loris) clients cannot
+//! pin all `SERVE_WORKERS` workers forever and starve the accept
+//! queue. Request lines are capped at `--max-line-bytes` (default
+//! 16 MiB): an oversized line is drained and answered with a structured
+//! error, keeping the connection alive. `shutdown` (from any client) and
+//! SIGTERM/SIGINT both stop the daemon after flushing the journal and
+//! writing a final snapshot.
 //!
 //! Responses embed the facade's [`hyperpraw::report::PartitionReport`] /
 //! `UpdateReport` JSON,
@@ -86,6 +93,11 @@ use crate::commands::{load_hypergraph, profile, CommandError};
 
 /// Worker threads serving TCP connections (plus one acceptor).
 const SERVE_WORKERS: usize = 4;
+
+/// Consecutive read-timeout windows (each `--read-timeout-secs` long)
+/// with zero bytes received before an idle connection is dropped to free
+/// its worker for queued connections.
+const IDLE_TIMEOUT_STRIKES: u32 = 4;
 
 /// How the daemon runs: transport, durability and robustness knobs.
 #[derive(Clone, Debug)]
@@ -125,6 +137,11 @@ impl Default for ServeOptions {
 struct ServeState {
     session: Option<DynamicSession>,
     store: Option<StateDir>,
+    /// The on-disk state may be missing acknowledged batches (an append
+    /// or snapshot failed). While set, appends are refused — replaying a
+    /// gapped journal would silently diverge — and every update instead
+    /// retries a full snapshot until one re-syncs the disk.
+    store_dirty: bool,
     persist_error: Option<String>,
 }
 
@@ -144,14 +161,52 @@ fn should_stop() -> bool {
 }
 
 #[cfg(unix)]
+extern "C" fn on_terminate(_signum: i32) {
+    TERMINATED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(target_os = "linux")]
 fn install_signal_handlers() {
-    extern "C" fn on_terminate(_signum: i32) {
-        TERMINATED.store(true, Ordering::SeqCst);
+    // glibc's signal() installs BSD (SA_RESTART) semantics: a blocking
+    // stdin read would be transparently restarted, so an idle --stdio
+    // daemon would not reach its should_stop() check (or write its final
+    // snapshot) until the next input line. sigaction with empty flags
+    // makes blocking reads fail with EINTR instead, which every serve
+    // loop maps to a prompt shutdown check. Layout below matches glibc
+    // and musl on every Linux target this workspace builds for:
+    // handler, 1024-bit signal mask, flags, restorer.
+    #[repr(C)]
+    struct SigAction {
+        handler: usize,
+        mask: [u64; 16],
+        flags: i32,
+        restorer: usize,
     }
+    extern "C" {
+        fn sigaction(signum: i32, act: *const SigAction, old: *mut SigAction) -> i32;
+    }
+    let act = SigAction {
+        handler: on_terminate as *const () as usize,
+        mask: [0; 16],
+        flags: 0, // notably: no SA_RESTART
+        restorer: 0,
+    };
+    // SIGTERM = 15, SIGINT = 2 on every unix the toolchain targets.
+    unsafe {
+        sigaction(15, &act, std::ptr::null_mut());
+        sigaction(2, &act, std::ptr::null_mut());
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+fn install_signal_handlers() {
+    // Portable fallback for unixes whose sigaction layout we do not pin:
+    // signal() restarts blocking reads, so an idle --stdio daemon may
+    // only notice a signal at its next input line; TCP mode is unaffected
+    // (socket reads carry a timeout and re-check should_stop()).
     extern "C" {
         fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
     }
-    // SIGTERM = 15, SIGINT = 2 on every unix the toolchain targets.
     unsafe {
         signal(15, on_terminate);
         signal(2, on_terminate);
@@ -173,6 +228,7 @@ fn open_state(opts: &ServeOptions) -> Result<ServeState, CommandError> {
     let mut state = ServeState {
         session: None,
         store: None,
+        store_dirty: false,
         persist_error: None,
     };
     let Some(dir) = &opts.state_dir else {
@@ -205,12 +261,18 @@ fn open_state(opts: &ServeOptions) -> Result<ServeState, CommandError> {
     Ok(state)
 }
 
-/// Writes a final snapshot when the journal holds batches the last
-/// snapshot does not; called on every shutdown path.
+/// Writes a final snapshot when the on-disk state lags the session —
+/// journalled batches since the last snapshot, or a dirty (gapped)
+/// store; called on every shutdown path.
 fn persist_final(state: &mut ServeState) {
-    let ServeState { session, store, .. } = state;
+    let ServeState {
+        session,
+        store,
+        store_dirty,
+        ..
+    } = state;
     if let (Some(store), Some(session)) = (store.as_mut(), session.as_ref()) {
-        if store.batches_since_snapshot() > 0 {
+        if store.batches_since_snapshot() > 0 || *store_dirty {
             if let Err(e) = store.write_snapshot(&session.session_meta(), session.partitioner()) {
                 eprintln!("hyperpraw serve: final snapshot failed: {e}");
             }
@@ -222,6 +284,30 @@ fn note_persist_error(persist_error: &mut Option<String>, what: &str, e: impl st
     let message = format!("{what}: {e}");
     eprintln!("hyperpraw serve: persistence degraded — {message}");
     *persist_error = Some(message);
+}
+
+/// Re-syncs the on-disk state with the live session via a full snapshot
+/// (which also rotates in a fresh, gap-free journal). Success proves
+/// disk and memory agree again: the dirty flag and the advertised
+/// persistence error both clear. Failure (re-)marks the store dirty so
+/// no append can ever follow a gap.
+fn resync_snapshot(
+    store: &mut StateDir,
+    session: &DynamicSession,
+    store_dirty: &mut bool,
+    persist_error: &mut Option<String>,
+    what: &str,
+) {
+    match store.write_snapshot(&session.session_meta(), session.partitioner()) {
+        Ok(()) => {
+            *store_dirty = false;
+            *persist_error = None;
+        }
+        Err(e) => {
+            *store_dirty = true;
+            note_persist_error(persist_error, what, e);
+        }
+    }
 }
 
 /// Runs the daemon until a `shutdown` request, SIGTERM/SIGINT, or EOF in
@@ -327,21 +413,35 @@ fn worker_loop(shared: &Shared, opts: &ServeOptions) {
     }
 }
 
-/// Serves one TCP connection until it closes, the daemon shuts down, or
-/// transport IO fails.
+/// Serves one TCP connection until it closes, goes silent for
+/// [`IDLE_TIMEOUT_STRIKES`] read-timeout windows, the daemon shuts
+/// down, or transport IO fails.
 fn connection(stream: TcpStream, shared: &Shared, opts: &ServeOptions) -> io::Result<()> {
     let reader = stream.try_clone()?;
     let mut writer = stream;
     let mut lines = LineReader::new(BufReader::new(reader), opts.max_line_bytes);
+    // Consecutive timeout windows with zero bytes received. A timeout
+    // only fires when a whole `--read-timeout-secs` window passed with
+    // nothing to read, so any traffic at all resets the count.
+    let mut idle_strikes = 0u32;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) || should_stop() {
             return Ok(());
         }
         match lines.next_line() {
             Line::Eof => return Ok(()),
-            Line::TimedOut => continue,
+            Line::TimedOut => {
+                idle_strikes += 1;
+                if idle_strikes >= IDLE_TIMEOUT_STRIKES {
+                    // Free the worker: with a bounded pool, idle clients
+                    // must not be able to starve queued connections.
+                    return Ok(());
+                }
+                continue;
+            }
             Line::Io(e) => return Err(e),
             Line::TooLong => {
+                idle_strikes = 0;
                 let response = error_response(&ServeError::from(format!(
                     "request line exceeds {} bytes",
                     opts.max_line_bytes
@@ -350,6 +450,7 @@ fn connection(stream: TcpStream, shared: &Shared, opts: &ServeOptions) -> io::Re
                 writer.flush()?;
             }
             Line::Data(buf) => {
+                idle_strikes = 0;
                 let Some((response, shutdown)) =
                     respond_bytes(&buf, &mut lock(&shared.state), opts)
                 else {
@@ -376,6 +477,7 @@ pub fn session<R: BufRead, W: Write>(input: R, out: &mut W) -> Result<bool, Comm
     let mut state = ServeState {
         session: None,
         store: None,
+        store_dirty: false,
         persist_error: None,
     };
     session_loop(input, out, &mut state, &opts)
@@ -508,13 +610,17 @@ fn handle(line: &str, state: &mut ServeState, opts: &ServeOptions) -> Result<Rep
             let ServeState {
                 session,
                 store,
+                store_dirty,
                 persist_error,
             } = state;
             if let (Some(store), Some(session)) = (store.as_mut(), session.as_ref()) {
-                match store.write_snapshot(&session.session_meta(), session.partitioner()) {
-                    Ok(()) => *persist_error = None,
-                    Err(e) => note_persist_error(persist_error, "initial snapshot", e),
-                }
+                resync_snapshot(
+                    store,
+                    session,
+                    store_dirty,
+                    persist_error,
+                    "initial snapshot",
+                );
             }
             Ok(Reply::Payload(format!("\"report\": {report}")))
         }
@@ -523,6 +629,7 @@ fn handle(line: &str, state: &mut ServeState, opts: &ServeOptions) -> Result<Rep
             let ServeState {
                 session,
                 store,
+                store_dirty,
                 persist_error,
             } = state;
             let session = session
@@ -532,15 +639,32 @@ fn handle(line: &str, state: &mut ServeState, opts: &ServeOptions) -> Result<Rep
             if let Some(store) = store.as_mut() {
                 // The batch was accepted: journal it (fsynced) before the
                 // client sees the acknowledgement, folding into a fresh
-                // snapshot once the replay tail gets long.
-                if let Err(e) = store.append(&updates) {
-                    note_persist_error(persist_error, "journal append", e);
+                // snapshot once the replay tail gets long. Any failure
+                // leaves the disk behind the session, so the journal is
+                // disarmed until a full snapshot re-syncs it — appending
+                // past a gap would replay a silently divergent history.
+                if *store_dirty {
+                    resync_snapshot(
+                        store,
+                        session,
+                        store_dirty,
+                        persist_error,
+                        "resync snapshot",
+                    );
+                } else if let Err(e) = store.append(&updates) {
+                    *store_dirty = true;
+                    eprintln!(
+                        "hyperpraw serve: journal append failed ({e}); snapshotting to re-sync"
+                    );
+                    resync_snapshot(store, session, store_dirty, persist_error, "journal append");
                 } else if store.batches_since_snapshot() >= opts.snapshot_every.max(1) {
-                    if let Err(e) =
-                        store.write_snapshot(&session.session_meta(), session.partitioner())
-                    {
-                        note_persist_error(persist_error, "periodic snapshot", e);
-                    }
+                    resync_snapshot(
+                        store,
+                        session,
+                        store_dirty,
+                        persist_error,
+                        "periodic snapshot",
+                    );
                 }
             }
             Ok(Reply::Payload(format!(
@@ -1065,6 +1189,7 @@ mod tests {
         let mut state = ServeState {
             session: None,
             store: None,
+            store_dirty: false,
             persist_error: None,
         };
         let mut out = Vec::new();
@@ -1109,6 +1234,120 @@ mod tests {
             Line::Eof => "Eof",
             Line::Io(_) => "Io",
         }
+    }
+
+    /// A dirty store (an earlier append or snapshot failure) must never
+    /// append again — the next accepted batch re-syncs the disk with a
+    /// full snapshot instead, clearing the advertised error, and the
+    /// re-synced directory recovers to the live assignment.
+    #[test]
+    fn dirty_store_resyncs_via_snapshot_and_clears_the_error() {
+        let dir = std::env::temp_dir().join(format!("hpraw-serve-dirty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let opts = ServeOptions {
+            state_dir: Some(dir.clone()),
+            ..ServeOptions::default()
+        };
+        let mut state = open_state(&opts).unwrap();
+        let mut out = Vec::new();
+        session_loop(
+            Cursor::new(
+                b"{\"op\": \"partition\", \"parts\": 2, \"seed\": 7, \"edges\": [[0,1,2],[2,3],[3,4,0]]}\n"
+                    .to_vec(),
+            ),
+            &mut out,
+            &mut state,
+            &opts,
+        )
+        .unwrap();
+        assert!(!state.store_dirty);
+
+        // Simulate a journal-append failure having disarmed the store.
+        state.store_dirty = true;
+        state.persist_error = Some("journal append: injected".to_string());
+
+        let mut out = Vec::new();
+        session_loop(
+            Cursor::new(
+                concat!(
+                    "{\"op\": \"update\", \"updates\": [{\"op\": \"add_vertex\"}, ",
+                    "{\"op\": \"add_edge\", \"pins\": [5, 0]}]}\n",
+                    "{\"op\": \"report\"}\n",
+                )
+                .as_bytes()
+                .to_vec(),
+            ),
+            &mut out,
+            &mut state,
+            &opts,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"ok\": true"), "{}", lines[0]);
+        assert!(
+            !state.store_dirty,
+            "a successful snapshot re-arms the store"
+        );
+        assert_eq!(state.persist_error, None);
+        assert!(
+            !lines[1].contains("persistence_error"),
+            "the error must clear once disk and memory agree: {}",
+            lines[1]
+        );
+
+        // The re-sync captured the batch the journal never saw: a fresh
+        // recovery answers identically to the live session.
+        let live: Vec<Option<u32>> = (0..6)
+            .map(|v| state.session.as_ref().unwrap().lookup(v))
+            .collect();
+        drop(state);
+        let (_, recovered) = StateDir::open(&dir).unwrap();
+        let rec = recovered.expect("state must recover");
+        let report = RecoveryReport::from(rec.stats.clone());
+        let resumed = DynamicSession::resume(&rec.meta, rec.partitioner, Some(report)).unwrap();
+        for v in 0..6u32 {
+            assert_eq!(resumed.lookup(v), live[v as usize], "vertex {v}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A connection that never sends a byte is hung up on after
+    /// [`IDLE_TIMEOUT_STRIKES`] read-timeout windows, and the daemon
+    /// keeps serving new clients afterwards — idle clients cannot pin
+    /// the worker pool.
+    #[test]
+    fn idle_connections_are_disconnected_to_free_workers() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let opts = ServeOptions {
+            read_timeout_secs: 1,
+            ..ServeOptions::default()
+        };
+        let server = std::thread::spawn(move || serve_on(listener, &opts));
+
+        let idle = TcpStream::connect(addr).unwrap();
+        idle.set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        // Blocks until the server closes the idle connection (~strikes
+        // × 1s); a zero-byte read is that hang-up.
+        let n = (&idle)
+            .read(&mut buf)
+            .expect("server must hang up, not time us out");
+        assert_eq!(n, 0, "expected EOF from the server side");
+
+        let mut busy = TcpStream::connect(addr).unwrap();
+        busy.write_all(
+            b"{\"op\": \"partition\", \"parts\": 2, \"edges\": [[0,1],[1,2]]}\n{\"op\": \"shutdown\"}\n",
+        )
+        .unwrap();
+        let mut responses = String::new();
+        BufReader::new(&busy)
+            .read_to_string(&mut responses)
+            .unwrap();
+        assert!(responses.contains("\"bye\""), "{responses}");
+        server.join().unwrap().unwrap();
     }
 
     /// Two clients at once: an idle connection (A) must not block a full

@@ -162,6 +162,57 @@ fn sigkill_mid_stream_recovers_bit_identical_state() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// SIGTERM must interrupt an *idle* stdio daemon — one parked in a
+/// blocking stdin read with no further input coming — and make it flush
+/// its final snapshot and exit promptly. Installing handlers with
+/// SA_RESTART semantics would restart the read instead, and this test
+/// would hang until its deadline.
+#[test]
+fn sigterm_interrupts_an_idle_stdio_daemon_and_flushes_state() {
+    let dir = state_dir("sigterm");
+
+    let mut daemon = Daemon::spawn(&dir);
+    let first = daemon.request(
+        "{\"op\": \"partition\", \"parts\": 2, \"seed\": 7, \"edges\": [[0,1,2],[2,3,4]]}",
+    );
+    assert!(first.contains("\"ok\": true"), "{first}");
+    let ack = daemon.request("{\"op\": \"update\", \"updates\": [{\"op\": \"add_vertex\"}]}");
+    assert!(ack.contains("\"ok\": true"), "{ack}");
+    let lookup_before = daemon.request("{\"op\": \"lookup\", \"vertex\": 2}");
+
+    // The daemon is now idle in a blocking stdin read; stdin stays open
+    // and silent, so only the signal can wake it.
+    let pid = daemon.child.id().to_string();
+    let sent = Command::new("kill").args(["-TERM", &pid]).status().unwrap();
+    assert!(sent.success(), "kill -TERM {pid}");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    let exit = loop {
+        if let Some(status) = daemon.child.try_wait().unwrap() {
+            break status;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "daemon ignored SIGTERM while idle (blocking read restarted?)"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    };
+    assert!(exit.success(), "clean exit after SIGTERM: {exit}");
+
+    // The shutdown path folded the journal into a final snapshot: the
+    // next life replays nothing yet answers identically.
+    let mut daemon = Daemon::spawn(&dir);
+    let got = daemon.request("{\"op\": \"lookup\", \"vertex\": 2}");
+    assert_eq!(got, lookup_before, "assignment must survive the SIGTERM");
+    let report = daemon.request("{\"op\": \"report\"}");
+    assert!(
+        report.contains("\"batches_replayed\": 0"),
+        "the final snapshot already folded the journal: {report}"
+    );
+    daemon.shutdown();
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
 /// A corrupt byte *inside* an already-acked record stops replay at the
 /// damage — the prefix before it recovers, nothing after it is applied.
 #[test]
