@@ -6,26 +6,23 @@
 //! connections each issuing a stream of `lookup` requests — the cheapest
 //! op, so the numbers measure the serving machinery (accept queue, worker
 //! hand-off, session lock, line framing), not partitioning work. Client-side
-//! round-trip latencies are aggregated across all connections into p50 /
-//! p95 / p99 and recorded to `target/BENCH_serve.json` via the harness's
-//! `record_metric`, alongside the total throughput. A mixed id stirs
-//! `update` batches in from one of the clients, showing how much write
-//! traffic (and, in daemons with `--state-dir`, journal fsyncs) stretches
-//! the read tail.
+//! round-trip latencies land in a shared `hyperpraw-telemetry` histogram
+//! (the same log-scaled buckets the daemon itself reports through its
+//! `metrics` op) whose p50 / p95 / p99 are recorded to
+//! `target/BENCH_serve.json` via the harness's `record_metric`, alongside
+//! the total throughput. A mixed id stirs `update` batches in from one of
+//! the clients, showing how much write traffic (and, in daemons with
+//! `--state-dir`, journal fsyncs) stretches the read tail.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::time::{Duration, Instant};
 
 use criterion::record_metric;
+use hyperpraw::telemetry::{Histogram, HistogramSnapshot, Registry};
 use hyperpraw_cli::serve::{serve_on, ServeOptions};
 
 const CLIENTS: usize = 4;
-
-fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx]
-}
 
 /// One request, one response, one timing.
 fn timed_request(
@@ -52,7 +49,7 @@ fn connect(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
     (stream, reader)
 }
 
-fn run_load(requests_per_client: usize, updates: bool) -> (Vec<Duration>, Duration) {
+fn run_load(requests_per_client: usize, updates: bool) -> (HistogramSnapshot, Duration) {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let opts = ServeOptions {
@@ -79,12 +76,16 @@ fn run_load(requests_per_client: usize, updates: bool) -> (Vec<Duration>, Durati
         // the measured clients.
     }
 
+    // All clients record into one histogram: the handles are cheap
+    // atomic clones over shared buckets, so no post-hoc aggregation.
+    let registry = Registry::new();
+    let latency: Histogram = registry.histogram("bench.serve.round_trip_us");
     let started = Instant::now();
     let workers: Vec<_> = (0..CLIENTS)
         .map(|c| {
+            let latency = latency.clone();
             std::thread::spawn(move || {
                 let (mut stream, mut reader) = connect(addr);
-                let mut latencies = Vec::with_capacity(requests_per_client);
                 for i in 0..requests_per_client {
                     let line = if updates && c == 0 && i % 10 == 5 {
                         // One writer client stirs small update batches in.
@@ -100,16 +101,14 @@ fn run_load(requests_per_client: usize, updates: bool) -> (Vec<Duration>, Durati
                             (c * 499 + i * 241) % 2_000
                         )
                     };
-                    latencies.push(timed_request(&mut stream, &mut reader, &line));
+                    latency.record_duration(timed_request(&mut stream, &mut reader, &line));
                 }
-                latencies
             })
         })
         .collect();
-    let mut latencies: Vec<Duration> = workers
-        .into_iter()
-        .flat_map(|w| w.join().unwrap())
-        .collect();
+    for w in workers {
+        w.join().unwrap();
+    }
     let wall = started.elapsed();
 
     let (mut closer, mut closer_reader) = connect(addr);
@@ -120,22 +119,21 @@ fn run_load(requests_per_client: usize, updates: bool) -> (Vec<Duration>, Durati
     assert!(bye.contains("\"bye\""), "{bye}");
     server.join().unwrap();
 
-    latencies.sort_unstable();
-    (latencies, wall)
+    (latency.snapshot(), wall)
 }
 
-fn report(id: &str, latencies: &[Duration], wall: Duration) {
-    let total = latencies.len();
-    let p50 = percentile(latencies, 0.50);
-    let p95 = percentile(latencies, 0.95);
-    let p99 = percentile(latencies, 0.99);
+fn report(id: &str, latencies: &HistogramSnapshot, wall: Duration) {
+    let total = latencies.count;
+    let p50 = latencies.quantile(0.50);
+    let p95 = latencies.quantile(0.95);
+    let p99 = latencies.quantile(0.99);
     println!(
         "serve_load/{id}: {total} requests over {CLIENTS} connections in {wall:?} \
-         (p50 {p50:?}, p95 {p95:?}, p99 {p99:?})"
+         (p50 {p50}us, p95 {p95}us, p99 {p99}us)"
     );
-    record_metric(format!("serve_load/{id}/p50"), p50.as_secs_f64() * 1e3);
-    record_metric(format!("serve_load/{id}/p95"), p95.as_secs_f64() * 1e3);
-    record_metric(format!("serve_load/{id}/p99"), p99.as_secs_f64() * 1e3);
+    record_metric(format!("serve_load/{id}/p50"), p50 as f64 / 1e3);
+    record_metric(format!("serve_load/{id}/p95"), p95 as f64 / 1e3);
+    record_metric(format!("serve_load/{id}/p99"), p99 as f64 / 1e3);
     record_metric(
         format!("serve_load/{id}/wall_per_1k_requests"),
         wall.as_secs_f64() * 1e3 / (total as f64 / 1e3),

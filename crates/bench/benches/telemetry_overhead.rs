@@ -1,0 +1,53 @@
+//! Instrumentation cost of the telemetry registry on the restreaming
+//! engine.
+//!
+//! Runs `hyperpraw_basic` on the cardinality-16 mesh instance (the same
+//! instance as `partitioners_end_to_end`) twice: once bound to
+//! `Registry::disabled()` — the default, where every counter and
+//! histogram handle is a no-op holding no allocation — and once bound to
+//! a live registry recording the engine's per-pass metrics. The two ids
+//! land side by side in `target/BENCH_telemetry_overhead.json`; the
+//! acceptance bar is the live run staying within 3% of disabled.
+//! Recording is observation-only, so the bench also asserts the two
+//! configurations produce bit-identical partitions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use hyperpraw::telemetry::Registry;
+use hyperpraw_core::{HyperPraw, HyperPrawConfig};
+use hyperpraw_hypergraph::generators::{mesh_hypergraph, MeshConfig};
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    let hg = mesh_hypergraph(&MeshConfig::new(3_000, 16));
+    let p = 24u32;
+    let config = HyperPrawConfig::default();
+    let live = Registry::new();
+
+    let baseline = HyperPraw::basic(config, p).partition(&hg).partition;
+    let instrumented = HyperPraw::basic(config, p)
+        .with_registry(&live)
+        .partition(&hg)
+        .partition;
+    assert_eq!(
+        baseline.assignment(),
+        instrumented.assignment(),
+        "a live registry must not change the partition"
+    );
+
+    group.bench_function(BenchmarkId::new("hyperpraw_basic", "disabled"), |b| {
+        b.iter(|| HyperPraw::basic(config, p).partition(&hg))
+    });
+    group.bench_function(BenchmarkId::new("hyperpraw_basic", "live"), |b| {
+        b.iter(|| {
+            HyperPraw::basic(config, p)
+                .with_registry(&live)
+                .partition(&hg)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

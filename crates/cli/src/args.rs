@@ -123,6 +123,9 @@ pub enum Command {
         format: StreamFormat,
         /// Disable background block prefetch on the compressed path.
         no_prefetch: bool,
+        /// Dump the run's telemetry registry (engine/storage metrics) as
+        /// JSON to this path.
+        metrics_out: Option<PathBuf>,
     },
     /// Convert a hypergraph file to the block-compressed CSR format.
     Convert {
@@ -176,6 +179,9 @@ pub enum Command {
         json: bool,
         /// Also write the JSON report to this path.
         json_out: Option<PathBuf>,
+        /// Dump the run's telemetry registry (engine metrics) as JSON to
+        /// this path.
+        metrics_out: Option<PathBuf>,
     },
     /// Profile a machine preset and write its bandwidth matrix as CSV.
     Profile {
@@ -203,6 +209,9 @@ pub enum Command {
         read_timeout_secs: u64,
         /// Fold the journal into a fresh snapshot every N batches.
         snapshot_every: u64,
+        /// Serve a Prometheus-style plain-text metrics exposition on this
+        /// address (`None` disables the endpoint).
+        metrics_addr: Option<String>,
     },
     /// Run the synthetic benchmark for an existing assignment.
     Benchmark {
@@ -280,18 +289,21 @@ pub fn usage() -> String {
                            [--connectivity csr|adjacency|auto] [--threads N|0=auto]\n\
                            [--parallel-mode bsp|steal] [--seed N]\n\
                            [--output assignment.txt] [--json] [--json-out report.json]\n\
+                           [--metrics-out metrics.json]\n\
        hyperpraw lowmem    <input> --parts N [--budget-mib 64] [--exact] [--restream K]\n\
                            [--passes N] [--rebuild-sketches] [--threads N|0=auto]\n\
                            [--parallel-mode bsp|steal]\n\
                            [--machine archer|cluster|cloud|flat] [--seed N]\n\
                            [--format auto|transpose|compressed] [--no-prefetch]\n\
                            [--output assignment.txt] [--json] [--json-out report.json]\n\
+                           [--metrics-out metrics.json]\n\
        hyperpraw convert   <input> <output.hpz> [--block-bytes 65536]\n\
        hyperpraw generate  <output.hgr> [--vertices 10000] [--cardinality 16] [--seed N]\n\
        hyperpraw profile   --machine archer|cluster|cloud|flat --procs N [--output bw.csv]\n\
        hyperpraw benchmark <input> <assignment> [--machine archer|...] [--bytes 1024] [--supersteps 1]\n\
        hyperpraw serve     [--bind 127.0.0.1:7700] [--stdio] [--state-dir DIR]\n\
                            [--max-line-bytes N] [--read-timeout-secs N] [--snapshot-every N]\n\
+                           [--metrics-addr 127.0.0.1:9100]\n\
      \n\
      All algorithms dispatch through the facade's unified PartitionJob API; --json emits the\n\
      common PartitionReport as machine-readable JSON.\n\
@@ -373,6 +385,7 @@ impl Cli {
                 let mut output = None;
                 let mut json = false;
                 let mut json_out = None;
+                let mut metrics_out = None;
                 let mut i = 1;
                 while i < rest.len() {
                     let opt = rest[i].as_str();
@@ -410,6 +423,9 @@ impl Cli {
                         "--json-out" => {
                             json_out = Some(PathBuf::from(value(&rest, &mut i)?));
                         }
+                        "--metrics-out" => {
+                            metrics_out = Some(PathBuf::from(value(&rest, &mut i)?));
+                        }
                         other => return Err(ParseError::UnknownOption(other.into())),
                     }
                     i += 1;
@@ -428,6 +444,7 @@ impl Cli {
                         output,
                         json,
                         json_out,
+                        metrics_out,
                     },
                 })
             }
@@ -446,6 +463,7 @@ impl Cli {
                 let mut output = None;
                 let mut json = false;
                 let mut json_out = None;
+                let mut metrics_out = None;
                 let mut format = StreamFormat::Auto;
                 let mut no_prefetch = false;
                 let mut i = 1;
@@ -497,6 +515,9 @@ impl Cli {
                         "--json-out" => {
                             json_out = Some(PathBuf::from(value(&rest, &mut i)?));
                         }
+                        "--metrics-out" => {
+                            metrics_out = Some(PathBuf::from(value(&rest, &mut i)?));
+                        }
                         other => return Err(ParseError::UnknownOption(other.into())),
                     }
                     i += 1;
@@ -519,6 +540,7 @@ impl Cli {
                         json_out,
                         format,
                         no_prefetch,
+                        metrics_out,
                     },
                 })
             }
@@ -612,6 +634,7 @@ impl Cli {
                 let mut max_line_bytes = 16 * 1024 * 1024;
                 let mut read_timeout_secs = 30;
                 let mut snapshot_every = 64;
+                let mut metrics_addr = None;
                 let mut i = 0;
                 while i < rest.len() {
                     let opt = rest[i].as_str();
@@ -637,6 +660,9 @@ impl Cli {
                             snapshot_every =
                                 parse_number("--snapshot-every", value(&rest, &mut i)?)?;
                         }
+                        "--metrics-addr" => {
+                            metrics_addr = Some(value(&rest, &mut i)?.to_string());
+                        }
                         other => return Err(ParseError::UnknownOption(other.into())),
                     }
                     i += 1;
@@ -649,6 +675,7 @@ impl Cli {
                         max_line_bytes,
                         read_timeout_secs,
                         snapshot_every,
+                        metrics_addr,
                     },
                 })
             }
@@ -728,7 +755,8 @@ mod tests {
     fn parses_partition_with_defaults_and_overrides() {
         let cli = Cli::parse(argv(
             "partition app.hgr --parts 96 -a multilevel -m cloud --imbalance 1.05 \
-             --connectivity csr --threads 3 --seed 7 -o out.txt --json --json-out r.json",
+             --connectivity csr --threads 3 --seed 7 -o out.txt --json --json-out r.json \
+             --metrics-out m.json",
         ))
         .unwrap();
         match cli.command {
@@ -745,6 +773,7 @@ mod tests {
                 output,
                 json,
                 json_out,
+                metrics_out,
             } => {
                 assert_eq!(input, PathBuf::from("app.hgr"));
                 assert_eq!(parts, 96);
@@ -758,6 +787,7 @@ mod tests {
                 assert_eq!(output, Some(PathBuf::from("out.txt")));
                 assert!(json);
                 assert_eq!(json_out, Some(PathBuf::from("r.json")));
+                assert_eq!(metrics_out, Some(PathBuf::from("m.json")));
             }
             other => panic!("wrong command {other:?}"),
         }
@@ -1031,11 +1061,13 @@ mod tests {
                 max_line_bytes: 16 * 1024 * 1024,
                 read_timeout_secs: 30,
                 snapshot_every: 64,
+                metrics_addr: None,
             }
         );
         let cli = Cli::parse(argv(
             "serve --bind 0.0.0.0:9000 --stdio --state-dir /tmp/hp-state \
-             --max-line-bytes 1024 --read-timeout-secs 5 --snapshot-every 8",
+             --max-line-bytes 1024 --read-timeout-secs 5 --snapshot-every 8 \
+             --metrics-addr 127.0.0.1:9100",
         ))
         .unwrap();
         assert_eq!(
@@ -1047,6 +1079,7 @@ mod tests {
                 max_line_bytes: 1024,
                 read_timeout_secs: 5,
                 snapshot_every: 8,
+                metrics_addr: Some("127.0.0.1:9100".into()),
             }
         );
         assert!(matches!(

@@ -23,6 +23,7 @@ use hyperpraw::lowmem::{quality, MemoryBudget};
 use hyperpraw::netsim::{BenchmarkConfig, LinkModel, RingProfiler, SyntheticBenchmark};
 use hyperpraw::report::PartitionReport;
 use hyperpraw::storage;
+use hyperpraw::telemetry;
 use hyperpraw::topology::MachineModel;
 
 use crate::args::{Cli, Command, MachinePreset, StreamFormat};
@@ -179,6 +180,22 @@ fn emit_report(
     Ok(())
 }
 
+/// Dumps the run's telemetry registry as single-line JSON when
+/// `--metrics-out` asked for it.
+fn write_metrics(
+    path: Option<&Path>,
+    metrics: &telemetry::Registry,
+    json: bool,
+) -> Result<(), CommandError> {
+    if let Some(path) = path {
+        fs::write(path, metrics.render_json())?;
+        if !json {
+            println!("metrics          : {}", path.display());
+        }
+    }
+    Ok(())
+}
+
 /// Executes a parsed invocation.
 pub fn execute(cli: &Cli) -> Result<(), CommandError> {
     match &cli.command {
@@ -197,6 +214,7 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             max_line_bytes,
             read_timeout_secs,
             snapshot_every,
+            metrics_addr,
         } => crate::serve::serve(&crate::serve::ServeOptions {
             bind: bind.clone(),
             stdio: *stdio,
@@ -204,6 +222,7 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             max_line_bytes: *max_line_bytes,
             read_timeout_secs: *read_timeout_secs,
             snapshot_every: *snapshot_every,
+            metrics_addr: metrics_addr.clone(),
         }),
         Command::Partition {
             input,
@@ -218,19 +237,22 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             output,
             json,
             json_out,
+            metrics_out,
         } => {
             let hg = load_hypergraph(input)?;
             if *parts < 2 {
                 return Err(CommandError::Invalid("--parts must be at least 2".into()));
             }
             let (_, cost) = profile(*machine, *parts as usize, *seed);
+            let metrics = telemetry::Registry::new();
             let mut job = PartitionJob::new(*algorithm)
                 .partitions(*parts)
                 .cost(cost)
                 .seed(*seed)
                 .imbalance_tolerance(*imbalance)
                 .connectivity(*connectivity)
-                .parallel_mode(*parallel_mode);
+                .parallel_mode(*parallel_mode)
+                .registry(&metrics);
             if let Some(t) = threads {
                 if !algorithm.supports_threads() {
                     return Err(CommandError::Invalid(format!(
@@ -247,7 +269,8 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                 *json,
                 json_out.as_deref(),
                 output.as_deref(),
-            )
+            )?;
+            write_metrics(metrics_out.as_deref(), &metrics, *json)
         }
         Command::LowMem {
             input,
@@ -266,6 +289,7 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             json_out,
             format,
             no_prefetch,
+            metrics_out,
         } => {
             if *parts < 2 {
                 return Err(CommandError::Invalid("--parts must be at least 2".into()));
@@ -305,6 +329,7 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
             };
             let budget = MemoryBudget::mebibytes((*budget_mib).max(1));
             let (_, cost) = profile(*machine, *parts as usize, *seed);
+            let metrics = telemetry::Registry::new();
             let job = PartitionJob::new(algorithm)
                 .partitions(*parts)
                 .cost(cost)
@@ -315,7 +340,8 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                 .threads(*threads)
                 .parallel_mode(*parallel_mode)
                 .seed(*seed)
-                .prefetch(!*no_prefetch);
+                .prefetch(!*no_prefetch)
+                .registry(&metrics);
             job.validate()?;
             let options = StreamOptions {
                 buffer_bytes: budget.plan(*parts as usize, 0).transpose_buffer_bytes,
@@ -380,23 +406,27 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                     };
                     report.attach_streamed_quality(&streamed);
                 }
-                return emit_report(
+                emit_report(
                     &report,
                     &format!(
                         "hypergraph       : {} (|V|={}, |E|={}, pins={})\n\
                          memory budget    : {budget}\n\
-                         stream           : compressed CSR, {} block(s), prefetch {}",
+                         stream           : compressed CSR, {} block(s), prefetch {}\n\
+                         block cache      : {} hit(s), {} miss(es)",
                         input.display(),
                         meta.num_vertices,
                         meta.num_nets,
                         meta.num_pins,
                         meta.num_blocks,
                         if *no_prefetch { "off" } else { "on" },
+                        metrics.counter("storage.cache.hits").get(),
+                        metrics.counter("storage.cache.misses").get(),
                     ),
                     *json,
                     json_out.as_deref(),
                     output.as_deref(),
-                );
+                )?;
+                return write_metrics(metrics_out.as_deref(), &metrics, *json);
             }
             let mut stream = if is_hgr {
                 stream_hgr_file(input, &options)?
@@ -425,7 +455,8 @@ pub fn execute(cli: &Cli) -> Result<(), CommandError> {
                 *json,
                 json_out.as_deref(),
                 output.as_deref(),
-            )
+            )?;
+            write_metrics(metrics_out.as_deref(), &metrics, *json)
         }
         Command::Convert {
             input,
@@ -630,6 +661,7 @@ mod tests {
                 output: self.output,
                 json: false,
                 json_out: self.json_out,
+                metrics_out: None,
             }
         }
     }
@@ -804,6 +836,7 @@ mod tests {
                 json_out: self.json_out,
                 format: self.format,
                 no_prefetch: self.no_prefetch,
+                metrics_out: None,
             }
         }
     }

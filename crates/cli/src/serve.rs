@@ -15,6 +15,8 @@
 //! ← {"ok": true, "vertex": 4, "part": 2}
 //! → {"op": "report"}
 //! ← {"ok": true, "report": {...}}
+//! → {"op": "metrics"}
+//! ← {"ok": true, "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}}
 //! → {"op": "shutdown"}
 //! ← {"ok": true, "bye": true}
 //! ```
@@ -43,6 +45,23 @@
 //! so no further batch is appended until a full snapshot (attempted
 //! immediately, then retried on every later update) provably re-syncs
 //! the disk with the live session, at which point the error clears.
+//!
+//! # Observability
+//!
+//! The daemon keeps a live [`hyperpraw::telemetry::Registry`]: every
+//! request increments a per-op counter (`serve.requests.<op>`) and a
+//! per-op latency histogram (`serve.request.<op>_us`), the TCP front
+//! end tracks queued-connection wait (`serve.queue.wait_us`) and active
+//! connections (`serve.connections.active`), and persistence degradation
+//! shows as `serve.persistence_errors` = 1 until a snapshot re-syncs the
+//! disk. The same registry is threaded through the partitioning engine
+//! (`engine.*`), the dynamic partitioner (`dynamic.*`) and the state
+//! directory's journal/snapshot latencies, so one scrape sees the whole
+//! stack. Read it with the `metrics` op (JSON, shown above) or — with
+//! `--metrics-addr HOST:PORT` — as a Prometheus-style plain-text
+//! exposition answered to any HTTP request on that address. The `report`
+//! op additionally carries `uptime_secs`, per-op `requests` totals and
+//! (with `--state-dir`) `batches_since_snapshot`.
 //!
 //! # Concurrency and robustness (TCP mode)
 //!
@@ -79,14 +98,15 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex, MutexGuard};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 use hyperpraw::api::{Algorithm, DynamicSession, PartitionJob};
 use hyperpraw::dynamic::{GraphUpdate, StateDir};
 use hyperpraw::hypergraph::{run_on_workers, HypergraphBuilder};
 use hyperpraw::json::{self, JsonValue};
 use hyperpraw::report::RecoveryReport;
+use hyperpraw::telemetry::{Counter, Gauge, Histogram, Registry};
 
 use crate::args::MachinePreset;
 use crate::commands::{load_hypergraph, profile, CommandError};
@@ -117,6 +137,10 @@ pub struct ServeOptions {
     pub read_timeout_secs: u64,
     /// Fold the journal into a fresh snapshot every N accepted batches.
     pub snapshot_every: u64,
+    /// Address for the Prometheus-style plain-text metrics exposition
+    /// (`GET` anything → `text/plain; version=0.0.4`); `None` disables
+    /// the endpoint. Runs beside both transports, including `--stdio`.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServeOptions {
@@ -128,7 +152,71 @@ impl Default for ServeOptions {
             max_line_bytes: 16 * 1024 * 1024,
             read_timeout_secs: 30,
             snapshot_every: 64,
+            metrics_addr: None,
         }
+    }
+}
+
+/// Every request op the daemon answers, in protocol order — one
+/// `serve.requests.<op>` counter and one `serve.request.<op>_us` latency
+/// histogram each.
+const OPS: [&str; 6] = [
+    "partition",
+    "update",
+    "lookup",
+    "report",
+    "metrics",
+    "shutdown",
+];
+
+/// The daemon's observability handles, all off one shared live
+/// [`Registry`]. Cheap to clone (handles are `Arc`s over the same
+/// atomics): the TCP front end holds a copy for queue-wait and
+/// connection accounting while the session state holds another for
+/// request accounting.
+#[derive(Clone)]
+struct ServeMetrics {
+    registry: Registry,
+    /// Daemon start, for the `report` op's uptime.
+    started: Instant,
+    /// Connections currently being served by a worker.
+    active_connections: Gauge,
+    /// Time accepted connections spent queued before a worker took them.
+    queue_wait_us: Histogram,
+    /// 1 while the on-disk state lags the session (journal disarmed),
+    /// 0 once a snapshot re-syncs it.
+    persist_errors: Gauge,
+    /// Per-op request totals and wall-clock latency, [`OPS`] order.
+    ops: [(&'static str, Counter, Histogram); 6],
+}
+
+impl ServeMetrics {
+    fn new() -> Self {
+        let registry = Registry::new();
+        let ops = OPS.map(|name| {
+            (
+                name,
+                registry.counter(&format!("serve.requests.{name}")),
+                registry.histogram(&format!("serve.request.{name}_us")),
+            )
+        });
+        Self {
+            started: Instant::now(),
+            active_connections: registry.gauge("serve.connections.active"),
+            queue_wait_us: registry.histogram("serve.queue.wait_us"),
+            persist_errors: registry.gauge("serve.persistence_errors"),
+            ops,
+            registry,
+        }
+    }
+
+    /// The counter/histogram pair for a known op (`None` for ops the
+    /// protocol rejects anyway).
+    fn op(&self, name: &str) -> Option<(&Counter, &Histogram)> {
+        self.ops
+            .iter()
+            .find(|(n, _, _)| *n == name)
+            .map(|(_, c, h)| (c, h))
     }
 }
 
@@ -143,14 +231,17 @@ struct ServeState {
     /// retries a full snapshot until one re-syncs the disk.
     store_dirty: bool,
     persist_error: Option<String>,
+    metrics: ServeMetrics,
 }
 
-/// Everything the TCP workers share.
+/// Everything the TCP workers share. Queued connections carry their
+/// accept time so the pop records how long they waited for a worker.
 struct Shared {
     state: Mutex<ServeState>,
-    queue: Mutex<VecDeque<TcpStream>>,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
     available: Condvar,
     shutdown: AtomicBool,
+    metrics: ServeMetrics,
 }
 
 /// Set by the SIGTERM/SIGINT handler; polled by every serve loop.
@@ -223,29 +314,35 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 /// Opens (or creates) the state directory and recovers any persisted
-/// session; `None` state dir yields a purely in-memory daemon.
-fn open_state(opts: &ServeOptions) -> Result<ServeState, CommandError> {
+/// session; `None` state dir yields a purely in-memory daemon. The
+/// store, any recovered session, and the recovery stats all bind their
+/// instrumentation to the daemon's registry.
+fn open_state(opts: &ServeOptions, metrics: ServeMetrics) -> Result<ServeState, CommandError> {
     let mut state = ServeState {
         session: None,
         store: None,
         store_dirty: false,
         persist_error: None,
+        metrics,
     };
     let Some(dir) = &opts.state_dir else {
         return Ok(state);
     };
-    let (store, recovered) =
+    let (mut store, recovered) =
         StateDir::open(dir).map_err(|e| CommandError::Io(format!("{}: {e}", dir.display())))?;
+    store.set_registry(&state.metrics.registry);
     state.store = Some(store);
     if let Some(rec) = recovered {
+        rec.stats.record_into(&state.metrics.registry);
         let report = RecoveryReport::from(rec.stats.clone());
-        let session =
-            DynamicSession::resume(&rec.meta, rec.partitioner, Some(report)).map_err(|e| {
+        let mut session = DynamicSession::resume(&rec.meta, rec.partitioner, Some(report))
+            .map_err(|e| {
                 CommandError::Io(format!(
                     "cannot resume the session persisted in {}: {e}",
                     dir.display()
                 ))
             })?;
+        session.set_registry(&state.metrics.registry);
         eprintln!(
             "hyperpraw serve: recovered session from {} ({} journal batches replayed{})",
             dir.display(),
@@ -315,11 +412,14 @@ fn resync_snapshot(
 pub fn serve(opts: &ServeOptions) -> Result<(), CommandError> {
     install_signal_handlers();
     if opts.stdio {
-        let mut state = open_state(opts)?;
+        let metrics = ServeMetrics::new();
+        let endpoint = start_metrics_endpoint(opts, &metrics)?;
+        let mut state = open_state(opts, metrics)?;
         let stdin = std::io::stdin();
         let stdout = std::io::stdout();
         let outcome = session_loop(stdin.lock(), &mut stdout.lock(), &mut state, opts);
         persist_final(&mut state);
+        stop_metrics_endpoint(endpoint);
         outcome?;
         return Ok(());
     }
@@ -331,7 +431,9 @@ pub fn serve(opts: &ServeOptions) -> Result<(), CommandError> {
 /// Runs the TCP daemon on an already-bound listener (tests and benches
 /// bind port 0 and pass the listener in to learn the actual port).
 pub fn serve_on(listener: TcpListener, opts: &ServeOptions) -> Result<(), CommandError> {
-    let state = open_state(opts)?;
+    let metrics = ServeMetrics::new();
+    let endpoint = start_metrics_endpoint(opts, &metrics)?;
+    let state = open_state(opts, metrics.clone())?;
     let local = listener.local_addr().map(|a| a.to_string());
     eprintln!(
         "hyperpraw serve: listening on {}",
@@ -345,6 +447,7 @@ pub fn serve_on(listener: TcpListener, opts: &ServeOptions) -> Result<(), Comman
         queue: Mutex::new(VecDeque::new()),
         available: Condvar::new(),
         shutdown: AtomicBool::new(false),
+        metrics,
     };
     run_on_workers(SERVE_WORKERS + 1, |id| {
         if id == 0 {
@@ -354,7 +457,99 @@ pub fn serve_on(listener: TcpListener, opts: &ServeOptions) -> Result<(), Comman
         }
     });
     persist_final(&mut lock(&shared.state));
+    stop_metrics_endpoint(endpoint);
     Ok(())
+}
+
+/// A running `--metrics-addr` exposition endpoint: its thread plus the
+/// flag that stops it.
+type MetricsEndpoint = Option<(std::thread::JoinHandle<()>, Arc<AtomicBool>)>;
+
+/// Binds and spawns the Prometheus-style exposition endpoint when
+/// `--metrics-addr` was given. A bind failure is a startup error (a
+/// daemon asked to expose metrics but silently not doing so would be
+/// worse); per-scrape failures later are logged and dropped.
+fn start_metrics_endpoint(
+    opts: &ServeOptions,
+    metrics: &ServeMetrics,
+) -> Result<MetricsEndpoint, CommandError> {
+    let Some(addr) = &opts.metrics_addr else {
+        return Ok(None);
+    };
+    let listener = TcpListener::bind(addr)
+        .map_err(|e| CommandError::Io(format!("cannot bind metrics endpoint {addr}: {e}")))?;
+    eprintln!(
+        "hyperpraw serve: metrics exposition on http://{}",
+        listener
+            .local_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.clone())
+    );
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| CommandError::Io(e.to_string()))?;
+    let registry = metrics.registry.clone();
+    let stop = Arc::new(AtomicBool::new(false));
+    let stop_flag = stop.clone();
+    let handle = std::thread::spawn(move || metrics_endpoint_loop(listener, registry, stop_flag));
+    Ok(Some((handle, stop)))
+}
+
+fn stop_metrics_endpoint(endpoint: MetricsEndpoint) {
+    if let Some((handle, stop)) = endpoint {
+        stop.store(true, Ordering::SeqCst);
+        let _ = handle.join();
+    }
+}
+
+/// Serves Prometheus text-format scrapes until the daemon stops. Every
+/// request — regardless of method or path — answers the current
+/// snapshot; a scrape endpoint has exactly one resource.
+fn metrics_endpoint_loop(listener: TcpListener, registry: Registry, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) && !should_stop() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if let Err(e) = answer_scrape(stream, &registry) {
+                    eprintln!("hyperpraw serve: metrics scrape failed: {e}");
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("hyperpraw serve: metrics accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(200));
+            }
+        }
+    }
+}
+
+/// Answers one HTTP scrape: drain the request head, write the
+/// exposition. The hand-rolled response is deliberate — the workspace
+/// is dependency-free, and a scrape endpoint needs nothing more than
+/// status line + three headers.
+fn answer_scrape(stream: TcpStream, registry: &Registry) -> io::Result<()> {
+    // The accepted stream must block (with a cap) while the client
+    // finishes sending its request head.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = reader.read_line(&mut line)?;
+        if n == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let body = registry.render_prometheus();
+    let mut writer = stream;
+    write!(
+        writer,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    writer.flush()
 }
 
 /// Accepts connections until shutdown. Accept errors are logged and
@@ -371,7 +566,7 @@ fn accept_loop(listener: &TcpListener, shared: &Shared, opts: &ServeOptions) {
                 let _ = stream.set_nodelay(true);
                 let _ = stream
                     .set_read_timeout(Some(Duration::from_secs(opts.read_timeout_secs.max(1))));
-                lock(&shared.queue).push_back(stream);
+                lock(&shared.queue).push_back((stream, Instant::now()));
                 shared.available.notify_one();
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -406,8 +601,17 @@ fn worker_loop(shared: &Shared, opts: &ServeOptions) {
                     .0;
             }
         };
-        let Some(stream) = stream else { return };
-        if let Err(e) = connection(stream, shared, opts) {
+        let Some((stream, enqueued)) = stream else {
+            return;
+        };
+        shared
+            .metrics
+            .queue_wait_us
+            .record_duration(enqueued.elapsed());
+        shared.metrics.active_connections.inc();
+        let outcome = connection(stream, shared, opts);
+        shared.metrics.active_connections.dec();
+        if let Err(e) = outcome {
             eprintln!("hyperpraw serve: connection error: {e}");
         }
     }
@@ -474,13 +678,19 @@ fn connection(stream: TcpStream, shared: &Shared, opts: &ServeOptions) -> io::Re
 /// to EOF). Kept for embedding and tests.
 pub fn session<R: BufRead, W: Write>(input: R, out: &mut W) -> Result<bool, CommandError> {
     let opts = ServeOptions::default();
-    let mut state = ServeState {
+    let mut state = fresh_state();
+    session_loop(input, out, &mut state, &opts)
+}
+
+/// A purely in-memory [`ServeState`] with its own live registry.
+fn fresh_state() -> ServeState {
+    ServeState {
         session: None,
         store: None,
         store_dirty: false,
         persist_error: None,
-    };
-    session_loop(input, out, &mut state, &opts)
+        metrics: ServeMetrics::new(),
+    }
 }
 
 /// The single-transport serve loop (stdio mode and [`session`]).
@@ -604,14 +814,40 @@ fn handle(line: &str, state: &mut ServeState, opts: &ServeOptions) -> Result<Rep
         .get("op")
         .and_then(JsonValue::as_str)
         .ok_or("missing string field 'op'")?;
+    // Clone the handles before handle_op borrows the state mutably;
+    // they are Arcs over the same cells. Errors count too — the totals
+    // are requests received, not requests satisfied.
+    let timed = state.metrics.op(op).map(|(c, h)| (c.clone(), h.clone()));
+    let started = Instant::now();
+    let result = handle_op(op, &request, state, opts);
+    state
+        .metrics
+        .persist_errors
+        .set(i64::from(state.persist_error.is_some()));
+    if let Some((requests, latency)) = timed {
+        requests.inc();
+        latency.record_duration(started.elapsed());
+    }
+    result
+}
+
+/// Dispatches one parsed request; split from [`handle`] so the wrapper
+/// can time every op uniformly.
+fn handle_op(
+    op: &str,
+    request: &JsonValue,
+    state: &mut ServeState,
+    opts: &ServeOptions,
+) -> Result<Reply, ServeError> {
     match op {
         "partition" => {
-            let report = start_session(&request, state)?;
+            let report = start_session(request, state)?;
             let ServeState {
                 session,
                 store,
                 store_dirty,
                 persist_error,
+                ..
             } = state;
             if let (Some(store), Some(session)) = (store.as_mut(), session.as_ref()) {
                 resync_snapshot(
@@ -625,12 +861,13 @@ fn handle(line: &str, state: &mut ServeState, opts: &ServeOptions) -> Result<Rep
             Ok(Reply::Payload(format!("\"report\": {report}")))
         }
         "update" => {
-            let updates = parse_updates(&request)?;
+            let updates = parse_updates(request)?;
             let ServeState {
                 session,
                 store,
                 store_dirty,
                 persist_error,
+                ..
             } = state;
             let session = session
                 .as_mut()
@@ -677,7 +914,7 @@ fn handle(line: &str, state: &mut ServeState, opts: &ServeOptions) -> Result<Rep
                 .session
                 .as_ref()
                 .ok_or("no session: send 'partition' first")?;
-            let vertex = field_u64(&request, "vertex")?;
+            let vertex = field_u64(request, "vertex")?;
             let vertex = u32::try_from(vertex).map_err(|_| "'vertex' out of range")?;
             let known = session.hypergraph().num_vertices();
             if vertex as usize >= known {
@@ -707,11 +944,36 @@ fn handle(line: &str, state: &mut ServeState, opts: &ServeOptions) -> Result<Rep
             if let Some(err) = &state.persist_error {
                 body.push_str(&format!(", \"persistence_error\": {}", escape(err)));
             }
+            body.push_str(&format!(
+                ", \"uptime_secs\": {:.3}",
+                state.metrics.started.elapsed().as_secs_f64()
+            ));
+            // Requests answered so far, per op. The `report` being built
+            // has not been counted yet — totals are through the previous
+            // request.
+            body.push_str(", \"requests\": {");
+            for (i, (name, requests, _)) in state.metrics.ops.iter().enumerate() {
+                if i > 0 {
+                    body.push_str(", ");
+                }
+                body.push_str(&format!("\"{name}\": {}", requests.get()));
+            }
+            body.push('}');
+            if let Some(store) = &state.store {
+                body.push_str(&format!(
+                    ", \"batches_since_snapshot\": {}",
+                    store.batches_since_snapshot()
+                ));
+            }
             Ok(Reply::Payload(body))
         }
+        "metrics" => Ok(Reply::Payload(format!(
+            "\"metrics\": {}",
+            state.metrics.registry.render_json()
+        ))),
         "shutdown" => Ok(Reply::Shutdown),
         other => Err(format!(
-            "unknown op '{other}' (expected partition | update | lookup | report | shutdown)"
+            "unknown op '{other}' (expected partition | update | lookup | report | metrics | shutdown)"
         )
         .into()),
     }
@@ -745,7 +1007,10 @@ fn start_session(request: &JsonValue, state: &mut ServeState) -> Result<String, 
             .ok_or("'seed' must be a non-negative integer")?,
         None => 2019,
     };
-    let mut job = PartitionJob::new(algorithm).partitions(parts).seed(seed);
+    let mut job = PartitionJob::new(algorithm)
+        .partitions(parts)
+        .seed(seed)
+        .registry(&state.metrics.registry);
     if let Some(machine) = request.get("machine") {
         let preset = machine
             .as_str()
@@ -1186,12 +1451,7 @@ mod tests {
             max_line_bytes: 1024,
             ..ServeOptions::default()
         };
-        let mut state = ServeState {
-            session: None,
-            store: None,
-            store_dirty: false,
-            persist_error: None,
-        };
+        let mut state = fresh_state();
         let mut out = Vec::new();
         session_loop(Cursor::new(requests), &mut out, &mut state, &opts).unwrap();
         let text = String::from_utf8(out).unwrap();
@@ -1248,7 +1508,7 @@ mod tests {
             state_dir: Some(dir.clone()),
             ..ServeOptions::default()
         };
-        let mut state = open_state(&opts).unwrap();
+        let mut state = open_state(&opts, ServeMetrics::new()).unwrap();
         let mut out = Vec::new();
         session_loop(
             Cursor::new(
@@ -1290,8 +1550,10 @@ mod tests {
             "a successful snapshot re-arms the store"
         );
         assert_eq!(state.persist_error, None);
+        // The telemetry section always carries the `serve.persistence_errors`
+        // gauge, so look for the report's own error field specifically.
         assert!(
-            !lines[1].contains("persistence_error"),
+            !lines[1].contains("\"persistence_error\":"),
             "the error must clear once disk and memory agree: {}",
             lines[1]
         );

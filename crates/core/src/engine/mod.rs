@@ -83,6 +83,7 @@ use hyperpraw_hypergraph::io::IoResult;
 use hyperpraw_hypergraph::{
     AssignmentRef, ChunkCursor, HyperedgeId, Hypergraph, NeighborAdjacency, Partition, VertexId,
 };
+use hyperpraw_telemetry::{Counter, Gauge, Histogram, Registry};
 use hyperpraw_topology::CostMatrix;
 
 use crate::history::{IterationRecord, PartitionHistory, StreamPhase};
@@ -569,6 +570,41 @@ pub struct WarmStart {
 #[derive(Clone, Debug)]
 pub struct Engine {
     config: EngineConfig,
+    metrics: EngineMetrics,
+}
+
+/// Telemetry handles bound by [`Engine::with_registry`]. The default
+/// (disabled) handles make every recording below a no-op branch, and all
+/// recording happens at pass, window or batch granularity — never per
+/// vertex — so instrumentation cannot perturb placement decisions or
+/// determinism.
+#[derive(Clone, Debug, Default)]
+struct EngineMetrics {
+    /// Wall-clock of each streaming pass, microseconds.
+    pass_time_us: Histogram,
+    /// Vertices scored across all passes (each pass streams the source once).
+    vertices_scored: Counter,
+    /// Doubt-buffer entries at the end of the latest pass.
+    doubt_entries: Gauge,
+    /// Doubt-buffer payload bytes at the end of the latest pass.
+    doubt_bytes: Gauge,
+    /// Chunks claimed off the shared cursor (work-stealing strategy).
+    steal_chunk_claims: Counter,
+    /// Batch-boundary applies (work-stealing strategy).
+    steal_batch_applies: Counter,
+}
+
+impl EngineMetrics {
+    fn bind(registry: &Registry) -> Self {
+        EngineMetrics {
+            pass_time_us: registry.histogram("engine.pass_time_us"),
+            vertices_scored: registry.counter("engine.vertices_scored"),
+            doubt_entries: registry.gauge("engine.doubt.entries"),
+            doubt_bytes: registry.gauge("engine.doubt.bytes"),
+            steal_chunk_claims: registry.counter("engine.steal.chunk_claims"),
+            steal_batch_applies: registry.counter("engine.steal.batch_applies"),
+        }
+    }
 }
 
 impl Engine {
@@ -581,7 +617,17 @@ impl Engine {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid engine configuration: {e}"));
-        Self { config }
+        Self {
+            config,
+            metrics: EngineMetrics::default(),
+        }
+    }
+
+    /// Binds this engine's instrumentation to `registry` (metrics under
+    /// the `engine.` prefix). Engines record nothing until bound.
+    pub fn with_registry(mut self, registry: &Registry) -> Self {
+        self.metrics = EngineMetrics::bind(registry);
+        self
     }
 
     /// The configuration in use.
@@ -728,6 +774,7 @@ impl Engine {
             provider.begin_pass(pass, config.rebuild_between_passes && pass > 1);
             doubts.clear();
             source.reset()?;
+            let pass_span = self.metrics.pass_time_us.span();
             let moved = match config.strategy {
                 ExecutionStrategy::Sequential => self.sequential_pass(
                     cost,
@@ -782,6 +829,9 @@ impl Engine {
                     &mut window,
                 )?,
             };
+            pass_span.finish();
+            self.metrics.doubt_entries.set(doubts.heap.len() as i64);
+            self.metrics.doubt_bytes.set(doubts.bytes as i64);
             assigned = true;
 
             let imbalance = state.imbalance();
@@ -949,10 +999,12 @@ impl Engine {
         P: ConnectivityProvider,
     {
         let mut moved = 0usize;
+        let mut scored_n = 0u64;
         let mut scratch = provider.new_scratch();
         let mut counts: Vec<u32> = Vec::with_capacity(state.loads.len());
         let mut value = ValueScratch::new();
         while source.next_into(record)? {
+            scored_n += 1;
             let current = assigned.then(|| state.partition.part_of(record.vertex));
             let scored = place_live(
                 cost,
@@ -976,6 +1028,7 @@ impl Engine {
                 scored.margin,
             );
         }
+        self.metrics.vertices_scored.add(scored_n);
         Ok(moved)
     }
 
@@ -1030,6 +1083,7 @@ impl Engine {
                 break;
             }
             let records = &window[..len];
+            self.metrics.vertices_scored.add(len as u64);
             let workers = num_threads.min(len).max(1);
 
             if workers == 1 {
@@ -1232,6 +1286,7 @@ impl Engine {
                 break;
             }
             let records = &batch[..len];
+            self.metrics.vertices_scored.add(len as u64);
             let workers = num_threads.min(len.div_ceil(chunk)).max(1);
 
             // Re-sync the fixed-point counters from the authoritative f64
@@ -1247,12 +1302,14 @@ impl Engine {
                 let shared = &shared_loads[..];
                 let expected = &state.expected[..];
                 let provider_ref: &P = provider;
+                let chunk_claims = &self.metrics.steal_chunk_claims;
 
                 let run_worker =
                     |slot: &mut WorkerSlot<P::Scratch>, out: &mut Vec<(usize, u32, f64)>| {
                         slot.loads_view.clear();
                         slot.loads_view.resize(p, 0.0);
                         while let Some(range) = cursor.claim() {
+                            chunk_claims.inc();
                             out.reserve(range.len());
                             for i in range {
                                 let record = &records[i];
@@ -1342,6 +1399,7 @@ impl Engine {
                 }
                 doubts.offer(&self.config.doubts, provider, record, target, margin);
             }
+            self.metrics.steal_batch_applies.inc();
         }
         Ok(moved)
     }

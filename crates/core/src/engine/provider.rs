@@ -172,6 +172,10 @@ impl ConnectivityProvider for CsrProvider<'_> {
 pub struct AdjProvider<'a> {
     hg: &'a Hypergraph,
     adj: std::borrow::Cow<'a, NeighborAdjacency>,
+    /// Counts hub vertices answered through the traversal fallback; a
+    /// no-op unless bound via [`AdjProvider::with_registry`]. Shared by
+    /// clones, so worker threads all bump the same cell.
+    hub_fallbacks: hyperpraw_telemetry::Counter,
 }
 
 /// Worker-local scratch of [`AdjProvider`]: empty (O(1)) until the worker
@@ -188,6 +192,7 @@ impl<'a> AdjProvider<'a> {
         Self {
             hg,
             adj: std::borrow::Cow::Owned(NeighborAdjacency::build(hg, budget)),
+            hub_fallbacks: hyperpraw_telemetry::Counter::noop(),
         }
     }
 
@@ -196,7 +201,16 @@ impl<'a> AdjProvider<'a> {
         Self {
             hg,
             adj: std::borrow::Cow::Borrowed(adj),
+            hub_fallbacks: hyperpraw_telemetry::Counter::noop(),
         }
+    }
+
+    /// Binds the `engine.hub_fallbacks` counter to `registry`: every
+    /// connectivity count answered through the hub traversal fallback
+    /// (rather than the flat adjacency list) increments it.
+    pub fn with_registry(mut self, registry: &hyperpraw_telemetry::Registry) -> Self {
+        self.hub_fallbacks = registry.counter("engine.hub_fallbacks");
+        self
     }
 
     /// The precomputed adjacency in use.
@@ -223,6 +237,9 @@ impl ConnectivityProvider for AdjProvider<'_> {
         scratch: &mut Self::Scratch,
         counts: &mut Vec<u32>,
     ) {
+        if self.hub_fallbacks.is_enabled() && self.adj.is_hub(record.vertex) {
+            self.hub_fallbacks.inc();
+        }
         self.adj.neighbor_partition_counts(
             self.hg,
             assignment,

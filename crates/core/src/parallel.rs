@@ -154,6 +154,7 @@ pub struct ParallelHyperPraw {
     config: HyperPrawConfig,
     parallel: ParallelConfig,
     cost: CostMatrix,
+    registry: hyperpraw_telemetry::Registry,
 }
 
 impl ParallelHyperPraw {
@@ -173,12 +174,21 @@ impl ParallelHyperPraw {
             config,
             parallel,
             cost,
+            registry: hyperpraw_telemetry::Registry::disabled(),
         }
     }
 
     /// Number of partitions (compute units).
     pub fn num_partitions(&self) -> u32 {
         self.cost.num_units() as u32
+    }
+
+    /// Binds the engine's instrumentation (metrics under the `engine.`
+    /// prefix) to `registry`. Recording is observation-only — partitions
+    /// are bit-identical with or without a live registry.
+    pub fn with_registry(mut self, registry: &hyperpraw_telemetry::Registry) -> Self {
+        self.registry = registry.clone();
+        self
     }
 
     /// Runs the parallel restreaming algorithm.
@@ -189,8 +199,9 @@ impl ParallelHyperPraw {
                     .mode
                     .strategy(self.parallel.num_threads, self.parallel.sync_interval),
             ),
-        );
-        run_in_memory(&engine, hg, &self.config, &self.cost)
+        )
+        .with_registry(&self.registry);
+        run_in_memory(&engine, hg, &self.config, &self.cost, &self.registry)
     }
 }
 

@@ -46,6 +46,7 @@ pub struct PartitionResult {
 pub struct HyperPraw {
     config: HyperPrawConfig,
     cost: CostMatrix,
+    registry: hyperpraw_telemetry::Registry,
 }
 
 impl HyperPraw {
@@ -58,7 +59,19 @@ impl HyperPraw {
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid HyperPRAW configuration: {e}"));
-        Self { config, cost }
+        Self {
+            config,
+            cost,
+            registry: hyperpraw_telemetry::Registry::disabled(),
+        }
+    }
+
+    /// Binds the engine's instrumentation (metrics under the `engine.`
+    /// prefix) to `registry`. Recording is observation-only — partitions
+    /// are bit-identical with or without a live registry.
+    pub fn with_registry(mut self, registry: &hyperpraw_telemetry::Registry) -> Self {
+        self.registry = registry.clone();
+        self
     }
 
     /// The architecture-aware variant: uses a profiled cost matrix.
@@ -89,8 +102,9 @@ impl HyperPraw {
 
     /// Runs the restreaming algorithm on a hypergraph.
     pub fn partition(&self, hg: &Hypergraph) -> PartitionResult {
-        let engine = Engine::new(EngineConfig::restreaming(&self.config));
-        run_in_memory(&engine, hg, &self.config, &self.cost)
+        let engine =
+            Engine::new(EngineConfig::restreaming(&self.config)).with_registry(&self.registry);
+        run_in_memory(&engine, hg, &self.config, &self.cost, &self.registry)
     }
 }
 
@@ -105,6 +119,7 @@ pub(crate) fn run_in_memory(
     hg: &Hypergraph,
     config: &HyperPrawConfig,
     cost: &CostMatrix,
+    registry: &hyperpraw_telemetry::Registry,
 ) -> PartitionResult {
     let mut source = InMemorySource::new(hg, config.stream_order, config.seed);
     let run = match config.connectivity.adjacency_budget() {
@@ -129,7 +144,7 @@ pub(crate) fn run_in_memory(
             engine.run(
                 cost,
                 &mut source,
-                &mut AdjProvider::from_adjacency(hg, &adj),
+                &mut AdjProvider::from_adjacency(hg, &adj).with_registry(registry),
                 &mut ExactCommCost::with_adjacency(hg, &adj),
             )
         }

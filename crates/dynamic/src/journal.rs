@@ -74,6 +74,7 @@ use hyperpraw_hypergraph::{
     AdjacencyBudget, HypergraphBuilder, MutableHypergraph, Partition, VertexId,
 };
 use hyperpraw_storage::{crc32, decode_u64, encode_u64, ByteSource, MemorySource};
+use hyperpraw_telemetry::{Histogram, Registry};
 use hyperpraw_topology::CostMatrix;
 
 use crate::{DynamicConfig, DynamicPartitioner, GraphUpdate};
@@ -740,6 +741,25 @@ pub struct RecoveryStats {
     pub torn_tail: bool,
 }
 
+impl RecoveryStats {
+    /// Publishes what recovery found into `registry` as gauges under
+    /// `dynamic.recovery.*` (a no-op on a disabled registry).
+    pub fn record_into(&self, registry: &Registry) {
+        registry
+            .gauge("dynamic.recovery.snapshot_bytes")
+            .set(self.snapshot_bytes as i64);
+        registry
+            .gauge("dynamic.recovery.batches_replayed")
+            .set(self.batches_replayed as i64);
+        registry
+            .gauge("dynamic.recovery.truncated_bytes")
+            .set(self.truncated_bytes as i64);
+        registry
+            .gauge("dynamic.recovery.torn_tail")
+            .set(i64::from(self.torn_tail));
+    }
+}
+
 /// A session recovered from disk by [`StateDir::open`].
 pub struct Recovered {
     /// The opaque meta blob the caller stored with the snapshot.
@@ -758,6 +778,19 @@ pub struct StateDir {
     journal: Option<File>,
     epoch: u64,
     pending: u64,
+    metrics: StateDirMetrics,
+}
+
+/// Persistence latency instrumentation, bound by [`StateDir::set_registry`]
+/// (all no-ops by default).
+#[derive(Clone, Debug, Default)]
+struct StateDirMetrics {
+    /// Full [`StateDir::append`] latency (encode + write + fsync), µs.
+    append_us: Histogram,
+    /// The fsync portion of each append, µs.
+    fsync_us: Histogram,
+    /// Full [`StateDir::write_snapshot`] fold-and-rotate latency, µs.
+    fold_us: Histogram,
 }
 
 impl StateDir {
@@ -786,6 +819,7 @@ impl StateDir {
                     journal: None,
                     epoch: 0,
                     pending: 0,
+                    metrics: StateDirMetrics::default(),
                 },
                 None,
             ));
@@ -829,6 +863,7 @@ impl StateDir {
             journal: None,
             epoch: snap.epoch,
             pending: 0,
+            metrics: StateDirMetrics::default(),
         };
         if journal_clean {
             // Snapshot and an empty, intact journal of the same epoch:
@@ -847,6 +882,18 @@ impl StateDir {
             stats,
         };
         Ok((state, Some(recovered)))
+    }
+
+    /// Binds persistence latency instrumentation to `registry`:
+    /// `dynamic.journal.append_us` (full append), `dynamic.journal.fsync_us`
+    /// (the sync portion) and `dynamic.snapshot.fold_us` (snapshot
+    /// fold-and-rotate).
+    pub fn set_registry(&mut self, registry: &Registry) {
+        self.metrics = StateDirMetrics {
+            append_us: registry.histogram("dynamic.journal.append_us"),
+            fsync_us: registry.histogram("dynamic.journal.fsync_us"),
+            fold_us: registry.histogram("dynamic.snapshot.fold_us"),
+        };
     }
 
     /// The directory this state lives in.
@@ -869,6 +916,7 @@ impl StateDir {
     /// before returning — once this answers `Ok`, the batch survives a
     /// crash. Must follow an initial [`StateDir::write_snapshot`].
     pub fn append(&mut self, updates: &[GraphUpdate]) -> Result<(), JournalError> {
+        let append_span = self.metrics.append_us.span();
         let journal = self.journal.as_mut().ok_or_else(|| {
             JournalError::Io("journal append before the first snapshot".to_string())
         })?;
@@ -885,8 +933,11 @@ impl StateDir {
         record.extend_from_slice(&payload);
         journal.write_all(&record)?;
         journal.flush()?;
+        let fsync_span = self.metrics.fsync_us.span();
         journal.sync_data()?;
+        fsync_span.finish();
         self.pending += 1;
+        append_span.finish();
         Ok(())
     }
 
@@ -898,6 +949,7 @@ impl StateDir {
         meta: &[u8],
         partitioner: &DynamicPartitioner,
     ) -> Result<(), JournalError> {
+        let fold_span = self.metrics.fold_us.span();
         let new_epoch = self.epoch + 1;
 
         // 1. The next journal, empty, under a scratch name.
@@ -929,6 +981,7 @@ impl StateDir {
         self.journal = Some(new_journal);
         self.epoch = new_epoch;
         self.pending = 0;
+        fold_span.finish();
         Ok(())
     }
 }

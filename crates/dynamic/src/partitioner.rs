@@ -98,6 +98,25 @@ pub struct DynamicPartitioner {
     loads: Vec<f64>,
     cost: CostMatrix,
     cfg: DynamicConfig,
+    metrics: DynMetrics,
+}
+
+/// Batch instrumentation bound by [`DynamicPartitioner::set_registry`]
+/// (all no-ops by default). Recording is observation-only: outcomes are
+/// computed first, then mirrored here.
+#[derive(Clone, Debug, Default)]
+struct DynMetrics {
+    /// Update batches applied.
+    batches: hyperpraw_telemetry::Counter,
+    /// Dirty-set size of each batch (touched vertices + neighbour ring).
+    dirty_set_size: hyperpraw_telemetry::Histogram,
+    /// Pre-existing vertices migrated across batches.
+    migrated_vertices: hyperpraw_telemetry::Counter,
+    /// Σ weight · link-cost of migrations, rounded to whole units.
+    migrated_bytes: hyperpraw_telemetry::Counter,
+    /// Kept so each batch's restream engine can bind its own `engine.*`
+    /// metrics (pass timings, vertices scored, doubt occupancy).
+    registry: hyperpraw_telemetry::Registry,
 }
 
 impl DynamicPartitioner {
@@ -141,6 +160,7 @@ impl DynamicPartitioner {
             loads,
             cost,
             cfg,
+            metrics: DynMetrics::default(),
         })
     }
 
@@ -190,7 +210,21 @@ impl DynamicPartitioner {
             loads,
             cost,
             cfg,
+            metrics: DynMetrics::default(),
         })
+    }
+
+    /// Binds batch instrumentation to `registry` (metrics under the
+    /// `dynamic.` prefix): batches applied, dirty-set sizes, and migrated
+    /// vertices/bytes.
+    pub fn set_registry(&mut self, registry: &hyperpraw_telemetry::Registry) {
+        self.metrics = DynMetrics {
+            batches: registry.counter("dynamic.batches_applied"),
+            dirty_set_size: registry.histogram("dynamic.dirty_set_size"),
+            migrated_vertices: registry.counter("dynamic.migrated_vertices"),
+            migrated_bytes: registry.counter("dynamic.migrated_bytes"),
+            registry: registry.clone(),
+        };
     }
 
     /// The resident mutable hypergraph — the state
@@ -380,9 +414,11 @@ impl DynamicPartitioner {
         let mut moved_in_restream = 0;
         let mut history = PartitionHistory::new();
         if !dirty.is_empty() {
-            let engine = Engine::new(EngineConfig::restreaming(&self.cfg.config));
+            let engine = Engine::new(EngineConfig::restreaming(&self.cfg.config))
+                .with_registry(&self.metrics.registry);
             let mut source = DirtySetSource::new(&self.snapshot, dirty.clone());
-            let mut provider = AdjProvider::from_adjacency(&self.snapshot, &self.adj);
+            let mut provider = AdjProvider::from_adjacency(&self.snapshot, &self.adj)
+                .with_registry(&self.metrics.registry);
             let mut model = ExactCommCost::with_adjacency(&self.snapshot, &self.adj);
             let warm = WarmStart {
                 partition: self.partition.clone(),
@@ -428,6 +464,15 @@ impl DynamicPartitioner {
             },
             bytes_moved,
         };
+
+        self.metrics.batches.inc();
+        self.metrics.dirty_set_size.record(dirty.len() as u64);
+        self.metrics
+            .migrated_vertices
+            .add(migration.vertices_moved as u64);
+        self.metrics
+            .migrated_bytes
+            .add(migration.bytes_moved.round().max(0.0) as u64);
 
         Ok(UpdateOutcome {
             new_vertices,

@@ -66,6 +66,12 @@ pub struct CompressedReader {
     blocks: Arc<[BlockEntry]>,
     weights: Option<Arc<[f64]>>,
     total_weight: f64,
+    /// Compressed payload bytes read and decoded; shared by clones (the
+    /// prefetch worker decodes through a clone), no-op until bound via
+    /// [`CompressedReader::with_registry`].
+    bytes_decoded: hyperpraw_telemetry::Counter,
+    /// Time the consumer spends blocked on the prefetch channel, µs.
+    prefetch_stall_us: hyperpraw_telemetry::Histogram,
 }
 
 impl CompressedReader {
@@ -113,7 +119,19 @@ impl CompressedReader {
             blocks,
             weights,
             total_weight,
+            bytes_decoded: hyperpraw_telemetry::Counter::noop(),
+            prefetch_stall_us: hyperpraw_telemetry::Histogram::noop(),
         })
+    }
+
+    /// Binds decode instrumentation to `registry`:
+    /// `storage.bytes_decoded` counts compressed payload bytes decoded and
+    /// `storage.prefetch.stall_us` tracks how long the consumer waits on
+    /// the prefetch worker per block handoff.
+    pub fn with_registry(mut self, registry: &hyperpraw_telemetry::Registry) -> Self {
+        self.bytes_decoded = registry.counter("storage.bytes_decoded");
+        self.prefetch_stall_us = registry.histogram("storage.prefetch.stall_us");
+        self
     }
 
     /// The parsed file metadata.
@@ -153,6 +171,7 @@ impl CompressedReader {
         let (lo, hi) = self.block_range(b);
         let mut raw = vec![0u8; entry.len as usize];
         self.source.read_at(entry.offset, &mut raw)?;
+        self.bytes_decoded.add(entry.len);
         let count = (hi - lo) as usize;
         let mut block = DecodedBlock {
             first_vertex: lo,
@@ -303,11 +322,15 @@ impl CompressedVertexStream {
             return Ok(false);
         }
         let block = match &self.worker {
-            Some(worker) => worker
-                .rx
-                .recv()
-                .map_err(|_| IoError::parse(0, "prefetch worker exited early".to_string()))?
-                .map_err(format_to_io)?,
+            Some(worker) => {
+                let stall = self.reader.prefetch_stall_us.span();
+                let received = worker
+                    .rx
+                    .recv()
+                    .map_err(|_| IoError::parse(0, "prefetch worker exited early".to_string()));
+                stall.finish();
+                received?.map_err(format_to_io)?
+            }
             None => self
                 .reader
                 .decode_block(self.next_block)

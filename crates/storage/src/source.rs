@@ -158,6 +158,8 @@ pub struct CachingSource<S> {
     state: Mutex<CacheState>,
     hits: AtomicU64,
     misses: AtomicU64,
+    hits_metric: hyperpraw_telemetry::Counter,
+    misses_metric: hyperpraw_telemetry::Counter,
 }
 
 impl<S: ByteSource> CachingSource<S> {
@@ -174,7 +176,17 @@ impl<S: ByteSource> CachingSource<S> {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            hits_metric: hyperpraw_telemetry::Counter::noop(),
+            misses_metric: hyperpraw_telemetry::Counter::noop(),
         }
+    }
+
+    /// Additionally mirrors the hit/miss counters into `registry` as
+    /// `storage.cache.hits` / `storage.cache.misses`.
+    pub fn with_registry(mut self, registry: &hyperpraw_telemetry::Registry) -> Self {
+        self.hits_metric = registry.counter("storage.cache.hits");
+        self.misses_metric = registry.counter("storage.cache.misses");
+        self
     }
 
     /// Current hit/miss counters.
@@ -194,10 +206,12 @@ impl<S: ByteSource> CachingSource<S> {
                 *touched = stamp;
                 let bytes = bytes.clone();
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits_metric.inc();
                 return Ok(bytes);
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses_metric.inc();
         let start = id * self.chunk_bytes;
         let len = (self.inner.len().saturating_sub(start)).min(self.chunk_bytes);
         let mut bytes = vec![0u8; len as usize];

@@ -1,0 +1,330 @@
+//! A fixed-footprint log-linear histogram over `u64` values.
+//!
+//! The bucket layout follows the HdrHistogram idea: values below 32 get an
+//! exact bucket each; above that, every power-of-two range is split into 32
+//! linear sub-buckets, bounding relative quantile error at ~3% while keeping
+//! the whole structure a flat array of [`NUM_BUCKETS`] atomics (~15 KiB).
+//! Recording is one relaxed `fetch_add` per tracked statistic and never
+//! allocates, so histograms are safe to share across worker threads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::Span;
+
+/// log2 of the linear sub-bucket count per power-of-two range.
+const SUB_BITS: u32 = 5;
+/// Linear sub-buckets per power-of-two range.
+const SUB: usize = 1 << SUB_BITS;
+/// Total bucket count covering the full `u64` range: the exact range below
+/// `SUB` plus `SUB` sub-buckets per exponent in `SUB_BITS..=63`.
+pub const NUM_BUCKETS: usize = SUB + (64 - SUB_BITS as usize) * SUB;
+
+/// Index of the bucket that holds `v`.
+///
+/// Exposed so tests can assert that an approximate quantile lands in the
+/// same bucket as the exact one.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let e = 63 - v.leading_zeros();
+        ((e - SUB_BITS + 1) as usize) * SUB + ((v >> (e - SUB_BITS)) as usize & (SUB - 1))
+    }
+}
+
+/// Largest value stored in bucket `i` (the reported representative: it is
+/// always inside the bucket, so re-bucketing a reported quantile is exact).
+fn bucket_bound(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let e = (i / SUB) as u32 + SUB_BITS - 1;
+        let sub = (i % SUB) as u64;
+        let width = 1u64 << (e - SUB_BITS);
+        (1u64 << e) + sub * width + (width - 1)
+    }
+}
+
+pub(crate) struct HistogramCore {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        HistogramCore {
+            buckets: buckets.into_boxed_slice(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let buckets = if count == 0 {
+            Vec::new()
+        } else {
+            self.buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect()
+        };
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: if count == 0 {
+                0
+            } else {
+                self.min.load(Ordering::Relaxed)
+            },
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A log-scaled value histogram handle; see the module docs for layout.
+///
+/// Clones share the underlying buckets. A handle from a disabled
+/// [`Registry`](crate::Registry) records nothing and holds no allocation.
+#[derive(Clone, Default)]
+pub struct Histogram {
+    core: Option<Arc<HistogramCore>>,
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Histogram {
+    /// A histogram that records nothing.
+    pub fn noop() -> Self {
+        Histogram { core: None }
+    }
+
+    pub(crate) fn from_core(core: Option<Arc<HistogramCore>>) -> Self {
+        Histogram { core }
+    }
+
+    /// Whether recorded values go anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.core.is_some()
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(core) = &self.core {
+            core.record(v);
+        }
+    }
+
+    /// Record a duration as microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        if self.core.is_some() {
+            self.record(d.as_micros() as u64);
+        }
+    }
+
+    /// Start a [`Span`] that records elapsed microseconds here on drop.
+    /// No clock is read when the histogram is disabled.
+    #[inline]
+    pub fn span(&self) -> Span {
+        Span {
+            hist: self.clone(),
+            start: if self.core.is_some() {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+
+    /// Point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.core
+            .as_ref()
+            .map_or_else(HistogramSnapshot::default, |core| core.snapshot())
+    }
+}
+
+/// An owned, mergeable copy of a histogram's state.
+///
+/// Snapshots from different histograms (different threads, processes, or
+/// serve clients) merge losslessly because every histogram shares the same
+/// fixed bucket layout.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    /// Number of recorded observations.
+    pub count: u64,
+    /// Sum of all recorded values (wrapping on overflow).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Fold `other` into `self`.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst += src;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the representative of the
+    /// bucket containing the `ceil(q * count)`-th smallest observation.
+    /// Returns 0 on an empty snapshot.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Arithmetic mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_monotone_and_self_consistent() {
+        // Every bucket's representative maps back to that bucket, and
+        // bucket indexes are monotone in the value.
+        for i in 0..NUM_BUCKETS {
+            assert_eq!(bucket_index(bucket_bound(i)), i, "bucket {i}");
+        }
+        let mut prev = 0;
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 100, 1 << 20, u64::MAX] {
+            let i = bucket_index(v);
+            assert!(i >= prev, "index regressed at {v}");
+            assert!(i < NUM_BUCKETS);
+            prev = i;
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let core = HistogramCore::new();
+        for v in 0..32u64 {
+            core.record(v);
+        }
+        let snap = core.snapshot();
+        assert_eq!(snap.count, 32);
+        assert_eq!(snap.min, 0);
+        assert_eq!(snap.max, 31);
+        assert_eq!(snap.quantile(0.5), 15);
+        assert_eq!(snap.quantile(1.0), 31);
+        assert_eq!(snap.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn quantiles_track_relative_error() {
+        let core = HistogramCore::new();
+        for v in 1..=10_000u64 {
+            core.record(v);
+        }
+        let snap = core.snapshot();
+        for (q, exact) in [(0.5, 5_000u64), (0.95, 9_500), (0.99, 9_900)] {
+            let got = snap.quantile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.04, "q={q}: got {got}, exact {exact}, err {err}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_everything_in_one() {
+        let a = HistogramCore::new();
+        let b = HistogramCore::new();
+        let all = HistogramCore::new();
+        for v in [3u64, 700, 12, 999_999, 42] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [0u64, 5_000_000, 8] {
+            b.record(v);
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+
+        // Merging an empty snapshot is the identity in both directions.
+        let mut empty = HistogramSnapshot::default();
+        empty.merge(&merged);
+        assert_eq!(empty, all.snapshot());
+        merged.merge(&HistogramSnapshot::default());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn quantile_never_exceeds_max() {
+        let core = HistogramCore::new();
+        core.record(1_000_003);
+        let snap = core.snapshot();
+        assert_eq!(snap.quantile(0.99), 1_000_003);
+        assert_eq!(snap.quantile(0.01), 1_000_003);
+    }
+}

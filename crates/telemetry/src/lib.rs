@@ -1,0 +1,464 @@
+//! Zero-dependency metrics and tracing for the HyperPRAW workspace.
+//!
+//! Production partitioners are judged on wall-clock, so the reproduction
+//! needs to observe itself without paying for the observation. This crate
+//! provides the whole observability core with nothing but `std`:
+//!
+//! - [`Counter`] / [`Gauge`] — relaxed-ordering atomics behind cheap
+//!   clonable handles, safe to bump from any worker thread.
+//! - [`Histogram`] — a fixed-footprint log-linear value histogram (in the
+//!   spirit of HdrHistogram) with [`HistogramSnapshot`]s that merge across
+//!   threads or processes and answer p50/p95/p99 queries.
+//! - [`Span`] — a drop-based timer recording elapsed microseconds into a
+//!   histogram; it never calls [`std::time::Instant::now`] when disabled.
+//! - [`Registry`] — the `Arc`-shared handle everything hangs off. There are
+//!   no globals: components receive a registry (or don't) explicitly.
+//!
+//! # Disabled mode is the default and costs nothing
+//!
+//! [`Registry::disabled()`] produces a registry whose metric handles hold
+//! no allocation and whose operations compile down to a branch on a `None`.
+//! Instrumented hot paths stay hot: the `telemetry_overhead` bench in
+//! `crates/bench` pins the live-registry engine within a few percent of the
+//! disabled one.
+//!
+//! # Exposition
+//!
+//! [`Registry::render_prometheus`] emits the Prometheus text format
+//! (counters, gauges, and histograms as summaries with `quantile` labels);
+//! [`Registry::render_json`] emits a stable JSON document. Structured
+//! consumers (the facade's `PartitionReport`, the serve daemon's `metrics`
+//! request) walk a [`RegistrySnapshot`] instead and apply their own writers.
+//!
+//! # Naming convention
+//!
+//! Metric names are lowercase dot-separated paths (`engine.pass_time_us`,
+//! `serve.request.partition_us`); durations are recorded in microseconds
+//! with an `_us` suffix. Dots are sanitised to underscores for Prometheus.
+
+mod export;
+mod histogram;
+
+pub use histogram::{bucket_index, Histogram, HistogramSnapshot, NUM_BUCKETS};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use histogram::HistogramCore;
+
+/// A monotonically increasing `u64` metric.
+///
+/// Handles are cheap to clone and share one atomic cell per registered
+/// name. A counter obtained from a disabled registry (or built with
+/// [`Counter::noop`]) ignores every update.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    cell: Option<Arc<AtomicU64>>,
+}
+
+impl Counter {
+    /// A counter that records nothing.
+    pub fn noop() -> Self {
+        Counter { cell: None }
+    }
+
+    /// Whether updates are recorded anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> u64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A signed instantaneous value (queue depths, occupancy, error state).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicI64>>,
+}
+
+impl Gauge {
+    /// A gauge that records nothing.
+    pub fn noop() -> Self {
+        Gauge { cell: None }
+    }
+
+    /// Whether updates are recorded anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.cell.is_some()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(cell) = &self.cell {
+            cell.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Add `n` (may be negative via [`Gauge::sub`]).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtract `n`.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.add(-n);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value (0 when disabled).
+    pub fn get(&self) -> i64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+/// A drop-based timer that records elapsed **microseconds** into a
+/// [`Histogram`].
+///
+/// Obtained from [`Histogram::span`]. When the histogram is disabled the
+/// span holds no start time and drop is free — no clock read on either end.
+#[derive(Debug)]
+pub struct Span {
+    pub(crate) hist: Histogram,
+    pub(crate) start: Option<Instant>,
+}
+
+impl Span {
+    /// Elapsed microseconds so far, if timing is live.
+    pub fn elapsed_us(&self) -> Option<u64> {
+        self.start.map(|s| s.elapsed().as_micros() as u64)
+    }
+
+    /// Record now instead of at scope end.
+    pub fn finish(self) {
+        drop(self);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.hist.record(start.elapsed().as_micros() as u64);
+        }
+    }
+}
+
+struct Inner {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+}
+
+/// The shared handle all metrics hang off.
+///
+/// Clones share storage. Registration is idempotent: asking twice for the
+/// same name returns handles over the same cell, so independent components
+/// may bind the same metric without coordination.
+#[derive(Clone)]
+pub struct Registry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Registry")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::disabled()
+    }
+}
+
+impl Registry {
+    /// A live registry that records everything bound to it.
+    pub fn new() -> Self {
+        Registry {
+            inner: Some(Arc::new(Inner {
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
+            })),
+        }
+    }
+
+    /// The no-op registry: every handle it hands out ignores updates and
+    /// no allocation or clock read happens on any instrumented path.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Register (or re-fetch) a counter under `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let cell = self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .counters
+                    .lock()
+                    .expect("telemetry counter map poisoned")
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        });
+        Counter { cell }
+    }
+
+    /// Register (or re-fetch) a gauge under `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let cell = self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .gauges
+                    .lock()
+                    .expect("telemetry gauge map poisoned")
+                    .entry(name.to_string())
+                    .or_default(),
+            )
+        });
+        Gauge { cell }
+    }
+
+    /// Register (or re-fetch) a histogram under `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let core = self.inner.as_ref().map(|inner| {
+            Arc::clone(
+                inner
+                    .histograms
+                    .lock()
+                    .expect("telemetry histogram map poisoned")
+                    .entry(name.to_string())
+                    .or_insert_with(|| Arc::new(HistogramCore::new())),
+            )
+        });
+        Histogram::from_core(core)
+    }
+
+    /// Current value of a registered counter, if any.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        let inner = self.inner.as_ref()?;
+        let map = inner
+            .counters
+            .lock()
+            .expect("telemetry counter map poisoned");
+        map.get(name).map(|cell| cell.load(Ordering::Relaxed))
+    }
+
+    /// Current value of a registered gauge, if any.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        let inner = self.inner.as_ref()?;
+        let map = inner.gauges.lock().expect("telemetry gauge map poisoned");
+        map.get(name).map(|cell| cell.load(Ordering::Relaxed))
+    }
+
+    /// Snapshot of a registered histogram, if any.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        let inner = self.inner.as_ref()?;
+        let map = inner
+            .histograms
+            .lock()
+            .expect("telemetry histogram map poisoned");
+        map.get(name).map(|core| core.snapshot())
+    }
+
+    /// Point-in-time copy of every registered metric, sorted by name.
+    ///
+    /// Concurrent writers may land between individual reads; each metric's
+    /// own snapshot is internally consistent.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let mut snap = RegistrySnapshot::default();
+        let Some(inner) = self.inner.as_ref() else {
+            return snap;
+        };
+        {
+            let map = inner
+                .counters
+                .lock()
+                .expect("telemetry counter map poisoned");
+            for (name, cell) in map.iter() {
+                snap.counters
+                    .push((name.clone(), cell.load(Ordering::Relaxed)));
+            }
+        }
+        {
+            let map = inner.gauges.lock().expect("telemetry gauge map poisoned");
+            for (name, cell) in map.iter() {
+                snap.gauges
+                    .push((name.clone(), cell.load(Ordering::Relaxed)));
+            }
+        }
+        {
+            let map = inner
+                .histograms
+                .lock()
+                .expect("telemetry histogram map poisoned");
+            for (name, core) in map.iter() {
+                snap.histograms.push((name.clone(), core.snapshot()));
+            }
+        }
+        snap
+    }
+
+    /// Render every metric in the Prometheus text exposition format.
+    pub fn render_prometheus(&self) -> String {
+        export::prometheus(&self.snapshot())
+    }
+
+    /// Render every metric as a JSON document:
+    /// `{"counters": {...}, "gauges": {...}, "histograms": {...}}`.
+    pub fn render_json(&self) -> String {
+        export::json(&self.snapshot())
+    }
+}
+
+/// A point-in-time copy of a registry's contents, for structured consumers
+/// that apply their own serialisation.
+#[derive(Clone, Debug, Default)]
+pub struct RegistrySnapshot {
+    /// `(name, value)` pairs sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs sorted by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)` pairs sorted by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl RegistrySnapshot {
+    /// True when no metric was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_hands_out_noop_handles() {
+        let reg = Registry::disabled();
+        assert!(!reg.is_enabled());
+        let c = reg.counter("x");
+        let g = reg.gauge("y");
+        let h = reg.histogram("z");
+        assert!(!c.is_enabled());
+        c.add(10);
+        g.set(5);
+        h.record(123);
+        assert_eq!(c.get(), 0);
+        assert_eq!(g.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+        assert!(reg.snapshot().is_empty());
+        assert_eq!(reg.counter_value("x"), None);
+    }
+
+    #[test]
+    fn handles_with_the_same_name_share_a_cell() {
+        let reg = Registry::new();
+        let a = reg.counter("requests");
+        let b = reg.counter("requests");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(reg.counter_value("requests"), Some(3));
+
+        let g1 = reg.gauge("depth");
+        let g2 = reg.gauge("depth");
+        g1.add(4);
+        g2.dec();
+        assert_eq!(g1.get(), 3);
+
+        let h1 = reg.histogram("lat");
+        let h2 = reg.histogram("lat");
+        h1.record(10);
+        h2.record(20);
+        assert_eq!(reg.histogram_snapshot("lat").unwrap().count, 2);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.counter("b").inc();
+        reg.counter("a").add(2);
+        reg.gauge("g").set(-7);
+        reg.histogram("h").record(99);
+        let snap = reg.snapshot();
+        assert_eq!(
+            snap.counters,
+            vec![("a".to_string(), 2), ("b".to_string(), 1)]
+        );
+        assert_eq!(snap.gauges, vec![("g".to_string(), -7)]);
+        assert_eq!(snap.histograms.len(), 1);
+        assert_eq!(snap.histograms[0].1.count, 1);
+    }
+
+    #[test]
+    fn spans_record_microseconds_only_when_enabled() {
+        let reg = Registry::new();
+        let h = reg.histogram("span_us");
+        {
+            let _span = h.span();
+        }
+        assert_eq!(h.snapshot().count, 1);
+
+        let off = Registry::disabled().histogram("span_us");
+        let span = off.span();
+        assert_eq!(span.elapsed_us(), None);
+        drop(span);
+        assert_eq!(off.snapshot().count, 0);
+    }
+
+    #[test]
+    fn finish_records_once() {
+        let reg = Registry::new();
+        let h = reg.histogram("once");
+        let span = h.span();
+        span.finish();
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

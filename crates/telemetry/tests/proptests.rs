@@ -1,0 +1,130 @@
+//! Property tests pitting the log-linear histogram against an exact
+//! sorted-vector oracle, plus merge and counting laws.
+
+use proptest::prelude::*;
+
+use hyperpraw_telemetry::{bucket_index, HistogramSnapshot, Registry};
+
+/// Exact quantile on a sorted slice, matching the histogram's rank rule:
+/// the `ceil(q * n)`-th smallest observation.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn arb_values() -> impl Strategy<Value = Vec<u64>> {
+    // Mix magnitudes so both the exact (< 32) and the log-scaled ranges
+    // are exercised, including the occasional huge outlier.
+    prop::collection::vec((0u64..u64::MAX, 0u8..10), 1..400).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(raw, sel)| match sel {
+                0..=3 => raw % 64,
+                4..=8 => 64 + raw % 100_000,
+                _ => raw,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_land_in_the_oracles_bucket(values in arb_values()) {
+        let reg = Registry::new();
+        let hist = reg.histogram("h");
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count, values.len() as u64);
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = oracle_quantile(&sorted, q);
+            let got = snap.quantile(q);
+            prop_assert_eq!(
+                bucket_index(got),
+                bucket_index(exact),
+                "q={}: histogram {} vs oracle {}",
+                q,
+                got,
+                exact
+            );
+            // The representative never leaves the recorded range.
+            prop_assert!(got >= snap.min && got <= snap.max);
+        }
+    }
+
+    #[test]
+    fn merging_split_streams_equals_one_stream(
+        values in arb_values(),
+        split in 0usize..400,
+    ) {
+        let split = split.min(values.len());
+        let reg = Registry::new();
+        let left = reg.histogram("left");
+        let right = reg.histogram("right");
+        let whole = reg.histogram("whole");
+        for &v in &values[..split] {
+            left.record(v);
+        }
+        for &v in &values[split..] {
+            right.record(v);
+        }
+        for &v in &values {
+            whole.record(v);
+        }
+        let mut merged = left.snapshot();
+        merged.merge(&right.snapshot());
+        prop_assert_eq!(merged, whole.snapshot());
+    }
+
+    #[test]
+    fn merge_is_commutative(a in arb_values(), b in arb_values()) {
+        let reg = Registry::new();
+        let ha = reg.histogram("a");
+        let hb = reg.histogram("b");
+        for &v in &a {
+            ha.record(v);
+        }
+        for &v in &b {
+            hb.record(v);
+        }
+        let mut ab = ha.snapshot();
+        ab.merge(&hb.snapshot());
+        let mut ba = hb.snapshot();
+        ba.merge(&ha.snapshot());
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn empty_snapshot_is_merge_identity(values in arb_values()) {
+        let reg = Registry::new();
+        let h = reg.histogram("h");
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let mut left = HistogramSnapshot::default();
+        left.merge(&snap);
+        prop_assert_eq!(&left, &snap);
+        let mut right = snap.clone();
+        right.merge(&HistogramSnapshot::default());
+        prop_assert_eq!(&right, &snap);
+    }
+
+    #[test]
+    fn counter_sums_exactly(adds in prop::collection::vec(0u64..1_000_000, 0..100)) {
+        let reg = Registry::new();
+        let c = reg.counter("c");
+        for &n in &adds {
+            c.add(n);
+        }
+        prop_assert_eq!(c.get(), adds.iter().sum::<u64>());
+    }
+}

@@ -1,0 +1,84 @@
+//! Multi-thread consistency: handles cloned across threads must lose no
+//! update and histograms must agree with a single-threaded re-recording of
+//! the same multiset of values.
+
+use std::thread;
+
+use hyperpraw_telemetry::Registry;
+
+#[test]
+fn concurrent_counters_and_histograms_lose_nothing() {
+    const THREADS: usize = 8;
+    const PER_THREAD: usize = 5_000;
+
+    let reg = Registry::new();
+    let counter = reg.counter("stress.ops");
+    let gauge = reg.gauge("stress.inflight");
+    let hist = reg.histogram("stress.values");
+
+    thread::scope(|scope| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let gauge = gauge.clone();
+            let hist = hist.clone();
+            scope.spawn(move || {
+                gauge.inc();
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    // Deterministic per-thread values spanning several
+                    // powers of two.
+                    hist.record(((t * PER_THREAD + i) as u64) * 37 % 1_048_576);
+                }
+                gauge.dec();
+            });
+        }
+    });
+
+    assert_eq!(counter.get(), (THREADS * PER_THREAD) as u64);
+    assert_eq!(gauge.get(), 0);
+
+    // Re-record the same multiset single-threaded; snapshots must match
+    // bucket for bucket.
+    let oracle = Registry::new().histogram("oracle");
+    for t in 0..THREADS {
+        for i in 0..PER_THREAD {
+            oracle.record(((t * PER_THREAD + i) as u64) * 37 % 1_048_576);
+        }
+    }
+    assert_eq!(hist.snapshot(), oracle.snapshot());
+}
+
+#[test]
+fn snapshots_taken_mid_flight_are_internally_consistent() {
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 2_000;
+
+    let reg = Registry::new();
+    let hist = reg.histogram("mid.values");
+
+    thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let hist = hist.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    hist.record(i as u64);
+                }
+            });
+        }
+        // Interleave snapshot reads with the writers; counts must never
+        // exceed the final total and quantiles must stay in range.
+        for _ in 0..50 {
+            let snap = hist.snapshot();
+            assert!(snap.count <= (THREADS * PER_THREAD) as u64);
+            if snap.count > 0 {
+                let p99 = snap.quantile(0.99);
+                assert!(p99 < PER_THREAD as u64 + 32);
+            }
+        }
+    });
+
+    let end = hist.snapshot();
+    assert_eq!(end.count, (THREADS * PER_THREAD) as u64);
+    assert_eq!(end.min, 0);
+    assert_eq!(end.max, PER_THREAD as u64 - 1);
+}

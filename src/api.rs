@@ -214,6 +214,7 @@ pub struct PartitionJob {
     lowmem: LowMemConfig,
     multilevel: MultilevelConfig,
     prefetch: bool,
+    registry: hyperpraw_telemetry::Registry,
 }
 
 impl PartitionJob {
@@ -229,6 +230,7 @@ impl PartitionJob {
             lowmem: LowMemConfig::default(),
             multilevel: MultilevelConfig::default(),
             prefetch: true,
+            registry: hyperpraw_telemetry::Registry::disabled(),
         }
     }
 
@@ -388,6 +390,21 @@ impl PartitionJob {
         self
     }
 
+    /// Binds the job's instrumentation to `registry`
+    /// ([`hyperpraw_telemetry::Registry`]): the engine's per-pass
+    /// metrics (`engine.*`), compressed-storage counters (`storage.*`)
+    /// on [`run_compressed_file`](PartitionJob::run_compressed_file),
+    /// and — through [`PartitionJob::run_dynamic`] — the dynamic
+    /// partitioner's batch metrics (`dynamic.*`). Recording is
+    /// observation-only: partitions are bit-identical with or without a
+    /// live registry (the default,
+    /// [`hyperpraw_telemetry::Registry::disabled`], keeps every hot
+    /// path free of work).
+    pub fn registry(mut self, registry: &hyperpraw_telemetry::Registry) -> Self {
+        self.registry = registry.clone();
+        self
+    }
+
     /// Enables or disables background block prefetch when the job runs
     /// over a compressed file
     /// ([`run_compressed_file`](PartitionJob::run_compressed_file)).
@@ -470,7 +487,9 @@ impl PartitionJob {
             .algorithm
         {
             Algorithm::HyperPrawBasic | Algorithm::HyperPrawAware => {
-                let result = HyperPraw::new(self.hyperpraw, self.driver_cost(p)).partition(hg);
+                let result = HyperPraw::new(self.hyperpraw, self.driver_cost(p))
+                    .with_registry(&self.registry)
+                    .partition(hg);
                 (
                     result.partition,
                     result.history,
@@ -483,6 +502,7 @@ impl PartitionJob {
             Algorithm::ParallelBasic | Algorithm::ParallelAware => {
                 let result =
                     ParallelHyperPraw::new(self.hyperpraw, self.parallel, self.driver_cost(p))
+                        .with_registry(&self.registry)
                         .partition(hg);
                 (
                     result.partition,
@@ -551,6 +571,7 @@ impl PartitionJob {
                 partition_secs,
                 evaluate_secs,
             },
+            telemetry: self.registry.clone(),
             config: self.effective_config(p),
             lowmem,
         })
@@ -614,6 +635,7 @@ impl PartitionJob {
                 partition_secs,
                 evaluate_secs: 0.0,
             },
+            telemetry: self.registry.clone(),
             config: self.effective_config(p),
             lowmem: Some(stats),
         })
@@ -631,8 +653,20 @@ impl PartitionJob {
         &self,
         path: impl AsRef<std::path::Path>,
     ) -> Result<PartitionReport, PartitionError> {
-        let reader = hyperpraw_storage::CompressedReader::open_file(path)
+        // A small read-through chunk cache fronts the file: restreaming
+        // passes re-read the same blocks, and the cache's hit/miss
+        // counters land in the registry as `storage.cache.*`.
+        let source = hyperpraw_storage::FileSource::open(path)
             .map_err(|e| PartitionError::Io(e.to_string()))?;
+        let cached = hyperpraw_storage::CachingSource::new(
+            source,
+            u64::from(hyperpraw_storage::DEFAULT_BLOCK_TARGET_BYTES),
+            16,
+        )
+        .with_registry(&self.registry);
+        let reader = hyperpraw_storage::CompressedReader::open(cached)
+            .map_err(|e| PartitionError::Io(e.to_string()))?
+            .with_registry(&self.registry);
         let mode = if self.prefetch {
             hyperpraw_storage::ReadMode::Prefetch
         } else {
@@ -664,9 +698,10 @@ impl PartitionJob {
             config: self.hyperpraw,
             ..DynamicConfig::default()
         };
-        let partitioner =
+        let mut partitioner =
             DynamicPartitioner::new(hg, initial.partition.clone(), self.driver_cost(p), cfg)
                 .map_err(|e| PartitionError::InvalidConfig(e.to_string()))?;
+        partitioner.set_registry(&self.registry);
         Ok(DynamicSession {
             partitioner,
             job: self.clone(),
@@ -874,6 +909,16 @@ impl DynamicSession {
         &self.partitioner
     }
 
+    /// Binds the session's instrumentation to `registry`: the dynamic
+    /// partitioner's batch metrics (`dynamic.*`) plus the `engine.*`
+    /// metrics of every dirty-set restream it runs. The serve daemon
+    /// calls this on sessions recovered from disk (fresh sessions inherit
+    /// the registry from [`PartitionJob::registry`]).
+    pub fn set_registry(&mut self, registry: &hyperpraw_telemetry::Registry) {
+        self.partitioner.set_registry(registry);
+        self.job.registry = registry.clone();
+    }
+
     /// Serialises the job-level configuration a snapshot cannot derive
     /// from the partitioner — the algorithm variant and the evaluation
     /// cost matrix — as the opaque meta blob stored alongside it.
@@ -986,6 +1031,7 @@ impl DynamicSession {
                 partition_secs: 0.0,
                 evaluate_secs: 0.0,
             },
+            telemetry: job.registry.clone(),
             config: job.effective_config(p),
             lowmem: None,
         };
@@ -1080,6 +1126,7 @@ impl DynamicSession {
                 partition_secs,
                 evaluate_secs: evaluating.elapsed().as_secs_f64(),
             },
+            telemetry: self.job.registry.clone(),
             config: self.job.effective_config(p),
             lowmem: None,
         }

@@ -26,6 +26,7 @@
 //! | [`lowmem`] | `hyperpraw-lowmem` | memory-bounded one-pass streaming partitioner over on-disk vertex streams, with Bloom/MinHash connectivity sketches |
 //! | [`dynamic`] | `hyperpraw-dynamic` | incremental repartitioning: batched graph updates, dirty-set restreaming, migration accounting |
 //! | [`storage`] | `hyperpraw-storage` | block-compressed out-of-core CSR (`.hpz`): delta-varint pin blocks, pluggable `ByteSource`s, prefetching chunk reader |
+//! | [`telemetry`] | `hyperpraw-telemetry` | zero-dependency metrics: atomic counters/gauges, mergeable log-scaled histograms, span timers, registry with Prometheus/JSON exposition |
 //! | [`json`] | (this crate) | dependency-free JSON parser for the `hyperpraw serve` newline-delimited protocol |
 //!
 //! ## End-to-end flow
@@ -90,6 +91,7 @@ pub use hyperpraw_lowmem as lowmem;
 pub use hyperpraw_multilevel as multilevel;
 pub use hyperpraw_netsim as netsim;
 pub use hyperpraw_storage as storage;
+pub use hyperpraw_telemetry as telemetry;
 pub use hyperpraw_topology as topology;
 
 pub use api::{Algorithm, PartitionError, PartitionJob};

@@ -148,6 +148,10 @@ pub struct PartitionReport {
     pub quality: QualityStatus,
     /// Per-phase wall-clock timings.
     pub timings: PhaseTimings,
+    /// The registry the job ran with. Disabled (the default) unless the
+    /// job was built with [`crate::api::PartitionJob::registry`]; the JSON
+    /// `telemetry` section embeds its metric snapshot when live.
+    pub telemetry: hyperpraw_telemetry::Registry,
     /// The resolved effective configuration.
     pub config: EffectiveConfig,
     /// Extra statistics from the lowmem drivers.
@@ -211,16 +215,28 @@ impl PartitionReport {
         last_subfield(&mut out, "soed", json_opt_u64(self.soed));
         out.push_str("  },\n");
 
-        out.push_str("  \"timings\": {\n");
+        // The telemetry section subsumes the per-phase timings and, when
+        // the job ran with a live registry, embeds its metric snapshot
+        // (counters, gauges, histogram percentiles).
+        out.push_str("  \"telemetry\": {\n");
         subfield(
             &mut out,
             "partition_secs",
             json_f64(self.timings.partition_secs),
         );
-        last_subfield(
+        subfield(
             &mut out,
             "evaluate_secs",
             json_f64(self.timings.evaluate_secs),
+        );
+        last_subfield(
+            &mut out,
+            "metrics",
+            if self.telemetry.is_enabled() {
+                self.telemetry.render_json()
+            } else {
+                "null".into()
+            },
         );
         out.push_str("  },\n");
 
@@ -586,6 +602,7 @@ pub(crate) mod tests {
             soed: Some(7),
             quality: QualityStatus::Evaluated,
             timings: PhaseTimings::default(),
+            telemetry: hyperpraw_telemetry::Registry::disabled(),
             config: EffectiveConfig {
                 partitions: 2,
                 seed: 0,
@@ -616,13 +633,34 @@ pub(crate) mod tests {
             "\"metrics\"",
             "\"comm_cost\": 12.5",
             "\"hyperedge_cut\": 3",
-            "\"timings\"",
+            "\"telemetry\"",
+            "\"partition_secs\"",
             "\"config\"",
             "\"history\": []",
         ] {
             assert!(json.contains(needle), "missing {needle} in\n{json}");
         }
         assert!(!json.contains("assignment"));
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+    }
+
+    #[test]
+    fn live_registry_metrics_land_in_the_telemetry_section() {
+        assert!(sample_report().to_json().contains("\"metrics\": null"));
+        let mut report = sample_report();
+        let registry = hyperpraw_telemetry::Registry::new();
+        registry.counter("engine.vertices_scored").add(42);
+        report.telemetry = registry;
+        let json = report.to_json();
+        assert!(
+            json.contains("\"metrics\": {"),
+            "missing snapshot in\n{json}"
+        );
+        assert!(json.contains("engine.vertices_scored"));
         assert_eq!(
             json.matches('{').count(),
             json.matches('}').count(),
